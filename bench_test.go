@@ -1,0 +1,290 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md for the experiment index), plus
+// ablation benches for the design choices NetDPSyn adds.
+//
+// Run everything and capture the rendered tables:
+//
+//	go test -bench=. -benchmem . | tee bench_output.txt
+//
+// The benches share a memoized Runner so each synthesis happens once;
+// grids are emitted through b.Log so the output file records the
+// paper-style tables alongside the timings. Scales are reduced (see
+// experiments.DefaultScale); EXPERIMENTS.md records paper-vs-measured
+// per artifact.
+package netdpsyn_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/experiments"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+)
+
+// runner returns the shared, memoized experiment runner.
+func runner() *experiments.Runner {
+	benchOnce.Do(func() {
+		benchRunner = experiments.NewRunner(experiments.DefaultScale())
+	})
+	return benchRunner
+}
+
+func BenchmarkFigure2Sketching(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		grids, err := experiments.Figure2(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, ds := range datagen.PacketDatasets() {
+				b.Logf("\n%s", grids[ds])
+			}
+			b.ReportMetric(grids[datagen.DC].Get("CMS", "NetDPSyn"), "DC-CMS-NetDPSyn")
+			b.ReportMetric(grids[datagen.DC].Get("CMS", "NetShare"), "DC-CMS-NetShare")
+		}
+	}
+}
+
+func BenchmarkFigure3Classification(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, ds := range datagen.FlowDatasets() {
+				b.Logf("\n%s", res.Accuracy[ds])
+			}
+			g := res.Accuracy[datagen.TON]
+			b.ReportMetric(g.Get("DT", "Real"), "TON-DT-Real")
+			b.ReportMetric(g.Get("DT", "NetDPSyn"), "TON-DT-NetDPSyn")
+			b.ReportMetric(g.Get("DT", "NetShare"), "TON-DT-NetShare")
+		}
+	}
+}
+
+func BenchmarkTable1RankCorrelation(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.RankCorr)
+			b.ReportMetric(res.RankCorr.Get("TON", "NetDPSyn"), "TON-NetDPSyn-rho")
+		}
+	}
+}
+
+func BenchmarkFigure4NetML(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, ds := range datagen.PacketDatasets() {
+				b.Logf("\n%s", res.RelErr[ds])
+			}
+		}
+	}
+}
+
+func BenchmarkTable2NetMLRank(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.RankCorr)
+		}
+	}
+}
+
+func BenchmarkTable3RunningTime(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Table3(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", g)
+			b.ReportMetric(g.Get("TON", "NetDPSyn"), "TON-NetDPSyn-sec")
+			b.ReportMetric(g.Get("TON", "PrivMRF"), "TON-PrivMRF-sec")
+		}
+	}
+}
+
+func BenchmarkTable4MarginalExample(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Table4(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", s)
+		}
+	}
+}
+
+func BenchmarkTable5DatasetSummary(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Table5(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", g)
+		}
+	}
+}
+
+func BenchmarkFigure5AttributeTON(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", res.JSD, res.EMD)
+		}
+	}
+}
+
+func BenchmarkFigure6AttributeCAIDA(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", res.JSD, res.EMD)
+		}
+	}
+}
+
+func BenchmarkFigure7EpsilonSweep(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		grids, err := experiments.Figure7(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", grids["DT"], grids["RF"])
+		}
+	}
+}
+
+func BenchmarkTable6TONEpsilonRange(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		grids, err := experiments.Table6(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", grids["DT"], grids["RF"])
+		}
+	}
+}
+
+func BenchmarkTable7UGR16EpsilonRange(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		grids, err := experiments.Table7(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", grids["DT"], grids["RF"])
+		}
+	}
+}
+
+func BenchmarkFigure8GUMMIvsGUM(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		grids, err := experiments.Figure8(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", grids["DT"], grids["GB"])
+			b.ReportMetric(grids["DT"].Get("1", "GUMMI"), "DT-1round-GUMMI")
+			b.ReportMetric(grids["DT"].Get("1", "GUM"), "DT-1round-GUM")
+		}
+	}
+}
+
+func BenchmarkAppendixGMIA(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.AppendixG(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", g)
+			b.ReportMetric(g.Get("Raw", "AttackAcc"), "MIA-raw")
+			b.ReportMetric(g.Get("NetDPSyn ε=2", "AttackAcc"), "MIA-eps2")
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Ablations(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", g)
+		}
+	}
+}
+
+func BenchmarkExtensionCopula(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.CopulaComparison(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", g)
+			b.ReportMetric(g.Get("NetDPSyn", "DT"), "DT-NetDPSyn")
+			b.ReportMetric(g.Get("Copula", "DT"), "DT-Copula")
+		}
+	}
+}
+
+func BenchmarkExtensionWindowed(b *testing.B) {
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.WindowedComparison(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", g)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Command experiments reruns the paper's evaluation: every table and
+// figure of "NetDPSyn: Synthesizing Network Traces under Differential
+// Privacy" (IMC 2024), at a configurable reduced scale, printing the
+// paper-style text tables.
+//
+// Usage:
+//
+//	experiments -run all            # everything (minutes)
+//	experiments -run fig3,table1    # just the classification study
+//	experiments -rows 12000 -gum 50 # bigger scale, more GUM rounds
+//
+// Experiment names: fig2 fig3 table1 fig4 table2 table3 table4 table5
+// fig5 fig6 fig7 table6 table7 fig8 appendixg ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment list or 'all'")
+		rows    = flag.Int("rows", 6000, "base record count (TON scales to ≈0.3×, as in Table 5)")
+		eps     = flag.Float64("eps", 2.0, "privacy budget ε")
+		gum     = flag.Int("gum", 30, "GUM update iterations for NetDPSyn")
+		runs    = flag.Int("sketchruns", 3, "repetitions per sketch (Figure 2)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	sc := experiments.Scale{
+		Rows: *rows, Epsilon: *eps, Delta: 1e-5,
+		GUMIterations: *gum, SketchRuns: *runs, Seed: *seed,
+	}
+	if err := run(sc, *runList); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name string
+	fn   func(*experiments.Runner) error
+}
+
+func run(sc experiments.Scale, runList string) error {
+	r := experiments.NewRunner(sc)
+	all := []experiment{
+		{"table5", func(r *experiments.Runner) error { return printGrid(experiments.Table5(r)) }},
+		{"table4", func(r *experiments.Runner) error {
+			s, err := experiments.Table4(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+			return nil
+		}},
+		{"fig2", func(r *experiments.Runner) error {
+			grids, err := experiments.Figure2(r)
+			if err != nil {
+				return err
+			}
+			return printPerDataset(grids)
+		}},
+		{"fig3", func(r *experiments.Runner) error {
+			res, err := experiments.Figure3(r)
+			if err != nil {
+				return err
+			}
+			if err := printPerDataset(res.Accuracy); err != nil {
+				return err
+			}
+			fmt.Println(res.RankCorr)
+			return nil
+		}},
+		{"table1", func(r *experiments.Runner) error {
+			res, err := experiments.Figure3(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.RankCorr)
+			return nil
+		}},
+		{"fig4", func(r *experiments.Runner) error {
+			res, err := experiments.Figure4(r)
+			if err != nil {
+				return err
+			}
+			if err := printPerDataset(res.RelErr); err != nil {
+				return err
+			}
+			fmt.Println(res.RankCorr)
+			return nil
+		}},
+		{"table2", func(r *experiments.Runner) error {
+			res, err := experiments.Figure4(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.RankCorr)
+			return nil
+		}},
+		{"table3", func(r *experiments.Runner) error { return printGrid(experiments.Table3(r)) }},
+		{"fig5", func(r *experiments.Runner) error {
+			res, err := experiments.Figure5(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.JSD)
+			fmt.Println(res.EMD)
+			return nil
+		}},
+		{"fig6", func(r *experiments.Runner) error {
+			res, err := experiments.Figure6(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.JSD)
+			fmt.Println(res.EMD)
+			return nil
+		}},
+		{"fig7", func(r *experiments.Runner) error { return printPerModel(experiments.Figure7(r)) }},
+		{"table6", func(r *experiments.Runner) error { return printPerModel(experiments.Table6(r)) }},
+		{"table7", func(r *experiments.Runner) error { return printPerModel(experiments.Table7(r)) }},
+		{"fig8", func(r *experiments.Runner) error { return printPerModel(experiments.Figure8(r)) }},
+		{"appendixg", func(r *experiments.Runner) error { return printGrid(experiments.AppendixG(r)) }},
+		{"ablations", func(r *experiments.Runner) error { return printGrid(experiments.Ablations(r)) }},
+		{"copula", func(r *experiments.Runner) error { return printGrid(experiments.CopulaComparison(r)) }},
+		{"windowed", func(r *experiments.Runner) error { return printGrid(experiments.WindowedComparison(r)) }},
+	}
+
+	want := map[string]bool{}
+	if runList != "all" {
+		for _, n := range strings.Split(runList, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	for _, ex := range all {
+		if runList != "all" && !want[ex.name] {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", ex.name)
+		if err := ex.fn(r); err != nil {
+			fmt.Printf("%s failed: %v\n\n", ex.name, err)
+			continue
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printGrid(g *experiments.Grid, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(g)
+	return nil
+}
+
+func printPerDataset(grids map[datagen.Name]*experiments.Grid) error {
+	names := make([]string, 0, len(grids))
+	for ds := range grids {
+		names = append(names, string(ds))
+	}
+	sort.Strings(names)
+	for _, ds := range names {
+		fmt.Println(grids[datagen.Name(ds)])
+	}
+	return nil
+}
+
+func printPerModel(grids map[string]*experiments.Grid, err error) error {
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(grids))
+	for m := range grids {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		fmt.Println(grids[m])
+	}
+	return nil
+}

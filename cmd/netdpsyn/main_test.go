@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+func writeTrace(t *testing.T, dir string) string {
+	t.Helper()
+	tab, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "in.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tab.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir)
+	out := filepath.Join(dir, "out.csv")
+	if err := run(in, out, "flow", "label", 2.0, 1e-5, 5, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("output too small: %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "srcip,") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "flow", "label", 2, 1e-5, 5, 1, 0); err == nil {
+		t.Error("missing input must error")
+	}
+	if err := run("nope.csv", "", "bogus", "label", 2, 1e-5, 5, 1, 0); err == nil {
+		t.Error("bad schema must error")
+	}
+	if err := run("definitely-missing.csv", "", "flow", "label", 2, 1e-5, 5, 1, 0); err == nil {
+		t.Error("missing file must error")
+	}
+}

@@ -1,0 +1,51 @@
+// Command tracegen emits the emulated evaluation datasets (TON,
+// UGR16, CIDDS, CAIDA, DC) as CSV traces. The real datasets are not
+// redistributable; these emulators reproduce their documented shape
+// (see DESIGN.md) and are the input of every experiment in this
+// repository.
+//
+// Usage:
+//
+//	tracegen -dataset TON -rows 100000 -seed 42 > ton.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "TON", "dataset: TON, UGR16, CIDDS, CAIDA, DC")
+		rows = flag.Int("rows", 10000, "record count (0 = full scale from Table 5)")
+		seed = flag.Uint64("seed", 42, "random seed")
+		out  = flag.String("out", "", "output CSV path (default: stdout)")
+	)
+	flag.Parse()
+	if err := run(datagen.Name(*name), *rows, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name datagen.Name, rows int, seed uint64, out string) error {
+	table, err := datagen.Generate(name, datagen.Config{Rows: rows, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d records, %d attributes, label=%s\n",
+		name, table.NumRows(), table.NumCols(), datagen.LabelField(name))
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return table.WriteCSV(w)
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range datagen.Datasets() {
+		out := filepath.Join(dir, string(name)+".csv")
+		if err := run(name, 300, 3, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 100 {
+			t.Fatalf("%s: only %d lines", name, len(lines))
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run(datagen.Name("NOPE"), 10, 1, ""); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}

@@ -1,0 +1,112 @@
+// Privacy analysis: the Appendix G experiment. Run the basic
+// membership-inference attack (Yeom et al.) against a classifier
+// trained on raw data and against classifiers trained on DP syntheses
+// at decreasing ε, showing the attack decaying toward a coin flip —
+// plus a demonstration of why prefix-preserving anonymization is NOT
+// a substitute (it preserves linkable structure deterministically).
+//
+//	go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/anonymize"
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/mia"
+	"github.com/netdpsyn/netdpsyn/internal/ml"
+)
+
+func main() {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 6000, Seed: 29})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(29, 31))
+	members, nonMembers := raw.Split(rng, 0.5)
+	// A small member set makes the target genuinely memorize it —
+	// the generalization gap is the attack's signal.
+	members = members.Head(600)
+
+	memX, memY, k1, err := ml.Features(members)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonX, nonY, k2, err := ml.Features(nonMembers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := max(k1, k2)
+
+	fmt.Println("Membership-inference attack accuracy (50% = coin flip):")
+
+	// Target trained directly on the members: the attack exploits the
+	// generalization gap of the overfit model.
+	target := ml.NewDecisionTree(ml.TreeConfig{MaxDepth: 24, MinLeaf: 1, Seed: 5})
+	if err := target.Fit(memX, memY, k); err != nil {
+		log.Fatal(err)
+	}
+	res, err := mia.Attack(target, memX, memY, nonX, nonY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  trained on raw members:        %.1f%%\n", 100*res.Accuracy)
+
+	for _, eps := range []float64{2.0, 0.1} {
+		syn, err := netdpsyn.New(netdpsyn.Config{Epsilon: eps, Delta: 1e-5, UpdateIterations: 30, Seed: 29})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := syn.Synthesize(members)
+		if err != nil {
+			log.Fatal(err)
+		}
+		synX, synY, kS, err := ml.Features(out.Table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if aligned := ml.AlignLabels(raw, out.Table); aligned != nil {
+			synY = aligned
+		}
+		target := ml.NewDecisionTree(ml.TreeConfig{MaxDepth: 24, MinLeaf: 1, Seed: 5})
+		if err := target.Fit(synX, synY, max(k, kS)); err != nil {
+			log.Fatal(err)
+		}
+		res, err := mia.Attack(target, memX, memY, nonX, nonY)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  trained on synthesis (ε=%-4g): %.1f%%\n", eps, 100*res.Accuracy)
+	}
+
+	// Contrast: CryptoPAn anonymization is deterministic and
+	// prefix-preserving — the same client maps to the same address
+	// every time, so records remain linkable across datasets.
+	fmt.Println("\nCryptoPAn anonymization (the §2.1 alternative) is linkable:")
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(3*i + 1)
+	}
+	cp, err := anonymize.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := uint32(0xC0A80105) // 192.168.1.5
+	a1 := cp.Anonymize(client)
+	a2 := cp.Anonymize(client)
+	neighbor := cp.Anonymize(client + 1) // 192.168.1.6 shares a /30
+	fmt.Printf("  192.168.1.5 → %08x (every time: %v)\n", a1, a1 == a2)
+	fmt.Printf("  192.168.1.6 → %08x (shares the anonymized /30: %v)\n",
+		neighbor, a1>>2 == neighbor>>2)
+	fmt.Println("  An attacker who knows one mapping learns the whole subnet's.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

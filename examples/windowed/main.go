@@ -1,0 +1,55 @@
+// Windowed synthesis: the scalability extension. A trace is split
+// into disjoint time windows and each window is synthesized
+// independently under the full (ε, δ) budget — valid by parallel
+// composition, since every record lives in exactly one window. This
+// bounds the record-synthesis (GUM) cost per window, which the paper
+// measures as ≈90% of total runtime.
+//
+//	go run ./examples/windowed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/netdpsyn/netdpsyn/internal/core"
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/stats"
+)
+
+func main() {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 20000, Seed: 41})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.GUM.Iterations = 50
+	cfg.Seed = 41
+
+	fmt.Printf("%-10s %-10s %-12s %-14s\n", "windows", "records", "time", "byt-EMD-vs-raw")
+	rawByt := column(raw.ColumnByName("byt"))
+	for _, windows := range []int{1, 2, 4} {
+		start := time.Now()
+		res, err := core.SynthesizeWindowed(raw, cfg, windows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		emd, err := stats.EMDSamples(rawByt, column(res.Table.ColumnByName("byt")))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-10d %-12s %-14.1f\n", windows, res.Table.NumRows(), elapsed.Round(time.Millisecond), emd)
+	}
+	fmt.Println("\nEach window pays the DP noise on fewer records: windowing trades")
+	fmt.Println("fidelity for bounded per-window cost, which pays off at large scale.")
+}
+
+func column(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}

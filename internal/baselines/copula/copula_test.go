@@ -1,0 +1,134 @@
+package copula
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1200, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 83
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := s.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumRows() != raw.NumRows() || syn.NumCols() != raw.NumCols() {
+		t.Fatalf("shape %dx%d", syn.NumRows(), syn.NumCols())
+	}
+	byt, pkt := syn.ColumnByName(trace.FieldByt), syn.ColumnByName(trace.FieldPkt)
+	for i := range byt {
+		if byt[i] < pkt[i] {
+			t.Fatalf("byt < pkt at %d", i)
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	m := [][]float64{{4, 2}, {2, 3}}
+	l, err := cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L·Lᵀ must reproduce m.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s float64
+			for k := 0; k < 2; k++ {
+				s += l[i][k] * l[j][k]
+			}
+			if math.Abs(s-m[i][j]) > 1e-9 {
+				t.Errorf("LLᵀ[%d][%d] = %v, want %v", i, j, s, m[i][j])
+			}
+		}
+	}
+	// Not positive definite.
+	if _, err := cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Error("non-PD matrix should fail")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		z := stdNormalQuantile(p)
+		back := stdNormalCDF(z)
+		if math.Abs(back-p) > 1e-9 {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, back)
+		}
+	}
+	if z := stdNormalQuantile(0.5); math.Abs(z) > 1e-12 {
+		t.Errorf("median quantile = %v", z)
+	}
+}
+
+func TestCDFInverse(t *testing.T) {
+	cdf := []float64{0.2, 0.5, 1.0}
+	cases := map[float64]int{0.1: 0, 0.3: 1, 0.9: 2, 0.5: 1}
+	for u, want := range cases {
+		if got := inverseCDF(cdf, u); got != want {
+			t.Errorf("inverseCDF(%v) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestPearsonScores(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if r := pearson(a, b); math.Abs(r-1) > 1e-12 {
+		t.Errorf("pearson = %v", r)
+	}
+	if r := pearson(a, []float64{1, 1, 1, 1}); r != 0 {
+		t.Errorf("constant pearson = %v", r)
+	}
+}
+
+func TestCopulaPreservesStrongMonotoneCorrelation(t *testing.T) {
+	// pkt and byt are strongly monotonically related in flow traces;
+	// a Gaussian copula should keep their correlation positive.
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 2000, Seed: 89})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 89
+	s, _ := New(cfg)
+	syn, err := s.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := colCorr(syn, trace.FieldPkt, trace.FieldByt)
+	if corr < 0.2 {
+		t.Errorf("pkt↔byt correlation = %v, want clearly positive", corr)
+	}
+}
+
+func colCorr(t interface {
+	ColumnByName(string) []int64
+}, a, b string) float64 {
+	ca, cb := t.ColumnByName(a), t.ColumnByName(b)
+	fa := make([]float64, len(ca))
+	fb := make([]float64, len(cb))
+	for i := range ca {
+		fa[i] = math.Log1p(float64(ca[i]))
+		fb[i] = math.Log1p(float64(cb[i]))
+	}
+	return pearson(fa, fb)
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Delta = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid delta must error")
+	}
+}

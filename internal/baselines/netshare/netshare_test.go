@@ -1,0 +1,132 @@
+package netshare
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	cfg.PretrainEpochs = 1
+	cfg.Hidden = 16
+	return cfg
+}
+
+func normalFrac(tab *dataset.Table) float64 {
+	li := tab.Schema().LabelIndex()
+	n := 0
+	for r := 0; r < tab.NumRows(); r++ {
+		if tab.CatValue(li, tab.Value(r, li)) == "normal" {
+			n++
+		}
+	}
+	return float64(n) / float64(tab.NumRows())
+}
+
+func TestSynthesizeShapeAndValidity(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1200, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Seed = 71
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := s.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumRows() != raw.NumRows() || syn.NumCols() != raw.NumCols() {
+		t.Fatalf("shape %dx%d", syn.NumRows(), syn.NumCols())
+	}
+	for _, f := range []string{trace.FieldSrcPort, trace.FieldDstPort} {
+		for _, v := range syn.ColumnByName(f) {
+			if v < 0 || v > 65535 {
+				t.Fatalf("%s out of range: %d", f, v)
+			}
+		}
+	}
+	byt, pkt := syn.ColumnByName(trace.FieldByt), syn.ColumnByName(trace.FieldPkt)
+	for i := range byt {
+		if byt[i] < pkt[i] {
+			t.Fatalf("byt < pkt at %d", i)
+		}
+	}
+}
+
+func TestDPNoiseDegradesUtility(t *testing.T) {
+	// The paper's §3.1 claim in miniature: the same generative model
+	// without DP tracks the label marginal at least as well as with
+	// DP-SGD at ε = 2 (stochastic, so assert with slack).
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 1500, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgDP := fastConfig()
+	cfgDP.Seed = 73
+	sDP, _ := New(cfgDP)
+	synDP, err := sDP.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgNo := fastConfig()
+	cfgNo.Seed = 73
+	cfgNo.DisableDP = true
+	sNo, _ := New(cfgNo)
+	synNo, err := sNo.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawFrac := normalFrac(raw)
+	gapDP := math.Abs(normalFrac(synDP) - rawFrac)
+	gapNo := math.Abs(normalFrac(synNo) - rawFrac)
+	if gapDP+0.10 < gapNo {
+		t.Errorf("DP run (gap %v) dramatically better than non-DP (gap %v)?", gapDP, gapNo)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid epsilon must error")
+	}
+	cfg = DefaultConfig()
+	cfg.Batch = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero batch must error")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	raw, err := datagen.Generate(datagen.DC, datagen.Config{Rows: 600, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Seed = 5
+	s1, _ := New(cfg)
+	s2, _ := New(cfg)
+	a, err := s1.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		for r := 0; r < a.NumRows(); r++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("same seed differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package pgm
+
+import (
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+// encodedForTest builds a 3-attribute encoded table where attribute 1
+// tracks attribute 0 and attribute 2 alternates independently.
+func encodedForTest() *dataset.Encoded {
+	e := dataset.NewEncoded([]string{"a", "b", "c"}, []int{2, 2, 2}, 8)
+	copy(e.Cols[0], []int32{0, 0, 0, 0, 1, 1, 1, 1})
+	copy(e.Cols[1], []int32{0, 0, 0, 1, 1, 1, 1, 0})
+	copy(e.Cols[2], []int32{0, 1, 0, 1, 0, 1, 0, 1})
+	return e
+}
+
+func TestSynthesizePreservesLabelStructure(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 2000, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 51
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := s.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumRows() != raw.NumRows() {
+		t.Fatalf("rows = %d, want %d", syn.NumRows(), raw.NumRows())
+	}
+	if syn.NumCols() != raw.NumCols() {
+		t.Fatalf("cols = %d, want %d", syn.NumCols(), raw.NumCols())
+	}
+	// The dominant class must stay dominant (the label star preserves
+	// the label marginal).
+	li := raw.Schema().LabelIndex()
+	sli := syn.Schema().LabelIndex()
+	rawNormal, synNormal := 0, 0
+	for r := 0; r < raw.NumRows(); r++ {
+		if raw.CatValue(li, raw.Value(r, li)) == "normal" {
+			rawNormal++
+		}
+	}
+	for r := 0; r < syn.NumRows(); r++ {
+		if syn.CatValue(sli, syn.Value(r, sli)) == "normal" {
+			synNormal++
+		}
+	}
+	rawFrac := float64(rawNormal) / float64(raw.NumRows())
+	synFrac := float64(synNormal) / float64(syn.NumRows())
+	if synFrac < rawFrac-0.2 || synFrac > rawFrac+0.2 {
+		t.Errorf("normal fraction: raw %v, syn %v", rawFrac, synFrac)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 800, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	s1, _ := New(cfg)
+	s2, _ := New(cfg)
+	a, err := s1.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		for r := 0; r < a.NumRows(); r++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("same seed differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid epsilon must error")
+	}
+}
+
+func TestMutualInformationProperties(t *testing.T) {
+	// MI(a;a) ≥ MI(a;b) and MI is non-negative, checked on an
+	// encoded table with one dependent and one independent pair.
+	e := encodedForTest()
+	miSelf := mutualInformation(e, 0, 0)
+	miDep := mutualInformation(e, 0, 1)
+	miInd := mutualInformation(e, 0, 2)
+	if miDep < 0 || miInd < 0 {
+		t.Fatalf("negative MI: %v %v", miDep, miInd)
+	}
+	if miSelf < miDep {
+		t.Errorf("MI(a;a)=%v < MI(a;b)=%v", miSelf, miDep)
+	}
+	if miDep <= miInd {
+		t.Errorf("dependent pair MI %v should exceed independent %v", miDep, miInd)
+	}
+}

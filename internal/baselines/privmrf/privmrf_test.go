@@ -1,0 +1,127 @@
+package privmrf
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+)
+
+func TestSynthesizeTONWorks(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 1500, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 61
+	cfg.MemoryBudgetCells = 1e9 // generous for the small test input
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := s.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumRows() != raw.NumRows() || syn.NumCols() != raw.NumCols() {
+		t.Fatalf("shape %dx%d, want %dx%d", syn.NumRows(), syn.NumCols(), raw.NumRows(), raw.NumCols())
+	}
+	// Label distribution must not be flattened: the dominant class
+	// stays dominant.
+	li := raw.Schema().LabelIndex()
+	counts := map[string]int{}
+	for r := 0; r < syn.NumRows(); r++ {
+		counts[syn.CatValue(li, syn.Value(r, li))]++
+	}
+	if counts["normal"] < syn.NumRows()/4 {
+		t.Errorf("normal class flattened: %v", counts)
+	}
+}
+
+func TestMemoryExceeded(t *testing.T) {
+	raw, err := datagen.Generate(datagen.CIDDS, datagen.Config{Rows: 4000, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MemoryBudgetCells = 1e4 // deliberately tiny
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Synthesize(raw)
+	if !errors.Is(err, ErrMemoryExceeded) {
+		t.Fatalf("want ErrMemoryExceeded, got %v", err)
+	}
+}
+
+func TestTriangulateProducesCoveringCliques(t *testing.T) {
+	domains := []int{2, 2, 2, 2, 2}
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}
+	cliques := triangulate(domains, 5, edges)
+	covered := make([]bool, 5)
+	for _, c := range cliques {
+		for _, a := range c {
+			covered[a] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			t.Errorf("vertex %d not in any clique", v)
+		}
+	}
+	// A cycle of length 5 triangulates into cliques of size 3.
+	for _, c := range cliques {
+		if len(c) > 3 {
+			t.Errorf("clique too large for a 5-cycle: %v", c)
+		}
+	}
+}
+
+func TestTriangulateIsolatedVertices(t *testing.T) {
+	cliques := triangulate([]int{2, 2, 2}, 3, nil)
+	if len(cliques) != 3 {
+		t.Errorf("isolated vertices should be singleton cliques: %v", cliques)
+	}
+}
+
+func TestSelectEdgesRespectsCliqueBudget(t *testing.T) {
+	ps := &marginal.PairScores{
+		Pairs:  [][2]int{{0, 1}, {1, 2}, {0, 2}},
+		Scores: []float64{10, 9, 8},
+	}
+	domains := []int{100, 100, 100}
+	// Budget allows pairs (10k cells) but not the triangle (1M).
+	edges := selectEdges(ps, 1.0, domains, 3, 20000)
+	if len(edges) >= 3 {
+		t.Errorf("triangle should be rejected: %v", edges)
+	}
+	if len(edges) < 1 {
+		t.Error("high-score pairs should be kept")
+	}
+}
+
+func TestIsSubsetIntersect(t *testing.T) {
+	if !isSubset([]int{1, 3}, []int{1, 2, 3}) || isSubset([]int{1, 4}, []int{1, 2, 3}) {
+		t.Error("isSubset wrong")
+	}
+	got := intersect([]int{1, 2, 5}, []int{2, 5, 9})
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("intersect = %v", got)
+	}
+}
+
+func TestRawPairFootprintGrowsWithDistincts(t *testing.T) {
+	small, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 500, Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 4000, Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawPairFootprint(big) <= rawPairFootprint(small) {
+		t.Error("footprint should grow with record count (more distinct values)")
+	}
+}

@@ -1,0 +1,309 @@
+package binning
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+// Encode maps the table to its binned form. The table must have the
+// same schema the encoder was built from.
+func (e *Encoder) Encode(t *dataset.Table) (*dataset.Encoded, error) {
+	if t.NumCols() != len(e.Attrs) {
+		return nil, fmt.Errorf("binning: table has %d columns, encoder has %d attrs", t.NumCols(), len(e.Attrs))
+	}
+	names := make([]string, len(e.Attrs))
+	domains := make([]int, len(e.Attrs))
+	for i := range e.Attrs {
+		names[i] = e.Attrs[i].Field.Name
+		domains[i] = e.Attrs[i].Domain()
+	}
+	enc := dataset.NewEncoded(names, domains, t.NumRows())
+	for c := range e.Attrs {
+		col := t.Column(c)
+		dst := enc.Cols[c]
+		attr := &e.Attrs[c]
+		for r, v := range col {
+			dst[r] = attr.Code(v)
+		}
+	}
+	return enc, nil
+}
+
+// GreaterEq is a decode-time consistency constraint: column A's raw
+// value must be at least column B's (e.g. byt ≥ pkt: a packet has at
+// least one byte — §3.3 of the paper).
+type GreaterEq struct {
+	A, B string
+}
+
+// DecodeOptions configures decoding of a synthesized encoded table
+// back to raw trace records.
+type DecodeOptions struct {
+	// Seed drives the in-bin sampling.
+	Seed uint64
+	// GroupBy names the identifier attributes used to cluster rows
+	// for timestamp reconstruction (the IP 5-tuple in the paper).
+	GroupBy []string
+	// TSField and TSDiffField name the timestamp attribute and its
+	// auxiliary difference attribute. Either may be absent.
+	TSField, TSDiffField string
+	// DropAux removes the tsdiff attribute from the decoded output.
+	DropAux bool
+	// Constraints are enforced per record after sampling.
+	Constraints []GreaterEq
+}
+
+// Decode converts a (typically synthesized) encoded table back into a
+// raw trace table: uniform sampling within bins for most fields,
+// Gaussian sampling for tsdiff, per-record constraint repair, and
+// timestamp reconstruction by clustering encoded rows on the
+// identifier and accumulating tsdiff values onto the bin starts.
+func (e *Encoder) Decode(enc *dataset.Encoded, opts DecodeOptions) (*dataset.Table, error) {
+	if len(enc.Cols) != len(e.Attrs) {
+		return nil, fmt.Errorf("binning: encoded has %d attrs, encoder has %d", len(enc.Cols), len(e.Attrs))
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x5bf03635))
+	n := enc.NumRows()
+
+	tsIdx := enc.Index(opts.TSField)
+	diffIdx := enc.Index(opts.TSDiffField)
+	groupIdx := make(map[int]bool)
+	for _, name := range opts.GroupBy {
+		if i := enc.Index(name); i >= 0 {
+			groupIdx[i] = true
+		}
+	}
+
+	// Sample every non-timestamp, non-identifier column independently.
+	raw := make([][]int64, len(e.Attrs))
+	for c := range e.Attrs {
+		raw[c] = make([]int64, n)
+		if c == tsIdx && diffIdx >= 0 {
+			continue // reconstructed below
+		}
+		if groupIdx[c] {
+			continue // decoded cluster-consistently below
+		}
+		attr := &e.Attrs[c]
+		gaussian := c == diffIdx
+		for r := 0; r < n; r++ {
+			if gaussian {
+				raw[c][r] = attr.SampleGaussian(rng, enc.Cols[c][r])
+			} else {
+				raw[c][r] = attr.Sample(rng, enc.Cols[c][r])
+			}
+		}
+	}
+
+	// Identifier columns (the 5-tuple) are decoded once per encoded
+	// cluster: records synthesized into the same encoded flow stay
+	// one flow after decoding. Independent per-record sampling would
+	// scatter a flow's packets across the bin's address range and
+	// destroy the flow-level structure (NetML representations, flow
+	// sizes, tsdiff groups).
+	if len(groupIdx) > 0 {
+		e.decodeClustered(enc, raw, groupIdx, rng)
+	}
+
+	// Timestamp reconstruction from tsdiff (§3.4): cluster encoded
+	// rows by identifier, order each cluster by timestamp bin, anchor
+	// the first record uniformly in its bin, then accumulate tsdiff.
+	if tsIdx >= 0 {
+		if diffIdx >= 0 && len(opts.GroupBy) > 0 {
+			e.reconstructTS(enc, raw, tsIdx, diffIdx, opts.GroupBy, rng)
+		} else {
+			attr := &e.Attrs[tsIdx]
+			for r := 0; r < n; r++ {
+				raw[tsIdx][r] = attr.Sample(rng, enc.Cols[tsIdx][r])
+			}
+		}
+	}
+
+	// Constraint repair.
+	for _, c := range opts.Constraints {
+		ai, bi := enc.Index(c.A), enc.Index(c.B)
+		if ai < 0 || bi < 0 {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			if raw[ai][r] < raw[bi][r] {
+				raw[ai][r] = raw[bi][r]
+			}
+		}
+	}
+
+	// Assemble the output table, optionally dropping the aux field.
+	fields := make([]dataset.Field, 0, len(e.Attrs))
+	cols := make([]int, 0, len(e.Attrs))
+	for c := range e.Attrs {
+		if opts.DropAux && c == diffIdx {
+			continue
+		}
+		fields = append(fields, e.Attrs[c].Field)
+		cols = append(cols, c)
+	}
+	schema, err := dataset.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	out := dataset.NewTable(schema, n)
+	row := make([]int64, len(cols))
+	for r := 0; r < n; r++ {
+		for j, c := range cols {
+			row[j] = raw[c][r]
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	// Copy categorical dictionaries so string values round-trip.
+	for j, c := range cols {
+		if e.dicts[c] != nil {
+			out.SetDict(j, e.dicts[c].Clone())
+		}
+	}
+	return out, nil
+}
+
+// decodeClustered samples the identifier attributes once per encoded
+// cluster and assigns the values to every member row.
+func (e *Encoder) decodeClustered(enc *dataset.Encoded, raw [][]int64, groupIdx map[int]bool, rng *rand.Rand) {
+	group := make([]int, 0, len(groupIdx))
+	for i := range groupIdx {
+		group = append(group, i)
+	}
+	sort.Ints(group)
+	type key [8]int32
+	clusters := make(map[key][]int)
+	order := make([]key, 0)
+	for r := 0; r < enc.NumRows(); r++ {
+		var k key
+		for j, g := range group {
+			if j < len(k) {
+				k[j] = enc.Cols[g][r]
+			}
+		}
+		if _, seen := clusters[k]; !seen {
+			order = append(order, k)
+		}
+		clusters[k] = append(clusters[k], r)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		for i := range order[a] {
+			if order[a][i] != order[b][i] {
+				return order[a][i] < order[b][i]
+			}
+		}
+		return false
+	})
+	for _, k := range order {
+		rows := clusters[k]
+		for _, g := range group {
+			attr := &e.Attrs[g]
+			v := attr.Sample(rng, enc.Cols[g][rows[0]])
+			for _, r := range rows {
+				raw[g][r] = v
+			}
+		}
+	}
+}
+
+// reconstructTS rebuilds raw timestamps from tsdiff per identifier
+// cluster.
+func (e *Encoder) reconstructTS(enc *dataset.Encoded, raw [][]int64, tsIdx, diffIdx int, groupBy []string, rng *rand.Rand) {
+	group := make([]int, 0, len(groupBy))
+	for _, name := range groupBy {
+		if i := enc.Index(name); i >= 0 {
+			group = append(group, i)
+		}
+	}
+	type key [8]int32
+	clusters := make(map[key][]int)
+	for r := 0; r < enc.NumRows(); r++ {
+		var k key
+		for j, g := range group {
+			if j < len(k) {
+				k[j] = enc.Cols[g][r]
+			}
+		}
+		clusters[k] = append(clusters[k], r)
+	}
+	// Process clusters in a deterministic order: the sampling RNG is
+	// shared, so map-iteration order would make decoding
+	// non-reproducible.
+	keys := make([]key, 0, len(clusters))
+	for k := range clusters {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		for i := range keys[a] {
+			if keys[a][i] != keys[b][i] {
+				return keys[a][i] < keys[b][i]
+			}
+		}
+		return false
+	})
+	tsAttr := &e.Attrs[tsIdx]
+	for _, k := range keys {
+		rows := clusters[k]
+		sort.Slice(rows, func(a, b int) bool {
+			return enc.Cols[tsIdx][rows[a]] < enc.Cols[tsIdx][rows[b]]
+		})
+		first := rows[0]
+		cur := tsAttr.Sample(rng, enc.Cols[tsIdx][first])
+		raw[tsIdx][first] = cur
+		for _, r := range rows[1:] {
+			d := raw[diffIdx][r]
+			if d < 0 {
+				d = 0
+			}
+			cur += d
+			raw[tsIdx][r] = cur
+		}
+	}
+}
+
+// AddTSDiff augments a table with the auxiliary tsdiff attribute
+// (§3.2): rows are clustered by the identifier columns, ordered by
+// timestamp within each cluster, and tsdiff is the difference to the
+// previous record of the same cluster (0 for the first).
+func AddTSDiff(t *dataset.Table, tsField, diffField string, groupBy []string) (*dataset.Table, error) {
+	s := t.Schema()
+	tsCol := s.Index(tsField)
+	if tsCol < 0 {
+		return nil, fmt.Errorf("binning: no timestamp field %q", tsField)
+	}
+	group := make([]int, 0, len(groupBy))
+	for _, name := range groupBy {
+		if i := s.Index(name); i >= 0 {
+			group = append(group, i)
+		}
+	}
+	type key [8]int64
+	clusters := make(map[key][]int)
+	for r := 0; r < t.NumRows(); r++ {
+		var k key
+		for j, g := range group {
+			if j < len(k) {
+				k[j] = t.Value(r, g)
+			}
+		}
+		clusters[k] = append(clusters[k], r)
+	}
+	ts := t.Column(tsCol)
+	diff := make([]int64, t.NumRows())
+	for _, rows := range clusters {
+		sort.Slice(rows, func(a, b int) bool { return ts[rows[a]] < ts[rows[b]] })
+		for i := 1; i < len(rows); i++ {
+			d := ts[rows[i]] - ts[rows[i-1]]
+			if d < 0 {
+				d = 0
+			}
+			diff[rows[i]] = d
+		}
+	}
+	return t.WithColumn(dataset.Field{Name: diffField, Kind: dataset.KindNumeric}, diff)
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+)
+
+func TestSelectMarginalsPicksCorrelated(t *testing.T) {
+	// Three attributes of domain 10; pair (0,1) strongly dependent,
+	// others not.
+	ps := &marginal.PairScores{
+		Pairs:  [][2]int{{0, 1}, {0, 2}, {1, 2}},
+		Scores: []float64{1000, 1, 1},
+	}
+	domains := []int{10, 10, 10}
+	res := SelectMarginals(ps, domains, 1.0)
+	if len(res.Selected) == 0 {
+		t.Fatal("nothing selected")
+	}
+	first := res.Selected[0]
+	if first[0] != 0 || first[1] != 1 {
+		t.Errorf("first selected = %v, want [0 1]", first)
+	}
+	if res.TotalError <= 0 {
+		t.Errorf("total error = %v", res.TotalError)
+	}
+}
+
+func TestSelectMarginalsBudgetSensitivity(t *testing.T) {
+	// With a huge budget, everything useful gets selected; with a
+	// tiny budget, noise error dominates and selection shrinks.
+	ps := &marginal.PairScores{
+		Pairs:  [][2]int{{0, 1}, {0, 2}, {1, 2}},
+		Scores: []float64{500, 400, 300},
+	}
+	domains := []int{50, 50, 50}
+	rich := SelectMarginals(ps, domains, 100)
+	poor := SelectMarginalsAtBudget(ps, domains, 1e-6)
+	if len(rich.Selected) < len(poor.Selected) {
+		t.Errorf("rich budget selected %d < poor %d", len(rich.Selected), len(poor.Selected))
+	}
+}
+
+// SelectMarginalsAtBudget is a test helper aliasing SelectMarginals.
+func SelectMarginalsAtBudget(ps *marginal.PairScores, domains []int, rho float64) *SelectionResult {
+	return SelectMarginals(ps, domains, rho)
+}
+
+func TestCombineMergesOverlapping(t *testing.T) {
+	domains := []int{4, 4, 4, 100}
+	sets := [][]int{{0, 1}, {1, 2}, {2, 3}}
+	out := Combine(sets, domains, 64, 3)
+	// {0,1} and {1,2} merge into {0,1,2} (64 cells); {2,3} stays (400
+	// cells > 64 when merged with anything).
+	foundTriple := false
+	for _, s := range out {
+		if len(s) == 3 && s[0] == 0 && s[1] == 1 && s[2] == 2 {
+			foundTriple = true
+		}
+	}
+	if !foundTriple {
+		t.Errorf("expected merged {0,1,2}, got %v", out)
+	}
+	for _, s := range out {
+		c := 1.0
+		for _, a := range s {
+			c *= float64(domains[a])
+		}
+		if len(s) > 2 && c > 64 {
+			t.Errorf("oversized merge: %v (%.0f cells)", s, c)
+		}
+	}
+}
+
+func TestCombineRespectsArity(t *testing.T) {
+	domains := []int{2, 2, 2, 2}
+	sets := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+	out := Combine(sets, domains, 1e9, 3)
+	for _, s := range out {
+		if len(s) > 3 {
+			t.Errorf("arity cap violated: %v", s)
+		}
+	}
+}
+
+func TestCombineDisjointUntouched(t *testing.T) {
+	domains := []int{2, 2, 2, 2}
+	sets := [][]int{{0, 1}, {2, 3}}
+	out := Combine(sets, domains, 1e9, 3)
+	if len(out) != 2 {
+		t.Errorf("disjoint sets should not merge: %v", out)
+	}
+}
+
+func TestSubsetUnionHelpers(t *testing.T) {
+	if !subset([]int{1, 3}, []int{0, 1, 2, 3}) {
+		t.Error("subset false negative")
+	}
+	if subset([]int{1, 4}, []int{0, 1, 2, 3}) {
+		t.Error("subset false positive")
+	}
+	u := union([]int{0, 2}, []int{1, 2, 3})
+	want := []int{0, 1, 2, 3}
+	if len(u) != len(want) {
+		t.Fatalf("union = %v", u)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("union = %v", u)
+		}
+	}
+	if !overlap([]int{1, 5}, []int{5, 9}) || overlap([]int{1, 2}, []int{3, 4}) {
+		t.Error("overlap wrong")
+	}
+}
+
+func TestUnionProperty(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		sa := dedupSorted([]int{int(a[0] % 8), int(a[1] % 8), int(a[2] % 8), int(a[3] % 8)})
+		sb := dedupSorted([]int{int(b[0] % 8), int(b[1] % 8), int(b[2] % 8), int(b[3] % 8)})
+		u := union(sa, sb)
+		// Sorted, deduplicated, contains both.
+		for i := 1; i < len(u); i++ {
+			if u[i] <= u[i-1] {
+				return false
+			}
+		}
+		return subset(sa, u) && subset(sb, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSorted(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// buildTargets creates a simple 2-attribute target set with perfect
+// correlation between attributes.
+func buildTargets(n int) ([]*marginal.Marginal, []*marginal.Marginal, []int) {
+	domains := []int{3, 3}
+	joint := marginal.New([]int{0, 1}, domains)
+	for v := 0; v < 3; v++ {
+		joint.Counts[joint.Index(int32(v), int32(v))] = float64(n) / 3
+	}
+	one0 := marginal.New([]int{0}, []int{3})
+	one1 := marginal.New([]int{1}, []int{3})
+	for v := 0; v < 3; v++ {
+		one0.Counts[v] = float64(n) / 3
+		one1.Counts[v] = float64(n) / 3
+	}
+	return []*marginal.Marginal{joint}, []*marginal.Marginal{one0, one1}, domains
+}
+
+func TestGUMConvergesToTargets(t *testing.T) {
+	n := 900
+	published, oneWay, domains := buildTargets(n)
+	init, err := InitIndependent([]string{"a", "b"}, domains, oneWay, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGUM(published, n, GUMConfig{Iterations: 30, InitAlpha: 1, AlphaDecay: 0.84, DuplicateProb: 0.5, Seed: 5})
+	errs := g.Run(init)
+	if len(errs) != 30 {
+		t.Fatalf("errors = %d rounds", len(errs))
+	}
+	if errs[len(errs)-1] >= errs[0] {
+		t.Errorf("GUM error did not decrease: %v → %v", errs[0], errs[len(errs)-1])
+	}
+	// Final joint should be near-diagonal.
+	match := 0
+	for r := 0; r < n; r++ {
+		if init.Cols[0][r] == init.Cols[1][r] {
+			match++
+		}
+	}
+	if float64(match)/float64(n) < 0.9 {
+		t.Errorf("diagonal fraction = %v, want > 0.9", float64(match)/float64(n))
+	}
+}
+
+func TestInitGUMMISeedsKeyCorrelations(t *testing.T) {
+	n := 900
+	published, oneWay, domains := buildTargets(n)
+	init, err := InitGUMMI([]string{"a", "b"}, domains, oneWay, published, 0, n, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GUMMI should already place most rows on the diagonal before any
+	// GUM round.
+	match := 0
+	for r := 0; r < n; r++ {
+		if init.Cols[0][r] == init.Cols[1][r] {
+			match++
+		}
+	}
+	if float64(match)/float64(n) < 0.95 {
+		t.Errorf("GUMMI diagonal fraction = %v", float64(match)/float64(n))
+	}
+}
+
+func TestInitGUMMIFasterThanGUM(t *testing.T) {
+	// The Figure 8 claim in miniature: after ONE update round, GUMMI
+	// is closer to the targets than plain GUM.
+	n := 600
+	published, oneWay, domains := buildTargets(n)
+	gummi, err := InitGUMMI([]string{"a", "b"}, domains, oneWay, published, 0, n, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := InitIndependent([]string{"a", "b"}, domains, oneWay, n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GUMConfig{Iterations: 1, InitAlpha: 1, AlphaDecay: 0.84, DuplicateProb: 0.5, Seed: 9}
+	e1 := NewGUM(published, n, cfg).Run(gummi)
+	e2 := NewGUM(published, n, cfg).Run(plain)
+	if e1[0] >= e2[0] {
+		t.Errorf("GUMMI initial error %v should beat GUM %v", e1[0], e2[0])
+	}
+}
+
+func TestInitIndependentMatchesOneWay(t *testing.T) {
+	n := 3000
+	oneWay := []*marginal.Marginal{marginal.New([]int{0}, []int{2})}
+	oneWay[0].Counts[0] = 0.9 * float64(n)
+	oneWay[0].Counts[1] = 0.1 * float64(n)
+	init, err := InitIndependent([]string{"a"}, []int{2}, oneWay, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range init.Cols[0] {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(n)
+	if math.Abs(frac-0.9) > 0.03 {
+		t.Errorf("sampled fraction = %v, want ≈0.9", frac)
+	}
+}
+
+func TestInitGUMMIBadKey(t *testing.T) {
+	_, oneWay, domains := buildTargets(100)
+	if _, err := InitGUMMI([]string{"a", "b"}, domains, oneWay, nil, 99, 100, 0, 1); err == nil {
+		t.Error("out-of-range key must error")
+	}
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	bad := []Config{
+		{Epsilon: 0, Delta: 1e-5},
+		{Epsilon: 1, Delta: 0},
+		{Epsilon: 1, Delta: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := NewPipeline(cfg); err == nil {
+			t.Errorf("config %+v should fail validation", cfg)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.GUM.Iterations = 0
+	if _, err := NewPipeline(cfg); err == nil {
+		t.Error("zero iterations should fail")
+	}
+}
+
+func TestConditionalSampler(t *testing.T) {
+	m := marginal.New([]int{0, 1}, []int{2, 3})
+	// key=0 → always b=2; key=1 → always b=0.
+	m.Counts[m.Index(0, 2)] = 5
+	m.Counts[m.Index(1, 0)] = 7
+	cs, err := newConditionalSampler(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, _ := InitIndependent([]string{"x"}, []int{1}, []*marginal.Marginal{marginal.New([]int{0}, []int{1})}, 1, 1)
+	_ = init
+	rngSamples := func(k int32) []int32 {
+		out := make([]int32, 0, 50)
+		g := NewGUM(nil, 0, GUMConfig{Iterations: 1, Seed: 3})
+		for i := 0; i < 50; i++ {
+			cell := cs.Sample(g.rng, k)
+			out = append(out, m.Cell(cell)[1])
+		}
+		return out
+	}
+	for _, b := range rngSamples(0) {
+		if b != 2 {
+			t.Fatalf("key 0 sampled b=%d, want 2", b)
+		}
+	}
+	for _, b := range rngSamples(1) {
+		if b != 0 {
+			t.Fatalf("key 1 sampled b=%d, want 0", b)
+		}
+	}
+}
+
+func TestCellsOf(t *testing.T) {
+	if c := cellsOf([]int{2, 3, 4}, []int{0, 2}); c != 8 {
+		t.Errorf("cellsOf = %v, want 8", c)
+	}
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+)
+
+// GUMConfig tunes the Gradually Update Method record synthesizer.
+type GUMConfig struct {
+	// Iterations is the maximum number of update rounds over the
+	// marginal set (the paper defaults to 200).
+	Iterations int
+	// InitAlpha is the initial fraction of the required record moves
+	// applied per round; it decays geometrically so the dataset
+	// settles (PrivSyn uses 1.0 and 0.84).
+	InitAlpha, AlphaDecay float64
+	// DuplicateProb is the probability of satisfying a deficit by
+	// duplicating an existing matching record (which preserves its
+	// other attributes) instead of overwriting the marginal's
+	// attributes in place.
+	DuplicateProb float64
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// DefaultGUMConfig returns the paper's defaults.
+func DefaultGUMConfig() GUMConfig {
+	return GUMConfig{Iterations: 200, InitAlpha: 1.0, AlphaDecay: 0.84, DuplicateProb: 0.5, Seed: 1}
+}
+
+// GUM iteratively updates an encoded dataset until its marginals
+// approach the published targets. The initial dataset init is
+// modified in place and returned; use InitIndependent for plain GUM
+// or InitGUMMI for NetDPSyn's marginal initialization.
+type GUM struct {
+	cfg     GUMConfig
+	targets []*target
+	rng     *rand.Rand
+}
+
+type target struct {
+	m      *marginal.Marginal
+	counts []float64 // scaled so the sum equals the synthetic record count
+}
+
+// NewGUM prepares a synthesizer for the given published marginals and
+// synthetic record count n.
+func NewGUM(ms []*marginal.Marginal, n int, cfg GUMConfig) *GUM {
+	g := &GUM{cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908))}
+	for _, m := range ms {
+		t := &target{m: m, counts: append([]float64(nil), m.Counts...)}
+		var sum float64
+		for _, c := range t.counts {
+			if c > 0 {
+				sum += c
+			} else {
+				c = 0
+			}
+		}
+		if sum > 0 {
+			scale := float64(n) / sum
+			for i, c := range t.counts {
+				if c < 0 {
+					c = 0
+				}
+				t.counts[i] = c * scale
+			}
+		}
+		g.targets = append(g.targets, t)
+	}
+	return g
+}
+
+// Run applies the update rounds to ds in place and returns the
+// per-round average L1 error (‖S−T‖₁ / n averaged over marginals),
+// which decreases as the synthesis converges.
+func (g *GUM) Run(ds *dataset.Encoded) []float64 {
+	n := ds.NumRows()
+	if n == 0 || len(g.targets) == 0 {
+		return nil
+	}
+	errs := make([]float64, 0, g.cfg.Iterations)
+	alpha := g.cfg.InitAlpha
+	for it := 0; it < g.cfg.Iterations; it++ {
+		var roundErr float64
+		for _, t := range g.targets {
+			roundErr += g.updateOnce(ds, t, alpha)
+		}
+		errs = append(errs, roundErr/float64(len(g.targets))/float64(n))
+		alpha *= g.cfg.AlphaDecay
+	}
+	return errs
+}
+
+// updateOnce nudges ds toward one marginal target and returns the L1
+// error before the update.
+func (g *GUM) updateOnce(ds *dataset.Encoded, t *target, alpha float64) float64 {
+	n := ds.NumRows()
+	m := t.m
+	// Current cell of every record.
+	cellOf := make([]int, n)
+	for r := 0; r < n; r++ {
+		idx := 0
+		for i, a := range m.Attrs {
+			idx += int(ds.Cols[a][r]) * strideOf(m, i)
+		}
+		cellOf[r] = idx
+	}
+	// Sparse current counts.
+	s := make(map[int]float64, n)
+	for _, c := range cellOf {
+		s[c]++
+	}
+	// L1 error and over/under split. Only cells with nonzero target
+	// or nonzero current can contribute.
+	// Dust filtering: noisy targets spread tiny fractional counts
+	// over huge cell spaces after projection; gaps below half a
+	// record cannot be satisfied by integer record moves and would
+	// only soak up the move budget.
+	const dust = 0.5
+	var l1 float64
+	type cellGap struct {
+		cell int
+		gap  float64
+	}
+	var over, under []cellGap
+	seen := make(map[int]bool, len(s))
+	for c, sc := range s {
+		d := sc - t.counts[c]
+		l1 += math.Abs(d)
+		if d > dust {
+			over = append(over, cellGap{c, d})
+		} else if d < -dust {
+			under = append(under, cellGap{c, -d})
+		}
+		seen[c] = true
+	}
+	for c, tc := range t.counts {
+		if tc > dust && !seen[c] {
+			l1 += tc
+			under = append(under, cellGap{c, tc})
+		}
+	}
+	if len(over) == 0 || len(under) == 0 || alpha <= 0 {
+		return l1
+	}
+	// Deterministic order for reproducibility (maps iterate randomly;
+	// gap ties must fall back to the cell index).
+	sort.Slice(over, func(a, b int) bool { return over[a].cell < over[b].cell })
+	sort.Slice(under, func(a, b int) bool {
+		if under[a].gap != under[b].gap {
+			return under[a].gap > under[b].gap
+		}
+		return under[a].cell < under[b].cell
+	})
+
+	// Pool of movable records from over-represented cells, capped at
+	// alpha·excess per cell. Quotas use probabilistic rounding: with
+	// ceil(), every cell would keep contributing ≥1 record per round
+	// no matter how small alpha gets, and a large marginal set would
+	// thrash forever instead of settling.
+	overSet := make(map[int]float64, len(over))
+	for _, o := range over {
+		overSet[o.cell] = g.roundStochastic(o.gap * alpha)
+	}
+	var pool []int
+	for r := 0; r < n; r++ {
+		if q, ok := overSet[cellOf[r]]; ok && q >= 1 {
+			pool = append(pool, r)
+			overSet[cellOf[r]] = q - 1
+		}
+	}
+	g.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	// A representative record for each under cell enables the
+	// duplicate operation.
+	rep := make(map[int]int, len(under))
+	for r := 0; r < n; r++ {
+		c := cellOf[r]
+		if _, ok := rep[c]; !ok {
+			rep[c] = r
+		}
+	}
+
+	pi := 0
+	for _, u := range under {
+		need := int(g.roundStochastic(u.gap * alpha))
+		codes := m.Cell(u.cell)
+		for k := 0; k < need && pi < len(pool); k++ {
+			r := pool[pi]
+			pi++
+			if q, ok := rep[u.cell]; ok && q != r && g.rng.Float64() < g.cfg.DuplicateProb {
+				// Duplicate: copy the full record, preserving the
+				// correlations of attributes outside this marginal.
+				for a := 0; a < ds.NumAttrs(); a++ {
+					ds.Cols[a][r] = ds.Cols[a][q]
+				}
+			} else {
+				// Replace: overwrite only this marginal's attributes.
+				for i, a := range m.Attrs {
+					ds.Cols[a][r] = codes[i]
+				}
+				rep[u.cell] = r
+			}
+		}
+		if pi >= len(pool) {
+			break
+		}
+	}
+	return l1
+}
+
+// roundStochastic rounds x down, plus one with probability frac(x),
+// so quotas are unbiased and vanish as the update rate decays.
+func (g *GUM) roundStochastic(x float64) float64 {
+	fl := math.Floor(x)
+	if g.rng.Float64() < x-fl {
+		fl++
+	}
+	return fl
+}
+
+func strideOf(m *marginal.Marginal, i int) int {
+	s := 1
+	for j := len(m.Domains) - 1; j > i; j-- {
+		s *= m.Domains[j]
+	}
+	return s
+}
+
+// InitIndependent builds the plain-GUM starting dataset: every
+// attribute sampled independently from its published 1-way marginal.
+func InitIndependent(names []string, domains []int, oneWay []*marginal.Marginal, n int, seed uint64) (*dataset.Encoded, error) {
+	if len(oneWay) != len(domains) {
+		return nil, fmt.Errorf("core: %d one-way marginals for %d attributes", len(oneWay), len(domains))
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xbb67ae8584caa73b))
+	ds := dataset.NewEncoded(names, domains, n)
+	for a := range domains {
+		samp := newCatSampler(oneWay[a].Counts)
+		col := ds.Cols[a]
+		for r := 0; r < n; r++ {
+			col[r] = int32(samp.Sample(rng))
+		}
+	}
+	return ds, nil
+}
+
+// InitGUMMI builds NetDPSyn's marginal-initialized starting dataset
+// (§3.4): the key attribute (the label) is sampled from its 1-way
+// marginal, then every published marginal containing the key — taken
+// in decreasing |Pearson correlation| order — assigns its remaining
+// attributes conditionally on the key, and any attribute left
+// unassigned falls back to its independent 1-way marginal. nInit
+// caps how many key marginals are used (≤ 0 means all).
+func InitGUMMI(names []string, domains []int, oneWay, published []*marginal.Marginal, keyAttr, n, nInit int, seed uint64) (*dataset.Encoded, error) {
+	if keyAttr < 0 || keyAttr >= len(domains) {
+		return nil, fmt.Errorf("core: key attribute %d out of range", keyAttr)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x3c6ef372fe94f82b))
+	ds := dataset.NewEncoded(names, domains, n)
+
+	// Key marginals ordered by |Pearson| (computed on the noisy
+	// counts; no extra budget).
+	type keyed struct {
+		m    *marginal.Marginal
+		corr float64
+	}
+	var key []keyed
+	for _, m := range published {
+		hasKey := false
+		for _, a := range m.Attrs {
+			if a == keyAttr {
+				hasKey = true
+				break
+			}
+		}
+		if !hasKey || len(m.Attrs) < 2 {
+			continue
+		}
+		corr := 0.0
+		if len(m.Attrs) == 2 {
+			c, err := m.PearsonCorr()
+			if err == nil {
+				corr = math.Abs(c)
+			}
+		} else {
+			corr = 1 // multi-way key marginals are used first
+		}
+		key = append(key, keyed{m, corr})
+	}
+	sort.SliceStable(key, func(a, b int) bool { return key[a].corr > key[b].corr })
+	if nInit > 0 && nInit < len(key) {
+		key = key[:nInit]
+	}
+
+	// Sample the key attribute.
+	keySamp := newCatSampler(oneWay[keyAttr].Counts)
+	keyCol := ds.Cols[keyAttr]
+	for r := 0; r < n; r++ {
+		keyCol[r] = int32(keySamp.Sample(rng))
+	}
+	assigned := make([]bool, len(domains))
+	assigned[keyAttr] = true
+
+	// Conditional assignment from each key marginal.
+	for _, km := range key {
+		m := km.m
+		newAttrs := make([]int, 0, len(m.Attrs))
+		for _, a := range m.Attrs {
+			if !assigned[a] {
+				newAttrs = append(newAttrs, a)
+			}
+		}
+		if len(newAttrs) == 0 {
+			continue
+		}
+		cond, err := newConditionalSampler(m, keyAttr)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			cell := cond.Sample(rng, keyCol[r])
+			codes := m.Cell(cell)
+			for i, a := range m.Attrs {
+				for _, na := range newAttrs {
+					if a == na {
+						ds.Cols[a][r] = codes[i]
+					}
+				}
+			}
+		}
+		for _, a := range newAttrs {
+			assigned[a] = true
+		}
+	}
+
+	// Independent fallback for uncovered attributes.
+	for a := range domains {
+		if assigned[a] {
+			continue
+		}
+		samp := newCatSampler(oneWay[a].Counts)
+		col := ds.Cols[a]
+		for r := 0; r < n; r++ {
+			col[r] = int32(samp.Sample(rng))
+		}
+	}
+	return ds, nil
+}
+
+// catSampler draws from a non-negative weight vector via CDF binary
+// search.
+type catSampler struct {
+	cdf []float64
+}
+
+func newCatSampler(weights []float64) *catSampler {
+	cdf := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cdf[i] = total
+	}
+	if total <= 0 {
+		for i := range cdf {
+			cdf[i] = float64(i+1) / float64(len(cdf))
+		}
+		return &catSampler{cdf: cdf}
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &catSampler{cdf: cdf}
+}
+
+func (s *catSampler) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// conditionalSampler draws a full marginal cell conditioned on the
+// key attribute's value.
+type conditionalSampler struct {
+	perKey []*catSampler // indexed by key code; samples a cell offset
+	cells  [][]int       // cell indices behind each sampler
+}
+
+func newConditionalSampler(m *marginal.Marginal, keyAttr int) (*conditionalSampler, error) {
+	keyPos := -1
+	for i, a := range m.Attrs {
+		if a == keyAttr {
+			keyPos = i
+			break
+		}
+	}
+	if keyPos < 0 {
+		return nil, fmt.Errorf("core: marginal %v lacks key attribute %d", m.Attrs, keyAttr)
+	}
+	dom := m.Domains[keyPos]
+	cells := make([][]int, dom)
+	weights := make([][]float64, dom)
+	for idx, c := range m.Counts {
+		codes := m.Cell(idx)
+		k := int(codes[keyPos])
+		cells[k] = append(cells[k], idx)
+		if c < 0 {
+			c = 0
+		}
+		weights[k] = append(weights[k], c)
+	}
+	cs := &conditionalSampler{perKey: make([]*catSampler, dom), cells: cells}
+	for k := 0; k < dom; k++ {
+		cs.perKey[k] = newCatSampler(weights[k])
+	}
+	return cs, nil
+}
+
+// Sample returns a flattened cell index of the marginal whose key
+// code equals k.
+func (c *conditionalSampler) Sample(rng *rand.Rand, k int32) int {
+	ki := int(k)
+	if ki < 0 || ki >= len(c.perKey) || len(c.cells[ki]) == 0 {
+		ki = 0
+	}
+	return c.cells[ki][c.perKey[ki].Sample(rng)]
+}

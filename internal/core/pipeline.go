@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/netdpsyn/netdpsyn/internal/binning"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/dp"
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+// Config configures the full NetDPSyn pipeline.
+type Config struct {
+	// Epsilon and Delta form the (ε, δ)-DP target; the paper defaults
+	// to ε = 2.0, δ = 1e-5.
+	Epsilon, Delta float64
+	// BudgetSplit divides the zCDP budget ρ between data-dependent
+	// binning, marginal selection, and marginal publication; the
+	// paper uses 0.1 / 0.1 / 0.8.
+	BudgetSplit [3]float64
+	// Binning tunes the pre-processing discretization.
+	Binning binning.Config
+	// GUM tunes the record-synthesis loop.
+	GUM GUMConfig
+	// KeyAttr names the attribute GUMMI initializes around (the
+	// classification label). Empty selects the schema's label field.
+	KeyAttr string
+	// NInitMarginals caps the number of key marginals GUMMI uses
+	// (≤ 0 means all).
+	NInitMarginals int
+	// UseGUMMI selects marginal initialization (true, the NetDPSyn
+	// default) or plain-GUM independent initialization (false; the
+	// Figure 8 ablation).
+	UseGUMMI bool
+	// Tau is the protocol-rule probability threshold (paper: 0.1).
+	Tau float64
+	// CombineMaxCells bounds the size of merged multi-way marginals;
+	// MaxCombineAttrs bounds their arity.
+	CombineMaxCells float64
+	MaxCombineAttrs int
+	// SynthRecords fixes the synthetic record count; 0 derives it
+	// from the noisy marginal totals.
+	SynthRecords int
+	// Seed makes the whole pipeline deterministic.
+	Seed uint64
+	// UserGroupSize switches from record-level to user-level DP: a
+	// "user" is assumed to contribute at most this many records, so
+	// every mechanism's sensitivity is scaled accordingly (noise
+	// grows ∝ the group size). 0 or 1 means record-level DP, the
+	// paper's granularity; Appendix G names user-level DP as the
+	// natural strengthening.
+	UserGroupSize int
+	// DisableTSDiff, DisableConsistency, and DisableProtocolRules
+	// switch off individual NetDPSyn additions for ablation studies.
+	DisableTSDiff        bool
+	DisableConsistency   bool
+	DisableProtocolRules bool
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:         2.0,
+		Delta:           1e-5,
+		BudgetSplit:     [3]float64{0.1, 0.1, 0.8},
+		Binning:         binning.DefaultConfig(),
+		GUM:             DefaultGUMConfig(),
+		UseGUMMI:        true,
+		Tau:             0.1,
+		CombineMaxCells: 1 << 18,
+		MaxCombineAttrs: 3,
+		Seed:            1,
+	}
+}
+
+// Report carries diagnostics from a pipeline run.
+type Report struct {
+	Rho              float64
+	RhoBin           float64
+	RhoSelect        float64
+	RhoPublish       float64
+	SelectedSets     [][]string
+	SelectionError   float64
+	ConsistencyEdits int
+	GUMErrors        []float64
+	SynthRecords     int
+	Durations        map[string]time.Duration
+}
+
+// Result is the output of a pipeline run.
+type Result struct {
+	// Table is the synthesized raw trace with the input schema
+	// (minus the auxiliary tsdiff attribute).
+	Table *dataset.Table
+	// Encoded is the synthesized binned dataset.
+	Encoded *dataset.Encoded
+	// Encoder is the binning used, for callers that need to encode
+	// further data in the same space.
+	Encoder *binning.Encoder
+	// Report carries diagnostics.
+	Report Report
+}
+
+// Pipeline is a reusable NetDPSyn synthesizer.
+type Pipeline struct {
+	cfg Config
+}
+
+// NewPipeline validates the configuration and returns a pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Epsilon <= 0 || cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("core: invalid privacy target eps=%v delta=%v", cfg.Epsilon, cfg.Delta)
+	}
+	var s float64
+	for _, w := range cfg.BudgetSplit {
+		if w < 0 {
+			return nil, fmt.Errorf("core: negative budget weight %v", w)
+		}
+		s += w
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("core: empty budget split")
+	}
+	if cfg.GUM.Iterations <= 0 {
+		return nil, fmt.Errorf("core: GUM iterations must be positive")
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// Synthesize runs the full pipeline of Algorithm 1 on a raw trace
+// table and returns the synthesized trace.
+func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
+	cfg := p.cfg
+	report := Report{Durations: make(map[string]time.Duration)}
+	timer := func(name string, start time.Time) {
+		report.Durations[name] += time.Since(start)
+	}
+
+	// Budget conversion and split. User-level DP scales every
+	// mechanism's sensitivity by the group size k; since the Gaussian
+	// mechanism's ρ cost grows as sensitivity², dividing the working
+	// budget by k² is equivalent and keeps the code below unchanged.
+	rho, err := dp.RhoFromEpsDelta(cfg.Epsilon, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	workRho := rho
+	if cfg.UserGroupSize > 1 {
+		k := float64(cfg.UserGroupSize)
+		workRho = rho / (k * k)
+	}
+	acct, err := dp.NewAccountant(workRho)
+	if err != nil {
+		return nil, err
+	}
+	parts := acct.Split(cfg.BudgetSplit[0], cfg.BudgetSplit[1], cfg.BudgetSplit[2])
+	report.Rho, report.RhoBin, report.RhoSelect, report.RhoPublish = workRho, parts[0], parts[1], parts[2]
+
+	// Step 1-2: temporal augmentation (tsdiff), then binning.
+	start := time.Now()
+	work := t
+	hasTS := t.Schema().Has(trace.FieldTS)
+	if hasTS && !cfg.DisableTSDiff {
+		work, err = binning.AddTSDiff(t, trace.FieldTS, trace.FieldTSDiff, fiveTuple(t.Schema()))
+		if err != nil {
+			return nil, fmt.Errorf("core: tsdiff: %w", err)
+		}
+	}
+	if err := acct.Spend(parts[0]); err != nil {
+		return nil, err
+	}
+	// Scale the per-attribute bin cap with the record count: a bin
+	// needs tens of expected records to carry signal, and pair
+	// marginals must stay small relative to n for GUM to fit them.
+	// (At the paper's 1M-record scale the configured cap dominates.)
+	binCfg := cfg.Binning
+	if adaptive := work.NumRows() / 30; adaptive < binCfg.MaxBinsPerAttr {
+		if adaptive < 32 {
+			adaptive = 32
+		}
+		binCfg.MaxBinsPerAttr = adaptive
+	}
+	enc, err := binning.Build(work, binCfg, parts[0], cfg.Seed^0xb1)
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := enc.Encode(work)
+	if err != nil {
+		return nil, err
+	}
+	timer("preprocess", start)
+
+	// One-way marginals were published by the binning pass.
+	oneWay := make([]*marginal.Marginal, len(enc.Attrs))
+	for i := range enc.Attrs {
+		m := marginal.New([]int{i}, []int{enc.Attrs[i].Domain()})
+		copy(m.Counts, enc.Attrs[i].NoisyCounts)
+		m.Sigma = enc.Attrs[i].Sigma
+		oneWay[i] = m
+	}
+
+	// Step 3: DP pair scores and DenseMarg selection.
+	start = time.Now()
+	if err := acct.Spend(parts[1]); err != nil {
+		return nil, err
+	}
+	scores, err := marginal.ComputePairScores(encoded, parts[1], cfg.Seed^0xb2)
+	if err != nil {
+		return nil, err
+	}
+	capacity := 8 * float64(encoded.NumRows())
+	sel := SelectMarginalsBounded(scores, encoded.Domains, parts[2], capacity, 3*encoded.NumAttrs())
+	report.SelectionError = sel.TotalError
+	combineCells := cfg.CombineMaxCells
+	if combineCells > capacity {
+		combineCells = capacity
+	}
+	sets := Combine(sel.Selected, encoded.Domains, combineCells, cfg.MaxCombineAttrs)
+	for _, s := range sets {
+		names := make([]string, len(s))
+		for i, a := range s {
+			names[i] = encoded.Names[a]
+		}
+		report.SelectedSets = append(report.SelectedSets, names)
+	}
+	timer("select", start)
+
+	// Step 4: publish the selected marginals with ρ_i ∝ c_i^(2/3).
+	start = time.Now()
+	if err := acct.Spend(parts[2]); err != nil {
+		return nil, err
+	}
+	published, err := publishSets(encoded, sets, parts[2], cfg.Seed^0xb3)
+	if err != nil {
+		return nil, err
+	}
+	timer("publish", start)
+
+	// Step 5: post-processing — simplex projection, consistency,
+	// protocol rules.
+	start = time.Now()
+	all := append(append([]*marginal.Marginal(nil), oneWay...), published...)
+	nHat := consensusTotal(all)
+	for _, m := range all {
+		m.NormSub(nHat)
+	}
+	if !cfg.DisableConsistency {
+		if err := marginal.ConsistAttributes(all, 3); err != nil {
+			return nil, err
+		}
+		for _, m := range all {
+			m.NormSub(nHat)
+		}
+	}
+	if !cfg.DisableProtocolRules {
+		rules := protocolRules(work, enc, cfg.Tau)
+		edits, err := marginal.ApplyRules(all, rules)
+		if err != nil {
+			return nil, err
+		}
+		report.ConsistencyEdits = edits
+	}
+	timer("postprocess", start)
+
+	// Step 6: record synthesis (GUMMI or GUM) + decoding.
+	start = time.Now()
+	nSynth := cfg.SynthRecords
+	if nSynth <= 0 {
+		nSynth = int(math.Round(nHat))
+	}
+	if nSynth < 1 {
+		nSynth = 1
+	}
+	report.SynthRecords = nSynth
+
+	var init *dataset.Encoded
+	if cfg.UseGUMMI {
+		keyIdx := p.keyAttrIndex(work.Schema(), encoded)
+		init, err = InitGUMMI(encoded.Names, encoded.Domains, oneWay, published, keyIdx, nSynth, cfg.NInitMarginals, cfg.Seed^0xb4)
+	} else {
+		init, err = InitIndependent(encoded.Names, encoded.Domains, oneWay, nSynth, cfg.Seed^0xb4)
+	}
+	if err != nil {
+		return nil, err
+	}
+	gum := NewGUM(published, nSynth, withSeed(cfg.GUM, cfg.Seed^0xb5))
+	report.GUMErrors = gum.Run(init)
+	timer("gum", start)
+
+	start = time.Now()
+	decodeOpts := binning.DecodeOptions{
+		Seed:    cfg.Seed ^ 0xb6,
+		GroupBy: fiveTuple(work.Schema()),
+		DropAux: true,
+		Constraints: []binning.GreaterEq{
+			{A: trace.FieldByt, B: trace.FieldPkt},
+		},
+	}
+	if hasTS {
+		decodeOpts.TSField = trace.FieldTS
+		if !cfg.DisableTSDiff {
+			decodeOpts.TSDiffField = trace.FieldTSDiff
+		}
+	}
+	out, err := enc.Decode(init, decodeOpts)
+	if err != nil {
+		return nil, err
+	}
+	timer("decode", start)
+
+	return &Result{Table: out, Encoded: init, Encoder: enc, Report: report}, nil
+}
+
+func withSeed(g GUMConfig, seed uint64) GUMConfig {
+	g.Seed = seed
+	return g
+}
+
+// fiveTuple returns the identifier fields present in the schema.
+func fiveTuple(s *dataset.Schema) []string {
+	var out []string
+	for _, name := range []string{trace.FieldSrcIP, trace.FieldDstIP, trace.FieldSrcPort, trace.FieldDstPort, trace.FieldProto} {
+		if s.Has(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// keyAttrIndex resolves the GUMMI key attribute: explicit config,
+// then the schema label field, then attribute 0.
+func (p *Pipeline) keyAttrIndex(s *dataset.Schema, e *dataset.Encoded) int {
+	if p.cfg.KeyAttr != "" {
+		if i := e.Index(p.cfg.KeyAttr); i >= 0 {
+			return i
+		}
+	}
+	if li := s.LabelIndex(); li >= 0 {
+		if i := e.Index(s.Fields[li].Name); i >= 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// publishSets computes and publishes the selected marginals under the
+// unequal allocation ρ_i ∝ c_i^(2/3).
+func publishSets(e *dataset.Encoded, sets [][]int, rhoPublish float64, seed uint64) ([]*marginal.Marginal, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	cells := make([]float64, len(sets))
+	var denom float64
+	for i, s := range sets {
+		cells[i] = cellsOf(e.Domains, s)
+		denom += math.Pow(cells[i], 2.0/3.0)
+	}
+	var out []*marginal.Marginal
+	for i, s := range sets {
+		rho := rhoPublish * math.Pow(cells[i], 2.0/3.0) / denom
+		m := marginal.Compute(e, s)
+		pub, err := m.Publish(rho, seed+uint64(i)*104729)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pub)
+	}
+	return out, nil
+}
+
+// consensusTotal estimates the record count from the noisy marginal
+// totals, weighting each marginal by the inverse variance of its
+// total (cells·σ²).
+func consensusTotal(ms []*marginal.Marginal) float64 {
+	var num, den float64
+	for _, m := range ms {
+		v := m.Sigma * m.Sigma * float64(m.Cells())
+		if v <= 0 {
+			v = 1e-6
+		}
+		w := 1 / v
+		num += m.Total() * w
+		den += w
+	}
+	if den <= 0 {
+		return 0
+	}
+	t := num / den
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// protocolRules derives the τ-thresholded consistency rules from the
+// schema and binning (§3.3): FTP/SSH control ports imply TCP, DNS on
+// port 53 is not ICMP, and byt ≥ pkt.
+func protocolRules(t *dataset.Table, enc *binning.Encoder, tau float64) []marginal.Rule {
+	s := t.Schema()
+	var rules []marginal.Rule
+	attrIdx := func(name string) int { return s.Index(name) }
+
+	protoIdx := attrIdx(trace.FieldProto)
+	dportIdx := attrIdx(trace.FieldDstPort)
+	if protoIdx >= 0 && dportIdx >= 0 {
+		dict := t.Dict(protoIdx)
+		tcp := -1
+		if dict != nil {
+			if c, ok := dict.Lookup("TCP"); ok {
+				tcp = c
+			}
+		}
+		if tcp >= 0 {
+			dpBins := enc.Attrs[dportIdx].Bins
+			tcpOnly := func(port int64) func(dp, pr int32) bool {
+				return func(dp, pr int32) bool {
+					b := dpBins[int(dp)]
+					if b.Lo == port && b.Hi == port {
+						return int(pr) == tcp
+					}
+					return true
+				}
+			}
+			rules = append(rules,
+				marginal.Rule{A: dportIdx, B: protoIdx, Allowed: tcpOnly(21), Tau: tau, Name: "ftp-requires-tcp"},
+				marginal.Rule{A: dportIdx, B: protoIdx, Allowed: tcpOnly(22), Tau: tau, Name: "ssh-requires-tcp"},
+			)
+		}
+	}
+
+	bytIdx, pktIdx := attrIdx(trace.FieldByt), attrIdx(trace.FieldPkt)
+	if bytIdx >= 0 && pktIdx >= 0 {
+		bytBins := enc.Attrs[bytIdx].Bins
+		pktBins := enc.Attrs[pktIdx].Bins
+		rules = append(rules, marginal.Rule{
+			A: bytIdx, B: pktIdx, Tau: 1.0, Name: "bytes-at-least-packets",
+			Allowed: func(by, pk int32) bool {
+				// A packet has at least one byte: impossible if even
+				// the largest byte count in the bin is below the
+				// smallest packet count.
+				return bytBins[int(by)].Hi >= pktBins[int(pk)].Lo
+			},
+		})
+	}
+	return rules
+}
+
+// SortedAttrNames is a helper for diagnostics: the names of an
+// attribute set in schema order.
+func SortedAttrNames(e *dataset.Encoded, attrs []int) []string {
+	s := append([]int(nil), attrs...)
+	sort.Ints(s)
+	names := make([]string, len(s))
+	for i, a := range s {
+		names[i] = e.Names[a]
+	}
+	return names
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+func fastPipelineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GUM.Iterations = 6
+	cfg.Seed = 91
+	return cfg
+}
+
+func TestPipelineReportBudgets(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 1200, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(fastPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	// The budget split must be exactly 0.1/0.1/0.8 of ρ.
+	if math.Abs(rep.RhoBin-0.1*rep.Rho) > 1e-12 ||
+		math.Abs(rep.RhoSelect-0.1*rep.Rho) > 1e-12 ||
+		math.Abs(rep.RhoPublish-0.8*rep.Rho) > 1e-12 {
+		t.Errorf("budget split wrong: %v %v %v of %v", rep.RhoBin, rep.RhoSelect, rep.RhoPublish, rep.Rho)
+	}
+	if len(rep.SelectedSets) == 0 {
+		t.Error("no marginals selected")
+	}
+	if rep.SynthRecords != res.Table.NumRows() {
+		t.Errorf("records: report %d, table %d", rep.SynthRecords, res.Table.NumRows())
+	}
+	if len(rep.GUMErrors) != 6 {
+		t.Errorf("GUM error trace length = %d", len(rep.GUMErrors))
+	}
+	for _, phase := range []string{"preprocess", "select", "publish", "postprocess", "gum", "decode"} {
+		if rep.Durations[phase] <= 0 {
+			t.Errorf("phase %q has no duration", phase)
+		}
+	}
+	// The synthetic record count should be within noise of the input.
+	if res.Table.NumRows() < raw.NumRows()/2 || res.Table.NumRows() > raw.NumRows()*2 {
+		t.Errorf("synthesized %d records from %d", res.Table.NumRows(), raw.NumRows())
+	}
+}
+
+func TestPipelineAblationFlags(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 900, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.DisableTSDiff = true },
+		func(c *Config) { c.DisableConsistency = true },
+		func(c *Config) { c.DisableProtocolRules = true },
+		func(c *Config) { c.UseGUMMI = false },
+	} {
+		cfg := fastPipelineConfig()
+		mutate(&cfg)
+		p, err := NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Synthesize(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Table.NumRows() == 0 {
+			t.Error("ablated pipeline produced nothing")
+		}
+		// tsdiff must never leak into the output schema.
+		if res.Table.Schema().Has(trace.FieldTSDiff) {
+			t.Error("auxiliary tsdiff attribute in output")
+		}
+	}
+}
+
+func TestPipelinePacketTrace(t *testing.T) {
+	raw, err := datagen.Generate(datagen.CAIDA, datagen.Config{Rows: 1500, Seed: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(fastPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Schema().NumFields() != 15 {
+		t.Fatalf("packet schema width = %d", res.Table.Schema().NumFields())
+	}
+	// Synthesized packets must convert back to trace records.
+	if _, err := trace.TableToPackets(res.Table); err != nil {
+		t.Fatalf("packets round trip: %v", err)
+	}
+}
+
+func TestPipelineCustomKeyAttr(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 900, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastPipelineConfig()
+	cfg.KeyAttr = "dstport"
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Synthesize(raw); err != nil {
+		t.Fatalf("custom key attr: %v", err)
+	}
+}
+
+func TestPipelineSmallEpsilonStillRuns(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 800, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastPipelineConfig()
+	cfg.Epsilon = 0.1
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Error("ε=0.1 synthesis empty")
+	}
+}
+
+func TestConsensusTotal(t *testing.T) {
+	m1 := marginal.New([]int{0}, []int{2})
+	copy(m1.Counts, []float64{60, 40}) // total 100
+	m1.Sigma = 1
+	m2 := marginal.New([]int{1}, []int{2})
+	copy(m2.Counts, []float64{160, 40}) // total 200, noisier
+	m2.Sigma = 10
+	got := consensusTotal([]*marginal.Marginal{m1, m2})
+	// Weighted toward the precise marginal's total (100).
+	if got < 100 || got > 150 {
+		t.Errorf("consensus total = %v, want near 100", got)
+	}
+	// Negative consensus clamps to zero.
+	m3 := marginal.New([]int{0}, []int{1})
+	m3.Counts[0] = -50
+	m3.Sigma = 1
+	if ct := consensusTotal([]*marginal.Marginal{m3}); ct != 0 {
+		t.Errorf("negative total should clamp: %v", ct)
+	}
+}
+
+func TestFiveTupleFields(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 200, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fiveTuple(raw.Schema())
+	want := []string{"srcip", "dstip", "srcport", "dstport", "proto"}
+	if len(got) != len(want) {
+		t.Fatalf("fiveTuple = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fiveTuple = %v", got)
+		}
+	}
+}
+
+func TestGUMErrorsDecreaseOnRealData(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 1500, Seed: 103})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastPipelineConfig()
+	cfg.GUM.Iterations = 12
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := res.Report.GUMErrors
+	if len(errs) < 2 {
+		t.Fatal("no error trace")
+	}
+	if errs[len(errs)-1] >= errs[0] {
+		t.Errorf("GUM error did not decrease on real data: %v → %v", errs[0], errs[len(errs)-1])
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+func TestSynthesizeWindowed(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1800, Seed: 111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastPipelineConfig()
+	res, err := SynthesizeWindowed(raw, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WindowReports) != 3 {
+		t.Fatalf("windows = %d", len(res.WindowReports))
+	}
+	if res.Table.NumRows() < raw.NumRows()/2 {
+		t.Errorf("windowed output too small: %d of %d", res.Table.NumRows(), raw.NumRows())
+	}
+	if res.Table.Schema().NumFields() != raw.Schema().NumFields() {
+		t.Errorf("schema width changed")
+	}
+	// Every window used the full budget (parallel composition).
+	for i, rep := range res.WindowReports {
+		if rep.Rho != res.WindowReports[0].Rho {
+			t.Errorf("window %d used different budget", i)
+		}
+	}
+}
+
+func TestSynthesizeWindowedSingleFallsBack(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 600, Seed: 113})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SynthesizeWindowed(raw, fastPipelineConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WindowReports) != 1 {
+		t.Fatalf("reports = %d", len(res.WindowReports))
+	}
+}
+
+func TestSynthesizeWindowedNoTimestamp(t *testing.T) {
+	// A table without a ts field cannot be windowed.
+	s := dataset.MustSchema(
+		dataset.Field{Name: "x", Kind: dataset.KindNumeric},
+		dataset.Field{Name: "label", Kind: dataset.KindCategorical, Label: true},
+	)
+	tab := dataset.NewTable(s, 4)
+	for i := int64(0); i < 4; i++ {
+		tab.AppendRow([]int64{i, tab.CatCode(1, "a")})
+	}
+	if _, err := SynthesizeWindowed(tab, fastPipelineConfig(), 2); err == nil {
+		t.Fatal("missing ts must error")
+	}
+}
+
+func TestUserLevelDPScalesNoise(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1200, Seed: 117})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := fastPipelineConfig()
+	user := fastPipelineConfig()
+	user.UserGroupSize = 8
+	pr, err := NewPipeline(record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := NewPipeline(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := pr.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ures, err := pu.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The working budget must shrink by k².
+	if ures.Report.Rho*63 > rres.Report.Rho*1.01 {
+		t.Errorf("user-level rho %v should be 64x below record-level %v", ures.Report.Rho, rres.Report.Rho)
+	}
+}

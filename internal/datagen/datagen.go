@@ -1,0 +1,96 @@
+// Package datagen emulates the five public datasets of the NetDPSyn
+// evaluation (TON, UGR16, CIDDS, CAIDA, DC). The real traces are not
+// redistributable, so each emulator reproduces the documented shape of
+// its dataset instead: record counts and attribute sets from Table 5
+// of the paper, Zipfian address/port popularity, protocol mixes,
+// class-conditional attack signatures (so classifiers have real
+// structure to learn), and bursty/diurnal arrival processes (so the
+// tsdiff temporal feature has structure to capture). Generation is
+// deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+// Name identifies one of the emulated datasets.
+type Name string
+
+// The five datasets of the paper's evaluation (Table 5).
+const (
+	TON   Name = "TON"   // IoT telemetry flows, 10-class "type" label
+	UGR16 Name = "UGR16" // Spanish ISP NetFlow, binary label, imbalanced
+	CIDDS Name = "CIDDS" // small-business emulation flows, binary label
+	CAIDA Name = "CAIDA" // anonymized backbone packets, "flag" label
+	DC    Name = "DC"    // data-center packets (UNI1), "flag" label
+)
+
+// Datasets returns all dataset names in the paper's order.
+func Datasets() []Name { return []Name{TON, UGR16, CIDDS, CAIDA, DC} }
+
+// FlowDatasets returns the three flow datasets.
+func FlowDatasets() []Name { return []Name{TON, UGR16, CIDDS} }
+
+// PacketDatasets returns the two packet datasets.
+func PacketDatasets() []Name { return []Name{CAIDA, DC} }
+
+// IsPacket reports whether the dataset is a packet (vs flow) trace.
+func IsPacket(n Name) bool { return n == CAIDA || n == DC }
+
+// LabelField returns the dataset's label column name, as in Table 5.
+func LabelField(n Name) string {
+	switch n {
+	case TON:
+		return "type"
+	case CAIDA, DC:
+		return "flag"
+	default:
+		return "label"
+	}
+}
+
+// FullRows returns the record count of the real dataset (Table 5),
+// used when emulating at full scale.
+func FullRows(n Name) int {
+	if n == TON {
+		return 295497
+	}
+	return 1000000
+}
+
+// Config controls generation scale and determinism.
+type Config struct {
+	// Rows is the approximate number of records to generate. Zero
+	// means the full-scale count from Table 5.
+	Rows int
+	// Seed makes generation deterministic; the same seed always
+	// yields the same trace.
+	Seed uint64
+}
+
+func (c Config) rows(n Name) int {
+	if c.Rows > 0 {
+		return c.Rows
+	}
+	return FullRows(n)
+}
+
+// Generate produces the named emulated dataset as a trace table.
+func Generate(n Name, cfg Config) (*dataset.Table, error) {
+	switch n {
+	case TON:
+		return GenerateTON(cfg)
+	case UGR16:
+		return GenerateUGR16(cfg)
+	case CIDDS:
+		return GenerateCIDDS(cfg)
+	case CAIDA:
+		return GenerateCAIDA(cfg)
+	case DC:
+		return GenerateDC(cfg)
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q", n)
+	}
+}

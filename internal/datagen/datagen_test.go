@@ -1,0 +1,285 @@
+package datagen
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+func TestGenerateAllDatasets(t *testing.T) {
+	for _, name := range Datasets() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			tab, err := Generate(name, Config{Rows: 1500, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.NumRows() == 0 {
+				t.Fatal("no rows")
+			}
+			// Attribute counts from Table 5 of the paper.
+			wantAttrs := map[Name]int{TON: 11, UGR16: 10, CIDDS: 11, CAIDA: 15, DC: 15}[name]
+			if got := tab.NumCols(); got != wantAttrs {
+				t.Errorf("attributes = %d, want %d", got, wantAttrs)
+			}
+			li := tab.Schema().LabelIndex()
+			if li < 0 {
+				t.Fatal("no label field")
+			}
+			if got := tab.Schema().Fields[li].Name; got != LabelField(name) {
+				t.Errorf("label field = %q, want %q", got, LabelField(name))
+			}
+			// Ports must be valid.
+			for _, f := range []string{trace.FieldSrcPort, trace.FieldDstPort} {
+				if col := tab.ColumnByName(f); col != nil {
+					for _, v := range col {
+						if v < 0 || v > 65535 {
+							t.Fatalf("%s out of range: %d", f, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate(Name("nope"), Config{Rows: 10}); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TON, Config{Rows: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TON, Config{Rows: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatal("row counts differ")
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		ca, cb := a.Column(c), b.Column(c)
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("same seed, different data at (%d,%d)", i, c)
+			}
+		}
+	}
+	c2, _ := Generate(TON, Config{Rows: 500, Seed: 12})
+	same := true
+	for i, v := range a.Column(0) {
+		if c2.Column(0)[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTONClassStructure(t *testing.T) {
+	tab, err := GenerateTON(Config{Rows: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := tab.Schema().LabelIndex()
+	dict := tab.Dict(li)
+	if dict.Len() != 10 {
+		t.Fatalf("TON should have 10 label classes, got %d", dict.Len())
+	}
+	counts := make(map[string]int)
+	for r := 0; r < tab.NumRows(); r++ {
+		counts[tab.CatValue(li, tab.Value(r, li))]++
+	}
+	if counts["normal"] < tab.NumRows()/3 {
+		t.Errorf("normal class should dominate: %v", counts)
+	}
+	// Injection attacks concentrate on web ports (the Table 4
+	// dstport×type correlation).
+	dp := tab.Schema().Index(trace.FieldDstPort)
+	injWeb, injAll := 0, 0
+	for r := 0; r < tab.NumRows(); r++ {
+		if tab.CatValue(li, tab.Value(r, li)) == "injection" {
+			injAll++
+			if p := tab.Value(r, dp); p == 80 || p == 443 {
+				injWeb++
+			}
+		}
+	}
+	if injAll == 0 || float64(injWeb)/float64(injAll) < 0.8 {
+		t.Errorf("injection should target web ports: %d/%d", injWeb, injAll)
+	}
+}
+
+func TestUGR16Imbalance(t *testing.T) {
+	tab, err := GenerateUGR16(Config{Rows: 10000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := tab.Schema().LabelIndex()
+	malicious := 0
+	for r := 0; r < tab.NumRows(); r++ {
+		if tab.CatValue(li, tab.Value(r, li)) == "malicious" {
+			malicious++
+		}
+	}
+	frac := float64(malicious) / float64(tab.NumRows())
+	// The paper: predicting all-benign reaches 0.997 accuracy.
+	if frac > 0.02 {
+		t.Errorf("UGR16 malicious fraction = %v, want ≈0.003", frac)
+	}
+	if malicious == 0 {
+		t.Error("UGR16 must contain some malicious flows")
+	}
+	// The documented FTP-over-UDP anomaly must exist (footnote 1).
+	dp := tab.Schema().Index(trace.FieldDstPort)
+	pr := tab.Schema().Index(trace.FieldProto)
+	ftpUDP := 0
+	for r := 0; r < tab.NumRows(); r++ {
+		if tab.Value(r, dp) == 21 && tab.CatValue(pr, tab.Value(r, pr)) == "UDP" {
+			ftpUDP++
+		}
+	}
+	if ftpUDP == 0 {
+		t.Error("UGR16 should contain a few FTP-over-UDP flows")
+	}
+}
+
+func TestPacketDatasetsHaveMultiPacketFlows(t *testing.T) {
+	for _, name := range PacketDatasets() {
+		tab, err := Generate(name, Config{Rows: 4000, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts, err := trace.TableToPackets(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups := trace.GroupByTuple(pkts)
+		multi := 0
+		for _, g := range groups {
+			if len(g.Packets) >= 2 {
+				multi++
+			}
+		}
+		// NetML needs flows with ≥2 packets.
+		if multi < len(groups)/3 {
+			t.Errorf("%s: only %d/%d multi-packet flows", name, multi, len(groups))
+		}
+	}
+}
+
+func TestDCHeavyHitters(t *testing.T) {
+	tab, err := GenerateDC(Config{Rows: 6000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for _, v := range tab.ColumnByName(trace.FieldDstIP) {
+		counts[v]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// A Zipfian service VIP should be a clear heavy hitter.
+	if float64(maxC) < 0.05*float64(tab.NumRows()) {
+		t.Errorf("DC dstip should have heavy hitters, max=%d of %d", maxC, tab.NumRows())
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	z := newZipf(100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[z.Sample(rng)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+}
+
+func TestWeightedSampler(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	w := newWeighted([]float64{0, 1, 0})
+	for i := 0; i < 100; i++ {
+		if got := w.Sample(rng); got != 1 {
+			t.Fatalf("weighted sample = %d, want 1", got)
+		}
+	}
+}
+
+func TestIPPoolPrefix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	p := newIPPool(rng, ipv4(192, 168, 0, 0), 16, 50, 1.0)
+	for i := 0; i < 50; i++ {
+		a := p.Sample(rng)
+		if a>>16 != uint32(192)<<8|168 {
+			t.Fatalf("address %x outside 192.168/16", a)
+		}
+	}
+}
+
+func TestArrivalMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	a := newArrival(rng, 10, 1e6)
+	prev := int64(-1)
+	for i := 0; i < 1000; i++ {
+		ts := a.Next()
+		if ts < prev {
+			t.Fatalf("arrival went backwards: %d < %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestLogNormalBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 1000; i++ {
+		v := logNormal(rng, 5, 2, 10, 100)
+		if v < 10 || v > 100 {
+			t.Fatalf("logNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 1000; i++ {
+		v := pareto(rng, 1, 1.3, 50)
+		if v < 1 || v > 50 {
+			t.Fatalf("pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestFullRows(t *testing.T) {
+	if FullRows(TON) != 295497 || FullRows(UGR16) != 1000000 {
+		t.Error("FullRows mismatch with Table 5")
+	}
+}
+
+func TestServiceColumn(t *testing.T) {
+	flows := []trace.Flow{
+		{FiveTuple: trace.FiveTuple{DstPort: 53, Proto: trace.ProtoUDP}},
+		{FiveTuple: trace.FiveTuple{DstPort: 80, Proto: trace.ProtoTCP}},
+		{FiveTuple: trace.FiveTuple{Proto: trace.ProtoICMP}},
+		{FiveTuple: trace.FiveTuple{DstPort: 15600, Proto: trace.ProtoTCP}},
+	}
+	svc := serviceColumn(flows)
+	want := []string{"dns", "http", "icmp", "iot"}
+	for i := range want {
+		if svc[i] != want[i] {
+			t.Errorf("service[%d] = %q, want %q", i, svc[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// zipf samples from a finite Zipf(s) distribution over {0..n-1} using
+// a precomputed CDF and binary search. Network identifiers (addresses,
+// ports, flow keys) are famously Zipf-distributed, which is what the
+// heavy-hitter sketching experiments depend on.
+type zipf struct {
+	cdf []float64
+}
+
+// newZipf builds a Zipf sampler with n ranks and exponent s > 0.
+func newZipf(n int, s float64) *zipf {
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &zipf{cdf: cdf}
+}
+
+// Sample draws a rank in [0, n).
+func (z *zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// weighted samples an index proportionally to fixed weights.
+type weighted struct {
+	cdf []float64
+}
+
+// newWeighted builds a sampler over the given non-negative weights.
+func newWeighted(weights []float64) *weighted {
+	cdf := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		cdf[i] = total
+	}
+	if total <= 0 {
+		total = 1
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &weighted{cdf: cdf}
+}
+
+// Sample draws an index in [0, len(weights)).
+func (w *weighted) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(w.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ipPool is a set of addresses drawn from a base prefix, with Zipfian
+// popularity so some hosts are heavy hitters.
+type ipPool struct {
+	addrs []uint32
+	z     *zipf
+}
+
+// newIPPool creates n addresses under base/maskBits with Zipf(s)
+// popularity. Addresses are spread pseudo-randomly through the prefix
+// so that /30 binning groups only genuinely adjacent hosts.
+func newIPPool(rng *rand.Rand, base uint32, maskBits, n int, s float64) *ipPool {
+	hostBits := 32 - maskBits
+	mask := uint32(0xFFFFFFFF) << hostBits
+	seen := make(map[uint32]struct{}, n)
+	addrs := make([]uint32, 0, n)
+	for len(addrs) < n {
+		host := rng.Uint32()
+		if hostBits < 32 {
+			host &= (1 << hostBits) - 1
+		}
+		a := (base & mask) | host
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		addrs = append(addrs, a)
+	}
+	return &ipPool{addrs: addrs, z: newZipf(n, s)}
+}
+
+// Sample draws an address with Zipfian popularity.
+func (p *ipPool) Sample(rng *rand.Rand) uint32 { return p.addrs[p.z.Sample(rng)] }
+
+// Uniform draws an address uniformly (used for spoofed DDoS sources).
+func (p *ipPool) Uniform(rng *rand.Rand) uint32 {
+	return p.addrs[rng.IntN(len(p.addrs))]
+}
+
+// logNormal samples a log-normally distributed value with the given
+// log-space mean and stddev, clamped to [lo, hi]. Byte and packet
+// counters in traces are heavy-tailed; log-normal is the standard
+// model.
+func logNormal(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	v := math.Exp(mu + sigma*rng.NormFloat64())
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// pareto samples a bounded Pareto value with shape alpha and scale xm.
+func pareto(rng *rand.Rand, xm, alpha, hi float64) float64 {
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	v := xm / math.Pow(1-u, 1/alpha)
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// arrival models a bursty, diurnally modulated arrival process:
+// exponential gaps whose rate is modulated by a slow sinusoid
+// (diurnal cycle) and occasional burst episodes. Timestamps are in
+// milliseconds from the trace start.
+type arrival struct {
+	now       float64
+	meanGapMS float64
+	period    float64 // diurnal period in ms
+	burstLeft int
+	rng       *rand.Rand
+}
+
+// newArrival creates an arrival process with the given mean gap.
+func newArrival(rng *rand.Rand, meanGapMS, periodMS float64) *arrival {
+	return &arrival{meanGapMS: meanGapMS, period: periodMS, rng: rng}
+}
+
+// Next returns the next arrival timestamp in milliseconds.
+func (a *arrival) Next() int64 {
+	rate := 1.0
+	if a.period > 0 {
+		// Rate between 0.4x and 1.6x across the cycle.
+		rate = 1 + 0.6*math.Sin(2*math.Pi*a.now/a.period)
+		if rate < 0.4 {
+			rate = 0.4
+		}
+	}
+	gap := a.meanGapMS / rate
+	if a.burstLeft > 0 {
+		a.burstLeft--
+		gap /= 20 // inside a burst, arrivals are 20x denser
+	} else if a.rng.Float64() < 0.005 {
+		a.burstLeft = 50 + a.rng.IntN(200)
+	}
+	a.now += a.rng.ExpFloat64() * gap
+	return int64(a.now)
+}
+
+// commonPorts are the well-known service ports kept un-binned by the
+// type-dependent binning (§3.2) and used as benign destinations.
+var commonPorts = []uint16{53, 80, 443, 22, 25, 21, 123, 110, 143, 993, 3389, 8080}
+
+// pickPort draws a destination port: mostly common service ports with
+// Zipfian weight, sometimes an ephemeral high port.
+func pickPort(rng *rand.Rand, z *zipf, ephemeralProb float64) uint16 {
+	if rng.Float64() < ephemeralProb {
+		return uint16(1024 + rng.IntN(64512))
+	}
+	return commonPorts[z.Sample(rng)%len(commonPorts)]
+}
+
+// ephemeralPort draws a client-side source port.
+func ephemeralPort(rng *rand.Rand) uint16 {
+	return uint16(32768 + rng.IntN(28232))
+}

@@ -1,0 +1,293 @@
+// Package dp implements the differential-privacy substrate used by
+// NetDPSyn and its baselines: zero-Concentrated Differential Privacy
+// (zCDP) accounting, the (ε, δ) → ρ conversion from Bun & Steinke,
+// the Gaussian and Laplace mechanisms, the exponential mechanism
+// (used by the PGM baseline), and DP-SGD accounting helpers (used by
+// the NetShare baseline).
+//
+// NetDPSyn publishes marginal tables with the Gaussian mechanism: a
+// marginal has L2 sensitivity 1 under record-level neighbouring, so
+// adding N(0, 1/(2ρ)) to every cell satisfies ρ-zCDP (PrivSyn,
+// Theorem 6).
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Errors returned by budget operations.
+var (
+	ErrBudgetExhausted = errors.New("dp: privacy budget exhausted")
+	ErrInvalidBudget   = errors.New("dp: invalid privacy parameters")
+)
+
+// RhoFromEpsDelta converts an (ε, δ)-DP target into the largest ρ such
+// that ρ-zCDP implies (ε, δ)-DP via the standard conversion
+// ε = ρ + 2·sqrt(ρ·ln(1/δ)) (Bun & Steinke 2016; used by PrivSyn).
+func RhoFromEpsDelta(eps, delta float64) (float64, error) {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("%w: eps=%v delta=%v", ErrInvalidBudget, eps, delta)
+	}
+	l := math.Log(1 / delta)
+	// Solve x^2 + 2·x·sqrt(l) - eps = 0 for x = sqrt(ρ) ≥ 0.
+	x := -math.Sqrt(l) + math.Sqrt(l+eps)
+	return x * x, nil
+}
+
+// EpsFromRhoDelta is the inverse direction: the (ε, δ) guarantee implied
+// by ρ-zCDP at the given δ.
+func EpsFromRhoDelta(rho, delta float64) (float64, error) {
+	if rho < 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("%w: rho=%v delta=%v", ErrInvalidBudget, rho, delta)
+	}
+	return rho + 2*math.Sqrt(rho*math.Log(1/delta)), nil
+}
+
+// GaussianSigma returns the noise standard deviation for a query with
+// L2 sensitivity delta2 to satisfy ρ-zCDP: σ = Δ₂ / sqrt(2ρ).
+func GaussianSigma(delta2, rho float64) (float64, error) {
+	if delta2 <= 0 || rho <= 0 {
+		return 0, fmt.Errorf("%w: sensitivity=%v rho=%v", ErrInvalidBudget, delta2, rho)
+	}
+	return delta2 / math.Sqrt(2*rho), nil
+}
+
+// RhoOfGaussian returns the zCDP cost of a single Gaussian mechanism
+// invocation with sensitivity delta2 and noise σ: ρ = Δ₂² / (2σ²).
+func RhoOfGaussian(delta2, sigma float64) float64 {
+	if sigma <= 0 {
+		return math.Inf(1)
+	}
+	return delta2 * delta2 / (2 * sigma * sigma)
+}
+
+// Accountant tracks zCDP budget consumption. zCDP composes additively,
+// which is what makes it convenient for the multi-phase NetDPSyn
+// pipeline (binning, selection, publication).
+type Accountant struct {
+	total float64
+	spent float64
+}
+
+// NewAccountant creates an accountant with the given total ρ budget.
+func NewAccountant(rho float64) (*Accountant, error) {
+	if rho <= 0 {
+		return nil, fmt.Errorf("%w: rho=%v", ErrInvalidBudget, rho)
+	}
+	return &Accountant{total: rho}, nil
+}
+
+// Total returns the total ρ budget.
+func (a *Accountant) Total() float64 { return a.total }
+
+// Spent returns the ρ consumed so far.
+func (a *Accountant) Spent() float64 { return a.spent }
+
+// Remaining returns the unspent ρ.
+func (a *Accountant) Remaining() float64 { return a.total - a.spent }
+
+// Spend consumes rho from the budget, failing if it would overdraw.
+// A tiny tolerance absorbs floating-point drift from fractional splits.
+func (a *Accountant) Spend(rho float64) error {
+	if rho < 0 {
+		return fmt.Errorf("%w: negative spend %v", ErrInvalidBudget, rho)
+	}
+	const tol = 1e-9
+	if a.spent+rho > a.total*(1+tol)+tol {
+		return fmt.Errorf("%w: want %v, remaining %v", ErrBudgetExhausted, rho, a.Remaining())
+	}
+	a.spent += rho
+	return nil
+}
+
+// Split returns fractions of the total budget according to the given
+// weights (they are normalized internally). NetDPSyn uses
+// Split(0.1, 0.1, 0.8) for binning / selection / publication.
+func (a *Accountant) Split(weights ...float64) []float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	out := make([]float64, len(weights))
+	if sum <= 0 {
+		return out
+	}
+	for i, w := range weights {
+		out[i] = a.total * w / sum
+	}
+	return out
+}
+
+// Gaussian is the Gaussian mechanism specialized for vector-valued
+// queries (marginal tables) with L2 sensitivity 1 by default.
+type Gaussian struct {
+	Sigma float64
+	rng   *rand.Rand
+}
+
+// NewGaussian creates a Gaussian mechanism satisfying ρ-zCDP for a
+// query with L2 sensitivity delta2, seeded deterministically.
+func NewGaussian(delta2, rho float64, seed uint64) (*Gaussian, error) {
+	sigma, err := GaussianSigma(delta2, rho)
+	if err != nil {
+		return nil, err
+	}
+	return &Gaussian{Sigma: sigma, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}, nil
+}
+
+// NewGaussianSigma creates a Gaussian mechanism with an explicit σ.
+func NewGaussianSigma(sigma float64, seed uint64) *Gaussian {
+	return &Gaussian{Sigma: sigma, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Perturb adds N(0, σ²) noise to every element of xs in place and
+// returns xs.
+func (g *Gaussian) Perturb(xs []float64) []float64 {
+	for i := range xs {
+		xs[i] += g.rng.NormFloat64() * g.Sigma
+	}
+	return xs
+}
+
+// PerturbScalar adds N(0, σ²) noise to a single value.
+func (g *Gaussian) PerturbScalar(x float64) float64 {
+	return x + g.rng.NormFloat64()*g.Sigma
+}
+
+// Laplace is the Laplace mechanism for queries with L1 sensitivity Δ₁,
+// satisfying ε-DP with scale b = Δ₁/ε.
+type Laplace struct {
+	Scale float64
+	rng   *rand.Rand
+}
+
+// NewLaplace creates a Laplace mechanism for a query with L1
+// sensitivity delta1 under pure ε-DP.
+func NewLaplace(delta1, eps float64, seed uint64) (*Laplace, error) {
+	if delta1 <= 0 || eps <= 0 {
+		return nil, fmt.Errorf("%w: sensitivity=%v eps=%v", ErrInvalidBudget, delta1, eps)
+	}
+	return &Laplace{Scale: delta1 / eps, rng: rand.New(rand.NewPCG(seed, seed^0xd1b54a32d192ed03))}, nil
+}
+
+// Perturb adds Laplace(0, b) noise to every element of xs in place.
+func (l *Laplace) Perturb(xs []float64) []float64 {
+	for i := range xs {
+		xs[i] += l.sample()
+	}
+	return xs
+}
+
+// PerturbScalar adds Laplace(0, b) noise to a single value.
+func (l *Laplace) PerturbScalar(x float64) float64 { return x + l.sample() }
+
+func (l *Laplace) sample() float64 {
+	// Inverse CDF sampling: u uniform in (-1/2, 1/2).
+	u := l.rng.Float64() - 0.5
+	return -l.Scale * sign(u) * math.Log(1-2*math.Abs(u))
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Exponential implements the exponential mechanism: it selects index i
+// with probability proportional to exp(ε·score_i / (2·Δ)) where Δ is
+// the score sensitivity. The PGM baseline uses it for structure
+// selection.
+type Exponential struct {
+	Eps         float64
+	Sensitivity float64
+	rng         *rand.Rand
+}
+
+// NewExponential creates an exponential mechanism instance.
+func NewExponential(eps, sensitivity float64, seed uint64) (*Exponential, error) {
+	if eps <= 0 || sensitivity <= 0 {
+		return nil, fmt.Errorf("%w: eps=%v sensitivity=%v", ErrInvalidBudget, eps, sensitivity)
+	}
+	return &Exponential{Eps: eps, Sensitivity: sensitivity,
+		rng: rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))}, nil
+}
+
+// Select draws an index from scores with exponential-mechanism
+// probabilities. It is numerically stabilized by subtracting the max
+// score.
+func (e *Exponential) Select(scores []float64) (int, error) {
+	if len(scores) == 0 {
+		return 0, errors.New("dp: exponential mechanism with no candidates")
+	}
+	maxS := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	weights := make([]float64, len(scores))
+	var total float64
+	for i, s := range scores {
+		w := math.Exp(e.Eps * (s - maxS) / (2 * e.Sensitivity))
+		weights[i] = w
+		total += w
+	}
+	r := e.rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i, nil
+		}
+	}
+	return len(scores) - 1, nil
+}
+
+// DPSGDAccountant tracks the zCDP cost of DP-SGD training, as used by
+// the NetShare baseline. Each step perturbs a clipped gradient (L2
+// sensitivity C per example, batch sampling ignored for a conservative
+// bound) with noise σ·C, costing ρ_step = 1/(2σ²); steps compose
+// additively under zCDP.
+type DPSGDAccountant struct {
+	NoiseMultiplier float64 // σ, the ratio of noise stddev to clip norm
+	Steps           int
+}
+
+// Rho returns the total zCDP cost of the configured run.
+func (d DPSGDAccountant) Rho() float64 {
+	if d.NoiseMultiplier <= 0 {
+		return math.Inf(1)
+	}
+	return float64(d.Steps) / (2 * d.NoiseMultiplier * d.NoiseMultiplier)
+}
+
+// Eps returns the (ε, δ) guarantee of the configured run.
+func (d DPSGDAccountant) Eps(delta float64) (float64, error) {
+	return EpsFromRhoDelta(d.Rho(), delta)
+}
+
+// NoiseMultiplierFor returns the σ needed so that `steps` DP-SGD steps
+// fit within ρ total budget.
+func NoiseMultiplierFor(rho float64, steps int) (float64, error) {
+	if rho <= 0 || steps <= 0 {
+		return 0, fmt.Errorf("%w: rho=%v steps=%d", ErrInvalidBudget, rho, steps)
+	}
+	return math.Sqrt(float64(steps) / (2 * rho)), nil
+}
+
+// SubsampledNoiseMultiplier returns the σ needed so that `steps`
+// DP-SGD steps with Poisson sampling rate q fit within ρ total
+// budget, using the standard small-q approximation for the
+// subsampled Gaussian mechanism under zCDP: ρ_step ≈ q²/(2σ²).
+// This is the amplification-by-sampling accounting the NetShare
+// baseline relies on (without it, DP-SGD noise is catastrophic at
+// any reasonable ε, which is the paper's §3.1 argument).
+func SubsampledNoiseMultiplier(rho float64, steps int, q float64) (float64, error) {
+	if rho <= 0 || steps <= 0 || q <= 0 || q > 1 {
+		return 0, fmt.Errorf("%w: rho=%v steps=%d q=%v", ErrInvalidBudget, rho, steps, q)
+	}
+	return q * math.Sqrt(float64(steps)/(2*rho)), nil
+}

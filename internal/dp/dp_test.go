@@ -1,0 +1,220 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRhoFromEpsDeltaRoundTrip(t *testing.T) {
+	// ρ obtained from (ε, δ) must convert back to exactly ε.
+	for _, eps := range []float64{0.1, 1, 2, 10} {
+		rho, err := RhoFromEpsDelta(eps, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := EpsFromRhoDelta(rho, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(back-eps) > 1e-9 {
+			t.Errorf("eps %v → rho %v → eps %v", eps, rho, back)
+		}
+	}
+}
+
+func TestRhoMonotoneInEps(t *testing.T) {
+	f := func(a, b uint8) bool {
+		e1 := 0.01 + float64(a)/16
+		e2 := e1 + 0.01 + float64(b)/16
+		r1, err1 := RhoFromEpsDelta(e1, 1e-5)
+		r2, err2 := RhoFromEpsDelta(e2, 1e-5)
+		return err1 == nil && err2 == nil && r2 > r1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRhoInvalid(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 1e-5}, {-1, 1e-5}, {1, 0}, {1, 1}} {
+		if _, err := RhoFromEpsDelta(tc[0], tc[1]); !errors.Is(err, ErrInvalidBudget) {
+			t.Errorf("RhoFromEpsDelta(%v, %v): want ErrInvalidBudget, got %v", tc[0], tc[1], err)
+		}
+	}
+}
+
+func TestGaussianSigma(t *testing.T) {
+	// σ = Δ/sqrt(2ρ): with Δ=1, ρ=0.5 → σ=1.
+	s, err := GaussianSigma(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("sigma = %v, want 1", s)
+	}
+	// Round trip with RhoOfGaussian.
+	if rho := RhoOfGaussian(1, s); math.Abs(rho-0.5) > 1e-12 {
+		t.Errorf("rho = %v, want 0.5", rho)
+	}
+}
+
+func TestAccountantSpend(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(0.5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("overdraw: want ErrBudgetExhausted, got %v", err)
+	}
+	if err := a.Spend(0.4); err != nil {
+		t.Errorf("exact spend should work: %v", err)
+	}
+	if r := a.Remaining(); math.Abs(r) > 1e-9 {
+		t.Errorf("remaining = %v, want 0", r)
+	}
+}
+
+func TestAccountantSplit(t *testing.T) {
+	a, _ := NewAccountant(2.0)
+	parts := a.Split(0.1, 0.1, 0.8)
+	if math.Abs(parts[0]-0.2) > 1e-12 || math.Abs(parts[2]-1.6) > 1e-12 {
+		t.Errorf("split = %v", parts)
+	}
+	var sum float64
+	for _, p := range parts {
+		sum += p
+	}
+	if math.Abs(sum-2.0) > 1e-12 {
+		t.Errorf("split sum = %v", sum)
+	}
+}
+
+func TestGaussianNoiseStatistics(t *testing.T) {
+	g, err := NewGaussian(1, 0.125, 7) // σ = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Sigma-2) > 1e-12 {
+		t.Fatalf("sigma = %v, want 2", g.Sigma)
+	}
+	n := 20000
+	xs := make([]float64, n)
+	g.Perturb(xs)
+	var mean, varsum float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	for _, x := range xs {
+		varsum += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(varsum / float64(n))
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("noise mean = %v, want ≈0", mean)
+	}
+	if math.Abs(sd-2) > 0.1 {
+		t.Errorf("noise sd = %v, want ≈2", sd)
+	}
+}
+
+func TestGaussianDeterministicSeed(t *testing.T) {
+	g1, _ := NewGaussian(1, 0.5, 42)
+	g2, _ := NewGaussian(1, 0.5, 42)
+	a := g1.Perturb(make([]float64, 10))
+	b := g2.Perturb(make([]float64, 10))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed should give same noise: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestLaplaceStatistics(t *testing.T) {
+	l, err := NewLaplace(1, 0.5, 9) // scale 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20000
+	xs := make([]float64, n)
+	l.Perturb(xs)
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if math.Abs(mean) > 0.15 {
+		t.Errorf("laplace mean = %v, want ≈0", mean)
+	}
+	// Variance of Laplace(b) is 2b² = 8.
+	var varsum float64
+	for _, x := range xs {
+		varsum += (x - mean) * (x - mean)
+	}
+	v := varsum / float64(n)
+	if math.Abs(v-8) > 1.0 {
+		t.Errorf("laplace variance = %v, want ≈8", v)
+	}
+}
+
+func TestExponentialPrefersHighScores(t *testing.T) {
+	em, err := NewExponential(8, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []float64{0, 0, 10, 0}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		pick, err := em.Select(scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pick == 2 {
+			hits++
+		}
+	}
+	if hits < 900 {
+		t.Errorf("exponential mechanism picked best only %d/1000", hits)
+	}
+}
+
+func TestExponentialEmpty(t *testing.T) {
+	em, _ := NewExponential(1, 1, 1)
+	if _, err := em.Select(nil); err == nil {
+		t.Error("want error on empty candidates")
+	}
+}
+
+func TestDPSGDAccounting(t *testing.T) {
+	acct := DPSGDAccountant{NoiseMultiplier: 2, Steps: 100}
+	// ρ = T/(2σ²) = 100/8 = 12.5.
+	if rho := acct.Rho(); math.Abs(rho-12.5) > 1e-12 {
+		t.Errorf("rho = %v, want 12.5", rho)
+	}
+	sigma, err := NoiseMultiplierFor(12.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-2) > 1e-12 {
+		t.Errorf("sigma = %v, want 2", sigma)
+	}
+}
+
+func TestSubsampledNoiseMultiplier(t *testing.T) {
+	// q scales σ linearly: amplification by sampling.
+	full, _ := NoiseMultiplierFor(1, 100)
+	sub, err := SubsampledNoiseMultiplier(1, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sub-full*0.01) > 1e-12 {
+		t.Errorf("subsampled sigma = %v, want %v", sub, full*0.01)
+	}
+	if _, err := SubsampledNoiseMultiplier(1, 100, 1.5); !errors.Is(err, ErrInvalidBudget) {
+		t.Errorf("q>1 should be invalid, got %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/ml"
+)
+
+// splitRaw performs the evaluation's 80/20 random split.
+func splitRaw(raw *dataset.Table, seed uint64) (train, test *dataset.Table) {
+	rng := rand.New(rand.NewPCG(seed, seed^0x1f83d9abfb41bd6b))
+	return raw.Split(rng, 0.8)
+}
+
+// classifyAccuracy trains the named model on trainTable (raw train
+// split or a synthesized table) and returns its accuracy on the raw
+// test split. Label codes of the training table are aligned to the
+// raw table's label dictionary.
+func classifyAccuracy(rawRef, trainTable, testTable *dataset.Table, model string, seed uint64) (float64, error) {
+	trainX, trainY, kTrain, err := ml.Features(trainTable)
+	if err != nil {
+		return 0, err
+	}
+	if aligned := ml.AlignLabels(rawRef, trainTable); aligned != nil {
+		trainY = aligned
+	}
+	testX, testY, kTest, err := ml.Features(testTable)
+	if err != nil {
+		return 0, err
+	}
+	if aligned := ml.AlignLabels(rawRef, testTable); aligned != nil {
+		testY = aligned
+	}
+	k := kTrain
+	if kTest > k {
+		k = kTest
+	}
+	if li := rawRef.Schema().LabelIndex(); li >= 0 {
+		if d := rawRef.Dict(li); d != nil && d.Len() > k {
+			k = d.Len()
+		}
+	}
+	if len(trainX) == 0 || len(testX) == 0 {
+		return 0, fmt.Errorf("experiments: empty train/test split")
+	}
+	return ml.EvaluateAccuracy(model, trainX, trainY, testX, testY, k, seed)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+// Figure7 reproduces the noise-scale ablation: DT and RF accuracy on
+// TON at ε ∈ {0.1, 1.0, 2.0} for all methods, with the Real baseline
+// constant. Returns one grid per model; rows are ε values.
+func Figure7(r *Runner) (map[string]*Grid, error) {
+	epsilons := []float64{0.1, 1.0, 2.0}
+	return epsilonSweep(r, datagen.TON, []string{"DT", "RF"}, epsilons,
+		append([]string{"Real"}, MethodNames...), "Figure 7 (TON)")
+}
+
+// Table6 reproduces the wide-range ε comparison on TON between
+// NetDPSyn and NetShare: DT and RF accuracy at
+// ε ∈ {4, 16, 32, 64, 1e3, 1e10}. NetShare at ε = 1e10 runs without
+// DP, as in the paper.
+func Table6(r *Runner) (map[string]*Grid, error) {
+	epsilons := []float64{4, 16, 32, 64, 1e3, 1e10}
+	return epsilonSweep(r, datagen.TON, []string{"DT", "RF"}, epsilons,
+		[]string{"NetDPSyn", "NetShare"}, "Table 6 (TON)")
+}
+
+// Table7 is Table6 on UGR16.
+func Table7(r *Runner) (map[string]*Grid, error) {
+	epsilons := []float64{4, 16, 32, 64, 1e3, 1e10}
+	return epsilonSweep(r, datagen.UGR16, []string{"DT", "RF"}, epsilons,
+		[]string{"NetDPSyn", "NetShare"}, "Table 7 (UGR16)")
+}
+
+func epsilonSweep(r *Runner, ds datagen.Name, models []string, epsilons []float64, cols []string, title string) (map[string]*Grid, error) {
+	raw, err := r.Raw(ds)
+	if err != nil {
+		return nil, err
+	}
+	train, test := splitRaw(raw, r.Scale.Seed^0xf7)
+	rows := make([]string, len(epsilons))
+	for i, e := range epsilons {
+		rows[i] = fmt.Sprintf("ε=%g", e)
+	}
+	out := make(map[string]*Grid)
+	for _, model := range models {
+		g := NewGrid(fmt.Sprintf("%s: %s accuracy vs ε", title, model), rows, cols)
+		// Real baseline does not depend on ε.
+		var realAcc float64
+		hasReal := false
+		for _, c := range cols {
+			if c == "Real" {
+				acc, err := classifyAccuracy(raw, train, test, model, r.Scale.Seed)
+				if err != nil {
+					return nil, err
+				}
+				realAcc, hasReal = acc, true
+			}
+		}
+		for i, eps := range epsilons {
+			if hasReal {
+				g.Set(rows[i], "Real", realAcc)
+			}
+			for _, method := range cols {
+				if method == "Real" {
+					continue
+				}
+				syn, err := r.SynAt(method, ds, eps)
+				if err != nil {
+					continue
+				}
+				acc, err := classifyAccuracy(raw, syn, test, model, r.Scale.Seed)
+				if err != nil {
+					continue
+				}
+				g.Set(rows[i], method, acc)
+			}
+		}
+		out[model] = g
+	}
+	return out, nil
+}

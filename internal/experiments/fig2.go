@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/sketch"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+// Figure2 reproduces the data-sketching experiment: the relative
+// error of heavy-hitter count estimation (threshold 0.1%, averaged
+// over SketchRuns runs) between synthesized and raw data, for the
+// four sketch algorithms on the two packet datasets — DC keyed on
+// dstip and CAIDA keyed on srcip. Lower is better; the paper's
+// headline is NetShare's order-of-magnitude blowup on the simple
+// sketches.
+func Figure2(r *Runner) (map[datagen.Name]*Grid, error) {
+	methods := []string{"NetDPSyn", "NetShare", "PGM"}
+	keyField := map[datagen.Name]string{datagen.DC: trace.FieldDstIP, datagen.CAIDA: trace.FieldSrcIP}
+	out := make(map[datagen.Name]*Grid)
+	for _, ds := range datagen.PacketDatasets() {
+		g := NewGrid("Figure 2 ("+string(ds)+"): heavy-hitter relative error, key="+keyField[ds], sketch.Algorithms, methods)
+		raw, err := r.Raw(ds)
+		if err != nil {
+			return nil, err
+		}
+		rawKeys := columnKeys(raw, keyField[ds])
+		for _, method := range methods {
+			syn, err := r.Syn(method, ds)
+			if err != nil {
+				// Memory/size failures render as N/A, as in the paper.
+				continue
+			}
+			synKeys := columnKeys(syn, keyField[ds])
+			for _, alg := range sketch.Algorithms {
+				v, err := sketch.CompareError(alg, rawKeys, synKeys, 0.001, r.Scale.SketchRuns, r.Scale.Seed)
+				if err != nil {
+					v = math.NaN()
+				}
+				g.Set(alg, method, v)
+			}
+		}
+		out[ds] = g
+	}
+	return out, nil
+}
+
+// columnKeys extracts a column as uint64 stream keys.
+func columnKeys(t *dataset.Table, field string) []uint64 {
+	col := t.ColumnByName(field)
+	out := make([]uint64, len(col))
+	for i, v := range col {
+		out[i] = uint64(v)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/ml"
+	"github.com/netdpsyn/netdpsyn/internal/stats"
+)
+
+// Fig3Result bundles the flow-classification experiment: Figure 3's
+// per-model accuracies and Table 1's Spearman rank correlations.
+type Fig3Result struct {
+	// Accuracy has one grid per flow dataset: rows are the five
+	// models, columns Real plus the four synthesizers.
+	Accuracy map[datagen.Name]*Grid
+	// RankCorr is Table 1: rows are datasets, columns the
+	// synthesizers; each cell is the Spearman correlation between
+	// the model ranking on raw data and on that method's synthetic
+	// data. Higher is better.
+	RankCorr *Grid
+}
+
+// Figure3 runs the flow-classification experiment on TON, UGR16 and
+// CIDDS: an 80/20 split of the raw data, models trained on the raw
+// train split ("Real") or on each method's synthetic data, always
+// tested on the raw test split.
+func Figure3(r *Runner) (*Fig3Result, error) {
+	cols := append([]string{"Real"}, MethodNames...)
+	res := &Fig3Result{Accuracy: make(map[datagen.Name]*Grid)}
+	dsNames := make([]string, 0, 3)
+	for _, ds := range datagen.FlowDatasets() {
+		dsNames = append(dsNames, string(ds))
+	}
+	res.RankCorr = NewGrid("Table 1: Spearman's rank correlation of prediction algorithms", dsNames, MethodNames)
+	res.RankCorr.Format = "%.2f"
+
+	for _, ds := range datagen.FlowDatasets() {
+		raw, err := r.Raw(ds)
+		if err != nil {
+			return nil, err
+		}
+		train, test := splitRaw(raw, r.Scale.Seed^0xf3)
+		g := NewGrid("Figure 3 ("+string(ds)+"): classification accuracy", ml.Models, cols)
+		for _, model := range ml.Models {
+			acc, err := classifyAccuracy(raw, train, test, model, r.Scale.Seed)
+			if err != nil {
+				return nil, err
+			}
+			g.Set(model, "Real", acc)
+		}
+		for _, method := range MethodNames {
+			syn, err := r.Syn(method, ds)
+			if err != nil {
+				continue // N/A column (PrivMRF memory)
+			}
+			for _, model := range ml.Models {
+				acc, err := classifyAccuracy(raw, syn, test, model, r.Scale.Seed)
+				if err != nil {
+					continue
+				}
+				g.Set(model, method, acc)
+			}
+		}
+		res.Accuracy[ds] = g
+
+		// Table 1: Spearman between the Real column and each method
+		// column over the five models.
+		real := g.Col("Real")
+		for _, method := range MethodNames {
+			mcol := g.Col(method)
+			if hasNaN(mcol) {
+				continue
+			}
+			rho, err := stats.Spearman(real, mcol)
+			if err != nil {
+				continue
+			}
+			res.RankCorr.Set(string(ds), method, rho)
+		}
+	}
+	return res, nil
+}
+
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return len(xs) == 0
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/netml"
+	"github.com/netdpsyn/netdpsyn/internal/stats"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+// Fig4Result bundles the packet anomaly-detection experiment:
+// Figure 4's relative errors and Table 2's rank correlations.
+type Fig4Result struct {
+	// RelErr has one grid per packet dataset: rows are the six NetML
+	// modes, columns the methods. Lower is better. NaN cells mirror
+	// the paper's failures (e.g. PGM on CAIDA produced too few
+	// multi-packet flows).
+	RelErr map[datagen.Name]*Grid
+	// RankCorr is Table 2: Spearman correlation between the per-mode
+	// anomaly ratios on raw vs synthetic data. Higher is better.
+	RankCorr *Grid
+}
+
+// Figure4 runs the NetML OCSVM experiment on the two packet datasets:
+// each trace is aggregated into 5-tuple flows, represented under the
+// six NetML modes, and scored by a one-class SVM; the metric is the
+// relative error of the anomaly ratio against the raw trace.
+func Figure4(r *Runner) (*Fig4Result, error) {
+	methods := []string{"NetDPSyn", "NetShare", "PGM"}
+	modeNames := make([]string, len(netml.Modes))
+	for i, m := range netml.Modes {
+		modeNames[i] = string(m)
+	}
+	res := &Fig4Result{RelErr: make(map[datagen.Name]*Grid)}
+	dsNames := []string{}
+	for _, ds := range datagen.PacketDatasets() {
+		dsNames = append(dsNames, string(ds))
+	}
+	res.RankCorr = NewGrid("Table 2: rank correlation of NetML anomaly detection", dsNames, MethodNames)
+	res.RankCorr.Format = "%.2f"
+
+	for _, ds := range datagen.PacketDatasets() {
+		raw, err := r.Raw(ds)
+		if err != nil {
+			return nil, err
+		}
+		rawPkts, err := trace.TableToPackets(raw)
+		if err != nil {
+			return nil, err
+		}
+		g := NewGrid("Figure 4 ("+string(ds)+"): NetML anomaly-ratio relative error", modeNames, methods)
+		rawReps := make(map[netml.Mode][][]float64)
+		for _, mode := range netml.Modes {
+			X, err := netml.Represent(trace.GroupByTuple(rawPkts), mode)
+			if err == nil && len(X) > 0 {
+				rawReps[mode] = X
+			}
+		}
+		for _, method := range MethodNames {
+			syn, err := r.Syn(method, ds)
+			if err != nil {
+				continue
+			}
+			synPkts, err := trace.TableToPackets(syn)
+			if err != nil {
+				continue
+			}
+			synRatios := make([]float64, 0, len(netml.Modes))
+			rawVec := make([]float64, 0, len(netml.Modes))
+			ok := true
+			for _, mode := range netml.Modes {
+				synX, err := netml.Represent(trace.GroupByTuple(synPkts), mode)
+				if err != nil || len(synX) == 0 || rawReps[mode] == nil {
+					// Too few multi-packet flows: the paper's "NaN"
+					// case for PGM on CAIDA.
+					ok = false
+					break
+				}
+				anoRaw, anoSyn, err := netml.AnomalyRatios(rawReps[mode], synX, r.Scale.Seed)
+				if err != nil {
+					ok = false
+					break
+				}
+				synRatios = append(synRatios, anoSyn)
+				rawVec = append(rawVec, anoRaw)
+				rel := math.NaN()
+				if anoRaw > 0 {
+					rel = math.Abs(anoSyn-anoRaw) / anoRaw
+				}
+				g.Set(string(mode), method, rel)
+			}
+			if ok && len(synRatios) == len(netml.Modes) {
+				rho, err := stats.Spearman(rawVec, synRatios)
+				if err == nil {
+					res.RankCorr.Set(string(ds), method, rho)
+				}
+			}
+		}
+		res.RelErr[ds] = g
+	}
+	return res, nil
+}

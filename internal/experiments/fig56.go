@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/stats"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+// Fig56Result bundles an attribute-wise fidelity experiment
+// (Appendix E): JSD for the categorical metrics and normalized EMD
+// for the continuous ones, rows = methods.
+type Fig56Result struct {
+	JSD *Grid // columns SA DA SP DP PR; lower is better
+	EMD *Grid // columns per dataset kind; normalized to [0.1, 0.9]
+}
+
+// Figure5 runs the attribute-wise measurement on TON (flow): JSD of
+// SA/DA/SP/DP/PR and normalized EMD of TS/TD/PKT/BYT.
+func Figure5(r *Runner) (*Fig56Result, error) {
+	return attributeFidelity(r, datagen.TON, []string{"TS", "TD", "PKT", "BYT"})
+}
+
+// Figure6 runs the attribute-wise measurement on CAIDA (packet): JSD
+// of SA/DA/SP/DP/PR and normalized EMD of PS/PAT/FS.
+func Figure6(r *Runner) (*Fig56Result, error) {
+	return attributeFidelity(r, datagen.CAIDA, []string{"PS", "PAT", "FS"})
+}
+
+func attributeFidelity(r *Runner, ds datagen.Name, emdMetrics []string) (*Fig56Result, error) {
+	raw, err := r.Raw(ds)
+	if err != nil {
+		return nil, err
+	}
+	jsdMetrics := []string{"SA", "DA", "SP", "DP", "PR"}
+	methods := MethodNames
+	jsdGrid := NewGrid("Attribute-wise JSD ("+string(ds)+")", methods, jsdMetrics)
+	emdGrid := NewGrid("Attribute-wise normalized EMD ("+string(ds)+")", methods, emdMetrics)
+	emdGrid.Note = "EMDs normalized to [0.1, 0.9] across methods, as in the paper."
+
+	rawEMD := make(map[string][]float64)
+	for _, m := range emdMetrics {
+		rawEMD[m] = continuousValues(raw, m)
+	}
+
+	// Collect raw EMD values and per-method results; EMD normalized
+	// across methods afterwards.
+	type emdCell struct {
+		method string
+		metric string
+		value  float64
+	}
+	var emdCells []emdCell
+	for _, method := range methods {
+		syn, err := r.Syn(method, ds)
+		if err != nil {
+			continue
+		}
+		for _, metric := range jsdMetrics {
+			jsdGrid.Set(method, metric, categoricalJSD(raw, syn, metric))
+		}
+		for _, metric := range emdMetrics {
+			sv := continuousValues(syn, metric)
+			if len(sv) == 0 || len(rawEMD[metric]) == 0 {
+				continue
+			}
+			emd, err := stats.EMDSamples(rawEMD[metric], sv)
+			if err != nil {
+				continue
+			}
+			emdCells = append(emdCells, emdCell{method, metric, emd})
+		}
+	}
+	// Normalize EMD per metric across methods into [0.1, 0.9].
+	for _, metric := range emdMetrics {
+		var vals []float64
+		var idxs []int
+		for i, c := range emdCells {
+			if c.metric == metric {
+				vals = append(vals, c.value)
+				idxs = append(idxs, i)
+			}
+		}
+		norm := stats.NormalizeRange(vals, 0.1, 0.9)
+		for j, i := range idxs {
+			emdGrid.Set(emdCells[i].method, metric, norm[j])
+		}
+	}
+	return &Fig56Result{JSD: jsdGrid, EMD: emdGrid}, nil
+}
+
+// categoricalJSD computes one of the paper's categorical metrics
+// between raw and synthetic tables: SA/DA are rank-frequency curves
+// of srcip/dstip, SP/DP are port histograms over 0..65535, PR is the
+// protocol distribution.
+func categoricalJSD(raw, syn *dataset.Table, metric string) float64 {
+	switch metric {
+	case "SA":
+		return rankFreqJSD(raw.ColumnByName(trace.FieldSrcIP), syn.ColumnByName(trace.FieldSrcIP))
+	case "DA":
+		return rankFreqJSD(raw.ColumnByName(trace.FieldDstIP), syn.ColumnByName(trace.FieldDstIP))
+	case "SP":
+		return portJSD(raw.ColumnByName(trace.FieldSrcPort), syn.ColumnByName(trace.FieldSrcPort))
+	case "DP":
+		return portJSD(raw.ColumnByName(trace.FieldDstPort), syn.ColumnByName(trace.FieldDstPort))
+	case "PR":
+		return protoJSD(raw, syn)
+	default:
+		return math.NaN()
+	}
+}
+
+// rankFreqJSD compares descending rank-frequency curves (the paper's
+// "relative frequency ranking in a descending way").
+func rankFreqJSD(a, b []int64) float64 {
+	fa, fb := sortedFreqs(a), sortedFreqs(b)
+	n := len(fa)
+	if len(fb) > n {
+		n = len(fb)
+	}
+	pa := make([]float64, n)
+	pb := make([]float64, n)
+	copy(pa, fa)
+	copy(pb, fb)
+	d, err := stats.JSD(pa, pb)
+	if err != nil {
+		return math.NaN()
+	}
+	return d
+}
+
+func sortedFreqs(col []int64) []float64 {
+	counts := make(map[int64]float64)
+	for _, v := range col {
+		counts[v]++
+	}
+	out := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// portJSD compares port histograms over the full 0..65535 range,
+// bucketed by 256 for tractable vectors.
+func portJSD(a, b []int64) float64 {
+	const buckets = 256
+	ha := make([]float64, buckets)
+	hb := make([]float64, buckets)
+	for _, v := range a {
+		ha[int(v)*buckets/65536]++
+	}
+	for _, v := range b {
+		hb[int(v)*buckets/65536]++
+	}
+	d, err := stats.JSD(ha, hb)
+	if err != nil {
+		return math.NaN()
+	}
+	return d
+}
+
+func protoJSD(raw, syn *dataset.Table) float64 {
+	pa := protoDist(raw)
+	pb := protoDist(syn)
+	return stats.JSDCounts(pa, pb)
+}
+
+func protoDist(t *dataset.Table) map[string]float64 {
+	ci := t.Schema().Index(trace.FieldProto)
+	out := make(map[string]float64)
+	if ci < 0 {
+		return out
+	}
+	for _, v := range t.Column(ci) {
+		out[t.CatValue(ci, v)]++
+	}
+	return out
+}
+
+// continuousValues extracts the samples behind a continuous metric:
+// TS/TD/PKT/BYT are flow columns, PS is pkt_len, PAT is the packet
+// timestamp, FS is the per-5-tuple packet count.
+func continuousValues(t *dataset.Table, metric string) []float64 {
+	switch metric {
+	case "TS", "PAT":
+		return floatColumn(t, trace.FieldTS)
+	case "TD":
+		return floatColumn(t, trace.FieldTD)
+	case "PKT":
+		return floatColumn(t, trace.FieldPkt)
+	case "BYT":
+		return floatColumn(t, trace.FieldByt)
+	case "PS":
+		return floatColumn(t, trace.FieldPktLen)
+	case "FS":
+		return flowSizes(t)
+	default:
+		return nil
+	}
+}
+
+func floatColumn(t *dataset.Table, name string) []float64 {
+	col := t.ColumnByName(name)
+	out := make([]float64, len(col))
+	for i, v := range col {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// flowSizes computes the FS metric: the number of packets under each
+// IP 5-tuple.
+func flowSizes(t *dataset.Table) []float64 {
+	pkts, err := trace.TableToPackets(t)
+	if err != nil {
+		return nil
+	}
+	groups := trace.GroupByTuple(pkts)
+	out := make([]float64, len(groups))
+	for i, g := range groups {
+		out[i] = float64(len(g.Packets))
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/netdpsyn/netdpsyn/internal/core"
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+// Figure8 reproduces the GUMMI-vs-GUM ablation: classification
+// accuracy of DT and GB on TON when the record-synthesis update loop
+// runs for {1, 2, 3, 4, 5, 10, 20} iterations, with GUMMI's marginal
+// initialization versus plain GUM's independent initialization. The
+// paper's claim: GUMMI reaches high accuracy within a handful of
+// rounds while GUM needs ~10.
+func Figure8(r *Runner) (map[string]*Grid, error) {
+	rounds := []int{1, 2, 3, 4, 5, 10, 20}
+	models := []string{"DT", "GB"}
+	raw, err := r.Raw(datagen.TON)
+	if err != nil {
+		return nil, err
+	}
+	train, test := splitRaw(raw, r.Scale.Seed^0xf8)
+
+	rows := make([]string, len(rounds))
+	for i, it := range rounds {
+		rows[i] = fmt.Sprintf("%d", it)
+	}
+	out := make(map[string]*Grid)
+	for _, model := range models {
+		g := NewGrid("Figure 8 (TON): "+model+" accuracy vs update rounds", rows, []string{"Real", "GUMMI", "GUM"})
+		realAcc, err := classifyAccuracy(raw, train, test, model, r.Scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rounds {
+			g.Set(rows[i], "Real", realAcc)
+		}
+		out[model] = g
+	}
+
+	for i, iters := range rounds {
+		for _, useGUMMI := range []bool{true, false} {
+			syn, err := synthesizeWithInit(raw, r.Scale, iters, useGUMMI)
+			if err != nil {
+				return nil, err
+			}
+			col := "GUM"
+			if useGUMMI {
+				col = "GUMMI"
+			}
+			for _, model := range []string{"DT", "GB"} {
+				acc, err := classifyAccuracy(raw, syn, test, model, r.Scale.Seed)
+				if err != nil {
+					continue
+				}
+				out[model].Set(rows[i], col, acc)
+			}
+		}
+	}
+	return out, nil
+}
+
+// synthesizeWithInit runs NetDPSyn with a specific iteration count
+// and initialization strategy.
+func synthesizeWithInit(raw *dataset.Table, sc Scale, iters int, useGUMMI bool) (*dataset.Table, error) {
+	cfg := core.DefaultConfig()
+	cfg.Epsilon = sc.Epsilon
+	cfg.Delta = sc.Delta
+	cfg.GUM.Iterations = iters
+	cfg.UseGUMMI = useGUMMI
+	cfg.Seed = sc.Seed
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Synthesize(raw)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}

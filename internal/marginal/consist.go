@@ -1,0 +1,240 @@
+package marginal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ConsistAttributes makes a set of published marginals mutually
+// consistent (§3.3, "marginal post-processing", second step): for
+// every attribute shared by two or more marginals, the 1-way
+// projections are replaced by their variance-minimizing weighted
+// average (Qardaji et al.'s method: weights ∝ 1/(σ²·sliceCells),
+// since projecting a marginal onto an attribute sums sliceCells
+// independent noisy cells per value), and each marginal is adjusted
+// by spreading the per-value residual uniformly across its slice.
+// A few sweeps are run because adjusting one attribute can perturb
+// another; the process converges quickly in practice.
+func ConsistAttributes(ms []*Marginal, sweeps int) error {
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	// Collect attributes appearing in 2+ marginals.
+	attrCount := make(map[int]int)
+	for _, m := range ms {
+		for _, a := range m.Attrs {
+			attrCount[a]++
+		}
+	}
+	var shared []int
+	for a, c := range attrCount {
+		if c >= 2 {
+			shared = append(shared, a)
+		}
+	}
+	sort.Ints(shared)
+	for s := 0; s < sweeps; s++ {
+		for _, a := range shared {
+			if err := consistOne(ms, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func consistOne(ms []*Marginal, attr int) error {
+	type member struct {
+		m      *Marginal
+		proj   []float64
+		weight float64
+	}
+	var members []member
+	dom := -1
+	for _, m := range ms {
+		has := false
+		for _, a := range m.Attrs {
+			if a == attr {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		proj, err := m.Project(attr)
+		if err != nil {
+			return err
+		}
+		if dom < 0 {
+			dom = len(proj)
+		} else if dom != len(proj) {
+			return fmt.Errorf("marginal: attribute %d has inconsistent domains %d vs %d", attr, dom, len(proj))
+		}
+		// Projection variance per value: sliceCells·σ². Exact
+		// marginals (σ = 0) get a very large weight.
+		sigma2 := m.Sigma * m.Sigma
+		var w float64
+		if sigma2 <= 0 {
+			w = 1e12
+		} else {
+			w = 1 / (sigma2 * float64(m.SliceCells(attr)))
+		}
+		members = append(members, member{m: m, proj: proj, weight: w})
+	}
+	if len(members) < 2 {
+		return nil
+	}
+	var wSum float64
+	for _, mb := range members {
+		wSum += mb.weight
+	}
+	avg := make([]float64, dom)
+	for _, mb := range members {
+		for v := range avg {
+			avg[v] += mb.proj[v] * mb.weight / wSum
+		}
+	}
+	for _, mb := range members {
+		slice := float64(mb.m.SliceCells(attr))
+		for v := range avg {
+			delta := (avg[v] - mb.proj[v]) / slice
+			if delta != 0 {
+				if err := mb.m.AddToSlice(attr, int32(v), delta); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Rule is a τ-thresholded protocol-consistency rule on a pair of
+// attributes (§3.3, third post-processing step): cells (a, b) with
+// Allowed(a, b) == false are zeroed — but only if their total mass
+// fraction is below Tau. The real traces contain genuine protocol
+// anomalies (e.g. FTP flows over UDP in UGR16), so mass above the
+// threshold is preserved rather than erased.
+type Rule struct {
+	// A and B are attribute indices in the encoded table.
+	A, B int
+	// Allowed reports whether the (aCode, bCode) combination is valid.
+	Allowed func(a, b int32) bool
+	// Tau is the mass-fraction threshold (the paper uses 0.1).
+	Tau float64
+	// Name describes the rule for diagnostics.
+	Name string
+}
+
+// Apply enforces the rule on a marginal containing both attributes.
+// It returns whether the marginal was modified. Removed mass is
+// redistributed proportionally over the allowed cells so the total is
+// preserved.
+func (r Rule) Apply(m *Marginal) (bool, error) {
+	pa, pb := -1, -1
+	for i, a := range m.Attrs {
+		if a == r.A {
+			pa = i
+		}
+		if a == r.B {
+			pb = i
+		}
+	}
+	if pa < 0 || pb < 0 {
+		return false, nil
+	}
+	total := m.Total()
+	if total <= 0 {
+		return false, nil
+	}
+	var bad float64
+	badCells := make([]int, 0)
+	for idx := range m.Counts {
+		cell := m.Cell(idx)
+		if !r.Allowed(cell[pa], cell[pb]) {
+			if m.Counts[idx] > 0 {
+				bad += m.Counts[idx]
+			}
+			badCells = append(badCells, idx)
+		}
+	}
+	if bad <= 0 {
+		return false, nil
+	}
+	if bad/total >= r.Tau {
+		// The violating mass is too large to be noise: the data
+		// genuinely contains the anomaly, keep it.
+		return false, nil
+	}
+	var good float64
+	for idx, c := range m.Counts {
+		if c > 0 && !contains(badCells, idx) {
+			good += c
+		}
+	}
+	for _, idx := range badCells {
+		m.Counts[idx] = 0
+	}
+	if good > 0 {
+		scale := (good + bad) / good
+		for idx, c := range m.Counts {
+			if c > 0 {
+				m.Counts[idx] = c * scale
+			}
+		}
+	}
+	return true, nil
+}
+
+func contains(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}
+
+// ApplyRules runs every rule over every applicable marginal and
+// returns the number of (rule, marginal) pairs that made an edit.
+func ApplyRules(ms []*Marginal, rules []Rule) (int, error) {
+	edits := 0
+	for _, rule := range rules {
+		for _, m := range ms {
+			changed, err := rule.Apply(m)
+			if err != nil {
+				return edits, err
+			}
+			if changed {
+				edits++
+			}
+		}
+	}
+	return edits, nil
+}
+
+// MaxAbsProjectionGap returns the largest absolute difference between
+// the 1-way projections of any two marginals sharing an attribute —
+// a diagnostic for how inconsistent a set of marginals is (0 after a
+// converged ConsistAttributes run).
+func MaxAbsProjectionGap(ms []*Marginal) float64 {
+	byAttr := make(map[int][][]float64)
+	for _, m := range ms {
+		for _, a := range m.Attrs {
+			proj, err := m.Project(a)
+			if err == nil {
+				byAttr[a] = append(byAttr[a], proj)
+			}
+		}
+	}
+	var worst float64
+	for _, projs := range byAttr {
+		for i := 0; i < len(projs); i++ {
+			for j := i + 1; j < len(projs); j++ {
+				for v := range projs[i] {
+					if d := math.Abs(projs[i][v] - projs[j][v]); d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+	}
+	return worst
+}

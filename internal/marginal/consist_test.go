@@ -1,0 +1,154 @@
+package marginal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConsistAttributesAgreement(t *testing.T) {
+	// Two marginals over {0,1} and {0,2} disagree on attribute 0's
+	// projection; after consistency they must agree.
+	m1 := New([]int{0, 1}, []int{2, 2})
+	copy(m1.Counts, []float64{10, 10, 5, 5}) // proj0 = [20, 10]
+	m1.Sigma = 1
+	m2 := New([]int{0, 2}, []int{2, 3})
+	copy(m2.Counts, []float64{2, 2, 2, 8, 8, 8}) // proj0 = [6, 24]
+	m2.Sigma = 1
+	ms := []*Marginal{m1, m2}
+	if err := ConsistAttributes(ms, 3); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := m1.Project(0)
+	p2, _ := m2.Project(0)
+	for v := range p1 {
+		if math.Abs(p1[v]-p2[v]) > 1e-6 {
+			t.Errorf("projections disagree at %d: %v vs %v", v, p1[v], p2[v])
+		}
+	}
+	if gap := MaxAbsProjectionGap(ms); gap > 1e-6 {
+		t.Errorf("projection gap after consist = %v", gap)
+	}
+}
+
+func TestConsistWeightsFavorLowNoise(t *testing.T) {
+	// The precise marginal (tiny σ) should pull the average.
+	m1 := New([]int{0, 1}, []int{2, 2})
+	copy(m1.Counts, []float64{20, 0, 0, 10}) // proj0 = [20, 10]
+	m1.Sigma = 0.001
+	m2 := New([]int{0, 2}, []int{2, 2})
+	copy(m2.Counts, []float64{5, 5, 10, 10}) // proj0 = [10, 20]
+	m2.Sigma = 100
+	if err := ConsistAttributes([]*Marginal{m1, m2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := m1.Project(0)
+	if math.Abs(p1[0]-20) > 0.5 {
+		t.Errorf("low-noise projection moved too much: %v", p1)
+	}
+}
+
+func TestConsistTotalPreserved(t *testing.T) {
+	m1 := New([]int{0, 1}, []int{2, 2})
+	copy(m1.Counts, []float64{10, 10, 5, 5})
+	m1.Sigma = 1
+	m2 := New([]int{1, 2}, []int{2, 2})
+	copy(m2.Counts, []float64{8, 8, 7, 7})
+	m2.Sigma = 1
+	t1, t2 := m1.Total(), m2.Total()
+	if err := ConsistAttributes([]*Marginal{m1, m2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1.Total()-t1) > 1e-6 || math.Abs(m2.Total()-t2) > 1e-6 {
+		t.Errorf("totals changed: %v→%v, %v→%v", t1, m1.Total(), t2, m2.Total())
+	}
+}
+
+func TestConsistNoSharedAttrs(t *testing.T) {
+	m1 := New([]int{0}, []int{2})
+	m2 := New([]int{1}, []int{2})
+	copy(m1.Counts, []float64{1, 2})
+	copy(m2.Counts, []float64{3, 4})
+	if err := ConsistAttributes([]*Marginal{m1, m2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Counts[0] != 1 || m2.Counts[1] != 4 {
+		t.Error("disjoint marginals must be untouched")
+	}
+}
+
+func TestRuleZeroesRareViolations(t *testing.T) {
+	// Attribute 0 = dstport bin (0: port 21, 1: other), attribute 1 =
+	// proto (0: TCP, 1: UDP). FTP over UDP is rare noise → zeroed.
+	m := New([]int{0, 1}, []int{2, 2})
+	copy(m.Counts, []float64{50, 1, 40, 30}) // (21,TCP)=50, (21,UDP)=1
+	total := m.Total()
+	rule := Rule{
+		A: 0, B: 1, Tau: 0.1, Name: "ftp-tcp",
+		Allowed: func(a, b int32) bool { return !(a == 0 && b == 1) },
+	}
+	changed, err := rule.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("rule should have edited the marginal")
+	}
+	if m.Counts[m.Index(0, 1)] != 0 {
+		t.Errorf("violating cell not zeroed: %v", m.Counts)
+	}
+	if math.Abs(m.Total()-total) > 1e-9 {
+		t.Errorf("total changed: %v → %v", total, m.Total())
+	}
+}
+
+func TestRuleKeepsGenuineAnomalies(t *testing.T) {
+	// 40% violating mass exceeds τ = 0.1: the data genuinely has the
+	// anomaly (like UGR16's FTP-over-UDP), keep it.
+	m := New([]int{0, 1}, []int{2, 2})
+	copy(m.Counts, []float64{30, 40, 20, 10})
+	rule := Rule{
+		A: 0, B: 1, Tau: 0.1, Name: "ftp-tcp",
+		Allowed: func(a, b int32) bool { return !(a == 0 && b == 1) },
+	}
+	changed, err := rule.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("rule must not erase above-threshold mass")
+	}
+	if m.Counts[m.Index(0, 1)] != 40 {
+		t.Errorf("genuine anomaly erased: %v", m.Counts)
+	}
+}
+
+func TestRuleSkipsUnrelatedMarginal(t *testing.T) {
+	m := New([]int{2, 3}, []int{2, 2})
+	copy(m.Counts, []float64{1, 1, 1, 1})
+	rule := Rule{A: 0, B: 1, Tau: 0.5, Allowed: func(a, b int32) bool { return false }}
+	changed, err := rule.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("rule applied to marginal lacking its attributes")
+	}
+}
+
+func TestApplyRulesCountsEdits(t *testing.T) {
+	m1 := New([]int{0, 1}, []int{2, 2})
+	copy(m1.Counts, []float64{50, 1, 40, 30})
+	m2 := New([]int{0, 1}, []int{2, 2})
+	copy(m2.Counts, []float64{50, 0, 40, 30}) // no violation
+	rules := []Rule{{
+		A: 0, B: 1, Tau: 0.1,
+		Allowed: func(a, b int32) bool { return !(a == 0 && b == 1) },
+	}}
+	edits, err := ApplyRules([]*Marginal{m1, m2}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edits != 1 {
+		t.Errorf("edits = %d, want 1", edits)
+	}
+}

@@ -1,0 +1,275 @@
+package marginal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+// tinyEncoded builds a 3-attribute encoded table with known joint
+// structure: b == a for the first half, b random-ish otherwise.
+func tinyEncoded() *dataset.Encoded {
+	e := dataset.NewEncoded([]string{"a", "b", "c"}, []int{3, 3, 2}, 12)
+	av := []int32{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	bv := []int32{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 0, 1}
+	cv := []int32{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	copy(e.Cols[0], av)
+	copy(e.Cols[1], bv)
+	copy(e.Cols[2], cv)
+	return e
+}
+
+func TestComputeOneWay(t *testing.T) {
+	e := tinyEncoded()
+	m := Compute(e, []int{0})
+	want := []float64{4, 4, 4}
+	for i, w := range want {
+		if m.Counts[i] != w {
+			t.Errorf("count[%d] = %v, want %v", i, m.Counts[i], w)
+		}
+	}
+	if m.Total() != 12 {
+		t.Errorf("total = %v", m.Total())
+	}
+}
+
+func TestComputeTwoWay(t *testing.T) {
+	e := tinyEncoded()
+	m := Compute(e, []int{0, 1})
+	if m.Cells() != 9 {
+		t.Fatalf("cells = %d", m.Cells())
+	}
+	// (a=0,b=0) appears 4 times.
+	if got := m.Counts[m.Index(0, 0)]; got != 4 {
+		t.Errorf("cell(0,0) = %v, want 4", got)
+	}
+	if got := m.Counts[m.Index(2, 2)]; got != 2 {
+		t.Errorf("cell(2,2) = %v, want 2", got)
+	}
+	// Attribute order is normalized ascending.
+	m2 := Compute(e, []int{1, 0})
+	if m2.Attrs[0] != 0 || m2.Attrs[1] != 1 {
+		t.Errorf("attrs not sorted: %v", m2.Attrs)
+	}
+}
+
+func TestCellIndexRoundTripProperty(t *testing.T) {
+	m := New([]int{0, 1, 2}, []int{4, 3, 5})
+	f := func(a, b, c uint8) bool {
+		codes := []int32{int32(a % 4), int32(b % 3), int32(c % 5)}
+		idx := m.Index(codes...)
+		back := m.Cell(idx)
+		return back[0] == codes[0] && back[1] == codes[1] && back[2] == codes[2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	e := tinyEncoded()
+	m := Compute(e, []int{0, 1})
+	pa, err := m.Project(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 4, 4}
+	for i := range want {
+		if pa[i] != want[i] {
+			t.Errorf("proj a[%d] = %v", i, pa[i])
+		}
+	}
+	pb, err := m.Project(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b: 0 appears 5, 1 appears 5, 2 appears 2.
+	if pb[0] != 5 || pb[1] != 5 || pb[2] != 2 {
+		t.Errorf("proj b = %v", pb)
+	}
+	if _, err := m.Project(9); err == nil {
+		t.Error("projecting absent attr must error")
+	}
+}
+
+func TestAddToSlice(t *testing.T) {
+	e := tinyEncoded()
+	m := Compute(e, []int{0, 1})
+	before, _ := m.Project(0)
+	if err := m.AddToSlice(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Project(0)
+	// Slice has 3 cells, each +0.5.
+	if math.Abs(after[1]-before[1]-1.5) > 1e-12 {
+		t.Errorf("slice sum delta = %v, want 1.5", after[1]-before[1])
+	}
+	if after[0] != before[0] {
+		t.Error("other slices must not change")
+	}
+}
+
+func TestPublishAddsCalibratedNoise(t *testing.T) {
+	e := tinyEncoded()
+	m := Compute(e, []int{0, 1})
+	pub, err := m.Publish(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Sigma != 1 { // σ = 1/sqrt(2·0.5)
+		t.Errorf("sigma = %v, want 1", pub.Sigma)
+	}
+	diff := false
+	for i := range m.Counts {
+		if pub.Counts[i] != m.Counts[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("published marginal identical to exact")
+	}
+	// Original untouched.
+	if m.Sigma != 0 {
+		t.Error("original sigma changed")
+	}
+}
+
+func TestNormSubPreservesTotalNonNeg(t *testing.T) {
+	m := New([]int{0}, []int{4})
+	copy(m.Counts, []float64{5, -2, 3, 1})
+	m.NormSub(7)
+	var sum float64
+	for _, c := range m.Counts {
+		if c < 0 {
+			t.Fatalf("negative cell after NormSub: %v", m.Counts)
+		}
+		sum += c
+	}
+	if math.Abs(sum-7) > 1e-6 {
+		t.Errorf("total = %v, want 7", sum)
+	}
+}
+
+func TestNormSubProperty(t *testing.T) {
+	f := func(raw [6]int8, totRaw uint8) bool {
+		m := New([]int{0}, []int{6})
+		for i, v := range raw {
+			m.Counts[i] = float64(v)
+		}
+		total := float64(totRaw)
+		m.NormSub(total)
+		var sum float64
+		for _, c := range m.Counts {
+			if c < -1e-9 {
+				return false
+			}
+			sum += c
+		}
+		return math.Abs(sum-total) < 1e-6*math.Max(1, total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	m := New([]int{0}, []int{3})
+	copy(m.Counts, []float64{1, -5, 3})
+	d := m.Distribution()
+	if math.Abs(d[0]+d[1]+d[2]-1) > 1e-12 {
+		t.Errorf("distribution sum = %v", d)
+	}
+	if d[1] != 0 {
+		t.Errorf("negative cell should clamp: %v", d)
+	}
+}
+
+func TestPearsonCorrPerfect(t *testing.T) {
+	// Diagonal joint: perfect correlation.
+	m := New([]int{0, 1}, []int{3, 3})
+	m.Counts[m.Index(0, 0)] = 10
+	m.Counts[m.Index(1, 1)] = 10
+	m.Counts[m.Index(2, 2)] = 10
+	r, err := m.PearsonCorr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("diag corr = %v, want 1", r)
+	}
+	// Independent joint: zero correlation.
+	for i := range m.Counts {
+		m.Counts[i] = 1
+	}
+	r, _ = m.PearsonCorr()
+	if math.Abs(r) > 1e-12 {
+		t.Errorf("uniform corr = %v, want 0", r)
+	}
+	one := New([]int{0}, []int{3})
+	if _, err := one.PearsonCorr(); err == nil {
+		t.Error("1-way PearsonCorr must error")
+	}
+}
+
+func TestL1(t *testing.T) {
+	a := New([]int{0}, []int{3})
+	b := New([]int{0}, []int{3})
+	copy(a.Counts, []float64{1, 2, 3})
+	copy(b.Counts, []float64{2, 2, 1})
+	d, err := a.L1(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Errorf("L1 = %v, want 3", d)
+	}
+}
+
+func TestInDifIndependentVsCorrelated(t *testing.T) {
+	// Correlated pair (a, b): b == a for most rows.
+	e := tinyEncoded()
+	corr := InDif(e, 0, 1)
+	indep := InDif(e, 0, 2) // c alternates independently of a
+	if corr <= indep {
+		t.Errorf("InDif(corr)=%v should exceed InDif(indep)=%v", corr, indep)
+	}
+	if indep < 0 {
+		t.Errorf("InDif negative: %v", indep)
+	}
+}
+
+func TestComputePairScores(t *testing.T) {
+	e := tinyEncoded()
+	ps, err := ComputePairScores(e, 0, 1) // rho=0: exact scores
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(ps.Pairs))
+	}
+	noisy, err := ComputePairScores(e, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range noisy.Scores {
+		if s < 0 {
+			t.Errorf("noisy score should be clamped non-negative: %v", s)
+		}
+	}
+}
+
+func TestExpectedL1NoiseError(t *testing.T) {
+	got := ExpectedL1NoiseError(100, 2)
+	want := 100 * 2 * math.Sqrt(2/math.Pi)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("noise error = %v, want %v", got, want)
+	}
+}
+
+func TestAttrKey(t *testing.T) {
+	if AttrKey([]int{2, 0, 1}) != AttrKey([]int{0, 1, 2}) {
+		t.Error("AttrKey must be order-invariant")
+	}
+}

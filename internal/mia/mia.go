@@ -1,0 +1,75 @@
+// Package mia implements the basic membership-inference attack of
+// Yeom et al. (CSF'18) used in the paper's Appendix G privacy
+// analysis: given a model trained on a dataset, the attacker guesses
+// that a record was a training member if the model classifies it
+// correctly (equivalently, if its loss is below a threshold). DP
+// synthesis should push the attack's accuracy toward the 50% coin
+// flip, which is what the appendix reports.
+package mia
+
+import (
+	"fmt"
+
+	"github.com/netdpsyn/netdpsyn/internal/ml"
+)
+
+// Result summarizes an attack run.
+type Result struct {
+	// Accuracy is the attacker's balanced accuracy: ½·(TPR + TNR)
+	// over equal-sized member and non-member sets.
+	Accuracy float64
+	// MemberHitRate is the fraction of members the model classifies
+	// correctly; NonMemberHitRate likewise for non-members. Their gap
+	// is the signal the attack exploits (generalization gap).
+	MemberHitRate, NonMemberHitRate float64
+}
+
+// Attack runs the correctness-based Yeom attack against a trained
+// model: members and nonMembers are feature matrices with labels.
+// Sets are truncated to equal size for a balanced measurement.
+func Attack(model ml.Classifier, members [][]float64, memY []int, nonMembers [][]float64, nonY []int) (*Result, error) {
+	if len(members) == 0 || len(nonMembers) == 0 {
+		return nil, fmt.Errorf("mia: need non-empty member and non-member sets")
+	}
+	n := len(members)
+	if len(nonMembers) < n {
+		n = len(nonMembers)
+	}
+	memberHits := 0
+	for i := 0; i < n; i++ {
+		if model.Predict(members[i]) == memY[i] {
+			memberHits++
+		}
+	}
+	nonHits := 0
+	for i := 0; i < n; i++ {
+		if model.Predict(nonMembers[i]) == nonY[i] {
+			nonHits++
+		}
+	}
+	// Attacker says "member" on a correct prediction: TPR is the
+	// member hit rate, TNR is 1 − non-member hit rate.
+	tpr := float64(memberHits) / float64(n)
+	tnr := 1 - float64(nonHits)/float64(n)
+	return &Result{
+		Accuracy:         (tpr + tnr) / 2,
+		MemberHitRate:    tpr,
+		NonMemberHitRate: float64(nonHits) / float64(n),
+	}, nil
+}
+
+// AttackTrainedOn is the end-to-end harness of Appendix G: train the
+// named model on trainX/trainY (raw or synthesized features), then
+// attack with the raw training records as members and raw held-out
+// records as non-members.
+func AttackTrainedOn(modelName string, trainX [][]float64, trainY []int, k int,
+	members [][]float64, memY []int, nonMembers [][]float64, nonY []int, seed uint64) (*Result, error) {
+	clf, err := ml.NewClassifier(modelName, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := clf.Fit(trainX, trainY, k); err != nil {
+		return nil, err
+	}
+	return Attack(clf, members, memY, nonMembers, nonY)
+}

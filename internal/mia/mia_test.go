@@ -1,0 +1,83 @@
+package mia
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/ml"
+)
+
+// overlapData builds a noisy binary dataset where memorization is
+// possible but generalization is imperfect.
+func overlapData(n int, seed uint64) ([][]float64, []int) {
+	rng := rand.New(rand.NewPCG(seed, seed^11))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		X[i] = []float64{float64(c) + rng.NormFloat64()*1.5, rng.NormFloat64()}
+		y[i] = c
+	}
+	return X, y
+}
+
+func TestAttackOnOverfitModelBeatsCoin(t *testing.T) {
+	memX, memY := overlapData(400, 1)
+	nonX, nonY := overlapData(400, 2)
+	// Deep tree memorizes its training set.
+	target := ml.NewDecisionTree(ml.TreeConfig{MaxDepth: 30, MinLeaf: 1, Seed: 3})
+	if err := target.Fit(memX, memY, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(target, memX, memY, nonX, nonY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy <= 0.55 {
+		t.Errorf("attack on overfit model = %v, want > 0.55", res.Accuracy)
+	}
+	if res.MemberHitRate < 0.95 {
+		t.Errorf("memorizing tree member hit rate = %v", res.MemberHitRate)
+	}
+}
+
+func TestAttackOnDisjointModelNearCoin(t *testing.T) {
+	// A model trained on fresh data unrelated to the member set has
+	// no memorization signal: accuracy ≈ 0.5.
+	memX, memY := overlapData(400, 4)
+	nonX, nonY := overlapData(400, 5)
+	freshX, freshY := overlapData(400, 6)
+	target := ml.NewDecisionTree(ml.TreeConfig{MaxDepth: 6, MinLeaf: 5, Seed: 7})
+	if err := target.Fit(freshX, freshY, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(target, memX, memY, nonX, nonY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.4 || res.Accuracy > 0.6 {
+		t.Errorf("attack without membership signal = %v, want ≈0.5", res.Accuracy)
+	}
+}
+
+func TestAttackErrors(t *testing.T) {
+	target := ml.NewDecisionTree(ml.TreeConfig{Seed: 1})
+	if _, err := Attack(target, nil, nil, nil, nil); err == nil {
+		t.Fatal("empty sets must error")
+	}
+}
+
+func TestAttackTrainedOn(t *testing.T) {
+	memX, memY := overlapData(300, 8)
+	nonX, nonY := overlapData(300, 9)
+	res, err := AttackTrainedOn("DT", memX, memY, 2, memX, memY, nonX, nonY, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.45 {
+		t.Errorf("accuracy = %v", res.Accuracy)
+	}
+	if _, err := AttackTrainedOn("NOPE", memX, memY, 2, memX, memY, nonX, nonY, 11); err == nil {
+		t.Error("unknown model must error")
+	}
+}

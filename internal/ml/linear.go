@@ -1,0 +1,224 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// LogisticConfig tunes the softmax (multinomial logistic) regression.
+type LogisticConfig struct {
+	// Epochs is the number of SGD passes.
+	Epochs int
+	// LearningRate is the initial step size (decayed 1/(1+t)).
+	LearningRate float64
+	// L2 is the ridge regularization strength.
+	L2 float64
+	// Seed drives shuffling.
+	Seed uint64
+}
+
+// Logistic is multinomial logistic regression trained with SGD on
+// z-scored features. Its deliberate simplicity mirrors the paper's
+// observation that LR accuracy is low on these tasks regardless of
+// the training data's provenance.
+type Logistic struct {
+	cfg LogisticConfig
+	w   [][]float64 // [class][feature+1], last is bias
+	std *standardizer
+	k   int
+}
+
+// NewLogistic creates an unfitted model.
+func NewLogistic(cfg LogisticConfig) *Logistic {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	return &Logistic{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (l *Logistic) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (l *Logistic) Fit(X [][]float64, y []int, k int) error {
+	l.k = k
+	l.std = fitStandardizer(X)
+	Z := l.std.applyAll(X)
+	d := 0
+	if len(Z) > 0 {
+		d = len(Z[0])
+	}
+	l.w = make([][]float64, k)
+	for c := range l.w {
+		l.w[c] = make([]float64, d+1)
+	}
+	rng := rand.New(rand.NewPCG(l.cfg.Seed, l.cfg.Seed^0x27d4eb2f165667c5))
+	order := rng.Perm(len(Z))
+	logits := make([]float64, k)
+	probs := make([]float64, k)
+	step := 0
+	for e := 0; e < l.cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			lr := l.cfg.LearningRate / (1 + 0.001*float64(step))
+			step++
+			l.logits(Z[i], logits)
+			softmaxInto(logits, probs)
+			for c := 0; c < k; c++ {
+				g := probs[c]
+				if y[i] == c {
+					g -= 1
+				}
+				wc := l.w[c]
+				for j, v := range Z[i] {
+					wc[j] -= lr * (g*v + l.cfg.L2*wc[j])
+				}
+				wc[d] -= lr * g // bias
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Logistic) logits(z []float64, out []float64) {
+	d := len(z)
+	for c := 0; c < l.k; c++ {
+		s := l.w[c][d]
+		for j, v := range z {
+			s += l.w[c][j] * v
+		}
+		out[c] = s
+	}
+}
+
+// Predict implements Classifier.
+func (l *Logistic) Predict(x []float64) int {
+	z := l.std.apply(x)
+	logits := make([]float64, l.k)
+	l.logits(z, logits)
+	return argmax(logits)
+}
+
+// OCSVMConfig tunes the linear one-class SVM.
+type OCSVMConfig struct {
+	// Nu bounds the fraction of training points treated as outliers.
+	Nu float64
+	// Epochs is the number of SGD passes.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Seed drives shuffling.
+	Seed uint64
+}
+
+// OCSVM is Schölkopf's ν-one-class SVM with a linear kernel, trained
+// by SGD on the objective ½‖w‖² − ρ + (1/νn)·Σ max(0, ρ − ⟨w, x⟩).
+// It is the default detector of the NetML harness (Figure 4).
+type OCSVM struct {
+	cfg OCSVMConfig
+	w   []float64
+	rho float64
+	std *standardizer
+}
+
+// NewOCSVM creates an unfitted detector.
+func NewOCSVM(cfg OCSVMConfig) *OCSVM {
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		cfg.Nu = 0.1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.01
+	}
+	return &OCSVM{cfg: cfg}
+}
+
+// Fit trains the boundary on (unlabeled) samples: SGD on w over the
+// ν-OCSVM objective, then ρ set exactly to the ν-quantile of the
+// training scores — for a fixed w that is the optimizer of the ρ
+// terms, and it guarantees the ν-property (≈ν of the training data
+// falls outside the region) that the downstream anomaly-ratio
+// comparisons rely on.
+func (o *OCSVM) Fit(X [][]float64) error {
+	o.std = fitStandardizer(X)
+	Z := o.std.applyAll(X)
+	d := 0
+	if len(Z) > 0 {
+		d = len(Z[0])
+	}
+	o.w = make([]float64, d)
+	o.rho = 0
+	rng := rand.New(rand.NewPCG(o.cfg.Seed, o.cfg.Seed^0x85ebca77c2b2ae63))
+	n := float64(len(Z))
+	order := rng.Perm(len(Z))
+	for e := 0; e < o.cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			lr := o.cfg.LearningRate / (1 + 0.01*float64(e))
+			score := o.dot(Z[i])
+			// Subgradients of the ν-OCSVM objective.
+			inMargin := 0.0
+			if score < o.rho {
+				inMargin = 1
+			}
+			for j := range o.w {
+				g := o.w[j]/n - inMargin*Z[i][j]/(o.cfg.Nu*n)
+				o.w[j] -= lr * g * n // scale back to per-sample step
+			}
+			gRho := -1 + inMargin/o.cfg.Nu
+			o.rho -= lr * gRho
+		}
+	}
+	// Closed-form ρ for the learned w.
+	scores := make([]float64, len(Z))
+	for i, z := range Z {
+		scores[i] = o.dot(z)
+	}
+	sort.Float64s(scores)
+	idx := int(o.cfg.Nu * float64(len(scores)))
+	if idx >= len(scores) {
+		idx = len(scores) - 1
+	}
+	if len(scores) > 0 {
+		o.rho = scores[idx]
+	}
+	return nil
+}
+
+func (o *OCSVM) dot(z []float64) float64 {
+	var s float64
+	for j, v := range z {
+		if j < len(o.w) {
+			s += o.w[j] * v
+		}
+	}
+	return s
+}
+
+// Score returns the decision value ⟨w, x⟩ − ρ (negative = anomalous).
+func (o *OCSVM) Score(x []float64) float64 {
+	return o.dot(o.std.apply(x)) - o.rho
+}
+
+// IsAnomaly reports whether the sample falls outside the learned
+// region.
+func (o *OCSVM) IsAnomaly(x []float64) bool { return o.Score(x) < 0 }
+
+// AnomalyRatio returns the fraction of samples flagged anomalous.
+func (o *OCSVM) AnomalyRatio(X [][]float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	count := 0
+	for _, x := range X {
+		if o.IsAnomaly(x) {
+			count++
+		}
+	}
+	return float64(count) / float64(len(X))
+}

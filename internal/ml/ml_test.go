@@ -1,0 +1,225 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+// blobs generates two well-separated Gaussian-ish clusters.
+func blobs(n int, seed uint64) ([][]float64, []int) {
+	rng := rand.New(rand.NewPCG(seed, seed^3))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		cx := float64(c*6 - 3)
+		X[i] = []float64{cx + rng.NormFloat64(), cx + rng.NormFloat64()}
+		y[i] = c
+	}
+	return X, y
+}
+
+// rings generates a nonlinearly separable dataset (inner vs outer
+// ring) that defeats linear models.
+func rings(n int, seed uint64) ([][]float64, []int) {
+	rng := rand.New(rand.NewPCG(seed, seed^5))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		r := 1.0 + float64(c)*3
+		theta := rng.Float64() * 2 * 3.14159
+		X[i] = []float64{r * cosApprox(theta), r * sinApprox(theta)}
+		y[i] = c
+	}
+	return X, y
+}
+
+func cosApprox(x float64) float64 { return sinApprox(x + 3.14159/2) }
+
+func sinApprox(x float64) float64 {
+	// Cheap sine via Taylor on wrapped input; accuracy is irrelevant
+	// for generating test rings.
+	for x > 3.14159 {
+		x -= 2 * 3.14159
+	}
+	for x < -3.14159 {
+		x += 2 * 3.14159
+	}
+	x2 := x * x
+	return x * (1 - x2/6*(1-x2/20*(1-x2/42)))
+}
+
+func evalModel(t *testing.T, name string, X [][]float64, y []int, k int) float64 {
+	t.Helper()
+	cut := len(X) * 3 / 4
+	acc, err := EvaluateAccuracy(name, X[:cut], y[:cut], X[cut:], y[cut:], k, 7)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return acc
+}
+
+func TestAllModelsLearnBlobs(t *testing.T) {
+	X, y := blobs(600, 1)
+	for _, name := range Models {
+		if acc := evalModel(t, name, X, y, 2); acc < 0.9 {
+			t.Errorf("%s blobs accuracy = %v", name, acc)
+		}
+	}
+}
+
+func TestTreesBeatLinearOnRings(t *testing.T) {
+	X, y := rings(800, 2)
+	dt := evalModel(t, "DT", X, y, 2)
+	lr := evalModel(t, "LR", X, y, 2)
+	if dt < 0.9 {
+		t.Errorf("DT rings accuracy = %v", dt)
+	}
+	if lr > dt-0.2 {
+		t.Errorf("LR (%v) should be far below DT (%v) on rings", lr, dt)
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	n := 900
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 3
+		X[i] = []float64{float64(c)*4 + rng.NormFloat64()*0.5, rng.NormFloat64()}
+		y[i] = c
+	}
+	for _, name := range []string{"DT", "RF", "GB", "MLP"} {
+		if acc := evalModel(t, name, X, y, 3); acc < 0.9 {
+			t.Errorf("%s 3-class accuracy = %v", name, acc)
+		}
+	}
+}
+
+func TestNewClassifierUnknown(t *testing.T) {
+	if _, err := NewClassifier("SVM9000", 1); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 0, 1}, []int{1, 1, 1}); a != 2.0/3 {
+		t.Errorf("Accuracy = %v", a)
+	}
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Errorf("empty accuracy = %v", a)
+	}
+	if a := Accuracy([]int{1}, []int{1, 2}); a != 0 {
+		t.Errorf("mismatched lengths = %v", a)
+	}
+}
+
+func TestFeaturesFromTable(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Field{Name: "x", Kind: dataset.KindNumeric},
+		dataset.Field{Name: "label", Kind: dataset.KindCategorical, Label: true},
+	)
+	tab := dataset.NewTable(s, 4)
+	a := tab.CatCode(1, "a")
+	b := tab.CatCode(1, "b")
+	tab.AppendRow([]int64{10, a})
+	tab.AppendRow([]int64{20, b})
+	X, y, k, err := Features(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 2 || len(X[0]) != 1 {
+		t.Fatalf("X shape wrong: %v", X)
+	}
+	if X[1][0] != 20 || y[0] != int(a) || y[1] != int(b) {
+		t.Errorf("X/y wrong: %v %v", X, y)
+	}
+	if k != 2 {
+		t.Errorf("k = %d", k)
+	}
+	// No label → error.
+	s2 := dataset.MustSchema(dataset.Field{Name: "x", Kind: dataset.KindNumeric})
+	if _, _, _, err := Features(dataset.NewTable(s2, 0)); err == nil {
+		t.Error("missing label must error")
+	}
+}
+
+func TestAlignLabels(t *testing.T) {
+	mk := func() *dataset.Table {
+		s := dataset.MustSchema(
+			dataset.Field{Name: "x", Kind: dataset.KindNumeric},
+			dataset.Field{Name: "label", Kind: dataset.KindCategorical, Label: true},
+		)
+		return dataset.NewTable(s, 2)
+	}
+	ref := mk()
+	ref.AppendRow([]int64{1, ref.CatCode(1, "benign")})
+	ref.AppendRow([]int64{2, ref.CatCode(1, "attack")})
+	// Other table interns labels in the opposite order.
+	other := mk()
+	other.AppendRow([]int64{1, other.CatCode(1, "attack")})
+	other.AppendRow([]int64{2, other.CatCode(1, "benign")})
+	aligned := AlignLabels(ref, other)
+	if aligned[0] != 1 || aligned[1] != 0 {
+		t.Errorf("aligned = %v", aligned)
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{0, 10}, {2, 10}, {4, 10}}
+	s := fitStandardizer(X)
+	z := s.apply([]float64{2, 10})
+	if z[0] != 0 {
+		t.Errorf("z[0] = %v, want 0 (mean)", z[0])
+	}
+	// Zero-variance feature must not produce NaN.
+	if z[1] != 0 {
+		t.Errorf("z[1] = %v, want 0", z[1])
+	}
+}
+
+func TestOCSVMFlagsOutliers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	n := 500
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	oc := NewOCSVM(OCSVMConfig{Nu: 0.1, Epochs: 30, LearningRate: 0.01, Seed: 21})
+	if err := oc.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	ratio := oc.AnomalyRatio(X)
+	// Roughly ν of the training data should be outside the region.
+	if ratio < 0.01 || ratio > 0.4 {
+		t.Errorf("training anomaly ratio = %v, want ≈0.1", ratio)
+	}
+	// A far-away point must be anomalous.
+	if !oc.IsAnomaly([]float64{50, 50}) {
+		t.Error("distant point not flagged")
+	}
+}
+
+func TestDecisionTreePredictEmptyModel(t *testing.T) {
+	dt := NewDecisionTree(TreeConfig{})
+	if got := dt.Predict([]float64{1}); got != 0 {
+		t.Errorf("unfitted predict = %d", got)
+	}
+}
+
+func TestRandomForestDeterministic(t *testing.T) {
+	X, y := blobs(200, 23)
+	a := NewRandomForest(ForestConfig{Trees: 5, MaxDepth: 4, Seed: 9})
+	b := NewRandomForest(ForestConfig{Trees: 5, MaxDepth: 4, Seed: 9})
+	a.Fit(X, y, 2)
+	b.Fit(X, y, 2)
+	for i := 0; i < 50; i++ {
+		if a.Predict(X[i]) != b.Predict(X[i]) {
+			t.Fatal("same seed forests disagree")
+		}
+	}
+}

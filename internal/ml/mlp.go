@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"math/rand/v2"
+
+	"github.com/netdpsyn/netdpsyn/internal/nn"
+)
+
+// MLPConfig tunes the multi-layer perceptron classifier.
+type MLPConfig struct {
+	// Hidden lists the hidden-layer widths.
+	Hidden []int
+	// Epochs is the number of SGD passes.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Batch is the minibatch size.
+	Batch int
+	// Seed drives initialization and shuffling.
+	Seed uint64
+}
+
+// MLP is a feed-forward neural classifier (ReLU hidden layers,
+// softmax output) trained with minibatch SGD on z-scored features,
+// built on the internal nn substrate.
+type MLP struct {
+	cfg MLPConfig
+	net *nn.Net
+	std *standardizer
+	k   int
+}
+
+// NewMLP creates an unfitted model.
+func NewMLP(cfg MLPConfig) *MLP {
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{64}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	return &MLP{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(X [][]float64, y []int, k int) error {
+	m.k = k
+	m.std = fitStandardizer(X)
+	Z := m.std.applyAll(X)
+	d := 0
+	if len(Z) > 0 {
+		d = len(Z[0])
+	}
+	sizes := append([]int{d}, m.cfg.Hidden...)
+	sizes = append(sizes, k)
+	net, err := nn.NewNet(sizes, m.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	m.net = net
+	rng := rand.New(rand.NewPCG(m.cfg.Seed, m.cfg.Seed^0x9e3779b185ebca87))
+	order := rng.Perm(len(Z))
+	for e := 0; e < m.cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += m.cfg.Batch {
+			end := start + m.cfg.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			net.ZeroGrad()
+			for _, i := range order[start:end] {
+				logits := net.Forward(Z[i])
+				_, grad := nn.SoftmaxCrossEntropy(logits, y[i])
+				net.Backward(grad)
+			}
+			net.ScaleGrad(1 / float64(end-start))
+			net.Step(m.cfg.LearningRate)
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	if m.net == nil {
+		return 0
+	}
+	return argmax(m.net.Forward(m.std.apply(x)))
+}

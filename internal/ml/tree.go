@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// TreeConfig tunes the CART decision tree.
+type TreeConfig struct {
+	// MaxDepth bounds the tree depth.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf.
+	MinLeaf int
+	// Thresholds caps the number of candidate split thresholds per
+	// feature (quantile-sampled; histogram-style splitting).
+	Thresholds int
+	// Features caps the number of features examined per node
+	// (0 = all; random forests set √d).
+	Features int
+	// Seed drives threshold and feature sampling.
+	Seed uint64
+}
+
+// DecisionTree is a CART classifier with Gini-impurity splits.
+type DecisionTree struct {
+	cfg   TreeConfig
+	nodes []treeNode
+	k     int
+	rng   *rand.Rand
+}
+
+type treeNode struct {
+	feature   int // -1 for leaf
+	threshold float64
+	left      int
+	right     int
+	class     int
+}
+
+// NewDecisionTree creates an unfitted tree.
+func NewDecisionTree(cfg TreeConfig) *DecisionTree {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	if cfg.Thresholds <= 0 {
+		cfg.Thresholds = 32
+	}
+	return &DecisionTree{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "DT" }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(X [][]float64, y []int, k int) error {
+	t.k = k
+	t.nodes = t.nodes[:0]
+	t.rng = rand.New(rand.NewPCG(t.cfg.Seed, t.cfg.Seed^0xc2b2ae3d27d4eb4f))
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(X, y, idx, 0)
+	return nil
+}
+
+// build grows the subtree over the sample indices and returns its
+// node position.
+func (t *DecisionTree) build(X [][]float64, y []int, idx []int, depth int) int {
+	counts := make([]int, t.k)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best := majorityClass(counts)
+	pure := counts[best] == len(idx)
+	if depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf || pure {
+		return t.leaf(best)
+	}
+	feat, thr, ok := t.bestSplit(X, y, idx)
+	if !ok {
+		return t.leaf(best)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return t.leaf(best)
+	}
+	pos := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: feat, threshold: thr})
+	l := t.build(X, y, left, depth+1)
+	r := t.build(X, y, right, depth+1)
+	t.nodes[pos].left, t.nodes[pos].right = l, r
+	return pos
+}
+
+func (t *DecisionTree) leaf(class int) int {
+	t.nodes = append(t.nodes, treeNode{feature: -1, class: class})
+	return len(t.nodes) - 1
+}
+
+// bestSplit finds the lowest weighted-Gini split with a single sorted
+// sweep per feature: class counts (and their sums of squares) are
+// maintained incrementally, so every value boundary is evaluated in
+// O(1). The weighted Gini nl·(1−Σp²) + nr·(1−Σp²) reduces to
+// n − sumSqL/nl − sumSqR/nr, so it suffices to maximize
+// sumSqL/nl + sumSqR/nr.
+func (t *DecisionTree) bestSplit(X [][]float64, y []int, idx []int) (feat int, thr float64, ok bool) {
+	d := len(X[0])
+	feats := make([]int, d)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.cfg.Features > 0 && t.cfg.Features < d {
+		t.rng.Shuffle(d, func(a, b int) { feats[a], feats[b] = feats[b], feats[a] })
+		feats = feats[:t.cfg.Features]
+	}
+	bestScore := math.Inf(-1)
+	n := len(idx)
+	type pair struct {
+		v float64
+		c int
+	}
+	pairs := make([]pair, n)
+	countsL := make([]float64, t.k)
+	countsR := make([]float64, t.k)
+	minLeaf := t.cfg.MinLeaf
+	for _, f := range feats {
+		for i, r := range idx {
+			pairs[i] = pair{X[r][f], y[r]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		if pairs[0].v == pairs[n-1].v {
+			continue
+		}
+		for i := range countsL {
+			countsL[i] = 0
+			countsR[i] = 0
+		}
+		for _, p := range pairs {
+			countsR[p.c]++
+		}
+		var sumSqL, sumSqR float64
+		for _, c := range countsR {
+			sumSqR += c * c
+		}
+		for i := 0; i < n-1; i++ {
+			c := pairs[i].c
+			sumSqL += 2*countsL[c] + 1
+			sumSqR -= 2*countsR[c] - 1
+			countsL[c]++
+			countsR[c]--
+			if pairs[i].v == pairs[i+1].v {
+				continue // not a boundary
+			}
+			nl, nr := float64(i+1), float64(n-i-1)
+			if int(nl) < minLeaf || int(nr) < minLeaf {
+				continue
+			}
+			score := sumSqL/nl + sumSqR/nr
+			if score > bestScore {
+				bestScore, feat, thr, ok = score, f, pairs[i].v, true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func majorityClass(counts []int) int {
+	best, bv := 0, -1
+	for c, v := range counts {
+		if v > bv {
+			best, bv = c, v
+		}
+	}
+	return best
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	pos := 0
+	for {
+		n := t.nodes[pos]
+		if n.feature < 0 {
+			return n.class
+		}
+		if x[n.feature] <= n.threshold {
+			pos = n.left
+		} else {
+			pos = n.right
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// HeavyHitters returns the keys whose exact frequency is at least
+// frac of the stream total (the paper uses frac = 0.001), together
+// with the exact counts of every key.
+func HeavyHitters(keys []uint64, frac float64) (hh []uint64, exact map[uint64]int64) {
+	exact = make(map[uint64]int64)
+	for _, k := range keys {
+		exact[k]++
+	}
+	threshold := frac * float64(len(keys))
+	for k, c := range exact {
+		if float64(c) >= threshold {
+			hh = append(hh, k)
+		}
+	}
+	sort.Slice(hh, func(a, b int) bool { return hh[a] < hh[b] })
+	return hh, exact
+}
+
+// EstimationError feeds the stream into the sketch and returns the
+// mean relative error of the sketch's estimates over the heavy
+// hitters: err = mean_k |est(k) − f(k)| / f(k).
+func EstimationError(s Sketch, keys []uint64, frac float64) float64 {
+	hh, exact := HeavyHitters(keys, frac)
+	for k, c := range exact {
+		s.Update(k, c)
+	}
+	if len(hh) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, k := range hh {
+		f := float64(exact[k])
+		sum += math.Abs(s.Estimate(k)-f) / f
+	}
+	return sum / float64(len(hh))
+}
+
+// CompareError is the Figure 2 metric: the sketch error is measured
+// independently on the raw stream and the synthesized stream, and the
+// result is |err_syn − err_raw| / err_raw. Each run uses a distinct
+// seed; the caller averages over runs.
+func CompareError(name string, rawKeys, synKeys []uint64, frac float64, runs int, seed uint64) (float64, error) {
+	var total float64
+	for r := 0; r < runs; r++ {
+		sRaw, err := NewByName(name, seed+uint64(r)*31)
+		if err != nil {
+			return 0, err
+		}
+		sSyn, err := NewByName(name, seed+uint64(r)*31+17)
+		if err != nil {
+			return 0, err
+		}
+		errRaw := EstimationError(sRaw, rawKeys, frac)
+		errSyn := EstimationError(sSyn, synKeys, frac)
+		if errRaw == 0 {
+			// Degenerate: raw sketch is exact; relative error is the
+			// synthetic error itself.
+			total += errSyn
+			continue
+		}
+		total += math.Abs(errSyn-errRaw) / errRaw
+	}
+	return total / float64(runs), nil
+}

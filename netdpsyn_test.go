@@ -1,0 +1,134 @@
+package netdpsyn_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := netdpsyn.New(netdpsyn.Config{Epsilon: -1, Delta: 1e-5}); err == nil {
+		t.Fatal("negative epsilon must error")
+	}
+	if _, err := netdpsyn.New(netdpsyn.Config{Epsilon: 1, Delta: 2}); err == nil {
+		t.Fatal("delta >= 1 must error")
+	}
+	// Zero config completes with paper defaults.
+	s, err := netdpsyn.New(netdpsyn.Config{})
+	if err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	if s == nil {
+		t.Fatal("nil synthesizer")
+	}
+}
+
+func TestSynthesizeEmptyInput(t *testing.T) {
+	s, err := netdpsyn.New(netdpsyn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Synthesize(nil); err == nil {
+		t.Fatal("nil table must error")
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := raw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := netdpsyn.LoadCSV(strings.NewReader(buf.String()), netdpsyn.FlowSchema("label"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != raw.NumRows() {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), raw.NumRows())
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *netdpsyn.Table {
+		s, err := netdpsyn.New(netdpsyn.Config{Epsilon: 2, Delta: 1e-5, UpdateIterations: 6, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Synthesize(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table
+	}
+	a, b := run(), run()
+	if a.NumRows() != b.NumRows() {
+		t.Fatal("row counts differ across identical runs")
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		for r := 0; r < a.NumRows(); r++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("same seed differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestSynthesizeFixedRecordCount(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 900, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netdpsyn.New(netdpsyn.Config{Epsilon: 2, Delta: 1e-5, UpdateIterations: 5, SynthRecords: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 500 || res.Table.NumRows() != 500 {
+		t.Fatalf("records = %d / %d, want 500", res.Records, res.Table.NumRows())
+	}
+}
+
+func TestRhoConversionExported(t *testing.T) {
+	rho, err := netdpsyn.RhoFromEpsDelta(2.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho <= 0 || rho >= 2 {
+		t.Errorf("rho = %v", rho)
+	}
+}
+
+func TestPacketSynthesis(t *testing.T) {
+	raw, err := datagen.Generate(datagen.DC, datagen.Config{Rows: 1500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netdpsyn.New(netdpsyn.Config{Epsilon: 2, Delta: 1e-5, UpdateIterations: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Schema().NumFields() != 15 {
+		t.Fatalf("packet schema width = %d", res.Table.Schema().NumFields())
+	}
+	// Synthesized packets must parse back into trace records.
+	if got := res.Table.ColumnByName("pkt_len"); len(got) == 0 {
+		t.Fatal("missing pkt_len column")
+	}
+}

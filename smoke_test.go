@@ -1,0 +1,49 @@
+package netdpsyn_test
+
+import (
+	"testing"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+// TestEndToEndSmoke runs the full pipeline on a small TON-like trace
+// and checks the basic contract: same schema, non-empty output, and
+// valid field ranges.
+func TestEndToEndSmoke(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 3000, Seed: 7})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	syn, err := netdpsyn.New(netdpsyn.Config{Epsilon: 2.0, Delta: 1e-5, UpdateIterations: 10, Seed: 7})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	res, err := syn.Synthesize(raw)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("no synthesized rows")
+	}
+	if got, want := res.Table.Schema().NumFields(), raw.Schema().NumFields(); got != want {
+		t.Fatalf("schema width = %d, want %d", got, want)
+	}
+	// Port validity (§3.4: decoded ports must stay below 65536).
+	for _, name := range []string{"srcport", "dstport"} {
+		col := res.Table.ColumnByName(name)
+		for i, v := range col {
+			if v < 0 || v > 65535 {
+				t.Fatalf("%s[%d] = %d out of range", name, i, v)
+			}
+		}
+	}
+	// byt >= pkt constraint.
+	byt, pkt := res.Table.ColumnByName("byt"), res.Table.ColumnByName("pkt")
+	for i := range byt {
+		if byt[i] < pkt[i] {
+			t.Fatalf("row %d: byt %d < pkt %d", i, byt[i], pkt[i])
+		}
+	}
+	t.Logf("synthesized %d records, %d marginal sets", res.Records, len(res.SelectedMarginals))
+}

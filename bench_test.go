@@ -14,6 +14,7 @@
 package netdpsyn_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -124,6 +125,29 @@ func BenchmarkTable3RunningTime(b *testing.B) {
 			b.ReportMetric(g.Get("TON", "NetDPSyn"), "TON-NetDPSyn-sec")
 			b.ReportMetric(g.Get("TON", "PrivMRF"), "TON-PrivMRF-sec")
 		}
+	}
+}
+
+// BenchmarkTable3WorkersSweep complements Table 3 with the staged
+// engine's worker sweep: NetDPSyn synthesis across all five datasets
+// at 1, 2, and 4 workers. The synthesized tables are byte-identical
+// across the sweep (the engine's determinism contract); only the
+// wall clock changes. Fresh runners per iteration defeat the
+// memoization that Table 3 relies on.
+func BenchmarkTable3WorkersSweep(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sc := experiments.DefaultScale()
+			sc.Workers = w
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewRunner(sc)
+				for _, ds := range datagen.Datasets() {
+					if _, err := r.Syn("NetDPSyn", ds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -32,11 +32,13 @@ func main() {
 		gum     = flag.Int("gum", 30, "GUM update iterations for NetDPSyn")
 		runs    = flag.Int("sketchruns", 3, "repetitions per sketch (Figure 2)")
 		seed    = flag.Uint64("seed", 42, "random seed")
+		workers = flag.Int("workers", 0, "NetDPSyn worker pool size (0 = all cores; results identical for any value)")
 	)
 	flag.Parse()
 	sc := experiments.Scale{
 		Rows: *rows, Epsilon: *eps, Delta: 1e-5,
 		GUMIterations: *gum, SketchRuns: *runs, Seed: *seed,
+		Workers: *workers,
 	}
 	if err := run(sc, *runList); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

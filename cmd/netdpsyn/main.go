@@ -21,24 +21,25 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input CSV trace (required)")
-		out    = flag.String("out", "", "output CSV path (default: stdout)")
-		schema = flag.String("schema", "flow", "trace schema: flow or packet")
-		label  = flag.String("label", "label", "label field name for flow schemas (e.g. type for TON)")
-		eps    = flag.Float64("eps", 2.0, "privacy budget ε")
-		delta  = flag.Float64("delta", 1e-5, "privacy parameter δ")
-		iters  = flag.Int("iters", 200, "GUM update iterations (lower = faster, Figure 8)")
-		seed   = flag.Uint64("seed", 1, "random seed (deterministic output)")
-		nOut   = flag.Int("records", 0, "synthetic record count (0 = derive from noisy totals)")
+		in      = flag.String("in", "", "input CSV trace (required)")
+		out     = flag.String("out", "", "output CSV path (default: stdout)")
+		schema  = flag.String("schema", "flow", "trace schema: flow or packet")
+		label   = flag.String("label", "label", "label field name for flow schemas (e.g. type for TON)")
+		eps     = flag.Float64("eps", 2.0, "privacy budget ε")
+		delta   = flag.Float64("delta", 1e-5, "privacy parameter δ")
+		iters   = flag.Int("iters", 200, "GUM update iterations (lower = faster, Figure 8)")
+		seed    = flag.Uint64("seed", 1, "random seed (deterministic output)")
+		nOut    = flag.Int("records", 0, "synthetic record count (0 = derive from noisy totals)")
+		workers = flag.Int("workers", 0, "synthesis worker pool size (0 = all cores; output is identical for any value)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *schema, *label, *eps, *delta, *iters, *seed, *nOut); err != nil {
+	if err := run(*in, *out, *schema, *label, *eps, *delta, *iters, *seed, *nOut, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "netdpsyn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, schemaName, label string, eps, delta float64, iters int, seed uint64, nOut int) error {
+func run(in, out, schemaName, label string, eps, delta float64, iters int, seed uint64, nOut, workers int) error {
 	if in == "" {
 		return fmt.Errorf("missing -in (input CSV)")
 	}
@@ -69,6 +70,7 @@ func run(in, out, schemaName, label string, eps, delta float64, iters int, seed 
 		UpdateIterations: iters,
 		SynthRecords:     nOut,
 		Seed:             seed,
+		Workers:          workers,
 	})
 	if err != nil {
 		return err

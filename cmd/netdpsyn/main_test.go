@@ -31,7 +31,7 @@ func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	in := writeTrace(t, dir)
 	out := filepath.Join(dir, "out.csv")
-	if err := run(in, out, "flow", "label", 2.0, 1e-5, 5, 1, 0); err != nil {
+	if err := run(in, out, "flow", "label", 2.0, 1e-5, 5, 1, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -48,13 +48,13 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "flow", "label", 2, 1e-5, 5, 1, 0); err == nil {
+	if err := run("", "", "flow", "label", 2, 1e-5, 5, 1, 0, 0); err == nil {
 		t.Error("missing input must error")
 	}
-	if err := run("nope.csv", "", "bogus", "label", 2, 1e-5, 5, 1, 0); err == nil {
+	if err := run("nope.csv", "", "bogus", "label", 2, 1e-5, 5, 1, 0, 0); err == nil {
 		t.Error("bad schema must error")
 	}
-	if err := run("definitely-missing.csv", "", "flow", "label", 2, 1e-5, 5, 1, 0); err == nil {
+	if err := run("definitely-missing.csv", "", "flow", "label", 2, 1e-5, 5, 1, 0, 0); err == nil {
 		t.Error("missing file must error")
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/netdpsyn/netdpsyn
+
+go 1.22

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -298,9 +299,9 @@ func TestConditionalSampler(t *testing.T) {
 	_ = init
 	rngSamples := func(k int32) []int32 {
 		out := make([]int32, 0, 50)
-		g := NewGUM(nil, 0, GUMConfig{Iterations: 1, Seed: 3})
+		rng := rand.New(rand.NewPCG(3, 3^0x6a09e667f3bcc908))
 		for i := 0; i < 50; i++ {
-			cell := cs.Sample(g.rng, k)
+			cell := cs.Sample(rng, k)
 			out = append(out, m.Cell(cell)[1])
 		}
 		return out

@@ -26,6 +26,11 @@ type GUMConfig struct {
 	DuplicateProb float64
 	// Seed drives all sampling.
 	Seed uint64
+	// Workers bounds the pool that plans the per-marginal update
+	// passes concurrently (≤ 0 means all cores). Each pass draws from
+	// its own (Seed, round, marginal)-derived RNG, so the output is
+	// identical for any worker count.
+	Workers int
 }
 
 // DefaultGUMConfig returns the paper's defaults.
@@ -40,7 +45,6 @@ func DefaultGUMConfig() GUMConfig {
 type GUM struct {
 	cfg     GUMConfig
 	targets []*target
-	rng     *rand.Rand
 }
 
 type target struct {
@@ -51,7 +55,7 @@ type target struct {
 // NewGUM prepares a synthesizer for the given published marginals and
 // synthetic record count n.
 func NewGUM(ms []*marginal.Marginal, n int, cfg GUMConfig) *GUM {
-	g := &GUM{cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908))}
+	g := &GUM{cfg: cfg}
 	for _, m := range ms {
 		t := &target{m: m, counts: append([]float64(nil), m.Counts...)}
 		var sum float64
@@ -80,16 +84,42 @@ func NewGUM(ms []*marginal.Marginal, n int, cfg GUMConfig) *GUM {
 // per-round average L1 error (‖S−T‖₁ / n averaged over marginals),
 // which decreases as the synthesis converges.
 func (g *GUM) Run(ds *dataset.Encoded) []float64 {
+	return g.run(ds, newEngine(g.cfg.Workers))
+}
+
+// run is Run on a caller-provided worker pool (the pipeline threads
+// its engine through so stage timings capture GUM's busy time).
+//
+// Each round snapshots the dataset, plans every marginal's update
+// pass against that snapshot concurrently, then applies the plans
+// sequentially in marginal order. Planning — the O(records × attrs)
+// hot path that dominates end-to-end runtime — is a pure function of
+// (snapshot, target, alpha, per-pass RNG), so the fan-out cannot
+// perturb the output: a pass's RNG derives from (Seed, round,
+// marginal index), never from worker identity or completion order.
+func (g *GUM) run(ds *dataset.Encoded, eng *engine) []float64 {
 	n := ds.NumRows()
 	if n == 0 || len(g.targets) == 0 {
 		return nil
 	}
 	errs := make([]float64, 0, g.cfg.Iterations)
 	alpha := g.cfg.InitAlpha
+	snap := dataset.NewEncoded(ds.Names, ds.Domains, n)
+	plans := make([]*gumPlan, len(g.targets))
 	for it := 0; it < g.cfg.Iterations; it++ {
+		for a := range ds.Cols {
+			copy(snap.Cols[a], ds.Cols[a])
+		}
+		base := it * len(g.targets)
+		eng.parallelFor(len(g.targets), func(ti int) {
+			seed := taskSeed(g.cfg.Seed, "gum-update", base+ti)
+			rng := rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc908))
+			plans[ti] = planUpdate(snap, g.targets[ti], alpha, g.cfg.DuplicateProb, rng)
+		})
 		var roundErr float64
-		for _, t := range g.targets {
-			roundErr += g.updateOnce(ds, t, alpha)
+		for ti, t := range g.targets {
+			roundErr += plans[ti].l1
+			applyPlan(ds, t.m, plans[ti])
 		}
 		errs = append(errs, roundErr/float64(len(g.targets))/float64(n))
 		alpha *= g.cfg.AlphaDecay
@@ -97,9 +127,30 @@ func (g *GUM) Run(ds *dataset.Encoded) []float64 {
 	return errs
 }
 
-// updateOnce nudges ds toward one marginal target and returns the L1
-// error before the update.
-func (g *GUM) updateOnce(ds *dataset.Encoded, t *target, alpha float64) float64 {
+// gumMove is one planned record rewrite: duplicate a full source row
+// over r (row != nil, preserving the source's cross-marginal
+// correlations), or overwrite r's marginal attributes with the codes
+// of cell (row == nil). The duplicate captures the source record's
+// snapshot codes at planning time, so applying a plan cannot be
+// invalidated by an earlier marginal's moves in the same round.
+type gumMove struct {
+	r    int
+	row  []int32
+	cell int
+}
+
+// gumPlan is one marginal's update pass: the L1 error measured on the
+// round snapshot and the record moves to apply.
+type gumPlan struct {
+	l1    float64
+	moves []gumMove
+}
+
+// planUpdate computes one marginal's update pass against the round
+// snapshot and returns the planned moves plus the L1 error before the
+// update. It reads only ds and rng, so concurrent plans are safe and
+// reproducible.
+func planUpdate(ds *dataset.Encoded, t *target, alpha, dupProb float64, rng *rand.Rand) *gumPlan {
 	n := ds.NumRows()
 	m := t.m
 	// Current cell of every record.
@@ -146,8 +197,9 @@ func (g *GUM) updateOnce(ds *dataset.Encoded, t *target, alpha float64) float64 
 			under = append(under, cellGap{c, tc})
 		}
 	}
+	plan := &gumPlan{l1: l1}
 	if len(over) == 0 || len(under) == 0 || alpha <= 0 {
-		return l1
+		return plan
 	}
 	// Deterministic order for reproducibility (maps iterate randomly;
 	// gap ties must fall back to the cell index).
@@ -166,7 +218,7 @@ func (g *GUM) updateOnce(ds *dataset.Encoded, t *target, alpha float64) float64 
 	// thrash forever instead of settling.
 	overSet := make(map[int]float64, len(over))
 	for _, o := range over {
-		overSet[o.cell] = g.roundStochastic(o.gap * alpha)
+		overSet[o.cell] = stochasticRound(rng, o.gap*alpha)
 	}
 	var pool []int
 	for r := 0; r < n; r++ {
@@ -175,7 +227,7 @@ func (g *GUM) updateOnce(ds *dataset.Encoded, t *target, alpha float64) float64 
 			overSet[cellOf[r]] = q - 1
 		}
 	}
-	g.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 
 	// A representative record for each under cell enables the
 	// duplicate operation.
@@ -189,22 +241,18 @@ func (g *GUM) updateOnce(ds *dataset.Encoded, t *target, alpha float64) float64 
 
 	pi := 0
 	for _, u := range under {
-		need := int(g.roundStochastic(u.gap * alpha))
-		codes := m.Cell(u.cell)
+		need := int(stochasticRound(rng, u.gap*alpha))
 		for k := 0; k < need && pi < len(pool); k++ {
 			r := pool[pi]
 			pi++
-			if q, ok := rep[u.cell]; ok && q != r && g.rng.Float64() < g.cfg.DuplicateProb {
-				// Duplicate: copy the full record, preserving the
-				// correlations of attributes outside this marginal.
-				for a := 0; a < ds.NumAttrs(); a++ {
-					ds.Cols[a][r] = ds.Cols[a][q]
+			if q, ok := rep[u.cell]; ok && q != r && rng.Float64() < dupProb {
+				row := make([]int32, ds.NumAttrs())
+				for a := range row {
+					row[a] = ds.Cols[a][q]
 				}
+				plan.moves = append(plan.moves, gumMove{r: r, row: row})
 			} else {
-				// Replace: overwrite only this marginal's attributes.
-				for i, a := range m.Attrs {
-					ds.Cols[a][r] = codes[i]
-				}
+				plan.moves = append(plan.moves, gumMove{r: r, cell: u.cell})
 				rep[u.cell] = r
 			}
 		}
@@ -212,14 +260,35 @@ func (g *GUM) updateOnce(ds *dataset.Encoded, t *target, alpha float64) float64 
 			break
 		}
 	}
-	return l1
+	return plan
 }
 
-// roundStochastic rounds x down, plus one with probability frac(x),
+// applyPlan executes one marginal's planned moves against the live
+// dataset. Plans are applied in marginal order, so the result is
+// independent of how the planning was scheduled.
+func applyPlan(ds *dataset.Encoded, m *marginal.Marginal, p *gumPlan) {
+	for _, mv := range p.moves {
+		if mv.row != nil {
+			// Duplicate: copy the planned full record, preserving the
+			// correlations of attributes outside this marginal.
+			for a := 0; a < ds.NumAttrs(); a++ {
+				ds.Cols[a][mv.r] = mv.row[a]
+			}
+		} else {
+			// Replace: overwrite only this marginal's attributes.
+			codes := m.Cell(mv.cell)
+			for i, a := range m.Attrs {
+				ds.Cols[a][mv.r] = codes[i]
+			}
+		}
+	}
+}
+
+// stochasticRound rounds x down, plus one with probability frac(x),
 // so quotas are unbiased and vanish as the update rate decays.
-func (g *GUM) roundStochastic(x float64) float64 {
+func stochasticRound(rng *rand.Rand, x float64) float64 {
 	fl := math.Floor(x)
-	if g.rng.Float64() < x-fl {
+	if rng.Float64() < x-fl {
 		fl++
 	}
 	return fl

@@ -47,6 +47,14 @@ type Config struct {
 	SynthRecords int
 	// Seed makes the whole pipeline deterministic.
 	Seed uint64
+	// Workers bounds the staged engine's worker pool, which
+	// parallelizes pair scoring, marginal publication, GUM update
+	// planning, and windowed synthesis (≤ 0 means all available
+	// cores, runtime.GOMAXPROCS(0)). The output is byte-identical
+	// across worker counts for a fixed Seed: parallel tasks derive
+	// their randomness from (Seed, stage, task index), never from
+	// scheduling (see engine.go).
+	Workers int
 	// UserGroupSize switches from record-level to user-level DP: a
 	// "user" is assumed to contribute at most this many records, so
 	// every mechanism's sensitivity is scaled accordingly (noise
@@ -88,7 +96,12 @@ type Report struct {
 	ConsistencyEdits int
 	GUMErrors        []float64
 	SynthRecords     int
-	Durations        map[string]time.Duration
+	// Durations is the wall-clock time per named stage.
+	Durations map[string]time.Duration
+	// Stages refines Durations with the wall/busy split per stage, so
+	// the speedup from Config.Workers is observable: Busy/Wall is the
+	// effective parallelism the stage achieved.
+	Stages map[string]StageTiming
 }
 
 // Result is the output of a pipeline run.
@@ -131,22 +144,104 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	return &Pipeline{cfg: cfg}, nil
 }
 
-// Synthesize runs the full pipeline of Algorithm 1 on a raw trace
-// table and returns the synthesized trace.
-func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
-	cfg := p.cfg
-	report := Report{Durations: make(map[string]time.Duration)}
-	timer := func(name string, start time.Time) {
-		report.Durations[name] += time.Since(start)
-	}
+// synthState carries one run's intermediates between the named
+// stages. Each stage reads the fields of its predecessors and fills
+// its own; nothing outside the stage functions mutates it.
+type synthState struct {
+	input *dataset.Table
 
-	// Budget conversion and split. User-level DP scales every
-	// mechanism's sensitivity by the group size k; since the Gaussian
-	// mechanism's ρ cost grows as sensitivity², dividing the working
-	// budget by k² is equivalent and keeps the code below unchanged.
+	// stageBudget
+	acct  *dp.Accountant
+	parts []float64
+
+	// stagePreprocess
+	work    *dataset.Table
+	hasTS   bool
+	enc     *binning.Encoder
+	encoded *dataset.Encoded
+	oneWay  []*marginal.Marginal
+
+	// stageSelect
+	sets [][]int
+
+	// stagePublish
+	published []*marginal.Marginal
+
+	// stagePostprocess
+	nHat float64
+
+	// stageRecordSynthesis
+	synth *dataset.Encoded
+
+	// stageDecode
+	out *dataset.Table
+
+	report Report
+}
+
+// synthStage is one named step of Algorithm 1. Stages run strictly in
+// order; parallelism lives inside them, bounded by the engine.
+type synthStage struct {
+	name string
+	fn   func(*Pipeline, *engine, *synthState) error
+}
+
+// synthStages is the stage sequence of Pipeline.Synthesize. The names
+// key Report.Durations and Report.Stages.
+var synthStages = []synthStage{
+	{"preprocess", (*Pipeline).stagePreprocess},
+	{"select", (*Pipeline).stageSelect},
+	{"publish", (*Pipeline).stagePublish},
+	{"postprocess", (*Pipeline).stagePostprocess},
+	{"gum", (*Pipeline).stageRecordSynthesis},
+	{"decode", (*Pipeline).stageDecode},
+}
+
+// Synthesize runs the full pipeline of Algorithm 1 on a raw trace
+// table and returns the synthesized trace. The stages execute
+// sequentially; their internal hot loops fan out over a worker pool
+// sized by Config.Workers (see engine.go for the architecture and the
+// determinism contract).
+func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
+	eng := newEngine(p.cfg.Workers)
+	st := &synthState{
+		input: t,
+		report: Report{
+			Durations: make(map[string]time.Duration),
+			Stages:    make(map[string]StageTiming),
+		},
+	}
+	if err := p.stageBudget(st); err != nil {
+		return nil, err
+	}
+	for _, s := range synthStages {
+		start := time.Now()
+		busy0 := eng.busyTime()
+		if err := s.fn(p, eng, st); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		busy := eng.busyTime() - busy0
+		if busy == 0 {
+			busy = wall // no parallel section: the stage ran single-threaded
+		}
+		st.report.Durations[s.name] += wall
+		prev := st.report.Stages[s.name]
+		st.report.Stages[s.name] = StageTiming{Wall: prev.Wall + wall, Busy: prev.Busy + busy}
+	}
+	return &Result{Table: st.out, Encoded: st.synth, Encoder: st.enc, Report: st.report}, nil
+}
+
+// stageBudget converts (ε, δ) to zCDP and splits the working budget.
+// User-level DP scales every mechanism's sensitivity by the group
+// size k; since the Gaussian mechanism's ρ cost grows as
+// sensitivity², dividing the working budget by k² is equivalent and
+// keeps the later stages unchanged.
+func (p *Pipeline) stageBudget(st *synthState) error {
+	cfg := p.cfg
 	rho, err := dp.RhoFromEpsDelta(cfg.Epsilon, cfg.Delta)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	workRho := rho
 	if cfg.UserGroupSize > 1 {
@@ -155,23 +250,30 @@ func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
 	}
 	acct, err := dp.NewAccountant(workRho)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	parts := acct.Split(cfg.BudgetSplit[0], cfg.BudgetSplit[1], cfg.BudgetSplit[2])
-	report.Rho, report.RhoBin, report.RhoSelect, report.RhoPublish = workRho, parts[0], parts[1], parts[2]
+	st.acct, st.parts = acct, parts
+	st.report.Rho, st.report.RhoBin, st.report.RhoSelect, st.report.RhoPublish = workRho, parts[0], parts[1], parts[2]
+	return nil
+}
 
-	// Step 1-2: temporal augmentation (tsdiff), then binning.
-	start := time.Now()
-	work := t
-	hasTS := t.Schema().Has(trace.FieldTS)
-	if hasTS && !cfg.DisableTSDiff {
-		work, err = binning.AddTSDiff(t, trace.FieldTS, trace.FieldTSDiff, fiveTuple(t.Schema()))
+// stagePreprocess is steps 1–2 of Algorithm 1: temporal augmentation
+// (tsdiff), data-dependent binning, and encoding. The binning pass
+// also publishes the 1-way marginals this stage extracts.
+func (p *Pipeline) stagePreprocess(eng *engine, st *synthState) error {
+	cfg := p.cfg
+	work := st.input
+	st.hasTS = st.input.Schema().Has(trace.FieldTS)
+	if st.hasTS && !cfg.DisableTSDiff {
+		var err error
+		work, err = binning.AddTSDiff(st.input, trace.FieldTS, trace.FieldTSDiff, fiveTuple(st.input.Schema()))
 		if err != nil {
-			return nil, fmt.Errorf("core: tsdiff: %w", err)
+			return fmt.Errorf("core: tsdiff: %w", err)
 		}
 	}
-	if err := acct.Spend(parts[0]); err != nil {
-		return nil, err
+	if err := st.acct.Spend(st.parts[0]); err != nil {
+		return err
 	}
 	// Scale the per-attribute bin cap with the record count: a bin
 	// needs tens of expected records to carry signal, and pair
@@ -184,17 +286,14 @@ func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
 		}
 		binCfg.MaxBinsPerAttr = adaptive
 	}
-	enc, err := binning.Build(work, binCfg, parts[0], cfg.Seed^0xb1)
+	enc, err := binning.Build(work, binCfg, st.parts[0], cfg.Seed^0xb1)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	encoded, err := enc.Encode(work)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	timer("preprocess", start)
-
-	// One-way marginals were published by the binning pass.
 	oneWay := make([]*marginal.Marginal, len(enc.Attrs))
 	for i := range enc.Attrs {
 		m := marginal.New([]int{i}, []int{enc.Attrs[i].Domain()})
@@ -202,122 +301,145 @@ func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
 		m.Sigma = enc.Attrs[i].Sigma
 		oneWay[i] = m
 	}
+	st.work, st.enc, st.encoded, st.oneWay = work, enc, encoded, oneWay
+	return nil
+}
 
-	// Step 3: DP pair scores and DenseMarg selection.
-	start = time.Now()
-	if err := acct.Spend(parts[1]); err != nil {
-		return nil, err
+// stageSelect is step 3: DP pair scores and DenseMarg selection. The
+// per-pair InDif computation — quadratic in attributes, linear in
+// records — fans out over the pool.
+func (p *Pipeline) stageSelect(eng *engine, st *synthState) error {
+	cfg := p.cfg
+	if err := st.acct.Spend(st.parts[1]); err != nil {
+		return err
 	}
-	scores, err := marginal.ComputePairScores(encoded, parts[1], cfg.Seed^0xb2)
-	if err != nil {
-		return nil, err
+	scores := marginal.NewPairScores(st.encoded.NumAttrs())
+	eng.parallelFor(len(scores.Pairs), func(i int) {
+		p := scores.Pairs[i]
+		scores.Scores[i] = marginal.InDif(st.encoded, p[0], p[1])
+	})
+	if err := scores.Perturb(st.parts[1], cfg.Seed^0xb2); err != nil {
+		return err
 	}
-	capacity := 8 * float64(encoded.NumRows())
-	sel := SelectMarginalsBounded(scores, encoded.Domains, parts[2], capacity, 3*encoded.NumAttrs())
-	report.SelectionError = sel.TotalError
+	capacity := 8 * float64(st.encoded.NumRows())
+	sel := SelectMarginalsBounded(scores, st.encoded.Domains, st.parts[2], capacity, 3*st.encoded.NumAttrs())
+	st.report.SelectionError = sel.TotalError
 	combineCells := cfg.CombineMaxCells
 	if combineCells > capacity {
 		combineCells = capacity
 	}
-	sets := Combine(sel.Selected, encoded.Domains, combineCells, cfg.MaxCombineAttrs)
-	for _, s := range sets {
+	st.sets = Combine(sel.Selected, st.encoded.Domains, combineCells, cfg.MaxCombineAttrs)
+	for _, s := range st.sets {
 		names := make([]string, len(s))
 		for i, a := range s {
-			names[i] = encoded.Names[a]
+			names[i] = st.encoded.Names[a]
 		}
-		report.SelectedSets = append(report.SelectedSets, names)
+		st.report.SelectedSets = append(st.report.SelectedSets, names)
 	}
-	timer("select", start)
+	return nil
+}
 
-	// Step 4: publish the selected marginals with ρ_i ∝ c_i^(2/3).
-	start = time.Now()
-	if err := acct.Spend(parts[2]); err != nil {
-		return nil, err
+// stagePublish is step 4: publish the selected marginals with
+// ρ_i ∝ c_i^(2/3), each set computed and perturbed on its own worker.
+func (p *Pipeline) stagePublish(eng *engine, st *synthState) error {
+	if err := st.acct.Spend(st.parts[2]); err != nil {
+		return err
 	}
-	published, err := publishSets(encoded, sets, parts[2], cfg.Seed^0xb3)
+	published, err := publishSets(eng, st.encoded, st.sets, st.parts[2], p.cfg.Seed^0xb3)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	timer("publish", start)
+	st.published = published
+	return nil
+}
 
-	// Step 5: post-processing — simplex projection, consistency,
-	// protocol rules.
-	start = time.Now()
-	all := append(append([]*marginal.Marginal(nil), oneWay...), published...)
+// stagePostprocess is step 5: simplex projection, cross-marginal
+// consistency, and protocol-rule edits over the published marginals.
+func (p *Pipeline) stagePostprocess(eng *engine, st *synthState) error {
+	cfg := p.cfg
+	all := append(append([]*marginal.Marginal(nil), st.oneWay...), st.published...)
 	nHat := consensusTotal(all)
 	for _, m := range all {
 		m.NormSub(nHat)
 	}
 	if !cfg.DisableConsistency {
 		if err := marginal.ConsistAttributes(all, 3); err != nil {
-			return nil, err
+			return err
 		}
 		for _, m := range all {
 			m.NormSub(nHat)
 		}
 	}
 	if !cfg.DisableProtocolRules {
-		rules := protocolRules(work, enc, cfg.Tau)
+		rules := protocolRules(st.work, st.enc, cfg.Tau)
 		edits, err := marginal.ApplyRules(all, rules)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		report.ConsistencyEdits = edits
+		st.report.ConsistencyEdits = edits
 	}
-	timer("postprocess", start)
+	st.nHat = nHat
+	return nil
+}
 
-	// Step 6: record synthesis (GUMMI or GUM) + decoding.
-	start = time.Now()
+// stageRecordSynthesis is step 6: GUMMI (or independent)
+// initialization followed by the GUM update loop, whose per-marginal
+// planning passes fan out over the pool.
+func (p *Pipeline) stageRecordSynthesis(eng *engine, st *synthState) error {
+	cfg := p.cfg
 	nSynth := cfg.SynthRecords
 	if nSynth <= 0 {
-		nSynth = int(math.Round(nHat))
+		nSynth = int(math.Round(st.nHat))
 	}
 	if nSynth < 1 {
 		nSynth = 1
 	}
-	report.SynthRecords = nSynth
+	st.report.SynthRecords = nSynth
 
 	var init *dataset.Encoded
+	var err error
 	if cfg.UseGUMMI {
-		keyIdx := p.keyAttrIndex(work.Schema(), encoded)
-		init, err = InitGUMMI(encoded.Names, encoded.Domains, oneWay, published, keyIdx, nSynth, cfg.NInitMarginals, cfg.Seed^0xb4)
+		keyIdx := p.keyAttrIndex(st.work.Schema(), st.encoded)
+		init, err = InitGUMMI(st.encoded.Names, st.encoded.Domains, st.oneWay, st.published, keyIdx, nSynth, cfg.NInitMarginals, cfg.Seed^0xb4)
 	} else {
-		init, err = InitIndependent(encoded.Names, encoded.Domains, oneWay, nSynth, cfg.Seed^0xb4)
+		init, err = InitIndependent(st.encoded.Names, st.encoded.Domains, st.oneWay, nSynth, cfg.Seed^0xb4)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	gum := NewGUM(published, nSynth, withSeed(cfg.GUM, cfg.Seed^0xb5))
-	report.GUMErrors = gum.Run(init)
-	timer("gum", start)
+	gcfg := cfg.GUM
+	gcfg.Seed = cfg.Seed ^ 0xb5
+	gcfg.Workers = cfg.Workers
+	gum := NewGUM(st.published, nSynth, gcfg)
+	st.report.GUMErrors = gum.run(init, eng)
+	st.synth = init
+	return nil
+}
 
-	start = time.Now()
+// stageDecode maps the synthesized binned dataset back to a raw trace
+// table in the input schema.
+func (p *Pipeline) stageDecode(eng *engine, st *synthState) error {
+	cfg := p.cfg
 	decodeOpts := binning.DecodeOptions{
 		Seed:    cfg.Seed ^ 0xb6,
-		GroupBy: fiveTuple(work.Schema()),
+		GroupBy: fiveTuple(st.work.Schema()),
 		DropAux: true,
 		Constraints: []binning.GreaterEq{
 			{A: trace.FieldByt, B: trace.FieldPkt},
 		},
 	}
-	if hasTS {
+	if st.hasTS {
 		decodeOpts.TSField = trace.FieldTS
 		if !cfg.DisableTSDiff {
 			decodeOpts.TSDiffField = trace.FieldTSDiff
 		}
 	}
-	out, err := enc.Decode(init, decodeOpts)
+	out, err := st.enc.Decode(st.synth, decodeOpts)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	timer("decode", start)
-
-	return &Result{Table: out, Encoded: init, Encoder: enc, Report: report}, nil
-}
-
-func withSeed(g GUMConfig, seed uint64) GUMConfig {
-	g.Seed = seed
-	return g
+	st.out = out
+	return nil
 }
 
 // fiveTuple returns the identifier fields present in the schema.
@@ -348,8 +470,10 @@ func (p *Pipeline) keyAttrIndex(s *dataset.Schema, e *dataset.Encoded) int {
 }
 
 // publishSets computes and publishes the selected marginals under the
-// unequal allocation ρ_i ∝ c_i^(2/3).
-func publishSets(e *dataset.Encoded, sets [][]int, rhoPublish float64, seed uint64) ([]*marginal.Marginal, error) {
+// unequal allocation ρ_i ∝ c_i^(2/3). Each set is independent — its
+// noise seed is a pure function of the stage seed and set index — so
+// the fan-out is deterministic for any worker count.
+func publishSets(eng *engine, e *dataset.Encoded, sets [][]int, rhoPublish float64, seed uint64) ([]*marginal.Marginal, error) {
 	if len(sets) == 0 {
 		return nil, nil
 	}
@@ -359,15 +483,19 @@ func publishSets(e *dataset.Encoded, sets [][]int, rhoPublish float64, seed uint
 		cells[i] = cellsOf(e.Domains, s)
 		denom += math.Pow(cells[i], 2.0/3.0)
 	}
-	var out []*marginal.Marginal
-	for i, s := range sets {
+	out := make([]*marginal.Marginal, len(sets))
+	err := eng.parallelForErr(len(sets), func(i int) error {
 		rho := rhoPublish * math.Pow(cells[i], 2.0/3.0) / denom
-		m := marginal.Compute(e, s)
+		m := marginal.Compute(e, sets[i])
 		pub, err := m.Publish(rho, seed+uint64(i)*104729)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, pub)
+		out[i] = pub
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -24,6 +24,11 @@ type WindowedResult struct {
 // Privacy: the partitions are disjoint in records, so this is
 // parallel composition — every window can use the full (ε, δ) budget
 // and the combined release still satisfies (ε, δ)-DP at record level.
+// Disjointness also makes the windows independent computations, so
+// they run fully concurrently (bounded by Config.Workers) — a
+// privacy-free speedup. Each window's pipeline is seeded from
+// (cfg.Seed, window index) alone, so the concatenated output is
+// byte-identical for any worker count.
 //
 // Utility/scalability: GUM's cost is linear in records × iterations,
 // and the paper notes record synthesis dominates runtime (≈90%);
@@ -56,36 +61,70 @@ func SynthesizeWindowed(t *dataset.Table, cfg Config, windows int) (*WindowedRes
 	ts := t.Column(tsCol)
 	sort.SliceStable(order, func(a, b int) bool { return ts[order[a]] < ts[order[b]] })
 
-	var out *dataset.Table
-	var reports []Report
+	type bounds struct{ w, lo, hi int }
+	var wins []bounds
 	for w := 0; w < windows; w++ {
 		lo := w * n / windows
 		hi := (w + 1) * n / windows
-		if hi <= lo {
-			continue
+		if hi > lo {
+			wins = append(wins, bounds{w, lo, hi})
 		}
-		part := t.SelectRows(order[lo:hi])
+	}
+	if len(wins) == 0 {
+		return nil, fmt.Errorf("core: no non-empty windows")
+	}
+
+	// The synthesis path only reads the source table (window parts
+	// share its dictionaries read-only), so the window pipelines run
+	// concurrently; results land in per-window slots and are
+	// concatenated in time order below.
+	results := make([]*Result, len(wins))
+	eng := newEngine(cfg.Workers)
+	// Split the worker budget between concurrent windows and the
+	// stages inside each window's pipeline, so Config.Workers bounds
+	// the total concurrency instead of multiplying with it. (Worker
+	// counts never affect output, only scheduling.)
+	conc := len(wins)
+	if conc > eng.workers {
+		conc = eng.workers
+	}
+	innerWorkers, rem := eng.workers/conc, eng.workers%conc
+	err := eng.parallelForErr(len(wins), func(i int) error {
+		win := wins[i]
+		part := t.SelectRows(order[win.lo:win.hi])
 		wcfg := cfg
-		wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b9
+		// Remainder workers go to the first windows (rem < conc, so
+		// the total stays within the budget at any instant).
+		wcfg.Workers = innerWorkers
+		if i < rem {
+			wcfg.Workers++
+		}
+		wcfg.Seed = cfg.Seed + uint64(win.w)*0x9e3779b9
 		p, err := NewPipeline(wcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := p.Synthesize(part)
 		if err != nil {
-			return nil, fmt.Errorf("core: window %d: %w", w, err)
+			return fmt.Errorf("core: window %d: %w", win.w, err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := results[0].Table
+	reports := make([]Report, 0, len(results))
+	for i, res := range results {
 		reports = append(reports, res.Report)
-		if out == nil {
-			out = res.Table
+		if i == 0 {
 			continue
 		}
 		if err := appendTable(out, res.Table); err != nil {
 			return nil, err
 		}
-	}
-	if out == nil {
-		return nil, fmt.Errorf("core: no non-empty windows")
 	}
 	return &WindowedResult{Table: out, WindowReports: reports}, nil
 }

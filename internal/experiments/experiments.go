@@ -48,6 +48,10 @@ type Scale struct {
 	SketchRuns int
 	// Seed drives dataset generation and all methods.
 	Seed uint64
+	// Workers bounds NetDPSyn's synthesis worker pool (0 = all
+	// cores). Results are identical for any value at a fixed Seed;
+	// only the wall-clock timings (Table 3) change.
+	Workers int
 }
 
 // DefaultScale is used by the benchmark harness.
@@ -75,6 +79,7 @@ func NewMethod(name string, sc Scale, eps float64) (Method, error) {
 		cfg.Delta = sc.Delta
 		cfg.GUM.Iterations = sc.GUMIterations
 		cfg.Seed = sc.Seed
+		cfg.Workers = sc.Workers
 		p, err := core.NewPipeline(cfg)
 		if err != nil {
 			return nil, err

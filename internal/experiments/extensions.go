@@ -70,6 +70,7 @@ func WindowedComparison(r *Runner) (*Grid, error) {
 	cfg.Delta = r.Scale.Delta
 	cfg.GUM.Iterations = r.Scale.GUMIterations
 	cfg.Seed = r.Scale.Seed
+	cfg.Workers = r.Scale.Workers
 
 	g := NewGrid("Extension: windowed synthesis (TON)", []string{"whole", "2-windows"}, []string{"DTAcc", "Seconds"})
 	g.Note = "Each window pays the full DP noise on fewer records, so windowing only pays off when windows stay large; at the paper's 1M-record scale it bounds GUM's cost, at emulated scale it mostly shows the noise cost."

@@ -45,31 +45,54 @@ type PairScores struct {
 	Scores []float64
 }
 
-// ComputePairScores computes InDif for every attribute pair. If
-// rho > 0, Gaussian noise calibrated to the InDif sensitivity and
-// split across all pairs is added, making the selection step
-// DP-compliant (NetDPSyn gives this step 0.1ρ).
-func ComputePairScores(e *dataset.Encoded, rho float64, seed uint64) (*PairScores, error) {
-	d := e.NumAttrs()
+// NewPairScores enumerates every attribute pair of a d-attribute
+// table with zeroed scores, for callers that fill Scores themselves
+// (the core engine fans the per-pair InDif computations out over its
+// worker pool and then calls Perturb).
+func NewPairScores(d int) *PairScores {
 	ps := &PairScores{}
 	for a := 0; a < d; a++ {
 		for b := a + 1; b < d; b++ {
 			ps.Pairs = append(ps.Pairs, [2]int{a, b})
-			ps.Scores = append(ps.Scores, InDif(e, a, b))
 		}
 	}
-	if rho > 0 && len(ps.Pairs) > 0 {
-		per := rho / float64(len(ps.Pairs))
-		gm, err := dp.NewGaussian(InDifSensitivity, per, seed)
-		if err != nil {
-			return nil, err
+	ps.Scores = make([]float64, len(ps.Pairs))
+	return ps
+}
+
+// Perturb adds Gaussian noise calibrated to the InDif sensitivity
+// and split across all pairs, clamping negatives, making the
+// selection step DP-compliant (NetDPSyn gives this step 0.1ρ). A
+// single sequential RNG stream perturbs all scores, so the result
+// does not depend on how the scores were computed. rho ≤ 0 leaves
+// the scores exact.
+func (ps *PairScores) Perturb(rho float64, seed uint64) error {
+	if rho <= 0 || len(ps.Pairs) == 0 {
+		return nil
+	}
+	per := rho / float64(len(ps.Pairs))
+	gm, err := dp.NewGaussian(InDifSensitivity, per, seed)
+	if err != nil {
+		return err
+	}
+	gm.Perturb(ps.Scores)
+	for i, s := range ps.Scores {
+		if s < 0 {
+			ps.Scores[i] = 0
 		}
-		gm.Perturb(ps.Scores)
-		for i, s := range ps.Scores {
-			if s < 0 {
-				ps.Scores[i] = 0
-			}
-		}
+	}
+	return nil
+}
+
+// ComputePairScores computes InDif for every attribute pair and
+// applies Perturb's noise.
+func ComputePairScores(e *dataset.Encoded, rho float64, seed uint64) (*PairScores, error) {
+	ps := NewPairScores(e.NumAttrs())
+	for i, p := range ps.Pairs {
+		ps.Scores[i] = InDif(e, p[0], p[1])
+	}
+	if err := ps.Perturb(rho, seed); err != nil {
+		return nil, err
 	}
 	return ps, nil
 }

@@ -69,6 +69,10 @@ type Config struct {
 	SynthRecords int
 	// Seed makes synthesis deterministic.
 	Seed uint64
+	// Workers bounds the parallelism of the staged synthesis engine
+	// (0 means all available cores). Output is byte-identical across
+	// worker counts for a fixed Seed.
+	Workers int
 	// UseGUM disables GUMMI's marginal initialization (ablation).
 	UseGUM bool
 }
@@ -99,6 +103,7 @@ func New(cfg Config) (*Synthesizer, error) {
 	}
 	cc.SynthRecords = cfg.SynthRecords
 	cc.Seed = cfg.Seed
+	cc.Workers = cfg.Workers
 	cc.UseGUMMI = !cfg.UseGUM
 	p, err := core.NewPipeline(cc)
 	if err != nil {

@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	netdpsyn "github.com/netdpsyn/netdpsyn"
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
 	"github.com/netdpsyn/netdpsyn/internal/experiments"
 )
@@ -148,6 +150,45 @@ func BenchmarkTable3WorkersSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkStageTimings feeds the staged engine's per-stage wall/busy
+// split (Report.Stages, surfaced as Result.Stages on the public API)
+// into the benchmark output as metrics, so CI runs can track per-stage
+// regressions — GUM planning should dominate (the paper's ~90% claim),
+// and a busy/wall ratio near the worker count means a stage actually
+// parallelized. Metrics are `<stage>-wall-ms` and `<stage>-busy-ms`,
+// averaged over b.N runs.
+func BenchmarkStageTimings(b *testing.B) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 2000, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := netdpsyn.New(netdpsyn.Config{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wall := make(map[string]time.Duration)
+	busy := make(map[string]time.Duration)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := syn.Synthesize(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, st := range res.Stages {
+			wall[name] += st.Wall
+			busy[name] += st.Busy
+		}
+	}
+	b.StopTimer()
+	for name := range wall {
+		ms := func(d time.Duration) float64 {
+			return float64(d.Microseconds()) / 1e3 / float64(b.N)
+		}
+		b.ReportMetric(ms(wall[name]), name+"-wall-ms")
+		b.ReportMetric(ms(busy[name]), name+"-busy-ms")
 	}
 }
 

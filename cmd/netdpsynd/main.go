@@ -1,0 +1,109 @@
+// Command netdpsynd is the long-lived NetDPSyn synthesis service: it
+// keeps registered trace datasets and warm pipelines in memory,
+// meters cumulative zCDP spend per dataset against a ceiling, and
+// runs synthesis requests through an async job queue.
+//
+// Usage:
+//
+//	netdpsynd -addr :8090 -workers 4 -jobs 2 -budget-eps 8
+//
+// Walkthrough (see the README for the full curl session):
+//
+//	curl -X POST --data-binary @flows.csv 'localhost:8090/datasets?schema=flow&label=label'
+//	curl -X POST -d '{"epsilon":1.0,"seed":1}' localhost:8090/datasets/ds-1/synthesize
+//	curl localhost:8090/jobs/job-1
+//	curl localhost:8090/jobs/job-1/result.csv
+//	curl localhost:8090/datasets/ds-1/budget
+//
+// The daemon drains admitted jobs on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/netdpsyn/netdpsyn/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8090", "listen address")
+		workers     = flag.Int("workers", 0, "global synthesis worker budget shared across jobs (0 = all cores)")
+		jobs        = flag.Int("jobs", 2, "max concurrent synthesis jobs")
+		budgetEps   = flag.Float64("budget-eps", 8.0, "default per-dataset cumulative ε ceiling")
+		budgetDelta = flag.Float64("budget-delta", 1e-5, "δ for the default budget ceiling")
+		drain       = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
+		os.Exit(2)
+	}
+	if err := run(opts, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildOptions validates the flag values into serve.Options.
+func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64) (serve.Options, error) {
+	if addr == "" {
+		return serve.Options{}, fmt.Errorf("missing -addr")
+	}
+	if workers < 0 {
+		return serve.Options{}, fmt.Errorf("-workers must be non-negative, got %d", workers)
+	}
+	if jobs <= 0 {
+		return serve.Options{}, fmt.Errorf("-jobs must be positive, got %d", jobs)
+	}
+	if !(budgetEps > 0) || math.IsInf(budgetEps, 0) { // !(x > 0) also catches NaN
+		return serve.Options{}, fmt.Errorf("-budget-eps must be positive and finite, got %v", budgetEps)
+	}
+	if !(budgetDelta > 0) || budgetDelta >= 1 {
+		return serve.Options{}, fmt.Errorf("-budget-delta must be in (0,1), got %v", budgetDelta)
+	}
+	return serve.Options{
+		Addr:               addr,
+		Workers:            workers,
+		MaxConcurrentJobs:  jobs,
+		DefaultBudgetEps:   budgetEps,
+		DefaultBudgetDelta: budgetDelta,
+	}, nil
+}
+
+func run(opts serve.Options, drain time.Duration) error {
+	s := serve.NewServer(opts)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	log.Printf("netdpsynd listening on %s (jobs=%d, default ceiling ε=%g @ δ=%g)",
+		opts.Addr, opts.MaxConcurrentJobs, opts.DefaultBudgetEps, opts.DefaultBudgetDelta)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Restore default signal handling immediately: a second
+	// SIGINT/SIGTERM during the drain kills the process instead of
+	// being swallowed for the full -drain window.
+	stop()
+	log.Printf("netdpsynd shutting down: draining jobs (up to %v); signal again to force quit", drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}

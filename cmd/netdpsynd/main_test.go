@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestBuildOptions(t *testing.T) {
+	opts, err := buildOptions(":8090", 4, 2, 8.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Workers != 4 || opts.MaxConcurrentJobs != 2 || opts.DefaultBudgetEps != 8.0 {
+		t.Fatalf("options = %+v", opts)
+	}
+
+	bad := []struct {
+		name       string
+		addr       string
+		workers    int
+		jobs       int
+		eps, delta float64
+	}{
+		{"empty addr", "", 0, 2, 8, 1e-5},
+		{"negative workers", ":8090", -1, 2, 8, 1e-5},
+		{"zero jobs", ":8090", 0, 0, 8, 1e-5},
+		{"zero budget eps", ":8090", 0, 2, 0, 1e-5},
+		{"delta one", ":8090", 0, 2, 8, 1},
+	}
+	for _, tc := range bad {
+		if _, err := buildOptions(tc.addr, tc.workers, tc.jobs, tc.eps, tc.delta); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}

@@ -253,6 +253,62 @@ func TestCSVMissingField(t *testing.T) {
 	if err == nil {
 		t.Fatal("missing schema fields must error")
 	}
+	// One schema column absent from an otherwise-valid header: the
+	// error must name the missing field.
+	_, err = ReadCSV(strings.NewReader("srcip,dstport,proto,label\n1.2.3.4,80,TCP,benign\n"), s)
+	if err == nil || !strings.Contains(err.Error(), `"byt"`) {
+		t.Fatalf("missing column error should name the field, got %v", err)
+	}
+}
+
+func TestCSVEmptyFile(t *testing.T) {
+	s := testSchema(t)
+	if _, err := ReadCSV(strings.NewReader(""), s); err == nil {
+		t.Fatal("empty file must error (no header)")
+	}
+	// A header-only file is not an error: it loads as zero rows.
+	tab, err := ReadCSV(strings.NewReader("srcip,dstport,proto,byt,label\n"), s)
+	if err != nil {
+		t.Fatalf("header-only file: %v", err)
+	}
+	if tab.NumRows() != 0 {
+		t.Fatalf("header-only rows = %d", tab.NumRows())
+	}
+}
+
+func TestCSVMalformedRow(t *testing.T) {
+	s := testSchema(t)
+	header := "srcip,dstport,proto,byt,label\n"
+	cases := []struct {
+		name, row, wantIn string
+	}{
+		{"short row", "1.2.3.4,80,TCP,100\n", "line 2"},
+		{"bad ip", "not-an-ip,80,TCP,100,benign\n", `"srcip"`},
+		{"bad numeric", "1.2.3.4,80,TCP,many,benign\n", `"byt"`},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(header+tc.row), s)
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantIn) {
+			t.Errorf("%s: error %q should mention %s", tc.name, err, tc.wantIn)
+		}
+	}
+	// The error names the first malformed line, not just "parse error".
+	_, err := ReadCSV(strings.NewReader(header+"1.2.3.4,80,TCP,100,benign\nbogus,80,TCP,100,benign\n"), s)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should name line 3, got %v", err)
+	}
+	// Float-formatted numerics are tolerated, not an error.
+	tab, err := ReadCSV(strings.NewReader(header+"1.2.3.4,80,TCP,12.0,benign\n"), s)
+	if err != nil {
+		t.Fatalf("float-formatted numeric: %v", err)
+	}
+	if got := tab.Value(0, 3); got != 12 {
+		t.Fatalf("float-formatted numeric = %d, want 12", got)
+	}
 }
 
 func TestParseIPRoundTripProperty(t *testing.T) {

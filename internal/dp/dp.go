@@ -28,7 +28,9 @@ var (
 // that ρ-zCDP implies (ε, δ)-DP via the standard conversion
 // ε = ρ + 2·sqrt(ρ·ln(1/δ)) (Bun & Steinke 2016; used by PrivSyn).
 func RhoFromEpsDelta(eps, delta float64) (float64, error) {
-	if eps <= 0 || delta <= 0 || delta >= 1 {
+	// !(x > 0) instead of x <= 0: NaN fails every comparison, so the
+	// negated form catches it where the direct form silently passes.
+	if !(eps > 0) || math.IsInf(eps, 0) || !(delta > 0) || delta >= 1 {
 		return 0, fmt.Errorf("%w: eps=%v delta=%v", ErrInvalidBudget, eps, delta)
 	}
 	l := math.Log(1 / delta)
@@ -40,7 +42,7 @@ func RhoFromEpsDelta(eps, delta float64) (float64, error) {
 // EpsFromRhoDelta is the inverse direction: the (ε, δ) guarantee implied
 // by ρ-zCDP at the given δ.
 func EpsFromRhoDelta(rho, delta float64) (float64, error) {
-	if rho < 0 || delta <= 0 || delta >= 1 {
+	if !(rho >= 0) || math.IsInf(rho, 0) || !(delta > 0) || delta >= 1 {
 		return 0, fmt.Errorf("%w: rho=%v delta=%v", ErrInvalidBudget, rho, delta)
 	}
 	return rho + 2*math.Sqrt(rho*math.Log(1/delta)), nil
@@ -73,8 +75,11 @@ type Accountant struct {
 }
 
 // NewAccountant creates an accountant with the given total ρ budget.
+// The budget must be finite and positive: a NaN or +Inf total would
+// make every later overdraw comparison false and silently disable the
+// ceiling.
 func NewAccountant(rho float64) (*Accountant, error) {
-	if rho <= 0 {
+	if !(rho > 0) || math.IsInf(rho, 0) {
 		return nil, fmt.Errorf("%w: rho=%v", ErrInvalidBudget, rho)
 	}
 	return &Accountant{total: rho}, nil
@@ -92,8 +97,8 @@ func (a *Accountant) Remaining() float64 { return a.total - a.spent }
 // Spend consumes rho from the budget, failing if it would overdraw.
 // A tiny tolerance absorbs floating-point drift from fractional splits.
 func (a *Accountant) Spend(rho float64) error {
-	if rho < 0 {
-		return fmt.Errorf("%w: negative spend %v", ErrInvalidBudget, rho)
+	if !(rho >= 0) {
+		return fmt.Errorf("%w: invalid spend %v", ErrInvalidBudget, rho)
 	}
 	const tol = 1e-9
 	if a.spent+rho > a.total*(1+tol)+tol {

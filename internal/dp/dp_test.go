@@ -38,10 +38,63 @@ func TestRhoMonotoneInEps(t *testing.T) {
 }
 
 func TestRhoInvalid(t *testing.T) {
-	for _, tc := range [][2]float64{{0, 1e-5}, {-1, 1e-5}, {1, 0}, {1, 1}} {
+	// ε ≤ 0 and δ outside (0,1) — including δ = 1 and δ > 1, which
+	// give no privacy — must all be refused, not mapped to NaN/Inf.
+	for _, tc := range [][2]float64{
+		{0, 1e-5}, {-1, 1e-5}, // ε ≤ 0
+		{1, 0}, {1, -1e-5}, // δ ≤ 0
+		{1, 1}, {1, 1.5}, {1, 2}, // δ ≥ 1
+		{math.NaN(), 1e-5}, {math.Inf(1), 1e-5}, {1, math.NaN()}, // non-finite
+	} {
 		if _, err := RhoFromEpsDelta(tc[0], tc[1]); !errors.Is(err, ErrInvalidBudget) {
 			t.Errorf("RhoFromEpsDelta(%v, %v): want ErrInvalidBudget, got %v", tc[0], tc[1], err)
 		}
+	}
+	// δ just under 1 is degenerate but legal: ln(1/δ) → 0 and ρ → ε.
+	rho, err := RhoFromEpsDelta(2, 1-1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-2) > 1e-4 {
+		t.Errorf("ρ(ε=2, δ→1) = %v, want → 2", rho)
+	}
+}
+
+func TestEpsFromRhoDeltaEdges(t *testing.T) {
+	for _, tc := range [][2]float64{
+		{-0.1, 1e-5},       // ρ < 0
+		{1, 0}, {1, -1e-5}, // δ ≤ 0
+		{1, 1}, {1, 2}, // δ ≥ 1
+		{math.NaN(), 1e-5}, {math.Inf(1), 1e-5}, {1, math.NaN()}, // non-finite
+	} {
+		if _, err := EpsFromRhoDelta(tc[0], tc[1]); !errors.Is(err, ErrInvalidBudget) {
+			t.Errorf("EpsFromRhoDelta(%v, %v): want ErrInvalidBudget, got %v", tc[0], tc[1], err)
+		}
+	}
+	// ρ = 0 is a valid cumulative state (nothing spent yet): ε = 0.
+	eps, err := EpsFromRhoDelta(0, 1e-5)
+	if err != nil || eps != 0 {
+		t.Errorf("EpsFromRhoDelta(0, 1e-5) = %v, %v; want 0, nil", eps, err)
+	}
+}
+
+func TestAccountantRejectsNonFinite(t *testing.T) {
+	// A NaN/Inf ceiling would make every overdraw comparison false
+	// and disable the budget entirely.
+	for _, rho := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := NewAccountant(rho); !errors.Is(err, ErrInvalidBudget) {
+			t.Errorf("NewAccountant(%v): want ErrInvalidBudget, got %v", rho, err)
+		}
+	}
+	a, err := NewAccountant(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(math.NaN()); !errors.Is(err, ErrInvalidBudget) {
+		t.Errorf("Spend(NaN): want ErrInvalidBudget, got %v", err)
+	}
+	if a.Spent() != 0 {
+		t.Errorf("rejected spend mutated the ledger: %v", a.Spent())
 	}
 }
 

@@ -1,0 +1,99 @@
+// Package serve is the long-lived DP synthesis service behind the
+// netdpsynd daemon. It keeps registered trace tables and warm
+// synthesis pipelines pooled per dataset, tracks cumulative zCDP
+// spend per dataset against a configured ceiling, and runs synthesis
+// requests through an async job queue whose engine workers are
+// bounded by one global budget shared across concurrent jobs.
+//
+// The privacy argument: every synthesis release from the same trace
+// composes — zCDP additively — so a service that answers repeated
+// requests must meter them centrally or the per-release (ε, δ) claim
+// silently erodes (Tran et al. quantify exactly this failure mode for
+// synthetic network traffic). Budget is the meter: it charges the ρ
+// of a release when the request is admitted and refuses requests that
+// would cross the ceiling. Identical deterministic requests are
+// served from a result cache without a new charge, because re-running
+// a fixed (Config, Seed) computation releases no new information.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+)
+
+// ErrBudgetExceeded is returned by Budget.Charge when a release would
+// cross the dataset's ρ ceiling; the HTTP layer maps it to 403.
+var ErrBudgetExceeded = fmt.Errorf("serve: dataset privacy budget exceeded")
+
+// Budget is the thread-safe per-dataset zCDP ledger. Charges are
+// applied when a request is admitted, before the job runs: a failed
+// job still consumes its charge (conservative accounting — noise may
+// already have been sampled by the time a run errors).
+type Budget struct {
+	mu       sync.Mutex
+	acct     *netdpsyn.Accountant
+	delta    float64
+	releases int
+}
+
+// NewBudget creates a ledger with a total ρ ceiling. delta is the δ
+// at which the implied cumulative ε is reported.
+func NewBudget(ceilingRho, delta float64) (*Budget, error) {
+	acct, err := netdpsyn.NewAccountant(ceilingRho)
+	if err != nil {
+		return nil, fmt.Errorf("serve: budget ceiling: %w", err)
+	}
+	if !(delta > 0) || delta >= 1 { // !(x > 0) also catches NaN
+		return nil, fmt.Errorf("serve: budget delta must be in (0,1), got %v", delta)
+	}
+	return &Budget{acct: acct, delta: delta}, nil
+}
+
+// Charge admits a release costing rho, or returns ErrBudgetExceeded
+// (wrapped with the shortfall) without mutating the ledger.
+func (b *Budget) Charge(rho float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.acct.Spend(rho); err != nil {
+		return fmt.Errorf("%w: want ρ=%.6g, remaining ρ=%.6g of %.6g",
+			ErrBudgetExceeded, rho, b.acct.Remaining(), b.acct.Total())
+	}
+	b.releases++
+	return nil
+}
+
+// Status is a point-in-time snapshot of the ledger, serialized on the
+// GET /datasets/{id}/budget endpoint.
+type Status struct {
+	// CeilingRho, SpentRho, RemainingRho are the ledger state in zCDP.
+	CeilingRho   float64 `json:"ceiling_rho"`
+	SpentRho     float64 `json:"spent_rho"`
+	RemainingRho float64 `json:"remaining_rho"`
+	// Releases counts the admitted (charged) synthesis releases.
+	Releases int `json:"releases"`
+	// Delta and the Eps* fields express the same state as (ε, δ)-DP:
+	// the guarantee already consumed and the ceiling, both at Delta.
+	Delta      float64 `json:"delta"`
+	EpsSpent   float64 `json:"eps_spent"`
+	EpsCeiling float64 `json:"eps_ceiling"`
+}
+
+// Snapshot returns the current ledger state.
+func (b *Budget) Snapshot() Status {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := Status{
+		CeilingRho:   b.acct.Total(),
+		SpentRho:     b.acct.Spent(),
+		RemainingRho: b.acct.Remaining(),
+		Releases:     b.releases,
+		Delta:        b.delta,
+	}
+	// Errors are impossible here: both ρ values are ≥ 0 and δ was
+	// validated in NewBudget.
+	s.EpsSpent, _ = netdpsyn.EpsFromRhoDelta(s.SpentRho, b.delta)
+	s.EpsCeiling, _ = netdpsyn.EpsFromRhoDelta(s.CeilingRho, b.delta)
+	return s
+}

@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/core"
+)
+
+// JobState is the lifecycle of a synthesis job: queued → running →
+// done | failed.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one admitted synthesis release. Its budget charge (Rho) is
+// fixed at admission; the result appears when a queue runner finishes
+// the pipeline.
+type Job struct {
+	ID        string
+	DatasetID string
+	Submitted time.Time
+	// Rho is the zCDP charge this job's admission cost the dataset
+	// ledger. Cache hits return the originally-charged job, so the
+	// spend is never duplicated.
+	Rho float64
+
+	cfg      netdpsyn.Config
+	cacheKey string
+
+	mu                sync.Mutex
+	state             JobState
+	errMsg            string
+	started, finished time.Time
+	records           int
+	result            *netdpsyn.Result // nil once evicted from the retention window
+
+	done chan struct{}
+}
+
+// Done is closed when the job reaches a terminal state. Resurrecting
+// an evicted job (see Submit) installs a fresh channel, so callers
+// must re-fetch after observing a done job.
+func (j *Job) Done() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// resurrect re-queues a finished job whose result was evicted from
+// the retention window, so an identical request can regenerate it.
+// Re-running a fixed deterministic (Config, Seed) computation releases
+// no new information, so this costs no budget. Reports whether the
+// job was in the done-but-evicted state.
+func (j *Job) resurrect() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone || j.result != nil {
+		return false
+	}
+	j.state = JobQueued
+	j.started, j.finished = time.Time{}, time.Time{}
+	j.done = make(chan struct{})
+	return true
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the synthesis output, or false while the job is not
+// successfully finished (or its result has been evicted from the
+// retention window).
+func (j *Job) Result() (*netdpsyn.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone || j.result == nil {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// StageMS is a stage's wall/busy split in milliseconds, the JSON
+// rendering of netdpsyn.StageTiming.
+type StageMS struct {
+	WallMS float64 `json:"wall_ms"`
+	BusyMS float64 `json:"busy_ms"`
+}
+
+// JobInfo is the JSON shape of a job on GET /jobs/{id}.
+type JobInfo struct {
+	ID        string    `json:"id"`
+	DatasetID string    `json:"dataset_id"`
+	State     JobState  `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Epsilon   float64   `json:"epsilon"`
+	Delta     float64   `json:"delta"`
+	Seed      uint64    `json:"seed"`
+	Rho       float64   `json:"rho"`
+	Submitted time.Time `json:"submitted"`
+	// Started/Finished are pointers so they are genuinely absent from
+	// the JSON until reached (omitempty never fires for struct types).
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Records and Stages are filled once the job is done.
+	Records int                `json:"records,omitempty"`
+	Stages  map[string]StageMS `json:"stages,omitempty"`
+}
+
+// Snapshot returns the job's current state for serialization.
+func (j *Job) Snapshot() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:        j.ID,
+		DatasetID: j.DatasetID,
+		State:     j.state,
+		Error:     j.errMsg,
+		Epsilon:   j.cfg.Epsilon,
+		Delta:     j.cfg.Delta,
+		Seed:      j.cfg.Seed,
+		Rho:       j.Rho,
+		Submitted: j.Submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.Finished = &t
+	}
+	if j.state == JobDone {
+		info.Records = j.records
+		if j.result != nil {
+			info.Stages = make(map[string]StageMS, len(j.result.Stages))
+			for name, st := range j.result.Stages {
+				info.Stages[name] = StageMS{
+					WallMS: float64(st.Wall.Microseconds()) / 1e3,
+					BusyMS: float64(st.Busy.Microseconds()) / 1e3,
+				}
+			}
+		}
+	}
+	return info
+}
+
+// ErrQueueClosed is returned by Submit after Shutdown began.
+var ErrQueueClosed = fmt.Errorf("serve: job queue is shut down")
+
+// ErrQueueFull is returned when the pending backlog is at capacity;
+// the HTTP layer maps it to 503.
+var ErrQueueFull = fmt.Errorf("serve: job queue is full")
+
+// Queue runs admitted jobs through the staged synthesis engine. A
+// fixed set of runner goroutines drains the backlog, and the global
+// engine-worker budget is divided evenly among them, so the service's
+// total synthesis parallelism stays bounded no matter how many jobs
+// are in flight. Because the engine's output is byte-identical across
+// worker counts, this scheduling freedom never changes results.
+type Queue struct {
+	reg        *Registry
+	perJob     int // engine workers per concurrent job
+	maxBacklog int
+	// maxResults bounds how many finished jobs keep their synthesized
+	// table in memory: without a bound, a long-lived daemon's RSS
+	// grows by one full trace per admitted job. Evicted jobs keep
+	// their metadata (state, ρ, record count) and their cache entry;
+	// result.csv answers 410 Gone, and resubmitting the identical
+	// request resurrects the job — re-running the same deterministic
+	// computation — at zero budget cost.
+	maxResults int
+	// maxJobs bounds the job *metadata* maps the same way: past the
+	// cap, the oldest jobs that no longer hold a result (failed, or
+	// done and evicted) are forgotten entirely — their ids 404 and
+	// their cache entries go with them, so an identical resubmit is
+	// re-admitted with a fresh charge (conservative: the ledger never
+	// under-counts). In-flight jobs and retained results are never
+	// forgotten.
+	maxJobs int
+
+	mu       sync.Mutex
+	next     int
+	jobs     map[string]*Job
+	cache    map[string]*Job // (dataset, Config-sans-Workers, Seed) → admitted job
+	order    []*Job          // admission order, for maxJobs sweeps
+	retained []*Job          // done jobs still holding their result, oldest first
+	backlog  int             // jobs admitted but not yet picked up by a runner
+	closed   bool
+
+	pending chan *Job
+	wg      sync.WaitGroup
+}
+
+// NewQueue starts a queue with `runners` concurrent jobs sharing
+// `workersTotal` engine workers (≤ 0 means all cores for the total,
+// and 2 for runners). The worker budget is a hard upper bound on
+// total synthesis parallelism: when it is smaller than the requested
+// job concurrency, the runner count is reduced to match rather than
+// overcommitting one worker per job.
+func NewQueue(reg *Registry, runners, workersTotal int) *Queue {
+	if runners <= 0 {
+		runners = 2
+	}
+	if workersTotal <= 0 {
+		workersTotal = runtime.GOMAXPROCS(0)
+	}
+	if runners > workersTotal {
+		runners = workersTotal
+	}
+	perJob := workersTotal / runners
+	q := &Queue{
+		reg:        reg,
+		perJob:     perJob,
+		maxBacklog: 1024,
+		maxResults: 256,
+		maxJobs:    4096,
+		jobs:       make(map[string]*Job),
+		cache:      make(map[string]*Job),
+	}
+	q.pending = make(chan *Job, q.maxBacklog)
+	for i := 0; i < runners; i++ {
+		q.wg.Add(1)
+		go q.runner()
+	}
+	return q
+}
+
+// Submit admits a synthesis request against a dataset: it validates
+// the configuration, returns the already-admitted job on a cache hit
+// (no new budget spend), otherwise charges the dataset ledger and
+// enqueues a fresh job. The bool reports whether the result was
+// served from cache.
+func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
+	// Normalize zero values to the pipeline defaults (taken from
+	// core.DefaultConfig so they can never drift from what the
+	// pipeline actually runs): a request spelling the defaults out
+	// and a request leaving them zero are the same release, must
+	// share one cache entry, and must be charged once.
+	dc := core.DefaultConfig()
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = dc.Epsilon
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = dc.Delta
+	}
+	if cfg.UpdateIterations == 0 {
+		cfg.UpdateIterations = dc.GUM.Iterations
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = dc.Tau
+	}
+	if cfg.KeyAttr == "" {
+		// The pipeline resolves an empty KeyAttr to the schema's
+		// label field; resolve it here too so spelling the default
+		// out does not split the cache key.
+		cfg.KeyAttr = d.labelField()
+	}
+	cfg.Workers = q.perJob
+
+	// Validate the config (and warm the pipeline pool) before any
+	// budget charge, so a malformed request costs nothing.
+	if _, err := d.Synthesizer(cfg); err != nil {
+		return nil, false, err
+	}
+	rho, err := netdpsyn.RhoFromEpsDelta(cfg.Epsilon, cfg.Delta)
+	if err != nil {
+		return nil, false, err
+	}
+
+	key := d.ID + "|" + configKey(cfg, false)
+	// The whole admission — cache probe, charge, registration, and the
+	// (non-blocking) enqueue — happens under one critical section.
+	// That keeps three races out: Submit can never send on a channel
+	// Shutdown closed (close also takes q.mu), a concurrent identical
+	// request can never cache-hit a job that is about to be failed for
+	// a full backlog, and the ledger charge and cache insert are atomic.
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, false, ErrQueueClosed
+	}
+	if prev, ok := q.cache[key]; ok {
+		switch {
+		case prev.State() == JobFailed:
+			// A failed job can linger here in the window between
+			// fail() marking it and evicting it; never serve that as
+			// a hit.
+			delete(q.cache, key)
+		case q.backlog < q.maxBacklog && prev.resurrect():
+			// Done but evicted from the retention window: re-enqueue
+			// the same deterministic computation at zero charge.
+			q.backlog++
+			q.pending <- prev
+			return prev, true, nil
+		default:
+			return prev, true, nil
+		}
+	}
+	if q.backlog >= q.maxBacklog {
+		// Backlog full: refuse before charging the ledger.
+		return nil, false, ErrQueueFull
+	}
+	if err := d.Budget().Charge(rho); err != nil {
+		return nil, false, err
+	}
+	q.next++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", q.next),
+		DatasetID: d.ID,
+		Submitted: time.Now(),
+		Rho:       rho,
+		cfg:       cfg,
+		cacheKey:  key,
+		state:     JobQueued,
+		done:      make(chan struct{}),
+	}
+	q.jobs[j.ID] = j
+	q.cache[key] = j
+	q.order = append(q.order, j)
+	q.sweepJobs()
+	q.backlog++
+	// Cannot block: channel occupancy ≤ q.backlog ≤ maxBacklog == cap
+	// (runners decrement backlog only after receiving).
+	q.pending <- j
+	return j, false, nil
+}
+
+// sweepJobs drops the oldest resultless terminal jobs once the
+// metadata maps exceed maxJobs. Caller holds q.mu.
+func (q *Queue) sweepJobs() {
+	if len(q.jobs) <= q.maxJobs {
+		return
+	}
+	kept := q.order[:0]
+	for _, old := range q.order {
+		evictable := false
+		if len(q.jobs) > q.maxJobs {
+			old.mu.Lock()
+			evictable = old.state == JobFailed || (old.state == JobDone && old.result == nil)
+			old.mu.Unlock()
+		}
+		if !evictable {
+			kept = append(kept, old)
+			continue
+		}
+		delete(q.jobs, old.ID)
+		if q.cache[old.cacheKey] == old {
+			delete(q.cache, old.cacheKey)
+		}
+	}
+	// Zero the dropped tail so the backing array releases the Jobs.
+	for i := len(kept); i < len(q.order); i++ {
+		q.order[i] = nil
+	}
+	q.order = kept
+}
+
+// Get looks a job up by id.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Shutdown stops admissions and waits for in-flight and backlogged
+// jobs to drain, or for ctx to expire.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	// Closing under q.mu: Submit's send also runs under q.mu after
+	// re-checking closed, so a send on the closed channel is
+	// impossible.
+	close(q.pending)
+	q.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (q *Queue) runner() {
+	defer q.wg.Done()
+	for j := range q.pending {
+		q.mu.Lock()
+		q.backlog--
+		q.mu.Unlock()
+		q.run(j)
+	}
+}
+
+func (q *Queue) run(j *Job) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	d, ok := q.reg.Get(j.DatasetID)
+	if !ok {
+		q.fail(j, fmt.Errorf("serve: dataset %q disappeared", j.DatasetID))
+		return
+	}
+	syn, err := d.Synthesizer(j.cfg) // pooled: warmed at Submit
+	if err != nil {
+		q.fail(j, err)
+		return
+	}
+	res, err := syn.Synthesize(d.Table())
+	if err != nil {
+		q.fail(j, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = JobDone
+	j.finished = time.Now()
+	j.records = res.Records
+	j.result = res
+	// Capture the channel under the lock: once the result is set, a
+	// concurrent eviction + identical Submit could resurrect the job
+	// and install a fresh channel; the close must hit the channel the
+	// current waiters hold.
+	done := j.done
+	j.mu.Unlock()
+	q.mu.Lock()
+	q.retained = append(q.retained, j)
+	for len(q.retained) > q.maxResults {
+		old := q.retained[0]
+		q.retained = q.retained[1:]
+		old.mu.Lock()
+		old.result = nil
+		old.mu.Unlock()
+	}
+	q.mu.Unlock()
+	close(done)
+}
+
+// fail marks a job failed and evicts it from the result cache so an
+// identical request can be retried (with a fresh charge — the failed
+// attempt's spend is not refunded).
+func (q *Queue) fail(j *Job, err error) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.errMsg = err.Error()
+	j.finished = time.Now()
+	done := j.done
+	j.mu.Unlock()
+	q.mu.Lock()
+	if q.cache[j.cacheKey] == j {
+		delete(q.cache, j.cacheKey)
+	}
+	q.mu.Unlock()
+	close(done)
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+)
+
+// Dataset is one registered trace table: the decoded table itself,
+// its schema metadata, the per-dataset budget ledger, and a pool of
+// warm Synthesizer instances keyed by configuration. Loading and
+// schema-encoding a trace is the expensive, once-per-dataset part of
+// serving; pipelines are stateless across runs (PR 1), so pooled
+// instances are safe to share between concurrent jobs.
+type Dataset struct {
+	ID    string
+	Name  string
+	Kind  string // "flow" or "packet"
+	Label string
+
+	seq    int // registration order, for List
+	table  *netdpsyn.Table
+	budget *Budget
+
+	mu   sync.Mutex
+	pool map[string]*netdpsyn.Synthesizer
+}
+
+// maxPoolEntries bounds the per-dataset pipeline pool. The pool keys
+// include client-chosen fields (seed, ε), so without a bound a
+// long-lived daemon's memory would grow with every distinct request;
+// past the cap, instances are constructed per call and not retained.
+const maxPoolEntries = 64
+
+// Table returns the registered trace table. Tables are append-only
+// and never mutated after registration, so concurrent reads are safe.
+func (d *Dataset) Table() *netdpsyn.Table { return d.table }
+
+// Budget returns the dataset's zCDP ledger.
+func (d *Dataset) Budget() *Budget { return d.budget }
+
+// labelField returns the schema's label field name ("" if the schema
+// has none) — the pipeline's default KeyAttr.
+func (d *Dataset) labelField() string {
+	s := d.table.Schema()
+	if li := s.LabelIndex(); li >= 0 {
+		return s.Fields[li].Name
+	}
+	return ""
+}
+
+// Synthesizer returns a pooled pipeline for cfg, constructing and
+// caching it on first use. The pool key includes Workers (the worker
+// bound is baked into the pipeline at construction) even though the
+// output does not depend on it.
+func (d *Dataset) Synthesizer(cfg netdpsyn.Config) (*netdpsyn.Synthesizer, error) {
+	key := configKey(cfg, true)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.pool[key]; ok {
+		return s, nil
+	}
+	s, err := netdpsyn.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.pool) < maxPoolEntries {
+		d.pool[key] = s
+	}
+	return s, nil
+}
+
+// Info is the JSON shape of a registered dataset.
+type Info struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Kind   string `json:"kind"`
+	Label  string `json:"label,omitempty"`
+	Rows   int    `json:"rows"`
+	Attrs  int    `json:"attrs"`
+	Budget Status `json:"budget"`
+}
+
+// Info snapshots the dataset's metadata and budget state.
+func (d *Dataset) Info() Info {
+	return Info{
+		ID:     d.ID,
+		Name:   d.Name,
+		Kind:   d.Kind,
+		Label:  d.Label,
+		Rows:   d.table.NumRows(),
+		Attrs:  d.table.NumCols(),
+		Budget: d.budget.Snapshot(),
+	}
+}
+
+// ErrRegistryFull is returned by Register at the dataset cap; the
+// HTTP layer maps it to 429.
+var ErrRegistryFull = fmt.Errorf("serve: dataset registry is full")
+
+// Registry holds every registered dataset. It is safe for concurrent
+// use.
+type Registry struct {
+	mu   sync.RWMutex
+	next int
+	// max bounds the registry: each dataset pins its full decoded
+	// table in memory for the daemon's lifetime (there is no
+	// deregistration — dropping a table would orphan its spent
+	// budget), so an uncapped registry is an OOM vector.
+	max  int
+	byID map[string]*Dataset
+}
+
+// NewRegistry creates an empty registry capped at max datasets (≤ 0
+// means 64).
+func NewRegistry(max int) *Registry {
+	if max <= 0 {
+		max = 64
+	}
+	return &Registry{max: max, byID: make(map[string]*Dataset)}
+}
+
+// Register adds a loaded table under a fresh id with the given budget
+// ledger, or returns ErrRegistryFull at the cap.
+func (r *Registry) Register(name, kind, label string, t *netdpsyn.Table, b *Budget) (*Dataset, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.byID) >= r.max {
+		return nil, fmt.Errorf("%w: %d datasets registered", ErrRegistryFull, len(r.byID))
+	}
+	r.next++
+	d := &Dataset{
+		ID:     fmt.Sprintf("ds-%d", r.next),
+		seq:    r.next,
+		Name:   name,
+		Kind:   kind,
+		Label:  label,
+		table:  t,
+		budget: b,
+		pool:   make(map[string]*netdpsyn.Synthesizer),
+	}
+	r.byID[d.ID] = d
+	return d, nil
+}
+
+// Get looks a dataset up by id.
+func (r *Registry) Get(id string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byID[id]
+	return d, ok
+}
+
+// List returns all datasets in registration order.
+func (r *Registry) List() []*Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Dataset, 0, len(r.byID))
+	for _, d := range r.byID {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// configKey canonicalizes the output-relevant fields of a Config.
+// With includeWorkers=false it is the result-cache key: Workers is
+// excluded because the staged engine's determinism contract makes the
+// output byte-identical across worker counts at a fixed Seed, so two
+// requests differing only in Workers are the same release.
+func configKey(cfg netdpsyn.Config, includeWorkers bool) string {
+	key := fmt.Sprintf("eps=%g|delta=%g|iters=%d|key=%s|tau=%g|records=%d|seed=%d|gum=%t",
+		cfg.Epsilon, cfg.Delta, cfg.UpdateIterations, cfg.KeyAttr,
+		cfg.Tau, cfg.SynthRecords, cfg.Seed, cfg.UseGUM)
+	if includeWorkers {
+		key += fmt.Sprintf("|workers=%d", cfg.Workers)
+	}
+	return key
+}

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+)
+
+// Options configures the service.
+type Options struct {
+	// Addr is the listen address (e.g. ":8090").
+	Addr string
+	// Workers is the global engine-worker budget shared across
+	// concurrent jobs (≤ 0 means all cores).
+	Workers int
+	// MaxConcurrentJobs bounds how many synthesis jobs run at once
+	// (≤ 0 means 2).
+	MaxConcurrentJobs int
+	// DefaultBudgetEps/DefaultBudgetDelta set the per-dataset
+	// cumulative privacy ceiling used when a registration does not
+	// override it: the ceiling ρ is RhoFromEpsDelta of this pair.
+	// Zero values default to ε = 8, δ = 1e-5.
+	DefaultBudgetEps   float64
+	DefaultBudgetDelta float64
+	// MaxUploadBytes bounds dataset upload size (≤ 0 means 256 MiB).
+	MaxUploadBytes int64
+	// MaxDatasets bounds the registry — each dataset pins its table
+	// in memory for the daemon's lifetime (≤ 0 means 64).
+	MaxDatasets int
+}
+
+// Server is the netdpsynd HTTP service: a dataset registry, a
+// per-dataset budget ledger, and an async job queue behind a JSON
+// API.
+//
+//	POST /datasets                    register a CSV trace (body = CSV)
+//	GET  /datasets                    list datasets
+//	GET  /datasets/{id}               one dataset's metadata + budget
+//	GET  /datasets/{id}/budget        the cumulative zCDP ledger
+//	POST /datasets/{id}/synthesize    submit a synthesis job (JSON body)
+//	GET  /jobs/{id}                   poll a job
+//	GET  /jobs/{id}/result.csv        fetch a finished job's trace
+//	GET  /healthz                     liveness
+type Server struct {
+	opts  Options
+	reg   *Registry
+	queue *Queue
+	mux   *http.ServeMux
+	http  *http.Server
+}
+
+// NewServer wires the service together; call ListenAndServe (or mount
+// Handler in a test server) to serve it.
+func NewServer(opts Options) *Server {
+	if opts.DefaultBudgetEps == 0 {
+		opts.DefaultBudgetEps = 8.0
+	}
+	if opts.DefaultBudgetDelta == 0 {
+		opts.DefaultBudgetDelta = 1e-5
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 256 << 20
+	}
+	s := &Server{
+		opts:  opts,
+		reg:   NewRegistry(opts.MaxDatasets),
+		queue: nil,
+		mux:   http.NewServeMux(),
+	}
+	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers)
+
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /datasets", s.handleRegister)
+	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /datasets/{id}", s.handleDataset)
+	s.mux.HandleFunc("GET /datasets/{id}/budget", s.handleBudget)
+	s.mux.HandleFunc("POST /datasets/{id}/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/result.csv", s.handleJobResult)
+
+	s.http = &http.Server{Addr: opts.Addr, Handler: s.mux}
+	return s
+}
+
+// Handler exposes the route table, for tests via httptest.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves until Shutdown; it returns nil after a clean
+// shutdown.
+func (s *Server) ListenAndServe() error {
+	err := s.http.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting requests, then drains the job queue so
+// admitted (budget-charged) jobs finish before the process exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	httpErr := s.http.Shutdown(ctx)
+	queueErr := s.queue.Shutdown(ctx)
+	if httpErr != nil {
+		return httpErr
+	}
+	return queueErr
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleRegister loads the CSV request body against the named schema
+// and registers it with a budget ceiling. Query parameters:
+//
+//	schema       flow | packet (default flow)
+//	label        flow label field name (default "label")
+//	name         human-readable dataset name
+//	budget_eps   cumulative ε ceiling (with budget_delta → ρ ceiling)
+//	budget_delta δ for the ceiling and for reported ε (default 1e-5)
+//	budget_rho   ρ ceiling directly (overrides budget_eps)
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	kind := q.Get("schema")
+	if kind == "" {
+		kind = "flow"
+	}
+	label := q.Get("label")
+	var schema *netdpsyn.Schema
+	switch kind {
+	case "flow":
+		if label == "" {
+			label = "label"
+		}
+		schema = netdpsyn.FlowSchema(label)
+	case "packet":
+		label = ""
+		schema = netdpsyn.PacketSchema()
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown schema %q (want flow or packet)", kind)
+		return
+	}
+
+	// Strict parsing for the privacy-ceiling parameters: a typo in the
+	// security-critical numbers must 400, never be half-parsed.
+	budgetDelta := 1e-5
+	if v := q.Get("budget_delta"); v != "" {
+		var err error
+		if budgetDelta, err = strconv.ParseFloat(v, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad budget_delta %q", v)
+			return
+		}
+	}
+	var ceilingRho float64
+	switch {
+	case q.Get("budget_rho") != "":
+		var err error
+		if ceilingRho, err = strconv.ParseFloat(q.Get("budget_rho"), 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad budget_rho %q", q.Get("budget_rho"))
+			return
+		}
+	default:
+		eps := s.opts.DefaultBudgetEps
+		if v := q.Get("budget_eps"); v != "" {
+			var err error
+			if eps, err = strconv.ParseFloat(v, 64); err != nil {
+				writeErr(w, http.StatusBadRequest, "bad budget_eps %q", v)
+				return
+			}
+		}
+		var err error
+		ceilingRho, err = netdpsyn.RhoFromEpsDelta(eps, budgetDelta)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad budget ceiling: %v", err)
+			return
+		}
+	}
+	budget, err := NewBudget(ceilingRho, budgetDelta)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	table, err := netdpsyn.LoadCSV(body, schema)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "dataset exceeds the %d-byte upload limit", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "load CSV: %v", err)
+		return
+	}
+	if table.NumRows() == 0 {
+		writeErr(w, http.StatusBadRequest, "dataset has no rows")
+		return
+	}
+	d, err := s.reg.Register(q.Get("name"), kind, label, table, budget)
+	if err != nil {
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, d.Info())
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	ds := s.reg.List()
+	out := make([]Info, len(ds))
+	for i, d := range ds {
+		out[i] = d.Info()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) dataset(w http.ResponseWriter, r *http.Request) (*Dataset, bool) {
+	id := r.PathValue("id")
+	d, ok := s.reg.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", id)
+		return nil, false
+	}
+	return d, true
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	if d, ok := s.dataset(w, r); ok {
+		writeJSON(w, http.StatusOK, d.Info())
+	}
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if d, ok := s.dataset(w, r); ok {
+		writeJSON(w, http.StatusOK, d.Budget().Snapshot())
+	}
+}
+
+// SynthesisRequest is the JSON body of POST /datasets/{id}/synthesize.
+// Zero fields take the pipeline defaults; Workers is not a request
+// knob — the queue assigns it from the global budget, which cannot
+// change the output (the engine's determinism contract).
+type SynthesisRequest struct {
+	Epsilon    float64 `json:"epsilon"`
+	Delta      float64 `json:"delta"`
+	Iterations int     `json:"iterations"`
+	Records    int     `json:"records"`
+	Seed       uint64  `json:"seed"`
+	Tau        float64 `json:"tau"`
+	KeyAttr    string  `json:"key_attr"`
+	UseGUM     bool    `json:"use_gum"`
+}
+
+// SynthesisResponse acknowledges an admitted (or cache-hit) job.
+type SynthesisResponse struct {
+	JobID string `json:"job_id"`
+	// Cached reports that an identical (Config, Seed) release was
+	// already admitted; the budget was not charged again.
+	Cached bool     `json:"cached"`
+	Rho    float64  `json:"rho"`
+	State  JobState `json:"state"`
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	var req SynthesisRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cfg := netdpsyn.Config{
+		Epsilon:          req.Epsilon,
+		Delta:            req.Delta,
+		UpdateIterations: req.Iterations,
+		SynthRecords:     req.Records,
+		Seed:             req.Seed,
+		Tau:              req.Tau,
+		KeyAttr:          req.KeyAttr,
+		UseGUM:           req.UseGUM,
+	}
+	job, cached, err := s.queue.Submit(d, cfg)
+	switch {
+	case errors.Is(err, ErrBudgetExceeded):
+		writeErr(w, http.StatusForbidden, "%v", err)
+		return
+	case errors.Is(err, ErrQueueClosed), errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info := job.Snapshot()
+	writeJSON(w, http.StatusAccepted, SynthesisResponse{
+		JobID:  job.ID,
+		Cached: cached,
+		Rho:    job.Rho,
+		State:  info.State,
+	})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.queue.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	}
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res, ok := j.Result()
+	if !ok {
+		info := j.Snapshot()
+		switch info.State {
+		case JobFailed:
+			writeErr(w, http.StatusInternalServerError, "job failed: %s", info.Error)
+			return
+		case JobDone:
+			// The job may have finished between the two reads above;
+			// only a re-checked missing result means eviction.
+			if res, ok = j.Result(); !ok {
+				// Aged out of the retention window. Resubmitting the
+				// identical synthesis request regenerates it at zero
+				// budget cost (same deterministic computation, no new
+				// release).
+				writeErr(w, http.StatusGone, "job %s's result was evicted from the retention window; resubmit the identical request to regenerate it (no new budget spend)", j.ID)
+				return
+			}
+		default:
+			writeErr(w, http.StatusConflict, "job is %s; poll GET /jobs/%s until done", info.State, j.ID)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-%s.csv", j.DatasetID, j.ID))
+	if err := res.Table.WriteCSV(w); err != nil {
+		// Headers are gone; nothing to do but log-level truncation.
+		return
+	}
+}
+
+// WaitJob blocks until the job finishes or the timeout expires, for
+// callers (and tests) that want synchronous semantics on top of the
+// async API.
+func (s *Server) WaitJob(id string, timeout time.Duration) (*Job, error) {
+	j, ok := s.queue.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("serve: no job %q", id)
+	}
+	select {
+	case <-j.Done():
+		return j, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("serve: job %s still %s after %v", id, j.Snapshot().State, timeout)
+	}
+}

@@ -21,6 +21,7 @@ package netdpsyn
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/netdpsyn/netdpsyn/internal/binning"
 	"github.com/netdpsyn/netdpsyn/internal/core"
@@ -83,8 +84,43 @@ type Synthesizer struct {
 	cfg      core.Config
 }
 
-// New validates the configuration and returns a Synthesizer.
+// New validates the configuration and returns a Synthesizer. Zero
+// fields take the paper's defaults; explicitly-set fields are
+// validated here so bad values fail fast with a descriptive error
+// instead of flowing silently into the pipeline.
 func New(cfg Config) (*Synthesizer, error) {
+	// NaN slips through every comparison guard below (all comparisons
+	// with NaN are false), and ±Inf is as meaningless a privacy
+	// parameter — reject non-finite values first.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"Epsilon", cfg.Epsilon}, {"Delta", cfg.Delta}, {"Tau", cfg.Tau}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return nil, fmt.Errorf("netdpsyn: %s must be finite, got %v", f.name, f.v)
+		}
+	}
+	if cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("netdpsyn: Epsilon must be positive, got %v (leave 0 for the default 2.0)", cfg.Epsilon)
+	}
+	if cfg.Delta < 0 {
+		return nil, fmt.Errorf("netdpsyn: Delta must be in (0,1), got %v (leave 0 for the default 1e-5)", cfg.Delta)
+	}
+	if cfg.Delta >= 1 {
+		return nil, fmt.Errorf("netdpsyn: Delta must be in (0,1), got %v — δ ≥ 1 gives no privacy", cfg.Delta)
+	}
+	if cfg.Tau < 0 || cfg.Tau > 1 {
+		return nil, fmt.Errorf("netdpsyn: Tau is a probability threshold and must lie in (0,1], got %v", cfg.Tau)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("netdpsyn: Workers must be non-negative, got %d (0 means all cores)", cfg.Workers)
+	}
+	if cfg.UpdateIterations < 0 {
+		return nil, fmt.Errorf("netdpsyn: UpdateIterations must be non-negative, got %d (0 means the default 200)", cfg.UpdateIterations)
+	}
+	if cfg.SynthRecords < 0 {
+		return nil, fmt.Errorf("netdpsyn: SynthRecords must be non-negative, got %d (0 derives the count from noisy totals)", cfg.SynthRecords)
+	}
 	cc := core.DefaultConfig()
 	if cfg.Epsilon != 0 {
 		cc.Epsilon = cfg.Epsilon
@@ -112,16 +148,28 @@ func New(cfg Config) (*Synthesizer, error) {
 	return &Synthesizer{pipeline: p, cfg: cc}, nil
 }
 
+// StageTiming splits one pipeline stage's cost into wall-clock time
+// and summed worker-busy time (Busy/Wall ≈ achieved parallelism).
+type StageTiming = core.StageTiming
+
 // Result is the outcome of a synthesis run.
 type Result struct {
 	// Table is the synthesized trace, same schema as the input.
 	Table *Table
 	// Epsilon and Delta echo the privacy guarantee of the output.
 	Epsilon, Delta float64
+	// Rho is the zCDP budget the run consumed (the ε/δ target after
+	// the Bun–Steinke conversion); long-lived services compose it
+	// additively across releases from the same trace.
+	Rho float64
 	// SelectedMarginals lists the attribute sets DenseMarg published.
 	SelectedMarginals [][]string
 	// Records is the number of synthesized records.
 	Records int
+	// Stages is the per-stage wall/busy timing split of the run,
+	// keyed by stage name (preprocess, select, publish, postprocess,
+	// gum, decode).
+	Stages map[string]StageTiming
 }
 
 // Synthesize runs the NetDPSyn pipeline on a trace table.
@@ -137,8 +185,10 @@ func (s *Synthesizer) Synthesize(t *Table) (*Result, error) {
 		Table:             res.Table,
 		Epsilon:           s.cfg.Epsilon,
 		Delta:             s.cfg.Delta,
+		Rho:               res.Report.Rho,
 		SelectedMarginals: res.Report.SelectedSets,
 		Records:           res.Report.SynthRecords,
+		Stages:            res.Report.Stages,
 	}, nil
 }
 
@@ -166,6 +216,27 @@ func LoadCSV(r io.Reader, schema *Schema) (*Table, error) {
 // callers that want to reason about budgets.
 func RhoFromEpsDelta(eps, delta float64) (float64, error) {
 	return dp.RhoFromEpsDelta(eps, delta)
+}
+
+// EpsFromRhoDelta is the inverse conversion: the (ε, δ) guarantee
+// implied by a cumulative ρ-zCDP spend at the given δ. Services that
+// compose many releases track ρ additively and report the implied ε
+// through this.
+func EpsFromRhoDelta(rho, delta float64) (float64, error) {
+	return dp.EpsFromRhoDelta(rho, delta)
+}
+
+// Accountant tracks zCDP budget consumption against a fixed total ρ.
+// zCDP composes additively, so a long-lived service can hold one
+// Accountant per dataset, spend the ρ of each release against it, and
+// refuse releases that would overdraw — the pattern cmd/netdpsynd
+// implements. The Accountant is not safe for concurrent use; wrap it
+// in a mutex (see internal/serve.Budget).
+type Accountant = dp.Accountant
+
+// NewAccountant creates an accountant with the given total ρ budget.
+func NewAccountant(rho float64) (*Accountant, error) {
+	return dp.NewAccountant(rho)
 }
 
 // AnonymizeNote documents why plain anonymization is insufficient:

@@ -2,6 +2,7 @@ package netdpsyn_test
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -10,19 +11,48 @@ import (
 )
 
 func TestNewValidatesConfig(t *testing.T) {
-	if _, err := netdpsyn.New(netdpsyn.Config{Epsilon: -1, Delta: 1e-5}); err == nil {
-		t.Fatal("negative epsilon must error")
+	bad := []struct {
+		name    string
+		cfg     netdpsyn.Config
+		mention string // every error must name the offending field
+	}{
+		{"negative epsilon", netdpsyn.Config{Epsilon: -1, Delta: 1e-5}, "Epsilon"},
+		{"negative delta", netdpsyn.Config{Epsilon: 1, Delta: -1e-5}, "Delta"},
+		{"delta one", netdpsyn.Config{Epsilon: 1, Delta: 1}, "Delta"},
+		{"delta above one", netdpsyn.Config{Epsilon: 1, Delta: 2}, "Delta"},
+		{"negative tau", netdpsyn.Config{Tau: -0.1}, "Tau"},
+		{"tau above one", netdpsyn.Config{Tau: 1.5}, "Tau"},
+		{"negative workers", netdpsyn.Config{Workers: -1}, "Workers"},
+		{"negative iterations", netdpsyn.Config{UpdateIterations: -5}, "UpdateIterations"},
+		{"negative records", netdpsyn.Config{SynthRecords: -2}, "SynthRecords"},
+		// NaN fails every comparison, so it would sail through
+		// range checks; Inf is equally meaningless here.
+		{"NaN epsilon", netdpsyn.Config{Epsilon: math.NaN()}, "Epsilon"},
+		{"Inf epsilon", netdpsyn.Config{Epsilon: math.Inf(1)}, "Epsilon"},
+		{"NaN delta", netdpsyn.Config{Epsilon: 1, Delta: math.NaN()}, "Delta"},
+		{"NaN tau", netdpsyn.Config{Tau: math.NaN()}, "Tau"},
 	}
-	if _, err := netdpsyn.New(netdpsyn.Config{Epsilon: 1, Delta: 2}); err == nil {
-		t.Fatal("delta >= 1 must error")
+	for _, tc := range bad {
+		_, err := netdpsyn.New(tc.cfg)
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.mention) {
+			t.Errorf("%s: error %q should mention %s", tc.name, err, tc.mention)
+		}
 	}
-	// Zero config completes with paper defaults.
+	// Zero config completes with paper defaults; Tau = 1 is the upper
+	// boundary of the valid range.
 	s, err := netdpsyn.New(netdpsyn.Config{})
 	if err != nil {
 		t.Fatalf("default config: %v", err)
 	}
 	if s == nil {
 		t.Fatal("nil synthesizer")
+	}
+	if _, err := netdpsyn.New(netdpsyn.Config{Tau: 1}); err != nil {
+		t.Fatalf("Tau = 1: %v", err)
 	}
 }
 

@@ -14,7 +14,11 @@
 package netdpsyn_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -160,6 +164,13 @@ func BenchmarkTable3WorkersSweep(b *testing.B) {
 // and a busy/wall ratio near the worker count means a stage actually
 // parallelized. Metrics are `<stage>-wall-ms` and `<stage>-busy-ms`,
 // averaged over b.N runs.
+//
+// With BENCH_STAGE_JSON=<path> in the environment, the same metrics
+// are also written to <path> as BENCH_stage_timings.json — the bench
+// trajectory artifact CI uploads on every push and compares against
+// the committed baseline with `go run ./cmd/benchtraj` (soft warn on
+// regression). The file embeds the equivalent Go benchmark output
+// lines under "benchfmt", so `jq -r '.benchfmt[]'` feeds benchstat.
 func BenchmarkStageTimings(b *testing.B) {
 	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 2000, Seed: 9})
 	if err != nil {
@@ -183,13 +194,72 @@ func BenchmarkStageTimings(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	elapsed := b.Elapsed()
+	ms := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / 1e3 / float64(b.N)
+	}
 	for name := range wall {
-		ms := func(d time.Duration) float64 {
-			return float64(d.Microseconds()) / 1e3 / float64(b.N)
-		}
 		b.ReportMetric(ms(wall[name]), name+"-wall-ms")
 		b.ReportMetric(ms(busy[name]), name+"-busy-ms")
 	}
+	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
+		if err := writeStageTimingsJSON(path, b.N, elapsed, wall, busy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// stageTimingsFile is the BENCH_stage_timings.json shape shared with
+// cmd/benchtraj: per-stage wall/busy milliseconds averaged over N
+// runs, plus the equivalent benchfmt text lines for benchstat.
+type stageTimingsFile struct {
+	Benchmark string                       `json:"benchmark"`
+	Go        string                       `json:"go"`
+	GOOS      string                       `json:"goos"`
+	GOARCH    string                       `json:"goarch"`
+	N         int                          `json:"n"`
+	NsPerOp   float64                      `json:"ns_per_op"`
+	Stages    map[string]stageTimingsEntry `json:"stages"`
+	Benchfmt  []string                     `json:"benchfmt"`
+}
+
+type stageTimingsEntry struct {
+	WallMS float64 `json:"wall_ms"`
+	BusyMS float64 `json:"busy_ms"`
+}
+
+// writeStageTimingsJSON renders the stage metrics as the bench
+// trajectory artifact.
+func writeStageTimingsJSON(path string, n int, elapsed time.Duration, wall, busy map[string]time.Duration) error {
+	ms := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / 1e3 / float64(n)
+	}
+	out := stageTimingsFile{
+		Benchmark: "BenchmarkStageTimings",
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		N:         n,
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(n),
+		Stages:    make(map[string]stageTimingsEntry, len(wall)),
+	}
+	names := make([]string, 0, len(wall))
+	for name := range wall {
+		names = append(names, name)
+		out.Stages[name] = stageTimingsEntry{WallMS: ms(wall[name]), BusyMS: ms(busy[name])}
+	}
+	sort.Strings(names)
+	line := fmt.Sprintf("BenchmarkStageTimings-%d %d %.0f ns/op", runtime.GOMAXPROCS(0), n, out.NsPerOp)
+	for _, name := range names {
+		line += fmt.Sprintf(" %.3f %s-wall-ms %.3f %s-busy-ms",
+			out.Stages[name].WallMS, name, out.Stages[name].BusyMS, name)
+	}
+	out.Benchfmt = []string{line}
+	raw, err := json.MarshalIndent(&out, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 func BenchmarkTable4MarginalExample(b *testing.B) {

@@ -1,0 +1,150 @@
+// Command benchtraj compares two BENCH_stage_timings.json emissions —
+// the bench trajectory. CI runs BenchmarkStageTimings with
+// BENCH_STAGE_JSON set, uploads the result as an artifact on every
+// push, and runs benchtraj against the committed baseline:
+//
+//	BENCH_STAGE_JSON=$PWD/BENCH_stage_timings.json \
+//	    go test -run xxx -bench BenchmarkStageTimings -benchtime 5x .
+//	go run ./cmd/benchtraj \
+//	    -baseline bench/BENCH_stage_timings.baseline.json \
+//	    -current  BENCH_stage_timings.json -warn-pct 15
+//
+// A stage whose wall time regresses by more than -warn-pct prints a
+// GitHub Actions ::warning annotation but exits 0 — bench numbers on
+// shared runners are noisy, so the trajectory warns humans instead of
+// gating merges. Pass -hard to exit 1 on regression instead (for
+// dedicated bench hardware).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// stageEntry mirrors bench_test.go's stageTimingsEntry.
+type stageEntry struct {
+	WallMS float64 `json:"wall_ms"`
+	BusyMS float64 `json:"busy_ms"`
+}
+
+// stageFile mirrors bench_test.go's stageTimingsFile (unknown fields
+// are ignored, so the two shapes may grow independently).
+type stageFile struct {
+	Benchmark string                `json:"benchmark"`
+	Go        string                `json:"go"`
+	N         int                   `json:"n"`
+	NsPerOp   float64               `json:"ns_per_op"`
+	Stages    map[string]stageEntry `json:"stages"`
+}
+
+func load(path string) (*stageFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f stageFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(f.Stages) == 0 {
+		return nil, fmt.Errorf("%s has no stages", path)
+	}
+	return &f, nil
+}
+
+// compare renders a per-stage trajectory table and returns the stages
+// whose wall time regressed by more than warnPct percent. New stages
+// (absent from the baseline) and vanished stages are reported but
+// never count as regressions.
+func compare(baseline, current *stageFile, warnPct float64) (table string, regressions []string) {
+	names := make(map[string]bool)
+	for n := range baseline.Stages {
+		names[n] = true
+	}
+	for n := range current.Stages {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var totalBase, totalCur float64
+	table = fmt.Sprintf("%-14s %12s %12s %9s\n", "stage", "base wall-ms", "cur wall-ms", "Δ%")
+	for _, n := range sorted {
+		b, inBase := baseline.Stages[n]
+		c, inCur := current.Stages[n]
+		switch {
+		case !inBase:
+			table += fmt.Sprintf("%-14s %12s %12.3f %9s\n", n, "—", c.WallMS, "new")
+		case !inCur:
+			table += fmt.Sprintf("%-14s %12.3f %12s %9s\n", n, b.WallMS, "—", "gone")
+		default:
+			totalBase += b.WallMS
+			totalCur += c.WallMS
+			pct := 0.0
+			if b.WallMS > 0 {
+				pct = (c.WallMS - b.WallMS) / b.WallMS * 100
+			}
+			mark := ""
+			if pct > warnPct {
+				mark = "  ← REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("stage %s wall time regressed %.1f%% (%.3f → %.3f ms, warn threshold %g%%)",
+						n, pct, b.WallMS, c.WallMS, warnPct))
+			}
+			table += fmt.Sprintf("%-14s %12.3f %12.3f %+8.1f%%%s\n", n, b.WallMS, c.WallMS, pct, mark)
+		}
+	}
+	if totalBase > 0 {
+		pct := (totalCur - totalBase) / totalBase * 100
+		mark := ""
+		if pct > warnPct {
+			mark = "  ← REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("total wall time regressed %.1f%% (%.3f → %.3f ms, warn threshold %g%%)",
+					pct, totalBase, totalCur, warnPct))
+		}
+		table += fmt.Sprintf("%-14s %12.3f %12.3f %+8.1f%%%s\n", "TOTAL", totalBase, totalCur, pct, mark)
+	}
+	return table, regressions
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench/BENCH_stage_timings.baseline.json", "committed baseline emission")
+		currentPath  = flag.String("current", "BENCH_stage_timings.json", "this run's emission")
+		warnPct      = flag.Float64("warn-pct", 15, "wall-time regression percentage that triggers a warning")
+		hard         = flag.Bool("hard", false, "exit 1 on regression instead of soft-warning (dedicated bench hardware only)")
+	)
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("bench trajectory: %s (baseline %s/N=%d vs current %s/N=%d)\n",
+		current.Benchmark, baseline.Go, baseline.N, current.Go, current.N)
+	table, regressions := compare(baseline, current, *warnPct)
+	fmt.Print(table)
+	for _, r := range regressions {
+		// ::warning renders as an annotation on the GitHub Actions run;
+		// locally it is just a loud line.
+		fmt.Printf("::warning title=bench trajectory::%s\n", r)
+	}
+	if len(regressions) == 0 {
+		fmt.Printf("no stage regressed past %g%% wall time\n", *warnPct)
+	} else if *hard {
+		os.Exit(1)
+	}
+}

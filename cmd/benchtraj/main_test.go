@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func stages(m map[string]float64) map[string]stageEntry {
+	out := make(map[string]stageEntry, len(m))
+	for n, wall := range m {
+		out[n] = stageEntry{WallMS: wall, BusyMS: wall}
+	}
+	return out
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &stageFile{Stages: stages(map[string]float64{"gum": 100, "decode": 10, "select": 5})}
+	cur := &stageFile{Stages: stages(map[string]float64{"gum": 120, "decode": 10.5, "select": 5})}
+
+	table, regs := compare(base, cur, 15)
+	if len(regs) != 2 { // gum +20%, and the total (115 → 135.5 = +17.8%)
+		t.Fatalf("regressions = %v, want gum + total", regs)
+	}
+	if !strings.Contains(regs[0], "gum") || !strings.Contains(regs[1], "total") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "TOTAL") {
+		t.Fatalf("table missing markers:\n%s", table)
+	}
+}
+
+func TestCompareWithinThresholdIsQuiet(t *testing.T) {
+	base := &stageFile{Stages: stages(map[string]float64{"gum": 100, "decode": 10})}
+	cur := &stageFile{Stages: stages(map[string]float64{"gum": 110, "decode": 9})} // +10%, -10%
+	if _, regs := compare(base, cur, 15); len(regs) != 0 {
+		t.Fatalf("within-threshold run flagged: %v", regs)
+	}
+	// Improvements are never regressions, however large.
+	cur = &stageFile{Stages: stages(map[string]float64{"gum": 10, "decode": 1})}
+	if _, regs := compare(base, cur, 15); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareNewAndVanishedStages(t *testing.T) {
+	base := &stageFile{Stages: stages(map[string]float64{"gum": 100, "legacy": 50})}
+	cur := &stageFile{Stages: stages(map[string]float64{"gum": 100, "shiny": 500})}
+	table, regs := compare(base, cur, 15)
+	if len(regs) != 0 {
+		t.Fatalf("new/vanished stages must not count as regressions: %v", regs)
+	}
+	if !strings.Contains(table, "new") || !strings.Contains(table, "gone") {
+		t.Fatalf("table should mark new/gone stages:\n%s", table)
+	}
+}
+
+func TestCompareZeroBaselineStage(t *testing.T) {
+	// A 0 ms baseline stage (sub-microsecond) must not divide by zero
+	// or flag on any current value.
+	base := &stageFile{Stages: stages(map[string]float64{"budget": 0, "gum": 100})}
+	cur := &stageFile{Stages: stages(map[string]float64{"budget": 0.4, "gum": 100})}
+	if _, regs := compare(base, cur, 15); len(regs) != 0 {
+		t.Fatalf("zero-baseline stage flagged: %v", regs)
+	}
+}

@@ -1,0 +1,271 @@
+//go:build !windows
+
+package main
+
+// Crash/restart durability harness: builds the real netdpsynd binary,
+// kills it with SIGKILL mid-job, restarts it with the same -state-dir,
+// and asserts the acceptance contract over plain HTTP:
+//
+//  1. cumulative ρ after restart ≥ cumulative ρ before the crash
+//  2. the interrupted job replays as a charged failure
+//  3. a request that would cross the ceiling still gets 403
+//  4. an identical resubmit of a completed job is served from cache
+//     at zero new spend (and regenerates its evicted result)
+//
+// The in-process twin of this test lives in internal/serve
+// (TestRestartRecovery); this one exists because only a subprocess
+// can die the way production dies.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/serve"
+)
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches the built binary and waits for /healthz.
+func startDaemon(t *testing.T, bin, addr, stateDir string, logs *bytes.Buffer) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-jobs", "1", "-workers", "1", "-state-dir", stateDir)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("daemon never became healthy on %s; logs:\n%s", addr, logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func getJSONInto(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postSynth(t *testing.T, base, dsID string, req serve.SynthesisRequest) (serve.SynthesisResponse, int) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/datasets/"+dsID+"/synthesize", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack serve.SynthesisResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ack)
+	return ack, resp.StatusCode
+}
+
+// waitJobState polls a job until pred holds or the deadline passes.
+func waitJobState(t *testing.T, base, jobID string, timeout time.Duration, pred func(serve.JobInfo) bool) serve.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var info serve.JobInfo
+		if code := getJSONInto(t, base+"/jobs/"+jobID, &info); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", jobID, code)
+		}
+		if pred(info) {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s after %v", jobID, info.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCrashRestartDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a daemon subprocess; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain on PATH")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "netdpsynd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build daemon: %v\n%s", err, out)
+	}
+	stateDir := filepath.Join(tmp, "state")
+
+	jobRho, err := netdpsyn.RhoFromEpsDelta(1.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := 2.5 * jobRho // two releases fit, a third does not
+
+	addr := freePort(t)
+	base := "http://" + addr
+	var logs bytes.Buffer
+	daemon := startDaemon(t, bin, addr, stateDir, &logs)
+	defer func() { _ = daemon.Process.Kill() }()
+
+	// Register an emulated TON flow trace with the 2.5-release ceiling.
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := raw.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	regURL := fmt.Sprintf("%s/datasets?label=%s&budget_rho=%g&budget_delta=1e-5",
+		base, datagen.LabelField(datagen.TON), ceiling)
+	resp, err := http.Post(regURL, "text/csv", &csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dsInfo serve.Info
+	if err := json.NewDecoder(resp.Body).Decode(&dsInfo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register = %d", resp.StatusCode)
+	}
+
+	// Job A: quick, completes before the crash.
+	reqA := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 11}
+	ackA, code := postSynth(t, base, dsInfo.ID, reqA)
+	if code != http.StatusAccepted {
+		t.Fatalf("job A = %d", code)
+	}
+	infoA := waitJobState(t, base, ackA.JobID, 60*time.Second, func(i serve.JobInfo) bool {
+		return i.State == serve.JobDone || i.State == serve.JobFailed
+	})
+	if infoA.State != serve.JobDone {
+		t.Fatalf("job A = %s (%s)", infoA.State, infoA.Error)
+	}
+
+	// Job B: heavy enough to still be running when the SIGKILL lands.
+	reqB := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 2000, Seed: 12}
+	ackB, code := postSynth(t, base, dsInfo.ID, reqB)
+	if code != http.StatusAccepted {
+		t.Fatalf("job B = %d", code)
+	}
+	waitJobState(t, base, ackB.JobID, 30*time.Second, func(i serve.JobInfo) bool {
+		return i.State == serve.JobRunning
+	})
+
+	var budget serve.Status
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	preCrash := budget.SpentRho
+	if preCrash < 2*jobRho-1e-12 {
+		t.Fatalf("pre-crash spent ρ = %v, want ≥ %v", preCrash, 2*jobRho)
+	}
+
+	// kill -9 mid-job: no drain, no goodbye.
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = daemon.Wait()
+
+	// Restart with the same -state-dir.
+	daemon2 := startDaemon(t, bin, addr, stateDir, &logs)
+	defer func() { _ = daemon2.Process.Kill() }()
+
+	// (1) Cumulative ρ is monotone across the restart.
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	if budget.SpentRho < preCrash-1e-12 {
+		t.Fatalf("spend shrank across kill -9: %v < %v", budget.SpentRho, preCrash)
+	}
+
+	// (2) The interrupted job replays as a charged failure.
+	var infoB serve.JobInfo
+	if code := getJSONInto(t, base+"/jobs/"+ackB.JobID, &infoB); code != http.StatusOK {
+		t.Fatalf("GET interrupted job = %d", code)
+	}
+	if infoB.State != serve.JobFailed || !strings.Contains(infoB.Error, "restart") {
+		t.Fatalf("interrupted job = %s (%q), want charged failure mentioning the restart", infoB.State, infoB.Error)
+	}
+
+	// (3) A third distinct release still crosses the ceiling: 403.
+	if _, code := postSynth(t, base, dsInfo.ID, serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 13}); code != http.StatusForbidden {
+		t.Fatalf("over-ceiling after restart = %d, want 403", code)
+	}
+
+	// (4) Identical resubmit of the completed job: cache hit, zero new
+	// spend, and the evicted result regenerates deterministically.
+	ackA2, code := postSynth(t, base, dsInfo.ID, reqA)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit A = %d", code)
+	}
+	if !ackA2.Cached || ackA2.JobID != ackA.JobID {
+		t.Fatalf("resubmit A: cached=%v job=%s, want cache hit on %s", ackA2.Cached, ackA2.JobID, ackA.JobID)
+	}
+	var after serve.Status
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &after)
+	if after.SpentRho != budget.SpentRho {
+		t.Fatalf("cached resubmit changed spend: %v → %v", budget.SpentRho, after.SpentRho)
+	}
+	waitJobState(t, base, ackA.JobID, 60*time.Second, func(i serve.JobInfo) bool {
+		return i.State == serve.JobDone && i.Records > 0
+	})
+	res, err := http.Get(base + "/jobs/" + ackA.JobID + "/result.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("regenerated result.csv = %d", res.StatusCode)
+	}
+
+	// The recovery log line made it to the daemon's output.
+	if !strings.Contains(logs.String(), "interrupted") {
+		t.Fatalf("no recovery log line; logs:\n%s", logs.String())
+	}
+
+	_ = daemon2.Process.Signal(os.Interrupt)
+	_ = daemon2.Wait()
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	netdpsynd -addr :8090 -workers 4 -jobs 2 -budget-eps 8
+//	netdpsynd -addr :8090 -workers 4 -jobs 2 -budget-eps 8 -state-dir /var/lib/netdpsynd
 //
 // Walkthrough (see the README for the full curl session):
 //
@@ -14,6 +14,13 @@
 //	curl localhost:8090/jobs/job-1
 //	curl localhost:8090/jobs/job-1/result.csv
 //	curl localhost:8090/datasets/ds-1/budget
+//
+// With -state-dir the daemon is restart-safe: the budget ledger,
+// dataset registry, and job journal are persisted (every charge
+// fsync'd before its job runs), so a crash never forgets cumulative
+// zCDP spend — interrupted jobs replay as charged failures and a
+// restart resumes exactly where the meter stopped. Without it, all
+// state is in-memory and dies with the process.
 //
 // The daemon drains admitted jobs on SIGINT/SIGTERM before exiting.
 package main
@@ -40,9 +47,10 @@ func main() {
 		budgetEps   = flag.Float64("budget-eps", 8.0, "default per-dataset cumulative ε ceiling")
 		budgetDelta = flag.Float64("budget-delta", 1e-5, "δ for the default budget ceiling")
 		drain       = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
+		stateDir    = flag.String("state-dir", "", "directory for durable service state (budget ledger, dataset registry, job journal); empty = in-memory only, spend is forgotten on restart")
 	)
 	flag.Parse()
-	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta)
+	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta, *stateDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
 		os.Exit(2)
@@ -54,7 +62,7 @@ func main() {
 }
 
 // buildOptions validates the flag values into serve.Options.
-func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64) (serve.Options, error) {
+func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64, stateDir string) (serve.Options, error) {
 	if addr == "" {
 		return serve.Options{}, fmt.Errorf("missing -addr")
 	}
@@ -76,11 +84,23 @@ func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64
 		MaxConcurrentJobs:  jobs,
 		DefaultBudgetEps:   budgetEps,
 		DefaultBudgetDelta: budgetDelta,
+		StateDir:           stateDir,
 	}, nil
 }
 
 func run(opts serve.Options, drain time.Duration) error {
-	s := serve.NewServer(opts)
+	s, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	if rec := s.Recovery(); rec != nil {
+		log.Printf("netdpsynd state dir %s: %s", opts.StateDir, rec)
+		for _, warn := range rec.Warnings {
+			log.Printf("netdpsynd recovery warning: %s", warn)
+		}
+	} else {
+		log.Printf("netdpsynd running without -state-dir: ledger, registry, and jobs are in-memory and cumulative spend is forgotten on restart")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -3,12 +3,22 @@ package main
 import "testing"
 
 func TestBuildOptions(t *testing.T) {
-	opts, err := buildOptions(":8090", 4, 2, 8.0, 1e-5)
+	opts, err := buildOptions(":8090", 4, 2, 8.0, 1e-5, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.Workers != 4 || opts.MaxConcurrentJobs != 2 || opts.DefaultBudgetEps != 8.0 {
 		t.Fatalf("options = %+v", opts)
+	}
+	if opts.StateDir != "" {
+		t.Fatalf("state dir should default off, got %q", opts.StateDir)
+	}
+	opts, err = buildOptions(":8090", 4, 2, 8.0, 1e-5, "/tmp/netdpsynd-state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.StateDir != "/tmp/netdpsynd-state" {
+		t.Fatalf("state dir = %q", opts.StateDir)
 	}
 
 	bad := []struct {
@@ -25,7 +35,7 @@ func TestBuildOptions(t *testing.T) {
 		{"delta one", ":8090", 0, 2, 8, 1},
 	}
 	for _, tc := range bad {
-		if _, err := buildOptions(tc.addr, tc.workers, tc.jobs, tc.eps, tc.delta); err == nil {
+		if _, err := buildOptions(tc.addr, tc.workers, tc.jobs, tc.eps, tc.delta, ""); err == nil {
 			t.Errorf("%s: want error", tc.name)
 		}
 	}

@@ -94,18 +94,41 @@ func (a *Accountant) Spent() float64 { return a.spent }
 // Remaining returns the unspent ρ.
 func (a *Accountant) Remaining() float64 { return a.total - a.spent }
 
+// CanSpend reports whether Spend(rho) would succeed, without mutating
+// the ledger. Callers that must externalize a charge before applying
+// it (journal it durably, say) check admissibility here first.
+func (a *Accountant) CanSpend(rho float64) bool {
+	if !(rho >= 0) { // !(x >= 0) also catches NaN
+		return false
+	}
+	const tol = 1e-9
+	return a.spent+rho <= a.total*(1+tol)+tol
+}
+
 // Spend consumes rho from the budget, failing if it would overdraw.
 // A tiny tolerance absorbs floating-point drift from fractional splits.
 func (a *Accountant) Spend(rho float64) error {
 	if !(rho >= 0) {
 		return fmt.Errorf("%w: invalid spend %v", ErrInvalidBudget, rho)
 	}
-	const tol = 1e-9
-	if a.spent+rho > a.total*(1+tol)+tol {
+	if !a.CanSpend(rho) {
 		return fmt.Errorf("%w: want %v, remaining %v", ErrBudgetExhausted, rho, a.Remaining())
 	}
 	a.spent += rho
 	return nil
+}
+
+// ForceSpend records spend without enforcing the ceiling, for
+// replaying a durable ledger whose charges were already admitted when
+// they happened. If the replayed spend exceeds the total (possible
+// only under corruption), Remaining goes negative and every further
+// Spend fails — the conservative direction. Negative and NaN values
+// are ignored: a refund can never be replayed into existence.
+func (a *Accountant) ForceSpend(rho float64) {
+	if !(rho >= 0) {
+		return
+	}
+	a.spent += rho
 }
 
 // Split returns fractions of the total budget according to the given

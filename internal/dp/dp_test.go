@@ -132,6 +132,53 @@ func TestAccountantSpend(t *testing.T) {
 	}
 }
 
+func TestAccountantCanSpend(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CanSpend(0.6) || !a.CanSpend(1.0) {
+		t.Error("admissible spends refused")
+	}
+	if a.CanSpend(1.1) || a.CanSpend(-0.1) || a.CanSpend(math.NaN()) {
+		t.Error("inadmissible spends accepted")
+	}
+	// CanSpend never mutates: the full budget is still spendable.
+	if err := a.Spend(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if a.CanSpend(0.1) {
+		t.Error("exhausted accountant still admits spend")
+	}
+}
+
+func TestAccountantForceSpend(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying a durable ledger bypasses the ceiling check...
+	a.ForceSpend(0.7)
+	a.ForceSpend(0.7)
+	if got := a.Spent(); math.Abs(got-1.4) > 1e-12 {
+		t.Fatalf("forced spend = %v, want 1.4", got)
+	}
+	// ...and an over-ceiling replay locks the accountant: Remaining
+	// goes negative and every further Spend fails (conservative).
+	if a.Remaining() >= 0 {
+		t.Fatalf("remaining = %v, want negative", a.Remaining())
+	}
+	if err := a.Spend(0.01); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("spend after over-ceiling replay = %v, want ErrBudgetExhausted", err)
+	}
+	// Refunds cannot be replayed into existence.
+	a.ForceSpend(-5)
+	a.ForceSpend(math.NaN())
+	if got := a.Spent(); math.Abs(got-1.4) > 1e-12 {
+		t.Fatalf("negative/NaN ForceSpend mutated the ledger: %v", got)
+	}
+}
+
 func TestAccountantSplit(t *testing.T) {
 	a, _ := NewAccountant(2.0)
 	parts := a.Split(0.1, 0.1, 0.8)

@@ -21,21 +21,37 @@ import (
 	"sync"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
 )
 
 // ErrBudgetExceeded is returned by Budget.Charge when a release would
 // cross the dataset's ρ ceiling; the HTTP layer maps it to 403.
 var ErrBudgetExceeded = fmt.Errorf("serve: dataset privacy budget exceeded")
 
+// ErrPersist is returned when durable state (the journal or the
+// spool) cannot be written. The HTTP layer maps it to 503: the
+// operation did not happen — in particular no unpersisted ρ was
+// charged — and the client may retry.
+var ErrPersist = fmt.Errorf("serve: durable state write failed")
+
+// chargeJournal persists a charge record durably before the charge is
+// applied; *persist.Store satisfies it.
+type chargeJournal interface {
+	AppendCharge(persist.ChargeRecord) error
+}
+
 // Budget is the thread-safe per-dataset zCDP ledger. Charges are
 // applied when a request is admitted, before the job runs: a failed
 // job still consumes its charge (conservative accounting — noise may
-// already have been sampled by the time a run errors).
+// already have been sampled by the time a run errors). When a journal
+// is bound, a charge is made durable before it is applied, so a
+// daemon restart can never forget spend that influenced a release.
 type Budget struct {
 	mu       sync.Mutex
 	acct     *netdpsyn.Accountant
 	delta    float64
 	releases int
+	journal  chargeJournal // nil: volatile ledger
 }
 
 // NewBudget creates a ledger with a total ρ ceiling. delta is the δ
@@ -51,14 +67,46 @@ func NewBudget(ceilingRho, delta float64) (*Budget, error) {
 	return &Budget{acct: acct, delta: delta}, nil
 }
 
-// Charge admits a release costing rho, or returns ErrBudgetExceeded
-// (wrapped with the shortfall) without mutating the ledger.
-func (b *Budget) Charge(rho float64) error {
+// bind attaches a journal: every subsequent Charge with a record is
+// journaled durably before it is applied.
+func (b *Budget) bind(j chargeJournal) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := b.acct.Spend(rho); err != nil {
+	b.journal = j
+}
+
+// restore replays a recovered ledger position. It bypasses the
+// ceiling check (the charges were admitted under the ceiling when
+// they happened); if corrupt state pushes spend past the ceiling,
+// every further Charge fails — the conservative direction.
+func (b *Budget) restore(spentRho float64, releases int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.acct.ForceSpend(spentRho)
+	b.releases = releases
+}
+
+// Charge admits a release costing rho, or refuses without mutating
+// the ledger: ErrBudgetExceeded (wrapped with the shortfall) when the
+// release would cross the ceiling, ErrPersist when a bound journal
+// cannot make the charge durable. The order is ceiling check →
+// journal → apply, so a charge is durable before anything acts on it
+// and an unjournaled ρ is never charged.
+func (b *Budget) Charge(rho float64, rec *persist.ChargeRecord) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.acct.CanSpend(rho) {
 		return fmt.Errorf("%w: want ρ=%.6g, remaining ρ=%.6g of %.6g",
 			ErrBudgetExceeded, rho, b.acct.Remaining(), b.acct.Total())
+	}
+	if b.journal != nil && rec != nil {
+		if err := b.journal.AppendCharge(*rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	// Cannot fail: CanSpend held under the same lock.
+	if err := b.acct.Spend(rho); err != nil {
+		return err
 	}
 	b.releases++
 	return nil

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
 	"github.com/netdpsyn/netdpsyn/internal/core"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
 )
 
 // JobState is the lifecycle of a synthesis job: queued → running →
@@ -191,14 +194,25 @@ type Queue struct {
 	// under-counts). In-flight jobs and retained results are never
 	// forgotten.
 	maxJobs int
+	// store, when non-nil, journals every admission (before the job
+	// runs — see Budget.Charge) and every terminal transition, so a
+	// restart replays admitted-but-unfinished jobs as charged
+	// failures instead of silently re-running them.
+	store *persist.Store
 
-	mu       sync.Mutex
-	next     int
+	mu    sync.Mutex
+	next  int
+	cache map[string]*Job // (dataset, Config-sans-Workers, Seed) → admitted job
+	order []*Job          // admission order, for maxJobs sweeps
+	// jobs has its own read-write lock (acquired q.mu → jobsMu, never
+	// the reverse): admissions hold q.mu across the journal fsync by
+	// design — the ledger charge, cache insert, and enqueue must be
+	// atomic — but a status poll must never wait on another request's
+	// disk flush.
+	jobsMu   sync.RWMutex
 	jobs     map[string]*Job
-	cache    map[string]*Job // (dataset, Config-sans-Workers, Seed) → admitted job
-	order    []*Job          // admission order, for maxJobs sweeps
-	retained []*Job          // done jobs still holding their result, oldest first
-	backlog  int             // jobs admitted but not yet picked up by a runner
+	retained []*Job // done jobs still holding their result, oldest first
+	backlog  int    // jobs admitted but not yet picked up by a runner
 	closed   bool
 
 	pending chan *Job
@@ -210,8 +224,9 @@ type Queue struct {
 // and 2 for runners). The worker budget is a hard upper bound on
 // total synthesis parallelism: when it is smaller than the requested
 // job concurrency, the runner count is reduced to match rather than
-// overcommitting one worker per job.
-func NewQueue(reg *Registry, runners, workersTotal int) *Queue {
+// overcommitting one worker per job. A nil store keeps the queue
+// volatile.
+func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store) *Queue {
 	if runners <= 0 {
 		runners = 2
 	}
@@ -228,6 +243,7 @@ func NewQueue(reg *Registry, runners, workersTotal int) *Queue {
 		maxBacklog: 1024,
 		maxResults: 256,
 		maxJobs:    4096,
+		store:      store,
 		jobs:       make(map[string]*Job),
 		cache:      make(map[string]*Job),
 	}
@@ -314,21 +330,39 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
 		// Backlog full: refuse before charging the ledger.
 		return nil, false, ErrQueueFull
 	}
-	if err := d.Budget().Charge(rho); err != nil {
+	// The charge is journaled durably (fsync) inside Charge before it
+	// is applied and before the job is enqueued: by the time anything
+	// computes on this admission, the spend is already on disk. On a
+	// journal failure nothing was charged and the id is not consumed.
+	id := fmt.Sprintf("job-%d", q.next+1)
+	now := time.Now()
+	var rec *persist.ChargeRecord
+	if q.store != nil {
+		rec = &persist.ChargeRecord{
+			JobID:     id,
+			DatasetID: d.ID,
+			Rho:       rho,
+			Config:    cfg,
+			Submitted: now,
+		}
+	}
+	if err := d.Budget().Charge(rho, rec); err != nil {
 		return nil, false, err
 	}
 	q.next++
 	j := &Job{
-		ID:        fmt.Sprintf("job-%d", q.next),
+		ID:        id,
 		DatasetID: d.ID,
-		Submitted: time.Now(),
+		Submitted: now,
 		Rho:       rho,
 		cfg:       cfg,
 		cacheKey:  key,
 		state:     JobQueued,
 		done:      make(chan struct{}),
 	}
+	q.jobsMu.Lock()
 	q.jobs[j.ID] = j
+	q.jobsMu.Unlock()
 	q.cache[key] = j
 	q.order = append(q.order, j)
 	q.sweepJobs()
@@ -342,6 +376,8 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
 // sweepJobs drops the oldest resultless terminal jobs once the
 // metadata maps exceed maxJobs. Caller holds q.mu.
 func (q *Queue) sweepJobs() {
+	q.jobsMu.Lock()
+	defer q.jobsMu.Unlock()
 	if len(q.jobs) <= q.maxJobs {
 		return
 	}
@@ -369,10 +405,11 @@ func (q *Queue) sweepJobs() {
 	q.order = kept
 }
 
-// Get looks a job up by id.
+// Get looks a job up by id. It takes only the jobs-map lock, so a
+// status poll never waits behind an admission's journal fsync.
 func (q *Queue) Get(id string) (*Job, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.jobsMu.RLock()
+	defer q.jobsMu.RUnlock()
 	j, ok := q.jobs[id]
 	return j, ok
 }
@@ -456,7 +493,25 @@ func (q *Queue) run(j *Job) {
 		old.mu.Unlock()
 	}
 	q.mu.Unlock()
+	q.journalTerminal(j.ID, string(JobDone), res.Records, "")
 	close(done)
+}
+
+// journalTerminal records a job's terminal transition, best-effort: a
+// lost terminal record makes the job replay as an interrupted charged
+// failure, which is the conservative direction (the charge is
+// retained either way, and a deterministic resubmit re-admits with a
+// fresh conservative charge).
+func (q *Queue) journalTerminal(jobID, state string, records int, errMsg string) {
+	if q.store == nil {
+		return
+	}
+	_ = q.store.AppendTerminal(persist.TerminalRecord{
+		JobID:   jobID,
+		State:   state,
+		Records: records,
+		Error:   errMsg,
+	})
 }
 
 // fail marks a job failed and evicts it from the result cache so an
@@ -474,5 +529,70 @@ func (q *Queue) fail(j *Job, err error) {
 		delete(q.cache, j.cacheKey)
 	}
 	q.mu.Unlock()
+	q.journalTerminal(j.ID, string(JobFailed), 0, err.Error())
 	close(done)
+}
+
+// interruptedJobError is the error surfaced on jobs whose admission
+// was journaled but whose terminal never was: the daemon died with
+// them in flight. Per the conservative no-refund rule their charge is
+// retained; they are never silently re-run (an identical resubmit is
+// a fresh admission with a fresh charge).
+const interruptedJobError = "interrupted by a daemon restart before completion; its ρ charge is retained (no refund)"
+
+// restoreJobs installs recovered jobs: done jobs come back as
+// done-with-evicted-result (their cache entry intact, so an identical
+// resubmit resurrects them at zero charge), failed jobs keep their
+// error, and charged-but-unfinished jobs become charged failures.
+// Runs at boot before the queue is visible to requests.
+func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range jobs {
+		js := &jobs[i]
+		cfg := js.Config
+		cfg.Workers = q.perJob // this generation's worker split, not the old one's
+		j := &Job{
+			ID:        js.JobID,
+			DatasetID: js.DatasetID,
+			Submitted: js.Submitted,
+			Rho:       js.Rho,
+			cfg:       cfg,
+			cacheKey:  js.DatasetID + "|" + configKey(cfg, false),
+			done:      make(chan struct{}),
+		}
+		close(j.done) // every restored job is terminal
+		switch js.State {
+		case string(JobDone):
+			j.state = JobDone
+			j.records = js.Records
+		case string(JobFailed):
+			j.state = JobFailed
+			j.errMsg = js.Error
+		default:
+			// Admitted (charged, durably) but no terminal record:
+			// replay as a charged failure, never re-run.
+			j.state = JobFailed
+			j.errMsg = interruptedJobError
+			info.InterruptedJobs++
+			// Converge the journal: next restart replays it as a plain
+			// failure without re-counting it as interrupted.
+			q.journalTerminal(j.ID, string(JobFailed), 0, j.errMsg)
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(j.ID, "job-")); err == nil && n > q.next {
+			q.next = n
+		}
+		q.jobsMu.Lock()
+		q.jobs[j.ID] = j
+		q.jobsMu.Unlock()
+		q.order = append(q.order, j)
+		if j.state == JobDone {
+			// The synthesized table itself is not persisted (results
+			// are large and deterministic); the job replays as
+			// done-but-evicted and regenerates on an identical
+			// resubmit at zero charge.
+			q.cache[j.cacheKey] = j
+		}
+		info.Jobs++
+	}
 }

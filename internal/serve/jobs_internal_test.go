@@ -28,16 +28,16 @@ func TestResultRetentionEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reg := NewRegistry(0)
+	reg := NewRegistry(0, nil)
 	budget, err := NewBudget(1.0, 1e-5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := reg.Register("ton", "flow", "type", table, budget)
+	d, err := reg.Register("ton", "flow", "type", table, budget, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(reg, 1, 1)
+	q := NewQueue(reg, 1, 1, nil)
 	q.maxResults = 1
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -115,16 +115,16 @@ func TestJobMetadataSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg := NewRegistry(0)
+	reg := NewRegistry(0, nil)
 	budget, err := NewBudget(1.0, 1e-5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := reg.Register("ton", "flow", "type", table, budget)
+	d, err := reg.Register("ton", "flow", "type", table, budget, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(reg, 1, 1)
+	q := NewQueue(reg, 1, 1, nil)
 	q.maxResults = 1
 	q.maxJobs = 2
 	defer func() {

@@ -1,0 +1,302 @@
+// Package persist is the durable state layer behind the netdpsynd
+// service: an append-only journal of dataset registrations, budget
+// charges, and job terminals, compacted periodically into a snapshot,
+// plus a spool directory holding each registered dataset's raw CSV so
+// the table can be re-ingested after a restart.
+//
+// The privacy argument for durability: the service's (ε, δ) claim
+// rests on cumulative zCDP accounting, and an in-memory ledger
+// forgets cumulative spend on restart — which silently resets the
+// meter and lets a sequence of restarts release unbounded information
+// from the same trace. Forgetting spend is a privacy bug, not a
+// convenience bug. The journal therefore makes every charge durable
+// (fsync) *before* the job it admits is allowed to run, and replay is
+// governed by one rule: when the journal is ambiguous, the
+// conservative reading wins — spend is never refunded, an
+// admitted-but-unfinished job replays as a charged failure, and a
+// record we cannot attribute is dropped rather than guessed at.
+//
+// On-disk layout under the state dir:
+//
+//	journal.log    append-only JSON lines, one record each, fsync'd
+//	snapshot.json  compacted state as of a journal sequence number
+//	spool/         raw CSV per dataset (ds-<n>.csv), re-ingested at boot
+//
+// Replay order: load snapshot.json if present, then apply journal
+// records with seq greater than the snapshot's — records at or below
+// it are the leftovers of a compaction that crashed between the
+// snapshot rename and the journal truncation, and skipping them is
+// what keeps a charge from double-applying. A torn tail (the record
+// being written when the process died) is truncated away at open; a
+// valid record of an unknown type is skipped and counted, so a newer
+// daemon's journal still replays on an older one.
+package persist
+
+import (
+	"time"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+)
+
+// Journal record types. Unknown values of record.T are skipped at
+// replay (forward compatibility), never treated as corruption.
+const (
+	recDataset  = "dataset"
+	recCharge   = "charge"
+	recTerminal = "terminal"
+)
+
+// DatasetRecord journals one dataset registration. The raw CSV is
+// already durable in the spool (written and fsync'd before this
+// record is appended), so replay re-ingests Spool against the schema
+// named by Kind/Label.
+type DatasetRecord struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name,omitempty"`
+	Kind       string    `json:"kind"`
+	Label      string    `json:"label,omitempty"`
+	CeilingRho float64   `json:"ceiling_rho"`
+	Delta      float64   `json:"delta"`
+	Spool      string    `json:"spool"`
+	Registered time.Time `json:"registered"`
+}
+
+// ChargeRecord journals one admitted release: the ρ charged against
+// the dataset's ledger and the normalized configuration of the job it
+// admitted. It is fsync'd before the job is enqueued, so a charge
+// that influenced any computation is always recoverable.
+type ChargeRecord struct {
+	JobID     string          `json:"job_id"`
+	DatasetID string          `json:"dataset_id"`
+	Rho       float64         `json:"rho"`
+	Config    netdpsyn.Config `json:"config"`
+	Submitted time.Time       `json:"submitted"`
+}
+
+// TerminalRecord journals a job reaching a terminal state. It is
+// best-effort: a lost terminal record makes the job replay as an
+// interrupted charged failure, which is the conservative direction
+// (the charge is retained either way).
+type TerminalRecord struct {
+	JobID   string `json:"job_id"`
+	State   string `json:"state"` // "done" | "failed"
+	Records int    `json:"records,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// record is the journal line envelope. Exactly one payload pointer is
+// set per record; Seq is assigned at append and strictly increases
+// within one journal generation.
+type record struct {
+	Seq uint64          `json:"seq"`
+	T   string          `json:"t"`
+	DS  *DatasetRecord  `json:"ds,omitempty"`
+	CH  *ChargeRecord   `json:"ch,omitempty"`
+	TM  *TerminalRecord `json:"tm,omitempty"`
+}
+
+// DatasetState is a dataset's replayed durable state: its
+// registration record plus the accumulated ledger position.
+type DatasetState struct {
+	DatasetRecord
+	SpentRho float64 `json:"spent_rho"`
+	Releases int     `json:"releases"`
+}
+
+// JobState is a job's replayed durable state: its admission charge
+// plus the terminal outcome, if one was journaled. State == "" means
+// the job was admitted (and charged) but never reached a terminal
+// record — the daemon died with it in flight — and the service layer
+// must surface it as a charged failure, never silently re-run it.
+type JobState struct {
+	ChargeRecord
+	State   string `json:"state,omitempty"`
+	Records int    `json:"records,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// State is the durable state replayed at Open: every dataset with its
+// cumulative spend, every remembered job, and counters describing
+// what replay had to skip or drop.
+type State struct {
+	// Seq is the sequence number of the last applied record.
+	Seq uint64
+	// Datasets and Jobs are in registration / admission order.
+	Datasets []DatasetState
+	Jobs     []JobState
+	// SkippedRecords counts journal records that were valid but not
+	// applicable: unknown types (forward compatibility) and records
+	// referencing unknown datasets or jobs.
+	SkippedRecords int
+	// TruncatedBytes is the size of the torn tail dropped from the
+	// journal at open (0 when the journal ended cleanly).
+	TruncatedBytes int64
+}
+
+// snapshotFile is the JSON shape of snapshot.json: the full memState
+// as of journal sequence Seq.
+type snapshotFile struct {
+	Version  int            `json:"version"`
+	Seq      uint64         `json:"seq"`
+	Datasets []DatasetState `json:"datasets"`
+	Jobs     []JobState     `json:"jobs"`
+}
+
+// snapshotVersion is written to (and the ceiling accepted from)
+// snapshot.json.
+const snapshotVersion = 1
+
+// maxJobHistory bounds the job entries a snapshot carries: past it,
+// the oldest *terminal* jobs are forgotten. Their spend is already
+// accumulated in DatasetState.SpentRho, so forgetting the metadata
+// never forgets the charge; charged-but-unfinished jobs are never
+// dropped.
+const maxJobHistory = 4096
+
+// memState is the store's in-memory mirror of the durable state: the
+// same state machine runs at replay and after every append, so the
+// snapshot written at compaction is always exactly "the journal so
+// far".
+type memState struct {
+	seq      uint64
+	dsOrder  []*DatasetState
+	dsByID   map[string]*DatasetState
+	jobOrder []*JobState
+	jobByID  map[string]*JobState
+	skipped  int
+}
+
+func newMemState() *memState {
+	return &memState{
+		dsByID:  make(map[string]*DatasetState),
+		jobByID: make(map[string]*JobState),
+	}
+}
+
+// apply runs one record through the state machine. Unknown record
+// types, duplicate IDs, and references to unknown IDs are skipped and
+// counted — replay must degrade by dropping information, never by
+// double-applying a charge or inventing one.
+func (m *memState) apply(rec *record) {
+	switch rec.T {
+	case recDataset:
+		if rec.DS == nil {
+			m.skipped++
+			return
+		}
+		if _, ok := m.dsByID[rec.DS.ID]; ok {
+			m.skipped++ // duplicate registration: first wins
+			return
+		}
+		ds := &DatasetState{DatasetRecord: *rec.DS}
+		m.dsByID[ds.ID] = ds
+		m.dsOrder = append(m.dsOrder, ds)
+	case recCharge:
+		if rec.CH == nil {
+			m.skipped++
+			return
+		}
+		if _, ok := m.jobByID[rec.CH.JobID]; ok {
+			m.skipped++ // duplicate admission: the charge is already counted
+			return
+		}
+		if ds, ok := m.dsByID[rec.CH.DatasetID]; ok {
+			ds.SpentRho += rec.CH.Rho
+			ds.Releases++
+		} else {
+			// Charge against an unknown dataset: there is no ledger to
+			// restore the spend into, but the job entry is kept anyway
+			// so its id stays occupied — a reissued job id would make
+			// the duplicate-admission guard above swallow a real
+			// future charge.
+			m.skipped++
+		}
+		j := &JobState{ChargeRecord: *rec.CH}
+		m.jobByID[j.JobID] = j
+		m.jobOrder = append(m.jobOrder, j)
+	case recTerminal:
+		if rec.TM == nil {
+			m.skipped++
+			return
+		}
+		j, ok := m.jobByID[rec.TM.JobID]
+		if !ok {
+			m.skipped++
+			return
+		}
+		// Later terminals win: a done job resurrected after result
+		// eviction finishes again with a fresh terminal record.
+		j.State = rec.TM.State
+		j.Records = rec.TM.Records
+		j.Error = rec.TM.Error
+	default:
+		m.skipped++ // forward compatibility: newer daemons may journal new types
+	}
+	m.sweepJobs()
+}
+
+// sweepJobs enforces maxJobHistory by forgetting the oldest terminal
+// jobs. Spend stays accumulated in the dataset states.
+func (m *memState) sweepJobs() {
+	if len(m.jobOrder) <= maxJobHistory {
+		return
+	}
+	kept := m.jobOrder[:0]
+	for _, j := range m.jobOrder {
+		if len(m.jobByID) > maxJobHistory && j.State != "" {
+			delete(m.jobByID, j.JobID)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(m.jobOrder); i++ {
+		m.jobOrder[i] = nil
+	}
+	m.jobOrder = kept
+}
+
+// restore loads a snapshot into the state machine (replacing it).
+func (m *memState) restore(sf *snapshotFile) {
+	m.seq = sf.Seq
+	m.dsOrder = m.dsOrder[:0]
+	m.dsByID = make(map[string]*DatasetState, len(sf.Datasets))
+	for i := range sf.Datasets {
+		ds := sf.Datasets[i]
+		if _, ok := m.dsByID[ds.ID]; ok {
+			m.skipped++
+			continue
+		}
+		p := &ds
+		m.dsByID[p.ID] = p
+		m.dsOrder = append(m.dsOrder, p)
+	}
+	m.jobOrder = m.jobOrder[:0]
+	m.jobByID = make(map[string]*JobState, len(sf.Jobs))
+	for i := range sf.Jobs {
+		j := sf.Jobs[i]
+		if _, ok := m.jobByID[j.JobID]; ok {
+			m.skipped++
+			continue
+		}
+		p := &j
+		m.jobByID[p.JobID] = p
+		m.jobOrder = append(m.jobOrder, p)
+	}
+}
+
+// snapshot copies the state machine into an externally-safe State.
+func (m *memState) snapshot() *State {
+	st := &State{
+		Seq:            m.seq,
+		Datasets:       make([]DatasetState, len(m.dsOrder)),
+		Jobs:           make([]JobState, len(m.jobOrder)),
+		SkippedRecords: m.skipped,
+	}
+	for i, ds := range m.dsOrder {
+		st.Datasets[i] = *ds
+	}
+	for i, j := range m.jobOrder {
+		st.Jobs[i] = *j
+	}
+	return st
+}

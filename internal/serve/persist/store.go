@@ -1,0 +1,355 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File and directory names under the state dir.
+const (
+	journalName  = "journal.log"
+	snapshotName = "snapshot.json"
+	spoolDirName = "spool"
+)
+
+// defaultCompactEvery is how many journal appends trigger an
+// automatic compaction (snapshot write + journal truncation).
+const defaultCompactEvery = 1024
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("persist: store is closed")
+
+// AppendSyncer is the durable byte sink behind the journal: an
+// *os.File in production, swappable via SetSink for fault-injection
+// tests.
+type AppendSyncer interface {
+	io.Writer
+	Sync() error
+}
+
+// Store owns one state dir: the journal file, the snapshot, and the
+// spool. It is safe for concurrent use. All appends are fsync'd
+// before they return — a returned nil means the record survives a
+// crash — and every append runs through the same state machine that
+// replay uses, so compaction can always write a faithful snapshot
+// without consulting the service layer.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	f    *os.File
+	sink AppendSyncer
+	mem  *memState
+	// goodOff is the journal offset after the last durable record; a
+	// failed append truncates back to it so a torn write can never
+	// corrupt the record that follows it.
+	goodOff      int64
+	sinceCompact int
+	compactEvery int
+	closed       bool
+}
+
+// Open creates or recovers the state dir: it loads snapshot.json if
+// present, replays journal records past the snapshot's sequence
+// number, truncates any torn tail, and returns the store (positioned
+// for appending) together with the replayed State.
+func Open(dir string) (*Store, *State, error) {
+	if dir == "" {
+		return nil, nil, fmt.Errorf("persist: empty state dir")
+	}
+	// 0o700: the spool holds raw (pre-DP) traces.
+	if err := os.MkdirAll(filepath.Join(dir, spoolDirName), 0o700); err != nil {
+		return nil, nil, fmt.Errorf("persist: create state dir: %w", err)
+	}
+
+	mem := newMemState()
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		var sf snapshotFile
+		if err := json.Unmarshal(raw, &sf); err != nil {
+			return nil, nil, fmt.Errorf("persist: corrupt %s: %w", snapshotName, err)
+		}
+		if sf.Version > snapshotVersion {
+			return nil, nil, fmt.Errorf("persist: %s is version %d, newer than this daemon understands (%d)",
+				snapshotName, sf.Version, snapshotVersion)
+		}
+		mem.restore(&sf)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("persist: read %s: %w", snapshotName, err)
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: open journal: %w", err)
+	}
+	size, truncated, err := replayJournal(f, mem)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if truncated > 0 {
+		// Drop the torn tail before appending: a half-written record
+		// left in place would corrupt the next record's line.
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("persist: truncate torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("persist: seek journal end: %w", err)
+	}
+
+	s := &Store{
+		dir:          dir,
+		f:            f,
+		sink:         f,
+		mem:          mem,
+		goodOff:      size,
+		compactEvery: defaultCompactEvery,
+	}
+	st := mem.snapshot()
+	st.TruncatedBytes = truncated
+	return s, st, nil
+}
+
+// replayJournal applies the journal's records (those past the
+// snapshot already loaded into mem) and reports the offset of the
+// last good record plus how many torn-tail bytes follow it. Replay
+// stops — conservatively treating everything after as suspect — at
+// the first line that is not a well-formed record; valid records of
+// unknown type are skipped inside mem.apply instead.
+func replayJournal(f *os.File, mem *memState) (good, truncated int64, err error) {
+	snapSeq := mem.seq
+	fileSeq := uint64(0) // raw-file monotonicity, including pre-snapshot leftovers
+	br := bufio.NewReader(f)
+	var off int64
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return 0, 0, fmt.Errorf("persist: read journal: %w", rerr)
+		}
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			// EOF mid-line: the record being written at the crash.
+			truncated += int64(len(line))
+			break
+		}
+		var rec record
+		if json.Unmarshal(line, &rec) != nil || rec.Seq == 0 || rec.Seq <= fileSeq {
+			// Not a record (or sequence went backwards): torn write.
+			truncated += int64(len(line))
+			rest, _ := io.Copy(io.Discard, br)
+			truncated += rest
+			break
+		}
+		fileSeq = rec.Seq
+		off += int64(len(line))
+		if rec.Seq > snapSeq {
+			// Records at or below snapSeq are compaction leftovers
+			// already folded into the snapshot; applying them again
+			// would double-charge.
+			mem.apply(&rec)
+			mem.seq = rec.Seq
+		}
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+	}
+	return off, truncated, nil
+}
+
+// append journals one record durably and applies it to the state
+// machine. On a write or sync failure the journal is rewound to the
+// last good offset and the record is NOT applied — the caller must
+// treat the operation as never having happened (the service layer
+// maps this to a retryable 503, never to an unpersisted charge).
+func (s *Store) append(rec record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec.Seq = s.mem.seq + 1
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: marshal record: %w", err)
+	}
+	b = append(b, '\n')
+	n, werr := s.sink.Write(b)
+	if werr == nil {
+		werr = s.sink.Sync()
+	}
+	if werr != nil {
+		// Rewind the real journal so a partial write cannot corrupt
+		// the next record. Best-effort: if the truncate fails too the
+		// next replay's torn-tail handling still recovers.
+		_ = s.f.Truncate(s.goodOff)
+		_, _ = s.f.Seek(s.goodOff, io.SeekStart)
+		return fmt.Errorf("persist: journal append (%d/%d bytes): %w", n, len(b), werr)
+	}
+	if s.sink == AppendSyncer(s.f) {
+		s.goodOff += int64(len(b))
+	}
+	s.mem.apply(&rec)
+	s.mem.seq = rec.Seq
+	s.sinceCompact++
+	if s.sinceCompact >= s.compactEvery {
+		// Best-effort: a failed compaction leaves the journal long but
+		// correct.
+		_ = s.compactLocked()
+	}
+	return nil
+}
+
+// AppendDataset journals a dataset registration (spool the CSV with
+// WriteSpool first).
+func (s *Store) AppendDataset(rec DatasetRecord) error {
+	return s.append(record{T: recDataset, DS: &rec})
+}
+
+// AppendCharge journals an admitted release's budget charge. It must
+// return before the admitted job is allowed to run.
+func (s *Store) AppendCharge(rec ChargeRecord) error {
+	return s.append(record{T: recCharge, CH: &rec})
+}
+
+// AppendTerminal journals a job reaching a terminal state.
+func (s *Store) AppendTerminal(rec TerminalRecord) error {
+	return s.append(record{T: recTerminal, TM: &rec})
+}
+
+// Compact writes the current state as snapshot.json and truncates the
+// journal. Safe to call at any time; also triggered automatically
+// every compactEvery appends and on clean Close.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	st := s.mem.snapshot()
+	sf := snapshotFile{Version: snapshotVersion, Seq: st.Seq, Datasets: st.Datasets, Jobs: st.Jobs}
+	raw, err := json.MarshalIndent(&sf, "", " ")
+	if err != nil {
+		return fmt.Errorf("persist: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	if err := writeFileSync(tmp, raw); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("persist: install snapshot: %w", err)
+	}
+	// The rename must be durable before the journal shrinks: if the
+	// truncate survived a crash but the rename did not, the journal
+	// records folded into the snapshot would be gone from both places.
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// A crash from here until the truncate completes leaves journal
+	// records with seq ≤ snapshot.Seq — replay skips them (the
+	// double-apply guard), so this is not a correctness window.
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncate journal after snapshot: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: rewind journal: %w", err)
+	}
+	s.goodOff = 0
+	s.sinceCompact = 0
+	return nil
+}
+
+// WriteSpool stores a dataset's raw CSV under the spool dir and
+// returns the spool name to put in its DatasetRecord. The bytes are
+// fsync'd before return, so a journaled dataset record always finds
+// its spool at replay (the reverse — an orphan spool file whose
+// dataset record was never journaled — is harmless).
+func (s *Store) WriteSpool(datasetID string, raw []byte) (string, error) {
+	name := datasetID + ".csv"
+	if err := writeFileSync(filepath.Join(s.dir, spoolDirName, name), raw); err != nil {
+		return "", err
+	}
+	if err := syncDir(filepath.Join(s.dir, spoolDirName)); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// SpoolPath resolves a DatasetRecord.Spool name to its path. The name
+// is flattened to its base so a crafted snapshot cannot escape the
+// spool dir.
+func (s *Store) SpoolPath(name string) string {
+	return filepath.Join(s.dir, spoolDirName, filepath.Base(name))
+}
+
+// Dir returns the state dir this store owns.
+func (s *Store) Dir() string {
+	return s.dir
+}
+
+// SetSink swaps the journal's byte sink — a fault-injection hook for
+// tests that need appends to fail deterministically. Passing nil
+// restores the journal file.
+func (s *Store) SetSink(w AppendSyncer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w == nil {
+		s.sink = s.f
+		return
+	}
+	s.sink = w
+}
+
+// Close closes the journal file. It does NOT compact: tests simulate
+// a crash by closing abruptly, and a real crash gets no goodbye
+// either — clean shutdowns call Compact explicitly first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// writeFileSync writes path with the given contents and fsyncs it.
+func writeFileSync(path string, raw []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("persist: create %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: sync %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("persist: sync dir: %w", err)
+	}
+	return nil
+}

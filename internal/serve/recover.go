@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
+)
+
+// RecoveryInfo summarizes what a Server restored from its state dir
+// at boot; the daemon logs it so an operator can audit a restart.
+type RecoveryInfo struct {
+	// StateDir is the recovered state dir.
+	StateDir string `json:"state_dir"`
+	// Datasets counts re-ingested datasets; SpentRho is their summed
+	// cumulative spend (monotone across restarts: replay only ever
+	// adds charges, never refunds).
+	Datasets int     `json:"datasets"`
+	SpentRho float64 `json:"spent_rho"`
+	// Jobs counts restored job records; InterruptedJobs of them were
+	// admitted (and charged) but unfinished at the crash and replay as
+	// charged failures.
+	Jobs            int `json:"jobs"`
+	InterruptedJobs int `json:"interrupted_jobs"`
+	// SkippedRecords counts journal records replay could not apply
+	// (unknown types, unknown references); TruncatedBytes is the torn
+	// journal tail dropped at open.
+	SkippedRecords int   `json:"skipped_records,omitempty"`
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// Warnings describe datasets that could not be re-ingested (their
+	// jobs are kept, but no new releases can be admitted for them).
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// String renders the one-line boot summary.
+func (r *RecoveryInfo) String() string {
+	s := fmt.Sprintf("recovered %d dataset(s) (cumulative ρ=%.6g) and %d job(s), %d interrupted → charged failures",
+		r.Datasets, r.SpentRho, r.Jobs, r.InterruptedJobs)
+	if r.SkippedRecords > 0 {
+		s += fmt.Sprintf(", %d record(s) skipped", r.SkippedRecords)
+	}
+	if r.TruncatedBytes > 0 {
+		s += fmt.Sprintf(", %d torn byte(s) truncated", r.TruncatedBytes)
+	}
+	if len(r.Warnings) > 0 {
+		s += fmt.Sprintf(", %d warning(s)", len(r.Warnings))
+	}
+	return s
+}
+
+// restoreState rebuilds the registry and queue from replayed durable
+// state: datasets re-ingest their spooled CSV and restore their
+// ledger position; jobs restore per Queue.restoreJobs. A dataset that
+// fails to re-ingest is reported as a warning and skipped — its jobs
+// survive as metadata, and since the dataset is absent no release can
+// be admitted against its (unreconstructible) ledger, which is the
+// conservative direction.
+func restoreState(reg *Registry, q *Queue, store *persist.Store, st *persist.State) *RecoveryInfo {
+	info := &RecoveryInfo{
+		StateDir:       store.Dir(),
+		SkippedRecords: st.SkippedRecords,
+		TruncatedBytes: st.TruncatedBytes,
+	}
+	for i := range st.Datasets {
+		ds := &st.Datasets[i]
+		// Reserve the id up front: even a dataset that fails to
+		// restore below keeps its id, so a future registration can
+		// never reuse it (reuse would overwrite the old spool and
+		// conflate two ledgers in the durable state).
+		reg.reserve(ds.ID)
+		var schema *netdpsyn.Schema
+		switch ds.Kind {
+		case "flow":
+			schema = netdpsyn.FlowSchema(ds.Label)
+		case "packet":
+			schema = netdpsyn.PacketSchema()
+		default:
+			info.Warnings = append(info.Warnings,
+				fmt.Sprintf("dataset %s: unknown schema kind %q, not restored", ds.ID, ds.Kind))
+			continue
+		}
+		f, err := os.Open(store.SpoolPath(ds.Spool))
+		if err != nil {
+			info.Warnings = append(info.Warnings,
+				fmt.Sprintf("dataset %s: open spool: %v, not restored", ds.ID, err))
+			continue
+		}
+		table, err := netdpsyn.LoadCSV(f, schema)
+		f.Close()
+		if err != nil {
+			info.Warnings = append(info.Warnings,
+				fmt.Sprintf("dataset %s: re-ingest spool %s: %v, not restored", ds.ID, ds.Spool, err))
+			continue
+		}
+		b, err := NewBudget(ds.CeilingRho, ds.Delta)
+		if err != nil {
+			info.Warnings = append(info.Warnings,
+				fmt.Sprintf("dataset %s: restore ledger: %v, not restored", ds.ID, err))
+			continue
+		}
+		b.restore(ds.SpentRho, ds.Releases)
+		b.bind(store)
+		reg.restore(&Dataset{
+			ID:     ds.ID,
+			Name:   ds.Name,
+			Kind:   ds.Kind,
+			Label:  ds.Label,
+			table:  table,
+			budget: b,
+		})
+		info.Datasets++
+		info.SpentRho += ds.SpentRho
+	}
+	q.restoreJobs(st.Jobs, info)
+	return info
+}

@@ -3,9 +3,13 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
 )
 
 // Dataset is one registered trace table: the decoded table itself,
@@ -111,28 +115,61 @@ type Registry struct {
 	// budget), so an uncapped registry is an OOM vector.
 	max  int
 	byID map[string]*Dataset
+	// store, when non-nil, makes registrations durable: the raw CSV is
+	// spooled and the registration journaled before the dataset
+	// becomes visible, so a dataset can never accumulate spend that a
+	// restart would forget.
+	store *persist.Store
 }
 
 // NewRegistry creates an empty registry capped at max datasets (≤ 0
-// means 64).
-func NewRegistry(max int) *Registry {
+// means 64). A nil store keeps the registry volatile.
+func NewRegistry(max int, store *persist.Store) *Registry {
 	if max <= 0 {
 		max = 64
 	}
-	return &Registry{max: max, byID: make(map[string]*Dataset)}
+	return &Registry{max: max, byID: make(map[string]*Dataset), store: store}
 }
 
 // Register adds a loaded table under a fresh id with the given budget
-// ledger, or returns ErrRegistryFull at the cap.
-func (r *Registry) Register(name, kind, label string, t *netdpsyn.Table, b *Budget) (*Dataset, error) {
+// ledger, or returns ErrRegistryFull at the cap. raw is the CSV the
+// table was loaded from, spooled for re-ingestion after a restart;
+// a durable-write failure returns ErrPersist (wrapped) and registers
+// nothing.
+func (r *Registry) Register(name, kind, label string, t *netdpsyn.Table, b *Budget, raw []byte) (*Dataset, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.byID) >= r.max {
 		return nil, fmt.Errorf("%w: %d datasets registered", ErrRegistryFull, len(r.byID))
 	}
+	id := fmt.Sprintf("ds-%d", r.next+1)
+	if r.store != nil {
+		// Spool before journal: a journaled dataset record must always
+		// find its CSV at replay (the reverse — an orphan spool file —
+		// is harmless).
+		spool, err := r.store.WriteSpool(id, raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		st := b.Snapshot()
+		err = r.store.AppendDataset(persist.DatasetRecord{
+			ID:         id,
+			Name:       name,
+			Kind:       kind,
+			Label:      label,
+			CeilingRho: st.CeilingRho,
+			Delta:      st.Delta,
+			Spool:      spool,
+			Registered: time.Now(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		b.bind(r.store)
+	}
 	r.next++
 	d := &Dataset{
-		ID:     fmt.Sprintf("ds-%d", r.next),
+		ID:     id,
 		seq:    r.next,
 		Name:   name,
 		Kind:   kind,
@@ -143,6 +180,38 @@ func (r *Registry) Register(name, kind, label string, t *netdpsyn.Table, b *Budg
 	}
 	r.byID[d.ID] = d
 	return d, nil
+}
+
+// reserve advances the id sequence past a journaled dataset id,
+// whether or not its dataset could be restored. A skipped dataset's
+// id must never be reissued: a new registration under it would
+// overwrite the old spool file and collide with the old registration
+// record in the durable state machine, conflating two datasets'
+// ledgers.
+func (r *Registry) reserve(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "ds-")); err == nil && n > r.next {
+		r.next = n
+	}
+}
+
+// restore installs a recovered dataset under its original id (call
+// reserve first so the id sequence is past it). Recovery runs before
+// the registry is visible to requests, so the cap is not enforced
+// here: a dataset with journaled spend must never be dropped for a
+// sizing knob.
+func (r *Registry) restore(d *Dataset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, err := strconv.Atoi(strings.TrimPrefix(d.ID, "ds-")); err == nil && n > r.next {
+		r.next = n
+	}
+	d.seq = r.next
+	if d.pool == nil {
+		d.pool = make(map[string]*netdpsyn.Synthesizer)
+	}
+	r.byID[d.ID] = d
 }
 
 // Get looks a dataset up by id.

@@ -1,0 +1,398 @@
+package serve
+
+// Crash/restart tests for the durable service state. These run inside
+// the serve package so a "crash" can be simulated faithfully: the
+// store is closed abruptly underneath a live server — no drain, no
+// compaction, in-flight jobs abandoned mid-run exactly as a kill -9
+// would leave them — and a second server is then recovered from the
+// same state dir. The subprocess SIGKILL harness lives in
+// cmd/netdpsynd; this file covers the same contract at unit speed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
+)
+
+// registerFlow registers a small emulated TON flow trace over HTTP
+// and returns the dataset id.
+func registerFlow(t *testing.T, ts *httptest.Server, rows int, query string) string {
+	t.Helper()
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: rows, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := raw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/datasets?label=" + datagen.LabelField(datagen.TON)
+	if query != "" {
+		url += "&" + query
+	}
+	resp, err := ts.Client().Post(url, "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register = %d", resp.StatusCode)
+	}
+	return info.ID
+}
+
+// submit posts a synthesis request and returns the response + status.
+func submit(t *testing.T, ts *httptest.Server, dsID string, req SynthesisRequest) (SynthesisResponse, int) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/datasets/"+dsID+"/synthesize", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack SynthesisResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ack)
+	return ack, resp.StatusCode
+}
+
+// TestRestartRecovery is the in-process acceptance walkthrough: crash
+// the daemon with one job finished and one mid-run, restart from the
+// same state dir, and assert (1) cumulative ρ is monotone across the
+// restart, (2) the interrupted job replays as a charged failure, (3)
+// a request past the ceiling still gets 403, and (4) an identical
+// resubmit of the completed job is served from cache at zero new
+// spend.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	jobRho, err := netdpsyn.RhoFromEpsDelta(1.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := 2.5 * jobRho // two releases fit, a third does not
+
+	s1, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	dsID := registerFlow(t, ts1, 200, fmt.Sprintf("budget_rho=%g&budget_delta=1e-5", ceiling))
+
+	// Job A completes before the crash.
+	reqA := SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 11}
+	ackA, code := submit(t, ts1, dsID, reqA)
+	if code != http.StatusAccepted {
+		t.Fatalf("job A = %d", code)
+	}
+	jA, err := s1.WaitJob(ackA.JobID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jA.State() != JobDone {
+		t.Fatalf("job A = %s (%s)", jA.State(), jA.Snapshot().Error)
+	}
+
+	// Job B is admitted (charged, journaled, fsync'd) and killed
+	// mid-run: enough iterations that it cannot finish before the
+	// store is yanked a few statements below.
+	reqB := SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 500, Seed: 12}
+	ackB, code := submit(t, ts1, dsID, reqB)
+	if code != http.StatusAccepted {
+		t.Fatalf("job B = %d", code)
+	}
+	preCrash := 2 * jobRho
+
+	// Crash: close the journal underneath the live server and walk
+	// away. No drain, no compaction; B's runner keeps computing in the
+	// background but its terminal record has nowhere to land — the
+	// journal's last word on B is its admission charge.
+	if err := s1.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Restart from the same state dir.
+	s2, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	rec := s2.Recovery()
+	if rec == nil {
+		t.Fatal("no recovery info with a state dir")
+	}
+	if rec.Datasets != 1 || rec.Jobs != 2 || rec.InterruptedJobs != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+
+	// (1) Spend is monotone across the restart: the replayed ledger
+	// holds both admission charges, including the interrupted job's.
+	d, ok := s2.reg.Get(dsID)
+	if !ok {
+		t.Fatalf("dataset %s not recovered", dsID)
+	}
+	spent := d.Budget().Snapshot().SpentRho
+	if spent < preCrash-1e-12 {
+		t.Fatalf("spend shrank across restart: %v < %v", spent, preCrash)
+	}
+	if math.Abs(spent-preCrash) > 1e-12 {
+		t.Fatalf("recovered spend = %v, want %v", spent, preCrash)
+	}
+
+	// (2) The interrupted job replays as a charged failure: its ρ is
+	// retained, its state is failed, and it was not silently re-run.
+	jB, ok := s2.queue.Get(ackB.JobID)
+	if !ok {
+		t.Fatalf("interrupted job %s not recovered", ackB.JobID)
+	}
+	infoB := jB.Snapshot()
+	if infoB.State != JobFailed || !strings.Contains(infoB.Error, "restart") {
+		t.Fatalf("interrupted job = %s (%q), want charged failure", infoB.State, infoB.Error)
+	}
+	if math.Abs(infoB.Rho-jobRho) > 1e-12 {
+		t.Fatalf("interrupted job ρ = %v, want %v", infoB.Rho, jobRho)
+	}
+
+	// (3) A third distinct release would cross the ceiling: 403, and
+	// the ledger is untouched.
+	if _, code := submit(t, ts2, dsID, SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 13}); code != http.StatusForbidden {
+		t.Fatalf("over-ceiling after restart = %d, want 403", code)
+	}
+	if got := d.Budget().Snapshot().SpentRho; math.Abs(got-spent) > 1e-12 {
+		t.Fatalf("403 changed the ledger: %v → %v", spent, got)
+	}
+
+	// (4) An identical resubmit of the completed job cache-hits the
+	// recovered job at zero new charge (the result itself was not
+	// persisted, so the deterministic computation re-runs — re-running
+	// a fixed (Config, Seed) releases no new information).
+	ackA2, code := submit(t, ts2, dsID, reqA)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit A = %d", code)
+	}
+	if !ackA2.Cached || ackA2.JobID != ackA.JobID {
+		t.Fatalf("resubmit A: cached=%v job=%s, want cache hit on %s", ackA2.Cached, ackA2.JobID, ackA.JobID)
+	}
+	if got := d.Budget().Snapshot().SpentRho; math.Abs(got-spent) > 1e-12 {
+		t.Fatalf("cached resubmit charged the ledger: %v → %v", spent, got)
+	}
+	jA2, err := s2.WaitJob(ackA.JobID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := jA2.Result(); !ok {
+		t.Fatalf("regenerated job A holds no result (state %s)", jA2.State())
+	}
+
+	// A clean shutdown compacts; a third boot replays from the
+	// snapshot with nothing interrupted (the charged failure was
+	// journaled at recovery, so it does not re-count).
+	shutdownServer(t, s2)
+	s3, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, s3)
+	rec3 := s3.Recovery()
+	if rec3.InterruptedJobs != 0 {
+		t.Fatalf("third boot re-counted interruptions: %+v", rec3)
+	}
+	if rec3.SpentRho < preCrash-1e-12 {
+		t.Fatalf("spend shrank by the third boot: %v", rec3.SpentRho)
+	}
+	d3, _ := s3.reg.Get(dsID)
+	if got := d3.Budget().Snapshot().SpentRho; math.Abs(got-spent) > 1e-12 {
+		t.Fatalf("third-boot spend = %v, want %v", got, spent)
+	}
+}
+
+func shutdownServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkippedDatasetIDNeverReused: a dataset that fails to re-ingest
+// at recovery (spool lost) still keeps its id reserved — a new
+// registration must never reuse it, since reuse would overwrite the
+// old spool and conflate two ledgers in the durable state machine.
+func TestSkippedDatasetIDNeverReused(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	if id := registerFlow(t, ts1, 100, ""); id != "ds-1" {
+		t.Fatalf("first id = %s", id)
+	}
+	if id := registerFlow(t, ts1, 100, ""); id != "ds-2" {
+		t.Fatalf("second id = %s", id)
+	}
+	shutdownServer(t, s1)
+	ts1.Close()
+
+	// Lose ds-2's spool: it cannot re-ingest at the next boot.
+	if err := os.Remove(filepath.Join(dir, "spool", "ds-2.csv")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, s2)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	rec := s2.Recovery()
+	if rec.Datasets != 1 || len(rec.Warnings) != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if _, ok := s2.reg.Get("ds-2"); ok {
+		t.Fatal("spool-less dataset should not have been restored")
+	}
+	// The skipped dataset's id stays burned: the next registration
+	// gets a fresh one.
+	if id := registerFlow(t, ts2, 100, ""); id != "ds-3" {
+		t.Fatalf("post-recovery registration reused id: got %s, want ds-3", id)
+	}
+}
+
+// failingSink fails every journal write, for fault injection.
+type failingSink struct{}
+
+func (failingSink) Write([]byte) (int, error) { return 0, errors.New("injected journal failure") }
+func (failingSink) Sync() error               { return errors.New("injected journal failure") }
+
+// TestJournalFailure503 locks in the satellite contract: when the
+// journal cannot make a charge durable, the admission answers 503
+// (retryable) and no unpersisted ρ is charged; registration behaves
+// the same. Recovery of the sink restores normal service.
+func TestJournalFailure503(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	dsID := registerFlow(t, ts, 150, "")
+	d, _ := s.reg.Get(dsID)
+
+	s.store.SetSink(failingSink{})
+
+	// Admission: 503, ledger untouched, no job admitted.
+	ack, code := submit(t, ts, dsID, SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 1})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("synthesize with failing journal = %d, want 503", code)
+	}
+	if st := d.Budget().Snapshot(); st.SpentRho != 0 || st.Releases != 0 {
+		t.Fatalf("failing journal charged the ledger: %+v", st)
+	}
+	if ack.JobID != "" {
+		t.Fatalf("failing journal admitted job %q", ack.JobID)
+	}
+
+	// Registration: also 503, nothing registered.
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := raw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/datasets?label="+datagen.LabelField(datagen.TON), "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("register with failing journal = %d, want 503", resp.StatusCode)
+	}
+	if ds := s.reg.List(); len(ds) != 1 {
+		t.Fatalf("failing journal registered a dataset: %d", len(ds))
+	}
+
+	// Sink recovers: the retried admission succeeds and charges once.
+	s.store.SetSink(nil)
+	ack, code = submit(t, ts, dsID, SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("retried synthesize = %d, want 202", code)
+	}
+	if _, err := s.WaitJob(ack.JobID, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Budget().Snapshot(); st.Releases != 1 {
+		t.Fatalf("retry should charge exactly once: %+v", st)
+	}
+}
+
+// failingChargeJournal implements chargeJournal and always fails.
+type failingChargeJournal struct{}
+
+func (failingChargeJournal) AppendCharge(persist.ChargeRecord) error {
+	return errors.New("injected charge-journal failure")
+}
+
+// TestBudgetChargeJournalPlumbing unit-tests the error plumbing the
+// satellite asks for: a journal-write failure surfaces as ErrPersist
+// from Budget.Charge with the ledger unmutated, and is distinguishable
+// from ErrBudgetExceeded.
+func TestBudgetChargeJournalPlumbing(t *testing.T) {
+	b, err := NewBudget(1.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.bind(failingChargeJournal{})
+	rec := &persist.ChargeRecord{JobID: "job-1", DatasetID: "ds-1", Rho: 0.5}
+	err = b.Charge(0.5, rec)
+	if !errors.Is(err, ErrPersist) {
+		t.Fatalf("charge with failing journal = %v, want ErrPersist", err)
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("persist failure must not read as a budget refusal")
+	}
+	if st := b.Snapshot(); st.SpentRho != 0 || st.Releases != 0 {
+		t.Fatalf("failed journal charge mutated the ledger: %+v", st)
+	}
+	// The ceiling check still runs first: an over-ceiling charge is a
+	// 403-shaped refusal even while the journal is down.
+	if err := b.Charge(2.0, rec); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-ceiling charge = %v, want ErrBudgetExceeded", err)
+	}
+	// Without a record (volatile callers) the journal is not
+	// consulted.
+	if err := b.Charge(0.5, nil); err != nil {
+		t.Fatalf("record-less charge = %v", err)
+	}
+	if st := b.Snapshot(); st.SpentRho != 0.5 || st.Releases != 1 {
+		t.Fatalf("ledger after record-less charge: %+v", st)
+	}
+}

@@ -19,6 +19,16 @@ import (
 	"github.com/netdpsyn/netdpsyn/internal/serve"
 )
 
+// newTestServer builds a Server, failing the test on wiring errors.
+func newTestServer(t *testing.T, opts serve.Options) *serve.Server {
+	t.Helper()
+	s, err := serve.NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // flowCSV renders a small emulated TON flow trace as CSV.
 func flowCSV(t *testing.T, rows int) (string, string) {
 	t.Helper()
@@ -93,7 +103,7 @@ func pollJob(t *testing.T, client *http.Client, base, id string) serve.JobInfo {
 // budget endpoint, see a request past the ceiling rejected with 403,
 // and see a cached identical request come back without new spend.
 func TestEndToEnd(t *testing.T) {
-	s := serve.NewServer(serve.Options{MaxConcurrentJobs: 2, Workers: 2})
+	s := newTestServer(t, serve.Options{MaxConcurrentJobs: 2, Workers: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -230,7 +240,7 @@ func TestEndToEnd(t *testing.T) {
 }
 
 func TestRequestValidation(t *testing.T) {
-	s := serve.NewServer(serve.Options{})
+	s := newTestServer(t, serve.Options{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -315,7 +325,7 @@ func TestRequestValidation(t *testing.T) {
 // registration answers 429 (each dataset pins its table in memory for
 // the daemon's lifetime).
 func TestRegistryCap(t *testing.T) {
-	s := serve.NewServer(serve.Options{MaxDatasets: 1})
+	s := newTestServer(t, serve.Options{MaxDatasets: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -337,7 +347,7 @@ func TestRegistryCap(t *testing.T) {
 // and a request spelling out the pipeline defaults are the same
 // release: one cache entry, one budget charge.
 func TestCacheNormalization(t *testing.T) {
-	s := serve.NewServer(serve.Options{MaxConcurrentJobs: 1, Workers: 1})
+	s := newTestServer(t, serve.Options{MaxConcurrentJobs: 1, Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -389,7 +399,7 @@ func TestCacheNormalization(t *testing.T) {
 // TestResultNotReady covers the poll-before-done path: a queued or
 // running job's result endpoint answers 409, not a partial CSV.
 func TestResultNotReady(t *testing.T) {
-	s := serve.NewServer(serve.Options{MaxConcurrentJobs: 1, Workers: 1})
+	s := newTestServer(t, serve.Options{MaxConcurrentJobs: 1, Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -428,7 +438,7 @@ func TestResultNotReady(t *testing.T) {
 // (and budget-charged) before Shutdown complete, and admissions after
 // it are refused.
 func TestGracefulShutdown(t *testing.T) {
-	s := serve.NewServer(serve.Options{MaxConcurrentJobs: 2, Workers: 1})
+	s := newTestServer(t, serve.Options{MaxConcurrentJobs: 2, Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -483,13 +493,13 @@ func TestBudgetLedger(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Charge(0.6); err != nil {
+	if err := b.Charge(0.6, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Charge(0.6); err == nil {
+	if err := b.Charge(0.6, nil); err == nil {
 		t.Fatal("overdraw must error")
 	}
-	if err := b.Charge(0.4); err != nil {
+	if err := b.Charge(0.4, nil); err != nil {
 		t.Fatalf("exact remainder refused: %v", err)
 	}
 	st := b.Snapshot()

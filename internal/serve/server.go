@@ -1,15 +1,18 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
 )
 
 // Options configures the service.
@@ -33,6 +36,13 @@ type Options struct {
 	// MaxDatasets bounds the registry — each dataset pins its table
 	// in memory for the daemon's lifetime (≤ 0 means 64).
 	MaxDatasets int
+	// StateDir, when non-empty, makes the service restart-safe: the
+	// budget ledger, dataset registry, and job journal are persisted
+	// there (append-only journal + compacted snapshots + a CSV spool),
+	// every charge fsync'd before its job runs. Empty keeps all state
+	// in memory — a restart then forgets cumulative spend, which is a
+	// privacy bug for any deployment that outlives its process.
+	StateDir string
 }
 
 // Server is the netdpsynd HTTP service: a dataset registry, a
@@ -48,16 +58,20 @@ type Options struct {
 //	GET  /jobs/{id}/result.csv        fetch a finished job's trace
 //	GET  /healthz                     liveness
 type Server struct {
-	opts  Options
-	reg   *Registry
-	queue *Queue
-	mux   *http.ServeMux
-	http  *http.Server
+	opts     Options
+	reg      *Registry
+	queue    *Queue
+	store    *persist.Store // nil when StateDir is empty
+	recovery *RecoveryInfo  // nil when StateDir is empty
+	mux      *http.ServeMux
+	http     *http.Server
 }
 
 // NewServer wires the service together; call ListenAndServe (or mount
-// Handler in a test server) to serve it.
-func NewServer(opts Options) *Server {
+// Handler in a test server) to serve it. With Options.StateDir set it
+// recovers durable state first and can fail (unreadable dir, corrupt
+// snapshot); Recovery then reports what was restored.
+func NewServer(opts Options) (*Server, error) {
 	if opts.DefaultBudgetEps == 0 {
 		opts.DefaultBudgetEps = 8.0
 	}
@@ -67,13 +81,27 @@ func NewServer(opts Options) *Server {
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = 256 << 20
 	}
+	var (
+		store *persist.Store
+		state *persist.State
+	)
+	if opts.StateDir != "" {
+		var err error
+		store, state, err = persist.Open(opts.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: open state dir %s: %w", opts.StateDir, err)
+		}
+	}
 	s := &Server{
 		opts:  opts,
-		reg:   NewRegistry(opts.MaxDatasets),
-		queue: nil,
+		reg:   NewRegistry(opts.MaxDatasets, store),
+		store: store,
 		mux:   http.NewServeMux(),
 	}
-	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers)
+	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers, store)
+	if state != nil {
+		s.recovery = restoreState(s.reg, s.queue, store, state)
+	}
 
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -87,11 +115,16 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result.csv", s.handleJobResult)
 
 	s.http = &http.Server{Addr: opts.Addr, Handler: s.mux}
-	return s
+	return s, nil
 }
 
 // Handler exposes the route table, for tests via httptest.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Recovery reports what NewServer restored from the state dir, or nil
+// when the service runs without one (or started fresh — a fresh dir
+// recovers zero of everything).
+func (s *Server) Recovery() *RecoveryInfo { return s.recovery }
 
 // ListenAndServe serves until Shutdown; it returns nil after a clean
 // shutdown.
@@ -103,11 +136,19 @@ func (s *Server) ListenAndServe() error {
 	return err
 }
 
-// Shutdown stops accepting requests, then drains the job queue so
-// admitted (budget-charged) jobs finish before the process exits.
+// Shutdown stops accepting requests, drains the job queue so admitted
+// (budget-charged) jobs finish before the process exits, then
+// compacts and closes the durable store so the next boot replays a
+// snapshot instead of a long journal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	httpErr := s.http.Shutdown(ctx)
 	queueErr := s.queue.Shutdown(ctx)
+	if s.store != nil {
+		// Best-effort: an uncompacted journal replays identically,
+		// just slower.
+		_ = s.store.Compact()
+		_ = s.store.Close()
+	}
 	if httpErr != nil {
 		return httpErr
 	}
@@ -129,6 +170,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// uploadErr maps an oversize-upload error to its 413 response;
+// (0, "") means the error was something else.
+func uploadErr(err error) (int, string) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("dataset exceeds the %d-byte upload limit", tooBig.Limit)
+	}
+	return 0, ""
 }
 
 // handleRegister loads the CSV request body against the named schema
@@ -202,12 +254,28 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	// With a store, buffer the raw CSV (bounded by the upload limit)
+	// so the registry can spool the exact bytes for re-ingestion after
+	// a restart; without one, stream straight into the parser — the
+	// copy would be pure RSS for nothing.
+	body := io.Reader(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	var raw []byte
+	if s.store != nil {
+		var err error
+		if raw, err = io.ReadAll(body); err != nil {
+			if code, msg := uploadErr(err); code != 0 {
+				writeErr(w, code, "%s", msg)
+				return
+			}
+			writeErr(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		body = bytes.NewReader(raw)
+	}
 	table, err := netdpsyn.LoadCSV(body, schema)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "dataset exceeds the %d-byte upload limit", tooBig.Limit)
+		if code, msg := uploadErr(err); code != 0 {
+			writeErr(w, code, "%s", msg)
 			return
 		}
 		writeErr(w, http.StatusBadRequest, "load CSV: %v", err)
@@ -217,8 +285,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "dataset has no rows")
 		return
 	}
-	d, err := s.reg.Register(q.Get("name"), kind, label, table, budget)
-	if err != nil {
+	d, err := s.reg.Register(q.Get("name"), kind, label, table, budget, raw)
+	switch {
+	case errors.Is(err, ErrPersist):
+		// The registration did not happen; durable-state writes are
+		// retryable.
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
@@ -308,7 +382,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrBudgetExceeded):
 		writeErr(w, http.StatusForbidden, "%v", err)
 		return
-	case errors.Is(err, ErrQueueClosed), errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueClosed), errors.Is(err, ErrQueueFull), errors.Is(err, ErrPersist):
+		// ErrPersist: the journal could not make the charge durable, so
+		// no ρ was charged and the job was not admitted — retryable.
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:

@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -203,7 +204,52 @@ func BenchmarkStageTimings(b *testing.B) {
 		b.ReportMetric(ms(busy[name]), name+"-busy-ms")
 	}
 	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
-		if err := writeStageTimingsJSON(path, b.N, elapsed, wall, busy); err != nil {
+		if err := writeStageTimingsJSON(path, "BenchmarkStageTimings", b.N, elapsed, wall, busy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowedThroughput tracks the streaming/windowed path's
+// cost alongside the per-stage trajectory: a 4-window synthesis over
+// a time-sorted trace through the same incremental engine that
+// SynthesizeStream and the netdpsynd windowed job kind use. Reports
+// input rows/sec; with BENCH_STAGE_JSON set, merges a "windowed"
+// pseudo-stage (per-op wall, summed per-window busy) into the same
+// BENCH_stage_timings.json that BenchmarkStageTimings emits, so
+// cmd/benchtraj tracks both against one committed baseline.
+func BenchmarkWindowedThroughput(b *testing.B) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 4000, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw = raw.SortBy(raw.Schema().Index(netdpsyn.FieldTS))
+	syn, err := netdpsyn.New(netdpsyn.Config{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const windows = 4
+	var busy time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := syn.SynthesizeWindows(raw, windows, func(wr netdpsyn.WindowResult) error {
+			for _, st := range wr.Stages {
+				busy += st.Busy
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	rowsPerSec := float64(raw.NumRows()) * float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(rowsPerSec, "rows/sec")
+	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
+		wall := map[string]time.Duration{"windowed": elapsed}
+		busyM := map[string]time.Duration{"windowed": busy}
+		if err := writeStageTimingsJSON(path, "BenchmarkWindowedThroughput", b.N, elapsed, wall, busyM); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -228,14 +274,17 @@ type stageTimingsEntry struct {
 	BusyMS float64 `json:"busy_ms"`
 }
 
-// writeStageTimingsJSON renders the stage metrics as the bench
-// trajectory artifact.
-func writeStageTimingsJSON(path string, n int, elapsed time.Duration, wall, busy map[string]time.Duration) error {
+// writeStageTimingsJSON merges the given benchmark's stage metrics
+// into the bench trajectory artifact: an existing file's stages and
+// benchfmt lines are kept (same-named stages overwritten), so
+// BenchmarkStageTimings and BenchmarkWindowedThroughput run in one CI
+// step and land in one artifact.
+func writeStageTimingsJSON(path, bench string, n int, elapsed time.Duration, wall, busy map[string]time.Duration) error {
 	ms := func(d time.Duration) float64 {
 		return float64(d.Microseconds()) / 1e3 / float64(n)
 	}
 	out := stageTimingsFile{
-		Benchmark: "BenchmarkStageTimings",
+		Benchmark: bench,
 		Go:        runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -243,18 +292,42 @@ func writeStageTimingsJSON(path string, n int, elapsed time.Duration, wall, busy
 		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(n),
 		Stages:    make(map[string]stageTimingsEntry, len(wall)),
 	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old stageTimingsFile
+		if json.Unmarshal(prev, &old) == nil {
+			for name, e := range old.Stages {
+				out.Stages[name] = e
+			}
+			for _, l := range old.Benchfmt {
+				// Re-running the same benchmark replaces its line.
+				if !strings.HasPrefix(l, bench+"-") {
+					out.Benchfmt = append(out.Benchfmt, l)
+				}
+			}
+		}
+	}
 	names := make([]string, 0, len(wall))
 	for name := range wall {
 		names = append(names, name)
 		out.Stages[name] = stageTimingsEntry{WallMS: ms(wall[name]), BusyMS: ms(busy[name])}
 	}
 	sort.Strings(names)
-	line := fmt.Sprintf("BenchmarkStageTimings-%d %d %.0f ns/op", runtime.GOMAXPROCS(0), n, out.NsPerOp)
+	line := fmt.Sprintf("%s-%d %d %.0f ns/op", bench, runtime.GOMAXPROCS(0), n, out.NsPerOp)
 	for _, name := range names {
 		line += fmt.Sprintf(" %.3f %s-wall-ms %.3f %s-busy-ms",
 			out.Stages[name].WallMS, name, out.Stages[name].BusyMS, name)
 	}
-	out.Benchfmt = []string{line}
+	out.Benchfmt = append(out.Benchfmt, line)
+	// The file-level name is the union of the benchmarks that wrote it,
+	// derived from the lines so re-runs stay deterministic.
+	var benches []string
+	for _, l := range out.Benchfmt {
+		if i := strings.LastIndex(strings.Fields(l)[0], "-"); i > 0 {
+			benches = append(benches, strings.Fields(l)[0][:i])
+		}
+	}
+	sort.Strings(benches)
+	out.Benchmark = strings.Join(benches, "+")
 	raw, err := json.MarshalIndent(&out, "", " ")
 	if err != nil {
 		return err

@@ -9,11 +9,24 @@
 //
 // The input must contain the canonical header fields (srcip, dstip,
 // srcport, dstport, proto, ts, ... — see -schema).
+//
+// Two scaling modes partition the trace into disjoint time windows,
+// each synthesized under the full (ε, δ) budget (valid by parallel
+// composition) and written to the output as it completes:
+//
+//	netdpsyn -in flows.csv -windows 8        # load whole, window-by-window
+//	netdpsyn -in huge.csv -stream -window-rows 100000
+//
+// -stream never materializes the trace: the input is decoded in
+// batches and cut into windows of -window-rows records on the fly, so
+// memory stays bounded at any trace length. It requires the input to
+// be sorted by the ts field.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
@@ -29,52 +42,109 @@ func main() {
 		delta   = flag.Float64("delta", 1e-5, "privacy parameter δ")
 		iters   = flag.Int("iters", 200, "GUM update iterations (lower = faster, Figure 8)")
 		seed    = flag.Uint64("seed", 1, "random seed (deterministic output)")
-		nOut    = flag.Int("records", 0, "synthetic record count (0 = derive from noisy totals)")
+		nOut    = flag.Int("records", 0, "synthetic record count per synthesis (0 = derive from noisy totals)")
 		workers = flag.Int("workers", 0, "synthesis worker pool size (0 = all cores; output is identical for any value)")
+		windows = flag.Int("windows", 0, "split the loaded trace into this many disjoint time windows, each synthesized under the full budget (parallel composition)")
+		stream  = flag.Bool("stream", false, "stream the input window-by-window without materializing it (bounded memory; input must be sorted by ts)")
+		winRows = flag.Int("window-rows", 100000, "records per window in -stream mode")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *schema, *label, *eps, *delta, *iters, *seed, *nOut, *workers); err != nil {
+	if err := run(options{
+		in: *in, out: *out, schema: *schema, label: *label,
+		eps: *eps, delta: *delta, iters: *iters, seed: *seed,
+		records: *nOut, workers: *workers,
+		windows: *windows, stream: *stream, windowRows: *winRows,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "netdpsyn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, schemaName, label string, eps, delta float64, iters int, seed uint64, nOut, workers int) error {
-	if in == "" {
+type options struct {
+	in, out, schema, label string
+	eps, delta             float64
+	iters                  int
+	seed                   uint64
+	records, workers       int
+	windows                int
+	stream                 bool
+	windowRows             int
+}
+
+func run(o options) error {
+	if o.in == "" {
 		return fmt.Errorf("missing -in (input CSV)")
 	}
+	if o.stream && o.windows > 0 {
+		return fmt.Errorf("-stream cuts windows by -window-rows (the stream length is unknown up front); drop -windows")
+	}
+	if o.stream && o.windowRows <= 0 {
+		return fmt.Errorf("-window-rows must be positive in -stream mode, got %d", o.windowRows)
+	}
 	var schema *netdpsyn.Schema
-	switch schemaName {
+	switch o.schema {
 	case "flow":
-		schema = netdpsyn.FlowSchema(label)
+		schema = netdpsyn.FlowSchema(o.label)
 	case "packet":
 		schema = netdpsyn.PacketSchema()
 	default:
-		return fmt.Errorf("unknown -schema %q (want flow or packet)", schemaName)
+		return fmt.Errorf("unknown -schema %q (want flow or packet)", o.schema)
 	}
 
-	f, err := os.Open(in)
+	f, err := os.Open(o.in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+
+	w := io.Writer(os.Stdout)
+	if o.out != "" {
+		wf, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer wf.Close()
+		w = wf
+	}
+
+	syn, err := netdpsyn.New(netdpsyn.Config{
+		Epsilon:          o.eps,
+		Delta:            o.delta,
+		UpdateIterations: o.iters,
+		SynthRecords:     o.records,
+		Seed:             o.seed,
+		Workers:          o.workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.stream {
+		return runStream(syn, f, schema, w, o)
+	}
+
 	table, err := netdpsyn.LoadCSV(f, schema)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d records, %d attributes\n", table.NumRows(), table.NumCols())
 
-	syn, err := netdpsyn.New(netdpsyn.Config{
-		Epsilon:          eps,
-		Delta:            delta,
-		UpdateIterations: iters,
-		SynthRecords:     nOut,
-		Seed:             seed,
-		Workers:          workers,
-	})
-	if err != nil {
-		return err
+	if o.windows > 1 {
+		total := 0
+		app := csvAppender{w: w}
+		err := syn.SynthesizeWindows(table, o.windows, func(wr netdpsyn.WindowResult) error {
+			total += wr.Records
+			fmt.Fprintf(os.Stderr, "window %d/%d: %d records\n", wr.Window+1, o.windows, wr.Records)
+			return app.add(wr.Table)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "synthesized %d records across %d windows under (ε=%g, δ=%g)-DP per window (parallel composition)\n",
+			total, o.windows, o.eps, o.delta)
+		return nil
 	}
+
 	res, err := syn.Synthesize(table)
 	if err != nil {
 		return err
@@ -84,15 +154,42 @@ func run(in, out, schemaName, label string, eps, delta float64, iters int, seed 
 	for _, set := range res.SelectedMarginals {
 		fmt.Fprintf(os.Stderr, "  marginal: %v\n", set)
 	}
-
-	w := os.Stdout
-	if out != "" {
-		wf, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer wf.Close()
-		w = wf
-	}
 	return res.Table.WriteCSV(w)
+}
+
+// runStream drives the bounded-memory path: windows are cut from the
+// CSV stream as it decodes and written out as they are synthesized,
+// so neither the input nor the output trace ever exists in memory.
+func runStream(syn *netdpsyn.Synthesizer, r io.Reader, schema *netdpsyn.Schema, w io.Writer, o options) error {
+	total, windows := 0, 0
+	app := csvAppender{w: w}
+	err := syn.SynthesizeStream(r, schema, netdpsyn.StreamOptions{WindowRows: o.windowRows},
+		func(wr netdpsyn.WindowResult) error {
+			total += wr.Records
+			windows++
+			fmt.Fprintf(os.Stderr, "window %d: %d records\n", wr.Window+1, wr.Records)
+			return app.add(wr.Table)
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d records across %d windows under (ε=%g, δ=%g)-DP per window (parallel composition)\n",
+		total, windows, o.eps, o.delta)
+	return nil
+}
+
+// csvAppender concatenates per-window CSVs, keeping exactly one
+// header row across the whole file (keyed on the first emission, not
+// window index 0, which can be empty and skipped).
+type csvAppender struct {
+	w       io.Writer
+	started bool
+}
+
+func (a *csvAppender) add(t *netdpsyn.Table) error {
+	if !a.started {
+		a.started = true
+		return t.WriteCSV(a.w)
+	}
+	return t.WriteCSVBody(a.w)
 }

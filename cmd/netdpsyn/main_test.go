@@ -7,13 +7,17 @@ import (
 	"testing"
 
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
 )
 
-func writeTrace(t *testing.T, dir string) string {
+func writeTrace(t *testing.T, dir string, sorted bool) string {
 	t.Helper()
 	tab, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 400, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if sorted {
+		tab = tab.SortBy(tab.Schema().Index(trace.FieldTS))
 	}
 	path := filepath.Join(dir, "in.csv")
 	f, err := os.Create(path)
@@ -27,18 +31,31 @@ func writeTrace(t *testing.T, dir string) string {
 	return path
 }
 
-func TestRunEndToEnd(t *testing.T) {
-	dir := t.TempDir()
-	in := writeTrace(t, dir)
-	out := filepath.Join(dir, "out.csv")
-	if err := run(in, out, "flow", "label", 2.0, 1e-5, 5, 1, 0, 2); err != nil {
-		t.Fatal(err)
+func baseOptions(in, out string) options {
+	return options{
+		in: in, out: out, schema: "flow", label: "label",
+		eps: 2.0, delta: 1e-5, iters: 5, seed: 1, workers: 2,
+		windowRows: 100000,
 	}
-	data, err := os.ReadFile(out)
+}
+
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	return strings.Split(strings.TrimSpace(string(data)), "\n")
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir, false)
+	out := filepath.Join(dir, "out.csv")
+	if err := run(baseOptions(in, out)); err != nil {
+		t.Fatal(err)
+	}
+	lines := readLines(t, out)
 	if len(lines) < 100 {
 		t.Fatalf("output too small: %d lines", len(lines))
 	}
@@ -47,14 +64,75 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunWindowed(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir, false)
+	out := filepath.Join(dir, "windowed.csv")
+	o := baseOptions(in, out)
+	o.windows = 3
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	lines := readLines(t, out)
+	if len(lines) < 100 {
+		t.Fatalf("output too small: %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "srcip,") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	for i, l := range lines[1:] {
+		if strings.HasPrefix(l, "srcip,") {
+			t.Fatalf("stray header at line %d", i+2)
+		}
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTrace(t, dir, true) // streaming needs time-ordered input
+	out := filepath.Join(dir, "streamed.csv")
+	o := baseOptions(in, out)
+	o.stream = true
+	o.windowRows = 150 // 400 rows → 3 windows
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	lines := readLines(t, out)
+	if len(lines) < 100 {
+		t.Fatalf("output too small: %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "srcip,") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	for i, l := range lines[1:] {
+		if strings.HasPrefix(l, "srcip,") {
+			t.Fatalf("stray header at line %d", i+2)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "flow", "label", 2, 1e-5, 5, 1, 0, 0); err == nil {
+	if err := run(baseOptions("", "")); err == nil {
 		t.Error("missing input must error")
 	}
-	if err := run("nope.csv", "", "bogus", "label", 2, 1e-5, 5, 1, 0, 0); err == nil {
+	o := baseOptions("nope.csv", "")
+	o.schema = "bogus"
+	if err := run(o); err == nil {
 		t.Error("bad schema must error")
 	}
-	if err := run("definitely-missing.csv", "", "flow", "label", 2, 1e-5, 5, 1, 0, 0); err == nil {
+	if err := run(baseOptions("definitely-missing.csv", "")); err == nil {
 		t.Error("missing file must error")
+	}
+	o = baseOptions("in.csv", "")
+	o.stream = true
+	o.windows = 2
+	if err := run(o); err == nil {
+		t.Error("-stream with -windows must error")
+	}
+	o = baseOptions("in.csv", "")
+	o.stream = true
+	o.windowRows = 0
+	if err := run(o); err == nil {
+		t.Error("-stream with zero -window-rows must error")
 	}
 }

@@ -15,6 +15,14 @@
 //	curl localhost:8090/jobs/job-1/result.csv
 //	curl localhost:8090/datasets/ds-1/budget
 //
+// Large traces stream: register with ?stream=1 (chunked upload is
+// spooled straight to the state dir, never decoded whole), then
+// synthesize with {"windows": N} — the job reports per-window
+// progress and result.csv streams windows as they complete. The
+// -windows flag supplies a default window count for such datasets;
+// -stream accepts streaming registrations without a -state-dir by
+// spooling to a temp dir.
+//
 // With -state-dir the daemon is restart-safe: the budget ledger,
 // dataset registry, and job journal are persisted (every charge
 // fsync'd before its job runs), so a crash never forgets cumulative
@@ -47,10 +55,12 @@ func main() {
 		budgetEps   = flag.Float64("budget-eps", 8.0, "default per-dataset cumulative ε ceiling")
 		budgetDelta = flag.Float64("budget-delta", 1e-5, "δ for the default budget ceiling")
 		drain       = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
-		stateDir    = flag.String("state-dir", "", "directory for durable service state (budget ledger, dataset registry, job journal); empty = in-memory only, spend is forgotten on restart")
+		stateDir    = flag.String("state-dir", "", "directory for durable service state (budget ledger, dataset registry, job journal, result spool); empty = in-memory only, spend is forgotten on restart")
+		windows     = flag.Int("windows", 0, "default window count for synthesis against streaming datasets whose request omits it (0 = require an explicit windows value)")
+		stream      = flag.Bool("stream", false, "accept streaming registrations (?stream=1) without -state-dir by spooling uploads to a temp dir (not restart-safe)")
 	)
 	flag.Parse()
-	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta, *stateDir)
+	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta, *stateDir, *windows, *stream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
 		os.Exit(2)
@@ -62,7 +72,10 @@ func main() {
 }
 
 // buildOptions validates the flag values into serve.Options.
-func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64, stateDir string) (serve.Options, error) {
+func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64, stateDir string, windows int, stream bool) (serve.Options, error) {
+	if windows < 0 {
+		return serve.Options{}, fmt.Errorf("-windows must be non-negative, got %d", windows)
+	}
 	if addr == "" {
 		return serve.Options{}, fmt.Errorf("missing -addr")
 	}
@@ -79,12 +92,14 @@ func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64
 		return serve.Options{}, fmt.Errorf("-budget-delta must be in (0,1), got %v", budgetDelta)
 	}
 	return serve.Options{
-		Addr:               addr,
-		Workers:            workers,
-		MaxConcurrentJobs:  jobs,
-		DefaultBudgetEps:   budgetEps,
-		DefaultBudgetDelta: budgetDelta,
-		StateDir:           stateDir,
+		Addr:                addr,
+		Workers:             workers,
+		MaxConcurrentJobs:   jobs,
+		DefaultBudgetEps:    budgetEps,
+		DefaultBudgetDelta:  budgetDelta,
+		StateDir:            stateDir,
+		DefaultWindows:      windows,
+		AllowVolatileStream: stream,
 	}, nil
 }
 

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+)
+
+// BenchmarkGUMPlanUpdate measures one marginal's planning pass — the
+// cell-index tally it opens with is the inner loop of the synthesis
+// stage (≈90% of end-to-end runtime per §3.1), which is what the
+// column-stride accumulation targets.
+func BenchmarkGUMPlanUpdate(b *testing.B) {
+	const rows = 50_000
+	domains := []int{64, 32, 16}
+	names := []string{"a", "b", "c"}
+	ds := dataset.NewEncoded(names, domains, rows)
+	rng := rand.New(rand.NewPCG(3, 5))
+	for a, dom := range domains {
+		col := ds.Cols[a]
+		for r := range col {
+			col[r] = int32(rng.IntN(dom))
+		}
+	}
+	m := marginal.Compute(ds, []int{0, 1, 2})
+	g := NewGUM([]*marginal.Marginal{m}, rows, DefaultGUMConfig())
+	b.SetBytes(int64(len(domains)) * rows * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prng := rand.New(rand.NewPCG(uint64(i), 17))
+		planUpdate(ds, g.targets[0], 0.5, 0.5, prng)
+	}
+}

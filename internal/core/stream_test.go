@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/trace"
+)
+
+// sliceBatches feeds pre-cut batches as a BatchSource, emulating a
+// CSV stream over an in-memory table.
+type sliceBatches struct {
+	batches []*dataset.Table
+	next    int
+}
+
+func (s *sliceBatches) Next() (*dataset.Table, error) {
+	if s.next >= len(s.batches) {
+		return nil, io.EOF
+	}
+	b := s.batches[s.next]
+	s.next++
+	return b, nil
+}
+
+// batchesOf cuts a table into row batches of at most n rows, each a
+// self-contained table (as a CSV decoder would produce).
+func batchesOf(t *testing.T, tab *dataset.Table, n int) *sliceBatches {
+	t.Helper()
+	var out []*dataset.Table
+	for lo := 0; lo < tab.NumRows(); lo += n {
+		hi := lo + n
+		if hi > tab.NumRows() {
+			hi = tab.NumRows()
+		}
+		b := dataset.NewTable(tab.Schema(), hi-lo)
+		if err := b.AppendRowRange(tab, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return &sliceBatches{batches: out}
+}
+
+// TestStreamEquivalenceWithWindowed is the streaming contract: fixed
+// seed + fixed window count ⇒ streaming the trace window-by-window is
+// byte-identical to batch windowed synthesis on the pre-loaded table.
+func TestStreamEquivalenceWithWindowed(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1700, Seed: 131})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The streaming side requires a time-ordered trace; sorting first
+	// also makes the batch side's stable sort the identity, so both
+	// paths see identical partitions.
+	sorted := raw.SortBy(raw.Schema().Index(trace.FieldTS))
+	cfg := fastPipelineConfig()
+	const windows = 4
+
+	batch, err := SynthesizeWindowed(sorted, cfg, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := dataset.NewStreamWindows(batchesOf(t, sorted, 450), sorted.Schema(),
+		dataset.WindowSplit{Field: trace.FieldTS, Windows: windows, TotalRows: sorted.NumRows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed *dataset.Table
+	var reports []Report
+	err = SynthesizeStream(src, cfg, func(wr WindowResult) error {
+		reports = append(reports, wr.Report)
+		if streamed == nil {
+			streamed = wr.Table
+			return nil
+		}
+		return streamed.AppendRowRange(wr.Table, 0, wr.Table.NumRows())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(batch.WindowReports) {
+		t.Fatalf("windows: %d streamed vs %d batch", len(reports), len(batch.WindowReports))
+	}
+	tablesIdentical(t, batch.Table, streamed)
+	for i := range reports {
+		if reports[i].SynthRecords != batch.WindowReports[i].SynthRecords {
+			t.Errorf("window %d records: %d vs %d", i, reports[i].SynthRecords, batch.WindowReports[i].SynthRecords)
+		}
+	}
+}
+
+// TestSynthesizeStreamEmitsInOrder checks ordered delivery even with
+// several windows in flight.
+func TestSynthesizeStreamEmitsInOrder(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1200, Seed: 137})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := raw.SortBy(raw.Schema().Index(trace.FieldTS))
+	src, err := dataset.NewStreamWindows(batchesOf(t, sorted, 256), sorted.Schema(),
+		dataset.WindowSplit{Field: trace.FieldTS, MaxRows: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastPipelineConfig()
+	cfg.Workers = 4
+	want := 0
+	err = SynthesizeStream(src, cfg, func(wr WindowResult) error {
+		if wr.Window != want {
+			return fmt.Errorf("window %d emitted, want %d", wr.Window, want)
+		}
+		want++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 6 { // 1200 rows / 200 per window
+		t.Fatalf("emitted %d windows", want)
+	}
+}
+
+// TestSynthesizeStreamEmptyWindows covers rows < windows: the empty
+// windows consume indices but must neither stall the in-order emitter
+// nor occupy concurrency slots. (A regression here deadlocks, so the
+// test doubles as a liveness check.)
+func TestSynthesizeStreamEmptyWindows(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 5, Seed: 157})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := raw.SortBy(raw.Schema().Index(trace.FieldTS))
+	const windows = 16 // 5 rows into 16 windows: 11 empty
+	cfg := fastPipelineConfig()
+	cfg.Workers = 2
+
+	batch, err := SynthesizeWindowed(sorted, cfg, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.WindowReports) != 5 {
+		t.Fatalf("batch emitted %d windows, want 5 non-empty", len(batch.WindowReports))
+	}
+
+	src, err := dataset.NewStreamWindows(batchesOf(t, sorted, 2), sorted.Schema(),
+		dataset.WindowSplit{Field: trace.FieldTS, Windows: windows, TotalRows: sorted.NumRows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed *dataset.Table
+	emitted := 0
+	err = SynthesizeStream(src, cfg, func(wr WindowResult) error {
+		emitted++
+		if streamed == nil {
+			streamed = wr.Table
+			return nil
+		}
+		return streamed.AppendRowRange(wr.Table, 0, wr.Table.NumRows())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 5 {
+		t.Fatalf("streamed emitted %d windows, want 5", emitted)
+	}
+	tablesIdentical(t, batch.Table, streamed)
+}
+
+type failingSource struct {
+	yielded bool
+	tab     *dataset.Table
+}
+
+func (f *failingSource) Next() (*dataset.Table, error) {
+	if f.yielded {
+		return nil, fmt.Errorf("stream torn mid-trace")
+	}
+	f.yielded = true
+	return f.tab, nil
+}
+
+func TestSynthesizeStreamSourceError(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 400, Seed: 139})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = SynthesizeStream(&failingSource{tab: raw}, fastPipelineConfig(), func(WindowResult) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "torn mid-trace") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSynthesizeStreamEmitError(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 900, Seed: 149})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := raw.SortBy(raw.Schema().Index(trace.FieldTS))
+	src, err := dataset.NewStreamWindows(batchesOf(t, sorted, 300), sorted.Schema(),
+		dataset.WindowSplit{Field: trace.FieldTS, MaxRows: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err = SynthesizeStream(src, fastPipelineConfig(), func(wr WindowResult) error {
+		calls++
+		return fmt.Errorf("sink full")
+	})
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after failing", calls)
+	}
+}
+
+// TestSynthesizeStreamWindowError propagates a failing window with
+// its index.
+func TestSynthesizeStreamWindowError(t *testing.T) {
+	// A window whose rows are empty of signal still synthesizes; to
+	// force a pipeline error, hand the stream a window with zero
+	// usable schema — simplest is a one-row window with iterations
+	// misconfigured at the pipeline level.
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 200, Seed: 151})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastPipelineConfig()
+	cfg.GUM.Iterations = 0 // NewPipeline inside the stream must reject this
+	err = SynthesizeStream(&sliceBatches{}, cfg, func(WindowResult) error { return nil })
+	if err != nil {
+		t.Fatalf("empty source must be a clean EOF, got %v", err)
+	}
+	src, err := dataset.NewStreamWindows(batchesOf(t, raw.SortBy(raw.Schema().Index(trace.FieldTS)), 100),
+		raw.Schema(), dataset.WindowSplit{Field: trace.FieldTS, MaxRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = SynthesizeStream(src, cfg, func(WindowResult) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "iterations") {
+		t.Fatalf("err = %v", err)
+	}
+}

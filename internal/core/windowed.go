@@ -2,13 +2,36 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"sync"
 
 	"github.com/netdpsyn/netdpsyn/internal/dataset"
 	"github.com/netdpsyn/netdpsyn/internal/trace"
 )
 
-// WindowedResult is the output of a windowed synthesis run.
+// WindowSource yields disjoint time-contiguous record partitions of
+// one trace, in time order. Next returns io.EOF after the last
+// window; an empty window (zero rows) is skipped by the engine but
+// still consumes its window index, so a source's numbering is stable
+// whether or not every window is populated. dataset.StreamWindows and
+// NewTableWindows both satisfy this.
+type WindowSource interface {
+	Next() (*dataset.Table, error)
+}
+
+// WindowResult is one synthesized window, delivered incrementally by
+// SynthesizeStream in window order.
+type WindowResult struct {
+	// Window is the source's window index.
+	Window int
+	// Table is the synthesized trace for this window.
+	Table *dataset.Table
+	// Report carries the window's pipeline diagnostics.
+	Report Report
+}
+
+// WindowedResult is the output of a batch windowed synthesis run.
 type WindowedResult struct {
 	// Table concatenates the per-window syntheses in time order.
 	Table *dataset.Table
@@ -16,26 +39,178 @@ type WindowedResult struct {
 	WindowReports []Report
 }
 
-// SynthesizeWindowed splits a trace into `windows` disjoint
+// SynthesizeStream pulls windows from src and synthesizes each one
+// through the full pipeline as it arrives, emitting results in window
+// order. Memory stays bounded by the concurrency, not the stream
+// length: at most `workers` windows exist at once (in flight or
+// finished-but-unemitted), and a window's slot is released only when
+// its result has been emitted, so a slow early window cannot let the
+// reorder buffer grow without bound.
+//
+// Privacy: the windows are disjoint in records, so this is parallel
+// composition — every window is synthesized under the full (ε, δ)
+// budget of cfg and the combined release still satisfies (ε, δ)-DP at
+// record level. Each window's pipeline is seeded from (cfg.Seed,
+// window index) alone and sees only its own window's records
+// (including its own categorical dictionaries), so a window's output
+// is a deterministic function of its partition — the same property
+// the composition argument needs — and the emitted stream is
+// byte-identical for any worker count, and identical to the batch
+// path over the same partitions.
+//
+// An error from the source, a window pipeline, or emit stops the
+// stream after the in-flight windows drain; the lowest-index window
+// failure wins, mirroring a sequential loop.
+func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) error) error {
+	if src == nil {
+		return fmt.Errorf("core: nil window source")
+	}
+	eng := newEngine(cfg.Workers)
+	conc := eng.workers
+	type outcome struct {
+		w   int
+		res *Result
+		err error
+	}
+	results := make(chan outcome, conc)
+	sem := make(chan struct{}, conc)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	abort := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// When the source knows its window count up front (batch tables,
+	// count-quantile streams), small runs split the worker budget the
+	// way the old batch path did instead of pinning each window to one
+	// worker — 2 windows on an 8-worker budget get 4 workers each.
+	// Unknown-length streams keep conc = workers with 1 worker per
+	// window, the long-stream optimum. Worker counts never affect
+	// output, only scheduling.
+	if wc, ok := src.(interface{ Windows() int }); ok {
+		if n := wc.Windows(); n > 0 && n < conc {
+			conc = n
+		}
+	}
+	innerWorkers, rem := eng.workers/conc, eng.workers%conc
+
+	var srcErr error
+	go func() {
+		var wg sync.WaitGroup
+		defer func() {
+			wg.Wait()
+			close(results)
+		}()
+		launched := 0
+		for w := 0; ; w++ {
+			part, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				srcErr = err // read by the collector only after close(results)
+				return
+			}
+			if part == nil || part.NumRows() == 0 {
+				// Empty window (rows < windows): it keeps its index —
+				// the collector must see a marker for it, or the
+				// in-order emitter would wait forever on a window that
+				// never comes. No sem slot: nothing runs.
+				select {
+				case <-stop:
+					return
+				case results <- outcome{w: w}:
+				}
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			case sem <- struct{}{}:
+			}
+			li := launched
+			launched++
+			wg.Add(1)
+			go func(w, li int, part *dataset.Table) {
+				defer wg.Done()
+				wcfg := cfg
+				wcfg.Workers = innerWorkers
+				if li%conc < rem {
+					// Remainder workers rotate across the in-flight
+					// slots so the total stays within the budget at any
+					// instant.
+					wcfg.Workers++
+				}
+				wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b9
+				p, err := NewPipeline(wcfg)
+				if err != nil {
+					results <- outcome{w: w, err: err}
+					return
+				}
+				res, err := p.Synthesize(part)
+				if err != nil {
+					err = fmt.Errorf("core: window %d: %w", w, err)
+				}
+				results <- outcome{w: w, res: res, err: err}
+			}(w, li, part)
+		}
+	}()
+
+	var (
+		buf      = make(map[int]*Result) // nil value = empty-window marker
+		next     int
+		failedAt = -1
+		failErr  error
+	)
+	for oc := range results {
+		if oc.err != nil {
+			if failedAt < 0 || oc.w < failedAt {
+				failedAt, failErr = oc.w, oc.err
+			}
+			abort()
+			continue
+		}
+		if failedAt >= 0 {
+			continue // already failing: drain without emitting
+		}
+		buf[oc.w] = oc.res
+		for {
+			res, ok := buf[next]
+			if !ok {
+				break
+			}
+			if res == nil {
+				// Empty window: nothing to emit, no slot to free.
+				delete(buf, next)
+				next++
+				continue
+			}
+			if err := emit(WindowResult{Window: next, Table: res.Table, Report: res.Report}); err != nil {
+				failedAt, failErr = next, err
+				abort()
+				break
+			}
+			delete(buf, next)
+			next++
+			<-sem // emitted: free the slot for the next window
+		}
+	}
+	if failErr != nil {
+		return failErr
+	}
+	return srcErr
+}
+
+// SynthesizeWindowed splits a pre-loaded trace into `windows` disjoint
 // time-contiguous partitions (by timestamp quantiles) and runs the
-// full pipeline on each partition independently, concatenating the
-// results.
+// full pipeline on each, concatenating the results in time order. It
+// is the batch entry point over the same engine as SynthesizeStream —
+// NewTableWindows adapts the table to a WindowSource — so the two
+// paths produce byte-identical output over identical partitions.
 //
-// Privacy: the partitions are disjoint in records, so this is
-// parallel composition — every window can use the full (ε, δ) budget
-// and the combined release still satisfies (ε, δ)-DP at record level.
-// Disjointness also makes the windows independent computations, so
-// they run fully concurrently (bounded by Config.Workers) — a
-// privacy-free speedup. Each window's pipeline is seeded from
-// (cfg.Seed, window index) alone, so the concatenated output is
-// byte-identical for any worker count.
-//
-// Utility/scalability: GUM's cost is linear in records × iterations,
-// and the paper notes record synthesis dominates runtime (≈90%);
-// windowing bounds each GUM instance and additionally sharpens
-// temporal locality (each window's marginals describe that window
-// only). This implements the "scale up the synthesis process"
-// direction of §3.1 beyond GUMMI itself.
+// Privacy and scalability: see SynthesizeStream for the parallel
+// composition argument; windowing additionally bounds each GUM
+// instance (the ≈90%-of-runtime stage, §3.1) to one window's records
+// and sharpens temporal locality, implementing the "scale up the
+// synthesis process" direction beyond GUMMI itself.
 func SynthesizeWindowed(t *dataset.Table, cfg Config, windows int) (*WindowedResult, error) {
 	if windows <= 1 {
 		p, err := NewPipeline(cfg)
@@ -48,11 +223,53 @@ func SynthesizeWindowed(t *dataset.Table, cfg Config, windows int) (*WindowedRes
 		}
 		return &WindowedResult{Table: res.Table, WindowReports: []Report{res.Report}}, nil
 	}
+	src, err := NewTableWindows(t, windows)
+	if err != nil {
+		return nil, err
+	}
+	out := &WindowedResult{}
+	err = SynthesizeStream(src, cfg, func(wr WindowResult) error {
+		out.WindowReports = append(out.WindowReports, wr.Report)
+		if out.Table == nil {
+			out.Table = wr.Table
+			return nil
+		}
+		return out.Table.AppendRowRange(wr.Table, 0, wr.Table.NumRows())
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out.Table == nil {
+		return nil, fmt.Errorf("core: no non-empty windows")
+	}
+	return out, nil
+}
+
+// tableWindows adapts a pre-loaded table to a WindowSource: rows are
+// stably sorted by timestamp and cut at count quantiles, the same
+// boundaries dataset.StreamWindows uses in Windows mode, so a
+// time-sorted stream of the same rows yields identical partitions.
+type tableWindows struct {
+	t       *dataset.Table
+	order   []int // row indices in time order
+	windows int
+	next    int
+}
+
+// NewTableWindows builds the quantile window source over a loaded
+// trace. Each emitted window is a self-contained table — fresh
+// categorical dictionaries interned from its own rows — so a window's
+// synthesis depends only on its own partition (the property the
+// parallel composition argument needs) and matches the streaming path
+// byte for byte.
+func NewTableWindows(t *dataset.Table, windows int) (WindowSource, error) {
+	if windows < 1 {
+		return nil, fmt.Errorf("core: windows must be positive, got %d", windows)
+	}
 	tsCol := t.Schema().Index(trace.FieldTS)
 	if tsCol < 0 {
 		return nil, fmt.Errorf("core: windowed synthesis needs a %q field", trace.FieldTS)
 	}
-	// Partition rows by timestamp quantiles so windows are balanced.
 	n := t.NumRows()
 	order := make([]int, n)
 	for i := range order {
@@ -60,98 +277,25 @@ func SynthesizeWindowed(t *dataset.Table, cfg Config, windows int) (*WindowedRes
 	}
 	ts := t.Column(tsCol)
 	sort.SliceStable(order, func(a, b int) bool { return ts[order[a]] < ts[order[b]] })
-
-	type bounds struct{ w, lo, hi int }
-	var wins []bounds
-	for w := 0; w < windows; w++ {
-		lo := w * n / windows
-		hi := (w + 1) * n / windows
-		if hi > lo {
-			wins = append(wins, bounds{w, lo, hi})
-		}
-	}
-	if len(wins) == 0 {
-		return nil, fmt.Errorf("core: no non-empty windows")
-	}
-
-	// The synthesis path only reads the source table (window parts
-	// share its dictionaries read-only), so the window pipelines run
-	// concurrently; results land in per-window slots and are
-	// concatenated in time order below.
-	results := make([]*Result, len(wins))
-	eng := newEngine(cfg.Workers)
-	// Split the worker budget between concurrent windows and the
-	// stages inside each window's pipeline, so Config.Workers bounds
-	// the total concurrency instead of multiplying with it. (Worker
-	// counts never affect output, only scheduling.)
-	conc := len(wins)
-	if conc > eng.workers {
-		conc = eng.workers
-	}
-	innerWorkers, rem := eng.workers/conc, eng.workers%conc
-	err := eng.parallelForErr(len(wins), func(i int) error {
-		win := wins[i]
-		part := t.SelectRows(order[win.lo:win.hi])
-		wcfg := cfg
-		// Remainder workers go to the first windows (rem < conc, so
-		// the total stays within the budget at any instant).
-		wcfg.Workers = innerWorkers
-		if i < rem {
-			wcfg.Workers++
-		}
-		wcfg.Seed = cfg.Seed + uint64(win.w)*0x9e3779b9
-		p, err := NewPipeline(wcfg)
-		if err != nil {
-			return err
-		}
-		res, err := p.Synthesize(part)
-		if err != nil {
-			return fmt.Errorf("core: window %d: %w", win.w, err)
-		}
-		results[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	out := results[0].Table
-	reports := make([]Report, 0, len(results))
-	for i, res := range results {
-		reports = append(reports, res.Report)
-		if i == 0 {
-			continue
-		}
-		if err := appendTable(out, res.Table); err != nil {
-			return nil, err
-		}
-	}
-	return &WindowedResult{Table: out, WindowReports: reports}, nil
+	return &tableWindows{t: t, order: order, windows: windows}, nil
 }
 
-// appendTable appends src's rows to dst; the schemas must match by
-// name and categorical values are re-interned through dst's
-// dictionaries.
-func appendTable(dst, src *dataset.Table) error {
-	ds, ss := dst.Schema(), src.Schema()
-	if ds.NumFields() != ss.NumFields() {
-		return fmt.Errorf("core: schema width mismatch %d vs %d", ds.NumFields(), ss.NumFields())
+// Windows reports the fixed window count, letting SynthesizeStream
+// size its per-window worker split for small runs.
+func (s *tableWindows) Windows() int { return s.windows }
+
+// Next returns the next quantile window, or io.EOF past the last.
+func (s *tableWindows) Next() (*dataset.Table, error) {
+	if s.next >= s.windows {
+		return nil, io.EOF
 	}
-	row := make([]int64, ds.NumFields())
-	for r := 0; r < src.NumRows(); r++ {
-		for c := range ds.Fields {
-			if ds.Fields[c].Name != ss.Fields[c].Name {
-				return fmt.Errorf("core: field %d mismatch: %q vs %q", c, ds.Fields[c].Name, ss.Fields[c].Name)
-			}
-			v := src.Value(r, c)
-			if ds.Fields[c].Kind == dataset.KindCategorical {
-				v = dst.CatCode(c, src.CatValue(c, v))
-			}
-			row[c] = v
-		}
-		if err := dst.AppendRow(row); err != nil {
-			return err
-		}
+	w := s.next
+	s.next++
+	n := len(s.order)
+	lo, hi := w*n/s.windows, (w+1)*n/s.windows
+	part := dataset.NewTable(s.t.Schema(), hi-lo)
+	if err := part.AppendRows(s.t, s.order[lo:hi]); err != nil {
+		return nil, err
 	}
-	return nil
+	return part, nil
 }

@@ -17,6 +17,17 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	if err := cw.Write(t.schema.Names()); err != nil {
 		return fmt.Errorf("dataset: write header: %w", err)
 	}
+	return t.writeRows(cw)
+}
+
+// WriteCSVBody writes the rows without a header row — the append form
+// used when concatenating per-window syntheses into one CSV (the
+// first window writes WriteCSV, every later one WriteCSVBody).
+func (t *Table) WriteCSVBody(w io.Writer) error {
+	return t.writeRows(csv.NewWriter(w))
+}
+
+func (t *Table) writeRows(cw *csv.Writer) error {
 	row := make([]string, t.NumCols())
 	for r := 0; r < t.NumRows(); r++ {
 		for c := 0; c < t.NumCols(); c++ {
@@ -67,50 +78,27 @@ func ParseIP(s string) (int64, error) {
 
 // ReadCSV reads a table with the given schema from CSV data whose
 // header must contain every schema field (extra columns are ignored).
+// It is the materializing wrapper around CSVStream: batches are
+// accumulated into one table, re-interning categorical values in
+// stream order so the dictionaries match a direct row-by-row load.
 func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
-	header, err := cr.Read()
+	s, err := NewCSVStream(r, schema, 0)
 	if err != nil {
-		return nil, fmt.Errorf("dataset: read header: %w", err)
-	}
-	// Map schema field -> CSV column.
-	pos := make([]int, schema.NumFields())
-	for i := range pos {
-		pos[i] = -1
-	}
-	for j, name := range header {
-		if i := schema.Index(name); i >= 0 {
-			pos[i] = j
-		}
-	}
-	for i, p := range pos {
-		if p < 0 {
-			return nil, fmt.Errorf("dataset: CSV missing field %q", schema.Fields[i].Name)
-		}
+		return nil, err
 	}
 	t := NewTable(schema, 1024)
-	row := make([]int64, schema.NumFields())
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
+	for {
+		b, err := s.Next()
 		if err == io.EOF {
-			break
+			return t, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+			return nil, err
 		}
-		for i, p := range pos {
-			v, err := t.parseValue(i, rec[p])
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d field %q: %w", line, schema.Fields[i].Name, err)
-			}
-			row[i] = v
-		}
-		if err := t.AppendRow(row); err != nil {
+		if err := t.AppendRowRange(b, 0, b.NumRows()); err != nil {
 			return nil, err
 		}
 	}
-	return t, nil
 }
 
 func (t *Table) parseValue(col int, s string) (int64, error) {

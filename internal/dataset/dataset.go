@@ -244,6 +244,49 @@ func (t *Table) AppendRow(row []int64) error {
 	return nil
 }
 
+// AppendRowRange appends rows [lo, hi) of src to t. The schemas must
+// match field-for-field by name and kind; categorical values are
+// re-interned through t's dictionaries, so the two tables may use
+// different code assignments. This is the append primitive behind
+// window concatenation and batch accumulation in the streaming path.
+func (t *Table) AppendRowRange(src *Table, lo, hi int) error {
+	rows := make([]int, hi-lo)
+	for i := range rows {
+		rows[i] = lo + i
+	}
+	return t.AppendRows(src, rows)
+}
+
+// AppendRows appends the given rows of src (in order, duplicates
+// allowed) to t, re-interning categorical values as AppendRowRange
+// does.
+func (t *Table) AppendRows(src *Table, rows []int) error {
+	ds, ss := t.schema, src.schema
+	if ds.NumFields() != ss.NumFields() {
+		return fmt.Errorf("%w: %d fields vs %d", ErrSchemaMismatch, ds.NumFields(), ss.NumFields())
+	}
+	for c := range ds.Fields {
+		if ds.Fields[c].Name != ss.Fields[c].Name || ds.Fields[c].Kind != ss.Fields[c].Kind {
+			return fmt.Errorf("%w: field %d is %s %q vs %s %q", ErrSchemaMismatch, c,
+				ds.Fields[c].Kind, ds.Fields[c].Name, ss.Fields[c].Kind, ss.Fields[c].Name)
+		}
+	}
+	for c := range t.cols {
+		dst, sc := t.cols[c], src.cols[c]
+		if ds.Fields[c].Kind == KindCategorical {
+			for _, r := range rows {
+				dst = append(dst, t.CatCode(c, src.CatValue(c, sc[r])))
+			}
+		} else {
+			for _, r := range rows {
+				dst = append(dst, sc[r])
+			}
+		}
+		t.cols[c] = dst
+	}
+	return nil
+}
+
 // Column returns the raw column at index i. The slice is shared; do
 // not modify unless you own the table.
 func (t *Table) Column(i int) []int64 { return t.cols[i] }

@@ -1,0 +1,311 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Streaming ingest substrate.
+//
+// LoadCSV materializes the whole trace before any work starts, which
+// caps trace length at one node's RAM. The types here decode a CSV
+// trace incrementally instead: CSVStream yields bounded row batches
+// against a Schema, and StreamWindows cuts those batches into
+// disjoint time-contiguous windows on the fly, so the synthesis
+// engine can consume a trace of arbitrary length window by window
+// without a full-trace Table ever existing.
+//
+// Every window table is self-contained: its categorical dictionaries
+// are interned from its own rows only. That matters for the privacy
+// argument, not just for memory — under parallel composition each
+// window's release must be a function of that window's records alone,
+// and a dictionary shared across the trace would leak cross-window
+// value ordering into every window's binning.
+
+// defaultBatchRows is the CSVStream batch size when the caller passes
+// 0: large enough to amortize per-batch overhead, small enough that a
+// batch is noise next to any real window.
+const defaultBatchRows = 4096
+
+// BatchSource yields successive row batches of one trace. Batches
+// share a schema but own their rows and dictionaries; Next returns
+// io.EOF after the last batch.
+type BatchSource interface {
+	Next() (*Table, error)
+}
+
+// CSVStream incrementally decodes a CSV trace against a schema,
+// yielding row batches of at most batchRows rows. It is the streaming
+// counterpart of ReadCSV (which is now a thin wrapper around it) and
+// reports the same errors — a missing header field fails at
+// construction, a torn or mistyped row fails at the batch that
+// contains it, naming the line and field.
+type CSVStream struct {
+	schema    *Schema
+	cr        *csv.Reader
+	pos       []int // schema field -> CSV column
+	line      int   // 1-based line of the next record
+	batchRows int
+	rows      int // rows decoded so far
+	done      bool
+}
+
+// NewCSVStream reads and validates the CSV header (which must contain
+// every schema field; extra columns are ignored) and returns a stream
+// positioned at the first record. batchRows <= 0 selects the default.
+func NewCSVStream(r io.Reader, schema *Schema, batchRows int) (*CSVStream, error) {
+	if batchRows <= 0 {
+		batchRows = defaultBatchRows
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	pos := make([]int, schema.NumFields())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for j, name := range header {
+		if i := schema.Index(name); i >= 0 {
+			pos[i] = j
+		}
+	}
+	for i, p := range pos {
+		if p < 0 {
+			return nil, fmt.Errorf("dataset: CSV missing field %q", schema.Fields[i].Name)
+		}
+	}
+	return &CSVStream{schema: schema, cr: cr, pos: pos, line: 2, batchRows: batchRows}, nil
+}
+
+// Rows returns how many records have been decoded so far.
+func (s *CSVStream) Rows() int { return s.rows }
+
+// Next decodes up to batchRows records into a fresh Table (with its
+// own dictionaries) and returns it, or io.EOF once the stream is
+// exhausted. A decode error poisons the stream: every later call
+// returns io.EOF.
+func (s *CSVStream) Next() (*Table, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	t := NewTable(s.schema, s.batchRows)
+	row := make([]int64, s.schema.NumFields())
+	for t.NumRows() < s.batchRows {
+		rec, err := s.cr.Read()
+		if err == io.EOF {
+			s.done = true
+			break
+		}
+		if err != nil {
+			s.done = true
+			return nil, fmt.Errorf("dataset: read line %d: %w", s.line, err)
+		}
+		for i, p := range s.pos {
+			v, err := t.parseValue(i, rec[p])
+			if err != nil {
+				s.done = true
+				return nil, fmt.Errorf("dataset: line %d field %q: %w", s.line, s.schema.Fields[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := t.AppendRow(row); err != nil {
+			s.done = true
+			return nil, err
+		}
+		s.line++
+		s.rows++
+	}
+	if t.NumRows() == 0 {
+		return nil, io.EOF
+	}
+	return t, nil
+}
+
+// StreamCSV runs fn over every batch of the stream; a batch or fn
+// error stops the walk and is returned.
+func StreamCSV(r io.Reader, schema *Schema, batchRows int, fn func(batch *Table) error) error {
+	s, err := NewCSVStream(r, schema, batchRows)
+	if err != nil {
+		return err
+	}
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
+
+// WindowSplit configures StreamWindows. Exactly one partitioning rule
+// must be set:
+//
+//   - Windows + TotalRows: quantile-by-count boundaries — window w
+//     holds stream rows [w·n/k, (w+1)·n/k). These are the boundaries
+//     SynthesizeWindowed uses on a pre-loaded table, so a time-sorted
+//     stream split this way is window-for-window identical to the
+//     batch path.
+//   - MaxRows: fixed-size windows of MaxRows rows (last one partial),
+//     for streams whose length is unknown up front.
+type WindowSplit struct {
+	// Field names the timestamp column. The stream must be
+	// non-decreasing in it: the windows are time-contiguous disjoint
+	// partitions, which is what makes parallel composition apply.
+	Field     string
+	Windows   int
+	TotalRows int
+	MaxRows   int
+}
+
+// StreamWindows cuts a batch stream into time-contiguous windows. It
+// holds at most one window plus one batch in memory.
+type StreamWindows struct {
+	src      BatchSource
+	split    WindowSplit
+	schema   *Schema
+	tsIdx    int
+	carry    *Table // batch rows not yet assigned to a window
+	carryOff int
+	row      int // stream rows consumed so far
+	window   int // next window index to emit
+	lastTS   int64
+	haveTS   bool
+	done     bool
+}
+
+// NewStreamWindows validates the split against the schema and wraps
+// the batch source.
+func NewStreamWindows(src BatchSource, schema *Schema, split WindowSplit) (*StreamWindows, error) {
+	tsIdx := schema.Index(split.Field)
+	if tsIdx < 0 {
+		return nil, fmt.Errorf("dataset: stream windows need a %q field", split.Field)
+	}
+	byCount := split.Windows > 0
+	if byCount == (split.MaxRows > 0) {
+		return nil, fmt.Errorf("dataset: set exactly one of WindowSplit.Windows and WindowSplit.MaxRows")
+	}
+	if byCount && split.TotalRows < 0 {
+		return nil, fmt.Errorf("dataset: negative TotalRows %d", split.TotalRows)
+	}
+	if byCount && split.TotalRows == 0 {
+		return nil, fmt.Errorf("dataset: WindowSplit.Windows needs TotalRows (use MaxRows when the stream length is unknown)")
+	}
+	return &StreamWindows{src: src, split: split, schema: schema, tsIdx: tsIdx}, nil
+}
+
+// Windows reports the fixed window count in count-quantile mode, or 0
+// when the split is by MaxRows (unknown stream length). Consumers use
+// it to size worker splits for small runs.
+func (w *StreamWindows) Windows() int {
+	if w.split.Windows > 0 {
+		return w.split.Windows
+	}
+	return 0
+}
+
+// Next returns the next window as a self-contained table (empty
+// windows are possible in Windows mode when TotalRows < Windows), or
+// io.EOF after the last window. In Windows mode the stream must hold
+// exactly TotalRows rows; a shorter or longer stream is an error.
+func (w *StreamWindows) Next() (*Table, error) {
+	if w.done {
+		return nil, io.EOF
+	}
+	var hi int // stream row index this window ends before
+	switch {
+	case w.split.Windows > 0:
+		if w.window >= w.split.Windows {
+			// All windows emitted: the stream must be exhausted too.
+			w.done = true
+			if err := w.expectEOF(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		hi = (w.window + 1) * w.split.TotalRows / w.split.Windows
+	default:
+		hi = w.row + w.split.MaxRows
+	}
+	out := NewTable(w.schema, hi-w.row)
+	for w.row < hi {
+		if w.carry == nil || w.carryOff >= w.carry.NumRows() {
+			b, err := w.src.Next()
+			if err == io.EOF {
+				w.done = true
+				if w.split.Windows > 0 {
+					return nil, fmt.Errorf("dataset: stream ended at row %d of the declared %d (window %d)",
+						w.row, w.split.TotalRows, w.window)
+				}
+				if out.NumRows() == 0 {
+					return nil, io.EOF
+				}
+				w.window++
+				return out, nil
+			}
+			if err != nil {
+				w.done = true
+				return nil, err
+			}
+			w.carry, w.carryOff = b, 0
+		}
+		take := w.carry.NumRows() - w.carryOff
+		if left := hi - w.row; take > left {
+			take = left
+		}
+		lo := w.carryOff
+		if err := w.checkOrder(w.carry, lo, lo+take); err != nil {
+			w.done = true
+			return nil, err
+		}
+		if err := out.AppendRowRange(w.carry, lo, lo+take); err != nil {
+			w.done = true
+			return nil, err
+		}
+		w.carryOff += take
+		w.row += take
+	}
+	w.window++
+	return out, nil
+}
+
+// checkOrder enforces the non-decreasing-timestamp contract over rows
+// [lo, hi) of a batch.
+func (w *StreamWindows) checkOrder(b *Table, lo, hi int) error {
+	col := b.Column(w.tsIdx)
+	for r := lo; r < hi; r++ {
+		ts := col[r]
+		if w.haveTS && ts < w.lastTS {
+			return fmt.Errorf("dataset: stream row %d: timestamp %d after %d — streaming windows need a time-ordered trace (sort the input, or load it whole and use windowed synthesis)",
+				w.row+(r-lo)+1, ts, w.lastTS)
+		}
+		w.lastTS, w.haveTS = ts, true
+	}
+	return nil
+}
+
+// expectEOF verifies no rows remain past the declared TotalRows.
+func (w *StreamWindows) expectEOF() error {
+	if w.carry != nil && w.carryOff < w.carry.NumRows() {
+		return fmt.Errorf("dataset: stream has more rows than the declared %d", w.split.TotalRows)
+	}
+	b, err := w.src.Next()
+	if err == io.EOF {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if b.NumRows() > 0 {
+		return fmt.Errorf("dataset: stream has more rows than the declared %d", w.split.TotalRows)
+	}
+	return nil
+}

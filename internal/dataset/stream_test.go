@@ -1,0 +1,289 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func streamSchema() *Schema {
+	return MustSchema(
+		Field{Name: "srcip", Kind: KindIP},
+		Field{Name: "ts", Kind: KindTimestamp},
+		Field{Name: "byt", Kind: KindNumeric},
+		Field{Name: "proto", Kind: KindCategorical},
+	)
+}
+
+// streamCSVBody renders n rows with non-decreasing timestamps and a
+// proto value that first appears mid-stream (so per-window
+// dictionaries genuinely differ from a whole-trace dictionary).
+func streamCSVBody(n int) string {
+	var b strings.Builder
+	b.WriteString("srcip,ts,byt,proto\n")
+	for i := 0; i < n; i++ {
+		proto := "TCP"
+		if i%3 == 2 {
+			proto = "UDP"
+		}
+		fmt.Fprintf(&b, "10.0.0.%d,%d,%d,%s\n", i%250, 1000+i, 40+i, proto)
+	}
+	return b.String()
+}
+
+func TestCSVStreamBatches(t *testing.T) {
+	s, err := NewCSVStream(strings.NewReader(streamCSVBody(10)), streamSchema(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	var total int
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, b.NumRows())
+		total += b.NumRows()
+	}
+	if total != 10 || len(sizes) != 3 || sizes[0] != 4 || sizes[2] != 2 {
+		t.Fatalf("batches = %v (total %d)", sizes, total)
+	}
+	if s.Rows() != 10 {
+		t.Fatalf("Rows() = %d", s.Rows())
+	}
+	// Poisoned after EOF: stays EOF.
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestCSVStreamMatchesReadCSV(t *testing.T) {
+	body := streamCSVBody(23)
+	whole, err := ReadCSV(strings.NewReader(body), streamSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewTable(streamSchema(), 0)
+	err = StreamCSV(strings.NewReader(body), streamSchema(), 5, func(b *Table) error {
+		return acc.AppendRowRange(b, 0, b.NumRows())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.NumRows() != whole.NumRows() {
+		t.Fatalf("rows %d vs %d", acc.NumRows(), whole.NumRows())
+	}
+	for r := 0; r < whole.NumRows(); r++ {
+		for c := 0; c < whole.NumCols(); c++ {
+			if whole.Schema().Fields[c].Kind == KindCategorical {
+				if whole.CatValue(c, whole.Value(r, c)) != acc.CatValue(c, acc.Value(r, c)) {
+					t.Fatalf("row %d col %d categorical mismatch", r, c)
+				}
+			} else if whole.Value(r, c) != acc.Value(r, c) {
+				t.Fatalf("row %d col %d: %d vs %d", r, c, whole.Value(r, c), acc.Value(r, c))
+			}
+		}
+	}
+}
+
+func TestCSVStreamMissingField(t *testing.T) {
+	_, err := NewCSVStream(strings.NewReader("srcip,ts,byt\n1.2.3.4,1,2\n"), streamSchema(), 0)
+	if err == nil || !strings.Contains(err.Error(), `missing field "proto"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCSVStreamEmptyInput(t *testing.T) {
+	if _, err := NewCSVStream(strings.NewReader(""), streamSchema(), 0); err == nil {
+		t.Fatal("empty input must fail at the header")
+	}
+}
+
+// TestCSVStreamTornRow covers a row that goes bad mid-stream, after
+// earlier batches decoded fine: the error names the line and the
+// stream is poisoned.
+func TestCSVStreamTornRow(t *testing.T) {
+	body := streamCSVBody(6) + "10.0.0.1,1010\n" // short row at line 8
+	s, err := NewCSVStream(strings.NewReader(body), streamSchema(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil { // rows 1-4 decode
+		t.Fatal(err)
+	}
+	_, err = s.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 8") {
+		t.Fatalf("torn row err = %v", err)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("after torn row: %v", err)
+	}
+}
+
+// TestCSVStreamSchemaMismatchAtRowN mirrors the LoadCSV error-path
+// suite for a value of the wrong type deep in the stream.
+func TestCSVStreamSchemaMismatchAtRowN(t *testing.T) {
+	body := streamCSVBody(5) + "not-an-ip,1010,5,TCP\n" // line 7
+	s, err := NewCSVStream(strings.NewReader(body), streamSchema(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for {
+		_, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			last = err
+			break
+		}
+	}
+	if last == nil || !strings.Contains(last.Error(), `line 7 field "srcip"`) {
+		t.Fatalf("err = %v", last)
+	}
+}
+
+func windows(t *testing.T, src BatchSource, schema *Schema, split WindowSplit) []*Table {
+	t.Helper()
+	w, err := NewStreamWindows(src, schema, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*Table
+	for {
+		win, err := w.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, win)
+	}
+}
+
+func TestStreamWindowsQuantile(t *testing.T) {
+	s, err := NewCSVStream(strings.NewReader(streamCSVBody(10)), streamSchema(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := windows(t, s, streamSchema(), WindowSplit{Field: "ts", Windows: 4, TotalRows: 10})
+	// Quantile boundaries of 10 rows into 4: 2, 5, 7, 10 → sizes 2 3 2 3.
+	want := []int{2, 3, 2, 3}
+	if len(wins) != len(want) {
+		t.Fatalf("windows = %d", len(wins))
+	}
+	next := int64(1000)
+	for i, w := range wins {
+		if w.NumRows() != want[i] {
+			t.Errorf("window %d rows = %d, want %d", i, w.NumRows(), want[i])
+		}
+		tsCol := w.ColumnByName("ts")
+		for _, ts := range tsCol {
+			if ts != next {
+				t.Fatalf("window %d: ts %d, want %d", i, ts, next)
+			}
+			next++
+		}
+		// Self-contained dictionaries: codes valid within the window.
+		pc := w.Schema().Index("proto")
+		for r := 0; r < w.NumRows(); r++ {
+			if w.CatValue(pc, w.Value(r, pc)) == "" {
+				t.Fatalf("window %d row %d: dangling categorical code", i, r)
+			}
+		}
+	}
+}
+
+func TestStreamWindowsMaxRows(t *testing.T) {
+	s, err := NewCSVStream(strings.NewReader(streamCSVBody(10)), streamSchema(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := windows(t, s, streamSchema(), WindowSplit{Field: "ts", MaxRows: 4})
+	if len(wins) != 3 || wins[0].NumRows() != 4 || wins[2].NumRows() != 2 {
+		t.Fatalf("windows: %d", len(wins))
+	}
+}
+
+func TestStreamWindowsEmptyWindows(t *testing.T) {
+	s, err := NewCSVStream(strings.NewReader(streamCSVBody(2)), streamSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := windows(t, s, streamSchema(), WindowSplit{Field: "ts", Windows: 4, TotalRows: 2})
+	// 2 rows into 4 windows: boundaries 0,1,1,2 → sizes 0 1 0 1.
+	sizes := make([]int, len(wins))
+	for i, w := range wins {
+		sizes[i] = w.NumRows()
+	}
+	if len(wins) != 4 || sizes[0] != 0 || sizes[1] != 1 || sizes[2] != 0 || sizes[3] != 1 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestStreamWindowsRowCountMismatch(t *testing.T) {
+	// Declared longer than the stream.
+	s, _ := NewCSVStream(strings.NewReader(streamCSVBody(4)), streamSchema(), 0)
+	w, err := NewStreamWindows(s, streamSchema(), WindowSplit{Field: "ts", Windows: 2, TotalRows: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for last == nil {
+		_, last = w.Next()
+	}
+	if last == io.EOF || !strings.Contains(last.Error(), "ended at row 4") {
+		t.Fatalf("short stream err = %v", last)
+	}
+
+	// Declared shorter than the stream.
+	s, _ = NewCSVStream(strings.NewReader(streamCSVBody(9)), streamSchema(), 0)
+	w, err = NewStreamWindows(s, streamSchema(), WindowSplit{Field: "ts", Windows: 2, TotalRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last = nil
+	for last == nil {
+		_, last = w.Next()
+	}
+	if last == io.EOF || !strings.Contains(last.Error(), "more rows than the declared 4") {
+		t.Fatalf("long stream err = %v", last)
+	}
+}
+
+func TestStreamWindowsOutOfOrderTimestamp(t *testing.T) {
+	body := "srcip,ts,byt,proto\n" +
+		"10.0.0.1,1005,4,TCP\n" +
+		"10.0.0.2,1001,4,TCP\n"
+	s, _ := NewCSVStream(strings.NewReader(body), streamSchema(), 0)
+	w, err := NewStreamWindows(s, streamSchema(), WindowSplit{Field: "ts", MaxRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Next()
+	if err == nil || !strings.Contains(err.Error(), "time-ordered") {
+		t.Fatalf("out-of-order err = %v", err)
+	}
+}
+
+func TestStreamWindowsBadSplit(t *testing.T) {
+	s, _ := NewCSVStream(strings.NewReader(streamCSVBody(2)), streamSchema(), 0)
+	cases := []WindowSplit{
+		{Field: "nope", Windows: 2, TotalRows: 2},
+		{Field: "ts"},                           // neither rule
+		{Field: "ts", Windows: 2, MaxRows: 2},   // both rules
+		{Field: "ts", Windows: 2, TotalRows: 0}, // count mode without length
+	}
+	for i, split := range cases {
+		if _, err := NewStreamWindows(s, streamSchema(), split); err == nil {
+			t.Errorf("case %d: split %+v must fail", i, split)
+		}
+	}
+}

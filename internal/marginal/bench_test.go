@@ -1,0 +1,48 @@
+package marginal
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+)
+
+// benchEncoded builds a synthetic encoded table shaped like a binned
+// flow trace: a few large-domain attributes and a few small ones.
+func benchEncoded(rows int) *dataset.Encoded {
+	domains := []int{64, 48, 32, 16, 8, 4}
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	e := dataset.NewEncoded(names, domains, rows)
+	rng := rand.New(rand.NewPCG(7, 11))
+	for a, dom := range domains {
+		col := e.Cols[a]
+		for r := range col {
+			col[r] = int32(rng.IntN(dom))
+		}
+	}
+	return e
+}
+
+// BenchmarkCompute covers the tally hot loop at each arity the
+// pipeline uses: 1-way (binning), 2-way (pair marginals), and 3-way
+// (combined sets) — the ≥3-way case is the one the column-stride
+// rewrite targets.
+func BenchmarkCompute(b *testing.B) {
+	e := benchEncoded(100_000)
+	for _, bc := range []struct {
+		name  string
+		attrs []int
+	}{
+		{"1way", []int{0}},
+		{"2way", []int{0, 1}},
+		{"3way", []int{0, 1, 2}},
+		{"4way", []int{0, 1, 2, 3}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(bc.attrs)) * int64(e.NumRows()) * 4)
+			for i := 0; i < b.N; i++ {
+				Compute(e, bc.attrs)
+			}
+		})
+	}
+}

@@ -63,7 +63,11 @@ func (m *Marginal) Cells() int {
 	return c
 }
 
-// Index flattens per-attribute codes into a cell index.
+// Index flattens per-attribute codes into a cell index. It is the
+// convenient (variadic) form for cold paths and tests; hot loops
+// should accumulate stride products column-by-column instead (see
+// Compute and GUM's cell-index pass), which avoids the per-call slice
+// and walks each attribute column sequentially.
 func (m *Marginal) Index(codes ...int32) int {
 	idx := 0
 	for i, c := range codes {
@@ -71,6 +75,11 @@ func (m *Marginal) Index(codes ...int32) int {
 	}
 	return idx
 }
+
+// Strides returns the row-major stride of each attribute (aligned
+// with Attrs): cell index = Σ code[i]·stride[i]. The slice is the
+// marginal's own — callers must not modify it.
+func (m *Marginal) Strides() []int { return m.strides }
 
 // Cell returns the multi-dimensional codes of flattened index idx.
 func (m *Marginal) Cell(idx int) []int32 {
@@ -137,12 +146,28 @@ func Compute(e *dataset.Encoded, attrs []int) *Marginal {
 			m.Counts[int(a[r])*s0+int(b[r])]++
 		}
 	default:
-		for r := 0; r < n; r++ {
-			idx := 0
-			for i, at := range sorted {
-				idx += int(e.Cols[at][r]) * m.strides[i]
+		// Column-stride accumulation: walk one attribute column at a
+		// time, accumulating each row's flattened cell index, then
+		// tally in a single pass. Compared with the row-major variadic
+		// Index per row, this touches memory sequentially per column
+		// and keeps the inner loop free of bounds-varied indirection —
+		// the first step of the cache-tuned tally (see ROADMAP).
+		idx := make([]int, n)
+		for i, at := range sorted {
+			col := e.Cols[at]
+			s := m.strides[i]
+			if i == 0 {
+				for r, c := range col {
+					idx[r] = int(c) * s
+				}
+				continue
 			}
-			m.Counts[idx]++
+			for r, c := range col {
+				idx[r] += int(c) * s
+			}
+		}
+		for _, ix := range idx {
+			m.Counts[ix]++
 		}
 	}
 	return m

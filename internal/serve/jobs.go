@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -35,8 +36,13 @@ type Job struct {
 	Submitted time.Time
 	// Rho is the zCDP charge this job's admission cost the dataset
 	// ledger. Cache hits return the originally-charged job, so the
-	// spend is never duplicated.
+	// spend is never duplicated. For a windowed job this is ONE
+	// window's ρ, not windows × ρ: the windows are disjoint record
+	// partitions, so their releases compose in parallel (see Submit).
 	Rho float64
+	// Windows > 1 marks a windowed job (window-by-window synthesis,
+	// per-window progress, result streamed as windows complete).
+	Windows int
 
 	cfg      netdpsyn.Config
 	cacheKey string
@@ -46,7 +52,14 @@ type Job struct {
 	errMsg            string
 	started, finished time.Time
 	records           int
+	windowsDone       int
 	result            *netdpsyn.Result // nil once evicted from the retention window
+	stages            map[string]StageMS
+	// spool streams the synthesized CSV incrementally (windowed jobs)
+	// and/or persists it under the state dir (any job kind with a
+	// store), so result.csv can follow a running job and a restarted
+	// daemon serves finished results without recomputation.
+	spool *resultSpool
 
 	done chan struct{}
 }
@@ -60,19 +73,26 @@ func (j *Job) Done() <-chan struct{} {
 	return j.done
 }
 
-// resurrect re-queues a finished job whose result was evicted from
-// the retention window, so an identical request can regenerate it.
-// Re-running a fixed deterministic (Config, Seed) computation releases
-// no new information, so this costs no budget. Reports whether the
-// job was in the done-but-evicted state.
+// resurrect re-queues a finished job whose result is no longer
+// servable (evicted from the retention window, or its spool file
+// lost), so an identical request can regenerate it. Re-running a
+// fixed deterministic (Config, Seed) computation releases no new
+// information, so this costs no budget. Reports whether the job was
+// in the done-but-unservable state.
 func (j *Job) resurrect() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != JobDone || j.result != nil {
 		return false
 	}
+	if j.spool != nil && j.spool.servable() {
+		return false // the result still streams from the spool
+	}
 	j.state = JobQueued
 	j.started, j.finished = time.Time{}, time.Time{}
+	j.windowsDone = 0
+	j.stages = nil // the re-run re-accumulates; keeping them would double-count
+	j.spool = nil
 	j.done = make(chan struct{})
 	return true
 }
@@ -114,6 +134,11 @@ type JobInfo struct {
 	Seed      uint64    `json:"seed"`
 	Rho       float64   `json:"rho"`
 	Submitted time.Time `json:"submitted"`
+	// Windows/WindowsDone report a windowed job's per-window progress
+	// (absent for plain jobs). result.csv streams the finished windows
+	// while the job runs.
+	Windows     int `json:"windows,omitempty"`
+	WindowsDone int `json:"windows_done,omitempty"`
 	// Started/Finished are pointers so they are genuinely absent from
 	// the JSON until reached (omitempty never fires for struct types).
 	Started  *time.Time `json:"started,omitempty"`
@@ -128,15 +153,17 @@ func (j *Job) Snapshot() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{
-		ID:        j.ID,
-		DatasetID: j.DatasetID,
-		State:     j.state,
-		Error:     j.errMsg,
-		Epsilon:   j.cfg.Epsilon,
-		Delta:     j.cfg.Delta,
-		Seed:      j.cfg.Seed,
-		Rho:       j.Rho,
-		Submitted: j.Submitted,
+		ID:          j.ID,
+		DatasetID:   j.DatasetID,
+		State:       j.state,
+		Error:       j.errMsg,
+		Epsilon:     j.cfg.Epsilon,
+		Delta:       j.cfg.Delta,
+		Seed:        j.cfg.Seed,
+		Rho:         j.Rho,
+		Windows:     j.Windows,
+		WindowsDone: j.windowsDone,
+		Submitted:   j.Submitted,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -148,17 +175,35 @@ func (j *Job) Snapshot() JobInfo {
 	}
 	if j.state == JobDone {
 		info.Records = j.records
-		if j.result != nil {
-			info.Stages = make(map[string]StageMS, len(j.result.Stages))
-			for name, st := range j.result.Stages {
-				info.Stages[name] = StageMS{
-					WallMS: float64(st.Wall.Microseconds()) / 1e3,
-					BusyMS: float64(st.Busy.Microseconds()) / 1e3,
-				}
+		if j.stages != nil {
+			// Copy: the live map is written again if the job is
+			// resurrected and re-run while a caller still holds this
+			// snapshot.
+			info.Stages = make(map[string]StageMS, len(j.stages))
+			for name, st := range j.stages {
+				info.Stages[name] = st
 			}
 		}
 	}
 	return info
+}
+
+// setStages renders per-stage timings for the JSON snapshot,
+// summing across windows for windowed jobs. Caller holds j.mu.
+func (j *Job) setStages(stages map[string]netdpsyn.StageTiming) {
+	if len(stages) == 0 {
+		return
+	}
+	if j.stages == nil {
+		j.stages = make(map[string]StageMS, len(stages))
+	}
+	for name, st := range stages {
+		prev := j.stages[name]
+		j.stages[name] = StageMS{
+			WallMS: prev.WallMS + float64(st.Wall.Microseconds())/1e3,
+			BusyMS: prev.BusyMS + float64(st.Busy.Microseconds())/1e3,
+		}
+	}
 }
 
 // ErrQueueClosed is returned by Submit after Shutdown began.
@@ -197,8 +242,13 @@ type Queue struct {
 	// store, when non-nil, journals every admission (before the job
 	// runs — see Budget.Charge) and every terminal transition, so a
 	// restart replays admitted-but-unfinished jobs as charged
-	// failures instead of silently re-running them.
+	// failures instead of silently re-running them. It also hosts the
+	// result spool: finished CSVs land under results/ and survive a
+	// restart.
 	store *persist.Store
+	// defaultWindows is applied to requests against streaming datasets
+	// that leave the window count unset (the daemon's -windows flag).
+	defaultWindows int
 
 	mu    sync.Mutex
 	next  int
@@ -219,14 +269,20 @@ type Queue struct {
 	wg      sync.WaitGroup
 }
 
+// maxWindows caps a request's window count: beyond it the per-window
+// pipelines are noise-dominated and the job metadata (per-window
+// progress, spool chunks) stops being worth tracking.
+const maxWindows = 4096
+
 // NewQueue starts a queue with `runners` concurrent jobs sharing
 // `workersTotal` engine workers (≤ 0 means all cores for the total,
 // and 2 for runners). The worker budget is a hard upper bound on
 // total synthesis parallelism: when it is smaller than the requested
 // job concurrency, the runner count is reduced to match rather than
 // overcommitting one worker per job. A nil store keeps the queue
-// volatile.
-func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store) *Queue {
+// volatile. defaultWindows (≥ 0) fills in the window count for
+// requests against streaming datasets that omit it.
+func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, defaultWindows int) *Queue {
 	if runners <= 0 {
 		runners = 2
 	}
@@ -237,15 +293,19 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store) *Q
 		runners = workersTotal
 	}
 	perJob := workersTotal / runners
+	if defaultWindows < 0 {
+		defaultWindows = 0
+	}
 	q := &Queue{
-		reg:        reg,
-		perJob:     perJob,
-		maxBacklog: 1024,
-		maxResults: 256,
-		maxJobs:    4096,
-		store:      store,
-		jobs:       make(map[string]*Job),
-		cache:      make(map[string]*Job),
+		reg:            reg,
+		perJob:         perJob,
+		maxBacklog:     1024,
+		maxResults:     256,
+		maxJobs:        4096,
+		store:          store,
+		defaultWindows: defaultWindows,
+		jobs:           make(map[string]*Job),
+		cache:          make(map[string]*Job),
 	}
 	q.pending = make(chan *Job, q.maxBacklog)
 	for i := 0; i < runners; i++ {
@@ -260,7 +320,39 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store) *Q
 // (no new budget spend), otherwise charges the dataset ledger and
 // enqueues a fresh job. The bool reports whether the result was
 // served from cache.
-func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
+//
+// windows > 1 requests windowed synthesis: the trace is cut into that
+// many disjoint time-contiguous partitions and each is synthesized
+// under the full (ε, δ) of cfg. The admission still charges ONE
+// window's ρ — not windows × ρ — because disjoint partitions compose
+// in parallel: every record influences exactly one window's release,
+// so the combined release is (ε, δ)-DP at record level, the same
+// guarantee (and therefore the same ledger cost) as a single
+// whole-trace release. Streaming datasets accept only windowed
+// requests (their trace is never materialized); windows ≤ 1 on an
+// in-memory dataset normalizes to a plain whole-trace job.
+func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int) (*Job, bool, error) {
+	if windows < 0 {
+		return nil, false, fmt.Errorf("serve: windows must be non-negative, got %d", windows)
+	}
+	if windows > maxWindows {
+		return nil, false, fmt.Errorf("serve: windows must be at most %d, got %d", maxWindows, windows)
+	}
+	if d.Streaming() {
+		if windows == 0 {
+			windows = q.defaultWindows
+		}
+		if windows < 1 {
+			return nil, false, fmt.Errorf("serve: dataset %s is streaming-registered: synthesis must be windowed (set \"windows\" in the request, or start the daemon with -windows)", d.ID)
+		}
+	} else if windows <= 1 {
+		// A single window is the whole trace: identical release to the
+		// plain job, so share its cache entry and its charge.
+		windows = 0
+	}
+	if windows > 0 && !d.Schema().Has(netdpsyn.FieldTS) {
+		return nil, false, fmt.Errorf("serve: windowed synthesis needs a %q field in the %s schema", netdpsyn.FieldTS, d.Kind)
+	}
 	// Normalize zero values to the pipeline defaults (taken from
 	// core.DefaultConfig so they can never drift from what the
 	// pipeline actually runs): a request spelling the defaults out
@@ -297,7 +389,10 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
 		return nil, false, err
 	}
 
-	key := d.ID + "|" + configKey(cfg, false)
+	// The cache key includes the window count: a 4-window release and
+	// a whole-trace release of the same Config are different outputs
+	// (each window is synthesized from its own marginals).
+	key := fmt.Sprintf("%s|%s|win=%d", d.ID, configKey(cfg, false), windows)
 	// The whole admission — cache probe, charge, registration, and the
 	// (non-blocking) enqueue — happens under one critical section.
 	// That keeps three races out: Submit can never send on a channel
@@ -317,8 +412,10 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
 			// a hit.
 			delete(q.cache, key)
 		case q.backlog < q.maxBacklog && prev.resurrect():
-			// Done but evicted from the retention window: re-enqueue
-			// the same deterministic computation at zero charge.
+			// Done but no longer servable (evicted, or its result file
+			// lost): re-enqueue the same deterministic computation at
+			// zero charge.
+			q.attachSpool(prev)
 			q.backlog++
 			q.pending <- prev
 			return prev, true, nil
@@ -344,8 +441,11 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
 			Rho:       rho,
 			Config:    cfg,
 			Submitted: now,
+			Windows:   windows,
 		}
 	}
+	// One window's ρ, whatever the window count — see the parallel
+	// composition argument on Submit.
 	if err := d.Budget().Charge(rho, rec); err != nil {
 		return nil, false, err
 	}
@@ -355,11 +455,13 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
 		DatasetID: d.ID,
 		Submitted: now,
 		Rho:       rho,
+		Windows:   windows,
 		cfg:       cfg,
 		cacheKey:  key,
 		state:     JobQueued,
 		done:      make(chan struct{}),
 	}
+	q.attachSpool(j)
 	q.jobsMu.Lock()
 	q.jobs[j.ID] = j
 	q.jobsMu.Unlock()
@@ -371,6 +473,36 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config) (*Job, bool, error) {
 	// (runners decrement backlog only after receiving).
 	q.pending <- j
 	return j, false, nil
+}
+
+// attachSpool gives an admitted job its result spool: file-backed
+// under the state dir when the queue is durable (the result then
+// survives a restart), in-memory for windowed jobs on a volatile
+// queue (so result.csv can still stream windows as they complete).
+// Plain jobs on a volatile queue keep using the in-memory result
+// only. Failure to open the file degrades to no spool — the job
+// still runs; only persistence/streaming of its result is lost.
+func (q *Queue) attachSpool(j *Job) {
+	switch {
+	case q.store != nil:
+		if rs, err := newResultSpool(q.store.ResultPath(j.ID)); err == nil {
+			j.mu.Lock()
+			j.spool = rs
+			j.mu.Unlock()
+		}
+	case j.Windows >= 1:
+		rs, _ := newResultSpool("")
+		j.mu.Lock()
+		j.spool = rs
+		j.mu.Unlock()
+	}
+}
+
+// Spool returns the job's result spool, if any.
+func (j *Job) Spool() *resultSpool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spool
 }
 
 // sweepJobs drops the oldest resultless terminal jobs once the
@@ -396,6 +528,11 @@ func (q *Queue) sweepJobs() {
 		delete(q.jobs, old.ID)
 		if q.cache[old.cacheKey] == old {
 			delete(q.cache, old.cacheKey)
+		}
+		// A forgotten job's spooled result goes with it: its id 404s,
+		// so the file could never be served again anyway.
+		if rs := old.Spool(); rs != nil {
+			rs.remove()
 		}
 	}
 	// Zero the dropped tail so the backing array releases the Jobs.
@@ -455,6 +592,7 @@ func (q *Queue) run(j *Job) {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.started = time.Now()
+	spool := j.spool
 	j.mu.Unlock()
 
 	d, ok := q.reg.Get(j.DatasetID)
@@ -467,33 +605,125 @@ func (q *Queue) run(j *Job) {
 		q.fail(j, err)
 		return
 	}
+	if j.Windows >= 1 {
+		// Includes windows == 1 on streaming datasets, whose trace
+		// exists only in the spool — the plain path below has no table
+		// to hand the pipeline.
+		q.runWindowed(j, d, syn, spool)
+		return
+	}
 	res, err := syn.Synthesize(d.Table())
 	if err != nil {
 		q.fail(j, err)
 		return
 	}
+	if spool != nil {
+		// Persist the result so a restarted daemon serves it directly
+		// instead of regenerating; best-effort — on failure the job
+		// still holds its in-memory result.
+		if err := res.Table.WriteCSV(spool); err == nil {
+			_ = spool.finish("")
+		} else {
+			_ = spool.finish(err.Error())
+		}
+	}
+	j.mu.Lock()
+	j.records = res.Records
+	j.result = res
+	j.setStages(res.Stages)
+	j.mu.Unlock()
+	q.finishDone(j, res.Records)
+}
+
+// runWindowed synthesizes a windowed job window-by-window, recording
+// per-window progress and streaming each completed window's CSV into
+// the result spool (header once, then rows). In-memory datasets go
+// through SynthesizeWindows over the registered table; streaming
+// datasets re-stream their spooled CSV through the bounded-memory
+// path, so the trace is never materialized even while serving it.
+func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool *resultSpool) {
+	records := 0
+	wroteHeader := false
+	emit := func(wr netdpsyn.WindowResult) error {
+		if spool != nil {
+			// One header row for the whole file, keyed on the first
+			// emission (window 0 can be empty and skipped).
+			var err error
+			if wroteHeader {
+				err = wr.Table.WriteCSVBody(spool)
+			} else {
+				err = wr.Table.WriteCSV(spool)
+			}
+			if err != nil {
+				return err
+			}
+			wroteHeader = true
+		}
+		records += wr.Records
+		j.mu.Lock()
+		j.windowsDone++
+		j.setStages(wr.Stages)
+		j.mu.Unlock()
+		return nil
+	}
+	var err error
+	if d.Streaming() {
+		var f *os.File
+		if f, err = d.OpenSpool(); err == nil {
+			err = syn.SynthesizeStream(f, d.Schema(), netdpsyn.StreamOptions{
+				Windows:   j.Windows,
+				TotalRows: d.Rows(),
+			}, emit)
+			f.Close()
+		}
+	} else {
+		err = syn.SynthesizeWindows(d.Table(), j.Windows, emit)
+	}
+	if err != nil {
+		if spool != nil {
+			_ = spool.finish(err.Error())
+		}
+		q.fail(j, err)
+		return
+	}
+	if spool != nil {
+		_ = spool.finish("")
+	}
+	j.mu.Lock()
+	j.records = records
+	j.mu.Unlock()
+	q.finishDone(j, records)
+}
+
+// finishDone moves a job to done, applies the result-retention sweep,
+// journals the terminal, and wakes waiters.
+func (q *Queue) finishDone(j *Job, records int) {
 	j.mu.Lock()
 	j.state = JobDone
 	j.finished = time.Now()
-	j.records = res.Records
-	j.result = res
 	// Capture the channel under the lock: once the result is set, a
 	// concurrent eviction + identical Submit could resurrect the job
 	// and install a fresh channel; the close must hit the channel the
 	// current waiters hold.
 	done := j.done
+	retain := j.result != nil || (j.spool != nil && j.spool.path == "")
 	j.mu.Unlock()
-	q.mu.Lock()
-	q.retained = append(q.retained, j)
-	for len(q.retained) > q.maxResults {
-		old := q.retained[0]
-		q.retained = q.retained[1:]
-		old.mu.Lock()
-		old.result = nil
-		old.mu.Unlock()
+	if retain {
+		q.mu.Lock()
+		q.retained = append(q.retained, j)
+		for len(q.retained) > q.maxResults {
+			old := q.retained[0]
+			q.retained = q.retained[1:]
+			old.mu.Lock()
+			old.result = nil
+			if old.spool != nil && old.spool.drop() {
+				old.spool = nil
+			}
+			old.mu.Unlock()
+		}
+		q.mu.Unlock()
 	}
-	q.mu.Unlock()
-	q.journalTerminal(j.ID, string(JobDone), res.Records, "")
+	q.journalTerminal(j.ID, string(JobDone), records, "")
 	close(done)
 }
 
@@ -523,7 +753,13 @@ func (q *Queue) fail(j *Job, err error) {
 	j.errMsg = err.Error()
 	j.finished = time.Now()
 	done := j.done
+	spool := j.spool
 	j.mu.Unlock()
+	if spool != nil {
+		// Seal the spool (deleting a partial result file) so streaming
+		// readers unblock with the failure instead of waiting forever.
+		_ = spool.finish(err.Error())
+	}
 	q.mu.Lock()
 	if q.cache[j.cacheKey] == j {
 		delete(q.cache, j.cacheKey)
@@ -557,8 +793,9 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 			DatasetID: js.DatasetID,
 			Submitted: js.Submitted,
 			Rho:       js.Rho,
+			Windows:   js.Windows,
 			cfg:       cfg,
-			cacheKey:  js.DatasetID + "|" + configKey(cfg, false),
+			cacheKey:  fmt.Sprintf("%s|%s|win=%d", js.DatasetID, configKey(cfg, false), js.Windows),
 			done:      make(chan struct{}),
 		}
 		close(j.done) // every restored job is terminal
@@ -566,15 +803,37 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 		case string(JobDone):
 			j.state = JobDone
 			j.records = js.Records
+			j.windowsDone = js.Windows
+			// A persisted result lets the restarted daemon serve
+			// result.csv directly instead of regenerating. The file is
+			// only trusted under a journaled done terminal: the spool is
+			// fsync'd before that record is appended, so its presence
+			// plus the terminal implies completeness.
+			if q.store != nil {
+				if fi, err := os.Stat(q.store.ResultPath(j.ID)); err == nil {
+					j.spool = recoveredResultSpool(q.store.ResultPath(j.ID), fi.Size())
+					info.PersistedResults++
+				}
+			}
 		case string(JobFailed):
 			j.state = JobFailed
 			j.errMsg = js.Error
+			if q.store != nil {
+				// A failed job's partial result file (crash between the
+				// terminal record and the cleanup) is dead weight.
+				_ = os.Remove(q.store.ResultPath(j.ID))
+			}
 		default:
 			// Admitted (charged, durably) but no terminal record:
-			// replay as a charged failure, never re-run.
+			// replay as a charged failure, never re-run. A result file
+			// the crash left behind is untrusted (no done terminal ⇒
+			// possibly torn) and deleted.
 			j.state = JobFailed
 			j.errMsg = interruptedJobError
 			info.InterruptedJobs++
+			if q.store != nil {
+				_ = os.Remove(q.store.ResultPath(j.ID))
+			}
 			// Converge the journal: next restart replays it as a plain
 			// failure without re-counting it as interrupted.
 			q.journalTerminal(j.ID, string(JobFailed), 0, j.errMsg)

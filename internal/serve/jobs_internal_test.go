@@ -33,11 +33,12 @@ func TestResultRetentionEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := reg.Register("ton", "flow", "type", table, budget, nil)
+	d, err := reg.Register(RegisterRequest{Name: "ton", Kind: "flow", Label: "type",
+		Schema: table.Schema(), Table: table, Budget: budget})
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(reg, 1, 1, nil)
+	q := NewQueue(reg, 1, 1, nil, 0)
 	q.maxResults = 1
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -48,13 +49,13 @@ func TestResultRetentionEviction(t *testing.T) {
 	}()
 
 	cfg := netdpsyn.Config{Epsilon: 0.5, UpdateIterations: 3, Seed: 1}
-	j1, cached, err := q.Submit(d, cfg)
+	j1, cached, err := q.Submit(d, cfg, 0)
 	if err != nil || cached {
 		t.Fatalf("submit 1: cached=%v err=%v", cached, err)
 	}
 	cfg2 := cfg
 	cfg2.Seed = 2
-	j2, _, err := q.Submit(d, cfg2)
+	j2, _, err := q.Submit(d, cfg2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestResultRetentionEviction(t *testing.T) {
 	spent := d.Budget().Snapshot().SpentRho
 	// An identical request resurrects the evicted job: same job, no
 	// new charge, and the deterministic result is regenerated.
-	again, cached, err := q.Submit(d, cfg)
+	again, cached, err := q.Submit(d, cfg, 0)
 	if err != nil || !cached || again != j1 {
 		t.Fatalf("identical request after eviction: job=%v cached=%v err=%v", again, cached, err)
 	}
@@ -120,11 +121,12 @@ func TestJobMetadataSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := reg.Register("ton", "flow", "type", table, budget, nil)
+	d, err := reg.Register(RegisterRequest{Name: "ton", Kind: "flow", Label: "type",
+		Schema: table.Schema(), Table: table, Budget: budget})
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(reg, 1, 1, nil)
+	q := NewQueue(reg, 1, 1, nil, 0)
 	q.maxResults = 1
 	q.maxJobs = 2
 	defer func() {
@@ -140,7 +142,7 @@ func TestJobMetadataSweep(t *testing.T) {
 	for seed := uint64(1); seed <= 3; seed++ {
 		c := cfg
 		c.Seed = seed
-		j, _, err := q.Submit(d, c)
+		j, _, err := q.Submit(d, c, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +166,7 @@ func TestJobMetadataSweep(t *testing.T) {
 	spent := d.Budget().Snapshot().SpentRho
 	c := cfg
 	c.Seed = 1
-	again, cached, err := q.Submit(d, c)
+	again, cached, err := q.Submit(d, c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

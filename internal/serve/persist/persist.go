@@ -59,6 +59,13 @@ type DatasetRecord struct {
 	Delta      float64   `json:"delta"`
 	Spool      string    `json:"spool"`
 	Registered time.Time `json:"registered"`
+	// Streaming marks a dataset registered for windowed streaming
+	// synthesis: its trace lives only in the spool (never as an
+	// in-memory table) and Rows is its record count, measured during
+	// the registration scan. Older journals lack these fields and
+	// unmarshal to the in-memory default.
+	Streaming bool `json:"streaming,omitempty"`
+	Rows      int  `json:"rows,omitempty"`
 }
 
 // ChargeRecord journals one admitted release: the ρ charged against
@@ -71,6 +78,10 @@ type ChargeRecord struct {
 	Rho       float64         `json:"rho"`
 	Config    netdpsyn.Config `json:"config"`
 	Submitted time.Time       `json:"submitted"`
+	// Windows > 1 marks a windowed release. Rho is still one window's
+	// charge: the windows are disjoint record partitions, so their
+	// releases compose in parallel, not additively.
+	Windows int `json:"windows,omitempty"`
 }
 
 // TerminalRecord journals a job reaching a terminal state. It is

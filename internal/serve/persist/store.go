@@ -13,9 +13,10 @@ import (
 
 // File and directory names under the state dir.
 const (
-	journalName  = "journal.log"
-	snapshotName = "snapshot.json"
-	spoolDirName = "spool"
+	journalName    = "journal.log"
+	snapshotName   = "snapshot.json"
+	spoolDirName   = "spool"
+	resultsDirName = "results"
 )
 
 // defaultCompactEvery is how many journal appends trigger an
@@ -65,6 +66,11 @@ func Open(dir string) (*Store, *State, error) {
 	// 0o700: the spool holds raw (pre-DP) traces.
 	if err := os.MkdirAll(filepath.Join(dir, spoolDirName), 0o700); err != nil {
 		return nil, nil, fmt.Errorf("persist: create state dir: %w", err)
+	}
+	// Results are DP-protected output, but inherit the state dir's
+	// permissions anyway.
+	if err := os.MkdirAll(filepath.Join(dir, resultsDirName), 0o700); err != nil {
+		return nil, nil, fmt.Errorf("persist: create results dir: %w", err)
 	}
 
 	mem := newMemState()
@@ -289,6 +295,40 @@ func (s *Store) WriteSpool(datasetID string, raw []byte) (string, error) {
 // spool dir.
 func (s *Store) SpoolPath(name string) string {
 	return filepath.Join(s.dir, spoolDirName, filepath.Base(name))
+}
+
+// CreateSpoolTemp opens a fresh temp file in the spool dir, for
+// registrations that stream the upload to disk before the dataset id
+// exists. Commit it with CommitSpool or delete it on failure.
+func (s *Store) CreateSpoolTemp() (*os.File, error) {
+	f, err := os.CreateTemp(filepath.Join(s.dir, spoolDirName), "upload-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("persist: create spool temp: %w", err)
+	}
+	return f, nil
+}
+
+// CommitSpool durably renames a CreateSpoolTemp file to the dataset's
+// spool name and returns that name for its DatasetRecord. The caller
+// must have synced the file's contents already; the rename and the
+// directory entry are synced here, so a journaled dataset record
+// always finds its spool at replay.
+func (s *Store) CommitSpool(tmpPath, datasetID string) (string, error) {
+	name := datasetID + ".csv"
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, spoolDirName, name)); err != nil {
+		return "", fmt.Errorf("persist: commit spool: %w", err)
+	}
+	if err := syncDir(filepath.Join(s.dir, spoolDirName)); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// ResultPath is where a job's synthesized CSV is spooled (and looked
+// up after a restart). The id is flattened to its base so a crafted
+// snapshot cannot escape the results dir.
+func (s *Store) ResultPath(jobID string) string {
+	return filepath.Join(s.dir, resultsDirName, filepath.Base(jobID)+".csv")
 }
 
 // Dir returns the state dir this store owns.

@@ -20,9 +20,12 @@ type RecoveryInfo struct {
 	SpentRho float64 `json:"spent_rho"`
 	// Jobs counts restored job records; InterruptedJobs of them were
 	// admitted (and charged) but unfinished at the crash and replay as
-	// charged failures.
-	Jobs            int `json:"jobs"`
-	InterruptedJobs int `json:"interrupted_jobs"`
+	// charged failures. PersistedResults counts done jobs whose
+	// synthesized CSV was found in the results spool — those serve
+	// result.csv directly, no regeneration.
+	Jobs             int `json:"jobs"`
+	InterruptedJobs  int `json:"interrupted_jobs"`
+	PersistedResults int `json:"persisted_results,omitempty"`
 	// SkippedRecords counts journal records replay could not apply
 	// (unknown types, unknown references); TruncatedBytes is the torn
 	// journal tail dropped at open.
@@ -37,6 +40,9 @@ type RecoveryInfo struct {
 func (r *RecoveryInfo) String() string {
 	s := fmt.Sprintf("recovered %d dataset(s) (cumulative ρ=%.6g) and %d job(s), %d interrupted → charged failures",
 		r.Datasets, r.SpentRho, r.Jobs, r.InterruptedJobs)
+	if r.PersistedResults > 0 {
+		s += fmt.Sprintf(", %d persisted result(s)", r.PersistedResults)
+	}
 	if r.SkippedRecords > 0 {
 		s += fmt.Sprintf(", %d record(s) skipped", r.SkippedRecords)
 	}
@@ -80,18 +86,31 @@ func restoreState(reg *Registry, q *Queue, store *persist.Store, st *persist.Sta
 				fmt.Sprintf("dataset %s: unknown schema kind %q, not restored", ds.ID, ds.Kind))
 			continue
 		}
-		f, err := os.Open(store.SpoolPath(ds.Spool))
-		if err != nil {
-			info.Warnings = append(info.Warnings,
-				fmt.Sprintf("dataset %s: open spool: %v, not restored", ds.ID, err))
-			continue
-		}
-		table, err := netdpsyn.LoadCSV(f, schema)
-		f.Close()
-		if err != nil {
-			info.Warnings = append(info.Warnings,
-				fmt.Sprintf("dataset %s: re-ingest spool %s: %v, not restored", ds.ID, ds.Spool, err))
-			continue
+		spoolPath := store.SpoolPath(ds.Spool)
+		var table *netdpsyn.Table
+		if ds.Streaming {
+			// A streaming dataset's trace lives only in the spool; it
+			// is re-streamed per windowed job, never materialized. The
+			// file just has to be there.
+			if _, err := os.Stat(spoolPath); err != nil {
+				info.Warnings = append(info.Warnings,
+					fmt.Sprintf("dataset %s: stat spool: %v, not restored", ds.ID, err))
+				continue
+			}
+		} else {
+			f, err := os.Open(spoolPath)
+			if err != nil {
+				info.Warnings = append(info.Warnings,
+					fmt.Sprintf("dataset %s: open spool: %v, not restored", ds.ID, err))
+				continue
+			}
+			table, err = netdpsyn.LoadCSV(f, schema)
+			f.Close()
+			if err != nil {
+				info.Warnings = append(info.Warnings,
+					fmt.Sprintf("dataset %s: re-ingest spool %s: %v, not restored", ds.ID, ds.Spool, err))
+				continue
+			}
 		}
 		b, err := NewBudget(ds.CeilingRho, ds.Delta)
 		if err != nil {
@@ -106,7 +125,11 @@ func restoreState(reg *Registry, q *Queue, store *persist.Store, st *persist.Sta
 			Name:   ds.Name,
 			Kind:   ds.Kind,
 			Label:  ds.Label,
+			schema: schema,
 			table:  table,
+			spool:  spoolPath,
+			stream: ds.Streaming,
+			rows:   ds.Rows,
 			budget: b,
 		})
 		info.Datasets++

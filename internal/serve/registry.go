@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,12 +13,13 @@ import (
 	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
 )
 
-// Dataset is one registered trace table: the decoded table itself,
-// its schema metadata, the per-dataset budget ledger, and a pool of
-// warm Synthesizer instances keyed by configuration. Loading and
-// schema-encoding a trace is the expensive, once-per-dataset part of
-// serving; pipelines are stateless across runs (PR 1), so pooled
-// instances are safe to share between concurrent jobs.
+// Dataset is one registered trace: its schema metadata, the
+// per-dataset budget ledger, and a pool of warm Synthesizer instances
+// keyed by configuration. An in-memory dataset additionally pins its
+// decoded table; a streaming dataset holds no table at all — its
+// records live only in the CSV spool on disk, and windowed jobs
+// re-stream them through the bounded-memory synthesis path, so trace
+// length is capped by disk, not RAM.
 type Dataset struct {
 	ID    string
 	Name  string
@@ -25,7 +27,11 @@ type Dataset struct {
 	Label string
 
 	seq    int // registration order, for List
-	table  *netdpsyn.Table
+	schema *netdpsyn.Schema
+	table  *netdpsyn.Table // nil for streaming datasets
+	spool  string          // CSV path; always set for streaming datasets
+	stream bool
+	rows   int // record count (streaming datasets: counted at registration)
 	budget *Budget
 
 	mu   sync.Mutex
@@ -38,9 +44,33 @@ type Dataset struct {
 // past the cap, instances are constructed per call and not retained.
 const maxPoolEntries = 64
 
-// Table returns the registered trace table. Tables are append-only
-// and never mutated after registration, so concurrent reads are safe.
+// Table returns the registered trace table (nil for streaming
+// datasets). Tables are append-only and never mutated after
+// registration, so concurrent reads are safe.
 func (d *Dataset) Table() *netdpsyn.Table { return d.table }
+
+// Schema returns the dataset's trace schema.
+func (d *Dataset) Schema() *netdpsyn.Schema { return d.schema }
+
+// Streaming reports whether the dataset's records live only in the
+// spool (windowed streaming synthesis required).
+func (d *Dataset) Streaming() bool { return d.stream }
+
+// Rows returns the dataset's record count.
+func (d *Dataset) Rows() int {
+	if d.table != nil {
+		return d.table.NumRows()
+	}
+	return d.rows
+}
+
+// OpenSpool opens the dataset's spooled CSV for a streaming job.
+func (d *Dataset) OpenSpool() (*os.File, error) {
+	if d.spool == "" {
+		return nil, fmt.Errorf("serve: dataset %s has no spool", d.ID)
+	}
+	return os.Open(d.spool)
+}
 
 // Budget returns the dataset's zCDP ledger.
 func (d *Dataset) Budget() *Budget { return d.budget }
@@ -48,9 +78,8 @@ func (d *Dataset) Budget() *Budget { return d.budget }
 // labelField returns the schema's label field name ("" if the schema
 // has none) — the pipeline's default KeyAttr.
 func (d *Dataset) labelField() string {
-	s := d.table.Schema()
-	if li := s.LabelIndex(); li >= 0 {
-		return s.Fields[li].Name
+	if li := d.schema.LabelIndex(); li >= 0 {
+		return d.schema.Fields[li].Name
 	}
 	return ""
 }
@@ -78,25 +107,27 @@ func (d *Dataset) Synthesizer(cfg netdpsyn.Config) (*netdpsyn.Synthesizer, error
 
 // Info is the JSON shape of a registered dataset.
 type Info struct {
-	ID     string `json:"id"`
-	Name   string `json:"name,omitempty"`
-	Kind   string `json:"kind"`
-	Label  string `json:"label,omitempty"`
-	Rows   int    `json:"rows"`
-	Attrs  int    `json:"attrs"`
-	Budget Status `json:"budget"`
+	ID        string `json:"id"`
+	Name      string `json:"name,omitempty"`
+	Kind      string `json:"kind"`
+	Label     string `json:"label,omitempty"`
+	Rows      int    `json:"rows"`
+	Attrs     int    `json:"attrs"`
+	Streaming bool   `json:"streaming,omitempty"`
+	Budget    Status `json:"budget"`
 }
 
 // Info snapshots the dataset's metadata and budget state.
 func (d *Dataset) Info() Info {
 	return Info{
-		ID:     d.ID,
-		Name:   d.Name,
-		Kind:   d.Kind,
-		Label:  d.Label,
-		Rows:   d.table.NumRows(),
-		Attrs:  d.table.NumCols(),
-		Budget: d.budget.Snapshot(),
+		ID:        d.ID,
+		Name:      d.Name,
+		Kind:      d.Kind,
+		Label:     d.Label,
+		Rows:      d.Rows(),
+		Attrs:     d.schema.NumFields(),
+		Streaming: d.stream,
+		Budget:    d.budget.Snapshot(),
 	}
 }
 
@@ -109,13 +140,14 @@ var ErrRegistryFull = fmt.Errorf("serve: dataset registry is full")
 type Registry struct {
 	mu   sync.RWMutex
 	next int
-	// max bounds the registry: each dataset pins its full decoded
-	// table in memory for the daemon's lifetime (there is no
+	// max bounds the registry: each in-memory dataset pins its full
+	// decoded table for the daemon's lifetime (there is no
 	// deregistration — dropping a table would orphan its spent
-	// budget), so an uncapped registry is an OOM vector.
+	// budget), so an uncapped registry is an OOM vector. Streaming
+	// datasets cost only disk, but share the cap for simplicity.
 	max  int
 	byID map[string]*Dataset
-	// store, when non-nil, makes registrations durable: the raw CSV is
+	// store, when non-nil, makes registrations durable: the upload is
 	// spooled and the registration journaled before the dataset
 	// becomes visible, so a dataset can never accumulate spend that a
 	// restart would forget.
@@ -131,51 +163,84 @@ func NewRegistry(max int, store *persist.Store) *Registry {
 	return &Registry{max: max, byID: make(map[string]*Dataset), store: store}
 }
 
-// Register adds a loaded table under a fresh id with the given budget
-// ledger, or returns ErrRegistryFull at the cap. raw is the CSV the
-// table was loaded from, spooled for re-ingestion after a restart;
-// a durable-write failure returns ErrPersist (wrapped) and registers
-// nothing.
-func (r *Registry) Register(name, kind, label string, t *netdpsyn.Table, b *Budget, raw []byte) (*Dataset, error) {
+// RegisterRequest carries one registration into the registry.
+type RegisterRequest struct {
+	Name, Kind, Label string
+	// Schema is the trace schema resolved from Kind/Label.
+	Schema *netdpsyn.Schema
+	// Table is the decoded trace for an in-memory dataset; nil for a
+	// streaming one.
+	Table *netdpsyn.Table
+	// Budget is the dataset's ledger.
+	Budget *Budget
+	// SpoolTmp is the temp file the upload was streamed into ("" when
+	// the daemon keeps no spool). With a store it is renamed to the
+	// dataset's durable spool; without one (volatile streaming) it is
+	// used in place.
+	SpoolTmp string
+	// Streaming marks a spool-only dataset (Table nil, Rows counted
+	// during the registration scan).
+	Streaming bool
+	Rows      int
+}
+
+// Register installs a dataset under a fresh id, or returns
+// ErrRegistryFull at the cap. With a store, the spool temp file is
+// committed under the dataset id and the registration journaled
+// before the dataset becomes visible; a durable-write failure returns
+// ErrPersist (wrapped) and registers nothing.
+func (r *Registry) Register(req RegisterRequest) (*Dataset, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.byID) >= r.max {
 		return nil, fmt.Errorf("%w: %d datasets registered", ErrRegistryFull, len(r.byID))
 	}
 	id := fmt.Sprintf("ds-%d", r.next+1)
+	spoolPath := req.SpoolTmp
 	if r.store != nil {
-		// Spool before journal: a journaled dataset record must always
-		// find its CSV at replay (the reverse — an orphan spool file —
-		// is harmless).
-		spool, err := r.store.WriteSpool(id, raw)
+		// Commit the spool before the journal record: a journaled
+		// dataset must always find its CSV at replay (the reverse — an
+		// orphan spool file — is harmless and cleaned up by the next
+		// registration under the id).
+		if req.SpoolTmp == "" {
+			return nil, fmt.Errorf("%w: registration without a spooled upload", ErrPersist)
+		}
+		name, err := r.store.CommitSpool(req.SpoolTmp, id)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrPersist, err)
 		}
-		st := b.Snapshot()
+		spoolPath = r.store.SpoolPath(name)
+		st := req.Budget.Snapshot()
 		err = r.store.AppendDataset(persist.DatasetRecord{
 			ID:         id,
-			Name:       name,
-			Kind:       kind,
-			Label:      label,
+			Name:       req.Name,
+			Kind:       req.Kind,
+			Label:      req.Label,
 			CeilingRho: st.CeilingRho,
 			Delta:      st.Delta,
-			Spool:      spool,
+			Spool:      name,
 			Registered: time.Now(),
+			Streaming:  req.Streaming,
+			Rows:       req.Rows,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrPersist, err)
 		}
-		b.bind(r.store)
+		req.Budget.bind(r.store)
 	}
 	r.next++
 	d := &Dataset{
 		ID:     id,
 		seq:    r.next,
-		Name:   name,
-		Kind:   kind,
-		Label:  label,
-		table:  t,
-		budget: b,
+		Name:   req.Name,
+		Kind:   req.Kind,
+		Label:  req.Label,
+		schema: req.Schema,
+		table:  req.Table,
+		spool:  spoolPath,
+		stream: req.Streaming,
+		rows:   req.Rows,
+		budget: req.Budget,
 		pool:   make(map[string]*netdpsyn.Synthesizer),
 	}
 	r.byID[d.ID] = d

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -184,10 +185,13 @@ func TestRestartRecovery(t *testing.T) {
 		t.Fatalf("403 changed the ledger: %v → %v", spent, got)
 	}
 
-	// (4) An identical resubmit of the completed job cache-hits the
-	// recovered job at zero new charge (the result itself was not
-	// persisted, so the deterministic computation re-runs — re-running
-	// a fixed (Config, Seed) releases no new information).
+	// (4) The completed job's synthesized CSV was spooled (and
+	// fsync'd) before its done terminal was journaled, so the restarted
+	// daemon serves it directly — no recomputation. An identical
+	// resubmit cache-hits the recovered job at zero new charge.
+	if rec.PersistedResults != 1 {
+		t.Fatalf("recovery found %d persisted result(s), want 1", rec.PersistedResults)
+	}
 	ackA2, code := submit(t, ts2, dsID, reqA)
 	if code != http.StatusAccepted {
 		t.Fatalf("resubmit A = %d", code)
@@ -202,8 +206,20 @@ func TestRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := jA2.Result(); !ok {
-		t.Fatalf("regenerated job A holds no result (state %s)", jA2.State())
+	if jA2.State() != JobDone {
+		t.Fatalf("recovered job A = %s, want done", jA2.State())
+	}
+	resp, err := http.Get(ts2.URL + "/jobs/" + ackA.JobID + "/result.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyA, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("persisted result.csv = %d (%s)", resp.StatusCode, bodyA)
+	}
+	if lines := strings.Count(string(bodyA), "\n"); lines < 2 {
+		t.Fatalf("persisted result.csv has %d lines", lines)
 	}
 
 	// A clean shutdown compacts; a third boot replays from the

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// resultSpool accumulates one job's synthesized CSV incrementally and
+// lets concurrent readers stream it while it is still being written —
+// the mechanism behind result.csv delivering windows as they
+// complete. It has two backends:
+//
+//   - file-backed (path != ""): appends go to a file under the state
+//     dir's results/ directory; each reader opens its own descriptor.
+//     The file outlives the process, so a restarted daemon serves the
+//     finished result directly instead of regenerating it.
+//   - memory-backed (path == ""): appends go to an in-memory buffer;
+//     used when the daemon runs without durable state. The buffer is
+//     dropped by the result-retention sweep like any in-memory result.
+//
+// Writes happen from exactly one goroutine (the job runner); finish
+// seals the spool. Readers may arrive any time, including before the
+// first byte and after the process that wrote the file died.
+type resultSpool struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File // append handle while the job runs (file-backed)
+	mem    []byte
+	size   int64
+	done   bool
+	fail   string        // terminal error, when the job died mid-stream
+	notify chan struct{} // closed and replaced on every state change
+}
+
+// newResultSpool opens a spool; path "" selects the memory backend.
+func newResultSpool(path string) (*resultSpool, error) {
+	rs := &resultSpool{path: path, notify: make(chan struct{})}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+		if err != nil {
+			return nil, fmt.Errorf("serve: create result spool: %w", err)
+		}
+		rs.f = f
+	}
+	return rs, nil
+}
+
+// recoveredResultSpool wraps an already-complete result file from a
+// previous daemon generation.
+func recoveredResultSpool(path string, size int64) *resultSpool {
+	return &resultSpool{path: path, size: size, done: true, notify: make(chan struct{})}
+}
+
+// Write appends CSV bytes and wakes streaming readers.
+func (rs *resultSpool) Write(p []byte) (int, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.done {
+		return 0, fmt.Errorf("serve: result spool is sealed")
+	}
+	if rs.f != nil {
+		n, err := rs.f.Write(p)
+		rs.size += int64(n)
+		if err != nil {
+			return n, err
+		}
+	} else {
+		rs.mem = append(rs.mem, p...)
+		rs.size += int64(len(p))
+	}
+	rs.wake()
+	return len(p), nil
+}
+
+// finish seals the spool. An empty errMsg means the result is
+// complete; file-backed spools are fsync'd so a journaled "done"
+// terminal always finds the full file after a crash. A non-empty
+// errMsg marks the stream failed: readers get the error after the
+// bytes already streamed, and the partial file is deleted.
+func (rs *resultSpool) finish(errMsg string) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.done {
+		return nil
+	}
+	rs.done = true
+	rs.fail = errMsg
+	var err error
+	if rs.f != nil {
+		if errMsg == "" {
+			err = rs.f.Sync()
+		}
+		cerr := rs.f.Close()
+		if err == nil {
+			err = cerr
+		}
+		rs.f = nil
+		if errMsg != "" {
+			_ = os.Remove(rs.path)
+		}
+	} else if errMsg != "" {
+		rs.mem = nil
+	}
+	rs.wake()
+	return err
+}
+
+// drop releases a memory-backed spool's bytes (the result-retention
+// sweep); file-backed spools keep their file — disk is the point.
+// Reports whether the spool no longer holds a servable result.
+func (rs *resultSpool) drop() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.path != "" {
+		return false
+	}
+	rs.mem = nil
+	rs.fail = "result evicted from the retention window"
+	rs.wake()
+	return true
+}
+
+// remove deletes a file-backed spool's file (jobs forgotten by the
+// metadata sweep).
+func (rs *resultSpool) remove() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.path != "" {
+		_ = os.Remove(rs.path)
+	}
+	rs.mem = nil
+	if !rs.done {
+		rs.done = true
+		rs.fail = "job forgotten"
+	}
+	rs.wake()
+}
+
+// servable reports whether a reader starting now could stream the
+// complete result.
+func (rs *resultSpool) servable() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.fail != "" {
+		return false
+	}
+	if rs.path != "" {
+		if !rs.done {
+			return true // still streaming; readers follow
+		}
+		_, err := os.Stat(rs.path)
+		return err == nil
+	}
+	return !rs.done || rs.mem != nil
+}
+
+func (rs *resultSpool) wake() {
+	close(rs.notify)
+	rs.notify = make(chan struct{})
+}
+
+// state snapshots (size, done, fail) plus the channel that signals
+// the next change.
+func (rs *resultSpool) state() (int64, bool, string, <-chan struct{}) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.size, rs.done, rs.fail, rs.notify
+}
+
+// NewReader returns a reader that streams the spool from the start,
+// blocking at the tail until more bytes arrive or the spool is
+// sealed. A sealed-with-error spool yields the error after the bytes
+// written before the failure (memory backend: after nothing, the
+// bytes are gone).
+func (rs *resultSpool) NewReader() (io.ReadCloser, error) {
+	if rs.path != "" {
+		f, err := os.Open(rs.path)
+		if err != nil {
+			return nil, err
+		}
+		return &spoolReader{rs: rs, f: f}, nil
+	}
+	return &spoolReader{rs: rs}, nil
+}
+
+// spoolReader follows a resultSpool, file- or memory-backed.
+type spoolReader struct {
+	rs  *resultSpool
+	f   *os.File // file backend
+	off int64
+}
+
+func (r *spoolReader) Read(p []byte) (int, error) {
+	for {
+		size, done, fail, notify := r.rs.state()
+		if r.off < size {
+			var (
+				n   int
+				err error
+			)
+			if r.f != nil {
+				n, err = r.f.ReadAt(p, r.off)
+				if err == io.EOF && n > 0 {
+					err = nil // more may be coming; EOF is decided below
+				}
+			} else {
+				r.rs.mu.Lock()
+				mem := r.rs.mem
+				r.rs.mu.Unlock()
+				if mem == nil {
+					return 0, fmt.Errorf("serve: %s", fail)
+				}
+				n = copy(p, mem[r.off:])
+			}
+			r.off += int64(n)
+			return n, err
+		}
+		if done {
+			if fail != "" {
+				return 0, fmt.Errorf("serve: %s", fail)
+			}
+			return 0, io.EOF
+		}
+		<-notify
+	}
+}
+
+func (r *spoolReader) Close() error {
+	if r.f != nil {
+		return r.f.Close()
+	}
+	return nil
+}

@@ -1,14 +1,16 @@
 package serve
 
 import (
-	"bytes"
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
@@ -39,10 +41,21 @@ type Options struct {
 	// StateDir, when non-empty, makes the service restart-safe: the
 	// budget ledger, dataset registry, and job journal are persisted
 	// there (append-only journal + compacted snapshots + a CSV spool),
-	// every charge fsync'd before its job runs. Empty keeps all state
-	// in memory — a restart then forgets cumulative spend, which is a
-	// privacy bug for any deployment that outlives its process.
+	// every charge fsync'd before its job runs, and finished results
+	// spooled under results/ so a restart serves them directly. Empty
+	// keeps all state in memory — a restart then forgets cumulative
+	// spend, which is a privacy bug for any deployment that outlives
+	// its process.
 	StateDir string
+	// DefaultWindows fills in the window count for synthesis requests
+	// against streaming datasets that omit it (0 = no default; such
+	// requests are rejected).
+	DefaultWindows int
+	// AllowVolatileStream accepts streaming registrations (?stream=1)
+	// without a StateDir by spooling the upload to a process-lifetime
+	// temp dir. The trace still never touches RAM whole, but nothing
+	// survives a restart — including the spool and the ledger.
+	AllowVolatileStream bool
 }
 
 // Server is the netdpsynd HTTP service: a dataset registry, a
@@ -65,6 +78,12 @@ type Server struct {
 	recovery *RecoveryInfo  // nil when StateDir is empty
 	mux      *http.ServeMux
 	http     *http.Server
+
+	// tmpSpool backs volatile streaming registrations (no state dir):
+	// created lazily, removed at Shutdown.
+	tmpSpoolOnce sync.Once
+	tmpSpoolDir  string
+	tmpSpoolErr  error
 }
 
 // NewServer wires the service together; call ListenAndServe (or mount
@@ -98,7 +117,7 @@ func NewServer(opts Options) (*Server, error) {
 		store: store,
 		mux:   http.NewServeMux(),
 	}
-	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers, store)
+	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers, store, opts.DefaultWindows)
 	if state != nil {
 		s.recovery = restoreState(s.reg, s.queue, store, state)
 	}
@@ -136,6 +155,15 @@ func (s *Server) ListenAndServe() error {
 	return err
 }
 
+// volatileSpoolDir lazily creates the process-lifetime temp dir that
+// backs streaming registrations without a state dir.
+func (s *Server) volatileSpoolDir() (string, error) {
+	s.tmpSpoolOnce.Do(func() {
+		s.tmpSpoolDir, s.tmpSpoolErr = os.MkdirTemp("", "netdpsynd-spool-")
+	})
+	return s.tmpSpoolDir, s.tmpSpoolErr
+}
+
 // Shutdown stops accepting requests, drains the job queue so admitted
 // (budget-charged) jobs finish before the process exits, then
 // compacts and closes the durable store so the next boot replays a
@@ -148,6 +176,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// just slower.
 		_ = s.store.Compact()
 		_ = s.store.Close()
+	}
+	if s.tmpSpoolDir != "" {
+		_ = os.RemoveAll(s.tmpSpoolDir)
 	}
 	if httpErr != nil {
 		return httpErr
@@ -183,12 +214,36 @@ func uploadErr(err error) (int, string) {
 	return 0, ""
 }
 
-// handleRegister loads the CSV request body against the named schema
-// and registers it with a budget ceiling. Query parameters:
+// schemaFor resolves the schema named by a dataset's kind/label pair
+// (normalizing the label the same way for registration and recovery).
+func schemaFor(kind, label string) (*netdpsyn.Schema, string, error) {
+	switch kind {
+	case "flow":
+		if label == "" {
+			label = "label"
+		}
+		return netdpsyn.FlowSchema(label), label, nil
+	case "packet":
+		return netdpsyn.PacketSchema(), "", nil
+	default:
+		return nil, "", fmt.Errorf("unknown schema %q (want flow or packet)", kind)
+	}
+}
+
+// handleRegister ingests the CSV request body against the named
+// schema and registers it with a budget ceiling. The body is consumed
+// in one pass, streamed straight into the parser — and, when a spool
+// exists, simultaneously onto disk via a tee — so registration memory
+// is bounded by the decoded table (in-memory datasets) or by one
+// decode batch (streaming datasets), never by the upload size;
+// chunked transfer encoding works as-is. Query parameters:
 //
 //	schema       flow | packet (default flow)
 //	label        flow label field name (default "label")
 //	name         human-readable dataset name
+//	stream       1/true: register as a streaming dataset — the trace
+//	             is spooled to disk only (time-ordered input required)
+//	             and synthesized window-by-window in bounded memory
 //	budget_eps   cumulative ε ceiling (with budget_delta → ρ ceiling)
 //	budget_delta δ for the ceiling and for reported ε (default 1e-5)
 //	budget_rho   ρ ceiling directly (overrides budget_eps)
@@ -198,19 +253,18 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if kind == "" {
 		kind = "flow"
 	}
-	label := q.Get("label")
-	var schema *netdpsyn.Schema
-	switch kind {
-	case "flow":
-		if label == "" {
-			label = "label"
-		}
-		schema = netdpsyn.FlowSchema(label)
-	case "packet":
-		label = ""
-		schema = netdpsyn.PacketSchema()
+	schema, label, err := schemaFor(kind, q.Get("label"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	streaming := false
+	switch v := q.Get("stream"); v {
+	case "", "0", "false":
+	case "1", "true":
+		streaming = true
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown schema %q (want flow or packet)", kind)
+		writeErr(w, http.StatusBadRequest, "bad stream %q (want 1 or 0)", v)
 		return
 	}
 
@@ -254,38 +308,114 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// With a store, buffer the raw CSV (bounded by the upload limit)
-	// so the registry can spool the exact bytes for re-ingestion after
-	// a restart; without one, stream straight into the parser — the
-	// copy would be pure RSS for nothing.
+	// Where the upload spools: the state dir's spool (durable), a
+	// process-lifetime temp dir (volatile streaming), or nowhere
+	// (volatile in-memory — a copy would be pure RSS for nothing).
 	body := io.Reader(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
-	var raw []byte
-	if s.store != nil {
+	var spoolTmp *os.File
+	switch {
+	case s.store != nil:
 		var err error
-		if raw, err = io.ReadAll(body); err != nil {
+		if spoolTmp, err = s.store.CreateSpoolTemp(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v: %v", ErrPersist, err)
+			return
+		}
+	case streaming:
+		if !s.opts.AllowVolatileStream {
+			writeErr(w, http.StatusBadRequest, "streaming registration needs -state-dir (or -stream to accept a volatile temp spool)")
+			return
+		}
+		dir, err := s.volatileSpoolDir()
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "temp spool: %v", err)
+			return
+		}
+		if spoolTmp, err = os.CreateTemp(dir, "ds-*.csv"); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "temp spool: %v", err)
+			return
+		}
+	}
+	var (
+		spoolPath  string
+		spoolBuf   *bufio.Writer
+		registered bool
+	)
+	if spoolTmp != nil {
+		spoolPath = spoolTmp.Name()
+		spoolBuf = bufio.NewWriterSize(spoolTmp, 256<<10)
+		body = io.TeeReader(body, spoolBuf)
+		defer func() {
+			// The fd outlives the store's rename, so closing here is
+			// safe on every path; the remove only fires when the
+			// registration did not take the file over (after a rename
+			// it misses the old name, harmlessly).
+			spoolTmp.Close()
+			if !registered {
+				os.Remove(spoolPath)
+			}
+		}()
+	}
+
+	// One pass over the body: in-memory datasets decode into a table,
+	// streaming datasets are validated and counted without ever
+	// building one.
+	var (
+		table *netdpsyn.Table
+		rows  int
+	)
+	if streaming {
+		var err error
+		rows, err = netdpsyn.ScanCSV(body, schema)
+		if err != nil {
 			if code, msg := uploadErr(err); code != 0 {
 				writeErr(w, code, "%s", msg)
 				return
 			}
-			writeErr(w, http.StatusBadRequest, "read body: %v", err)
+			writeErr(w, http.StatusBadRequest, "scan CSV: %v", err)
 			return
 		}
-		body = bytes.NewReader(raw)
-	}
-	table, err := netdpsyn.LoadCSV(body, schema)
-	if err != nil {
-		if code, msg := uploadErr(err); code != 0 {
-			writeErr(w, code, "%s", msg)
+	} else {
+		var err error
+		table, err = netdpsyn.LoadCSV(body, schema)
+		if err != nil {
+			if code, msg := uploadErr(err); code != 0 {
+				writeErr(w, code, "%s", msg)
+				return
+			}
+			writeErr(w, http.StatusBadRequest, "load CSV: %v", err)
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "load CSV: %v", err)
-		return
+		rows = table.NumRows()
 	}
-	if table.NumRows() == 0 {
+	if rows == 0 {
 		writeErr(w, http.StatusBadRequest, "dataset has no rows")
 		return
 	}
-	d, err := s.reg.Register(q.Get("name"), kind, label, table, budget, raw)
+
+	req := RegisterRequest{
+		Name:      q.Get("name"),
+		Kind:      kind,
+		Label:     label,
+		Schema:    schema,
+		Table:     table,
+		Budget:    budget,
+		Streaming: streaming,
+		Rows:      rows,
+	}
+	if spoolTmp != nil {
+		// Make the spool durable before the registry journals a record
+		// pointing at it.
+		if err := spoolBuf.Flush(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v: flush spool: %v", ErrPersist, err)
+			return
+		}
+		if err := spoolTmp.Sync(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v: sync spool: %v", ErrPersist, err)
+			return
+		}
+		req.SpoolTmp = spoolPath
+	}
+	d, err := s.reg.Register(req)
 	switch {
 	case errors.Is(err, ErrPersist):
 		// The registration did not happen; durable-state writes are
@@ -296,6 +426,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
+	registered = true
 	writeJSON(w, http.StatusCreated, d.Info())
 }
 
@@ -343,6 +474,12 @@ type SynthesisRequest struct {
 	Tau        float64 `json:"tau"`
 	KeyAttr    string  `json:"key_attr"`
 	UseGUM     bool    `json:"use_gum"`
+	// Windows > 1 requests windowed synthesis: the trace is cut into
+	// that many disjoint time windows, each synthesized under the full
+	// (ε, δ) and streamed into result.csv as it completes. The ledger
+	// is charged one window's ρ (parallel composition over disjoint
+	// partitions — see Queue.Submit). Streaming datasets require this.
+	Windows int `json:"windows"`
 }
 
 // SynthesisResponse acknowledges an admitted (or cache-hit) job.
@@ -350,9 +487,10 @@ type SynthesisResponse struct {
 	JobID string `json:"job_id"`
 	// Cached reports that an identical (Config, Seed) release was
 	// already admitted; the budget was not charged again.
-	Cached bool     `json:"cached"`
-	Rho    float64  `json:"rho"`
-	State  JobState `json:"state"`
+	Cached  bool     `json:"cached"`
+	Rho     float64  `json:"rho"`
+	State   JobState `json:"state"`
+	Windows int      `json:"windows,omitempty"`
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
@@ -377,7 +515,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		KeyAttr:          req.KeyAttr,
 		UseGUM:           req.UseGUM,
 	}
-	job, cached, err := s.queue.Submit(d, cfg)
+	job, cached, err := s.queue.Submit(d, cfg, req.Windows)
 	switch {
 	case errors.Is(err, ErrBudgetExceeded):
 		writeErr(w, http.StatusForbidden, "%v", err)
@@ -393,10 +531,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	info := job.Snapshot()
 	writeJSON(w, http.StatusAccepted, SynthesisResponse{
-		JobID:  job.ID,
-		Cached: cached,
-		Rho:    job.Rho,
-		State:  info.State,
+		JobID:   job.ID,
+		Cached:  cached,
+		Rho:     job.Rho,
+		State:   info.State,
+		Windows: job.Windows,
 	})
 }
 
@@ -421,34 +560,87 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, ok := j.Result()
-	if !ok {
-		info := j.Snapshot()
-		switch info.State {
-		case JobFailed:
-			writeErr(w, http.StatusInternalServerError, "job failed: %s", info.Error)
-			return
-		case JobDone:
-			// The job may have finished between the two reads above;
-			// only a re-checked missing result means eviction.
-			if res, ok = j.Result(); !ok {
-				// Aged out of the retention window. Resubmitting the
-				// identical synthesis request regenerates it at zero
-				// budget cost (same deterministic computation, no new
-				// release).
-				writeErr(w, http.StatusGone, "job %s's result was evicted from the retention window; resubmit the identical request to regenerate it (no new budget spend)", j.ID)
-				return
-			}
-		default:
-			writeErr(w, http.StatusConflict, "job is %s; poll GET /jobs/%s until done", info.State, j.ID)
+	// Fast path: the in-memory result of a finished plain job.
+	if res, ok := j.Result(); ok {
+		s.resultHeaders(w, j)
+		_ = res.Table.WriteCSV(w)
+		return
+	}
+	info := j.Snapshot()
+	rs := j.Spool()
+	switch info.State {
+	case JobFailed:
+		writeErr(w, http.StatusInternalServerError, "job failed: %s", info.Error)
+		return
+	case JobDone:
+		// The job may have finished between the two reads above; only
+		// a re-checked missing result means the spool decides.
+		if res, ok := j.Result(); ok {
+			s.resultHeaders(w, j)
+			_ = res.Table.WriteCSV(w)
 			return
 		}
+		if rs != nil && rs.servable() {
+			// Persisted (or still-buffered) result — including results
+			// recovered from a previous daemon generation.
+			s.streamSpool(w, j, rs)
+			return
+		}
+		// Aged out of the retention window with no persisted copy.
+		// Resubmitting the identical synthesis request regenerates it
+		// at zero budget cost (same deterministic computation, no new
+		// release).
+		writeErr(w, http.StatusGone, "job %s's result was evicted from the retention window; resubmit the identical request to regenerate it (no new budget spend)", j.ID)
+		return
+	default:
+		if j.Windows >= 1 && rs != nil {
+			// A windowed job streams finished windows while it runs:
+			// the response follows the spool and completes when the
+			// last window lands.
+			s.streamSpool(w, j, rs)
+			return
+		}
+		writeErr(w, http.StatusConflict, "job is %s; poll GET /jobs/%s until done", info.State, j.ID)
+		return
 	}
+}
+
+func (s *Server) resultHeaders(w http.ResponseWriter, j *Job) {
 	w.Header().Set("Content-Type", "text/csv")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-%s.csv", j.DatasetID, j.ID))
-	if err := res.Table.WriteCSV(w); err != nil {
-		// Headers are gone; nothing to do but log-level truncation.
+}
+
+// streamSpool copies a job's result spool to the client, flushing
+// after every chunk so a windowed job's finished windows arrive as
+// they complete. The tail blocks until the job finishes; the drain on
+// shutdown finishes every admitted job, so followers always unblock.
+// A job that fails mid-stream aborts the connection (the client sees
+// a transport error) instead of terminating what would look like a
+// complete CSV.
+func (s *Server) streamSpool(w http.ResponseWriter, j *Job, rs *resultSpool) {
+	rd, err := rs.NewReader()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "open result: %v", err)
 		return
+	}
+	defer rd.Close()
+	s.resultHeaders(w, j)
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := rd.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client went away
+			}
+			_ = rc.Flush()
+		}
+		switch {
+		case rerr == io.EOF:
+			return
+		case rerr != nil:
+			panic(http.ErrAbortHandler)
+		}
 	}
 }
 

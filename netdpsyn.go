@@ -192,6 +192,142 @@ func (s *Synthesizer) Synthesize(t *Table) (*Result, error) {
 	}, nil
 }
 
+// FieldTS is the canonical timestamp field name; windowed and
+// streaming synthesis partition traces on it.
+const FieldTS = "ts"
+
+// WindowResult is one synthesized window of a windowed or streaming
+// run, delivered in window order as it completes.
+type WindowResult struct {
+	// Window is the time-window index within the trace.
+	Window int
+	// Table is the synthesized trace for this window, same schema as
+	// the input.
+	Table *Table
+	// Records is the number of synthesized records in this window.
+	Records int
+	// Rho is the zCDP budget the window's release consumed. Windows
+	// are disjoint record partitions, so across a run the charges
+	// compose in parallel, not additively: the whole release costs one
+	// window's ρ.
+	Rho float64
+	// Stages is the window's per-stage wall/busy timing split.
+	Stages map[string]StageTiming
+}
+
+// StreamOptions configures SynthesizeStream's windowing. Exactly one
+// partitioning rule must be set:
+//
+//   - Windows + TotalRows: quantile-by-count windows, identical to
+//     SynthesizeWindows over the pre-loaded table (use when the
+//     stream length is known, e.g. counted at registration).
+//   - WindowRows: fixed-size windows of that many records, for
+//     streams of unknown length.
+type StreamOptions struct {
+	Windows    int
+	TotalRows  int
+	WindowRows int
+	// BatchRows tunes the CSV decode batch size (0 = default 4096).
+	// It affects memory granularity only, never output.
+	BatchRows int
+}
+
+// SynthesizeStream reads a CSV trace from r and synthesizes it
+// window-by-window under bounded memory: no full-trace table is ever
+// built, so trace length is limited by disk (or the wire), not RAM.
+// The stream must be time-ordered on the "ts" field; each
+// time-contiguous window is synthesized under the full (ε, δ) budget
+// of cfg — valid by parallel composition over the disjoint windows —
+// and emitted through emit in window order as it completes. At a
+// fixed cfg.Seed and window count the emitted windows are
+// byte-identical to SynthesizeWindows on the pre-loaded table, for
+// any worker count.
+func SynthesizeStream(r io.Reader, schema *Schema, cfg Config, opts StreamOptions, emit func(WindowResult) error) error {
+	syn, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	return syn.SynthesizeStream(r, schema, opts, emit)
+}
+
+// SynthesizeStream is the method form of the package-level
+// SynthesizeStream, for callers that reuse a validated Synthesizer.
+func (s *Synthesizer) SynthesizeStream(r io.Reader, schema *Schema, opts StreamOptions, emit func(WindowResult) error) error {
+	cs, err := dataset.NewCSVStream(r, schema, opts.BatchRows)
+	if err != nil {
+		return err
+	}
+	src, err := dataset.NewStreamWindows(cs, schema, dataset.WindowSplit{
+		Field:     FieldTS,
+		Windows:   opts.Windows,
+		TotalRows: opts.TotalRows,
+		MaxRows:   opts.WindowRows,
+	})
+	if err != nil {
+		return err
+	}
+	return s.synthesizeSource(src, emit)
+}
+
+// SynthesizeWindows splits a pre-loaded trace into `windows` disjoint
+// time-contiguous partitions and synthesizes each under the full
+// (ε, δ) budget (parallel composition), emitting every window as it
+// completes — the incremental form of windowed synthesis that
+// serving uses for per-window progress and result streaming.
+func (s *Synthesizer) SynthesizeWindows(t *Table, windows int, emit func(WindowResult) error) error {
+	if t == nil || t.NumRows() == 0 {
+		return fmt.Errorf("netdpsyn: empty input table")
+	}
+	src, err := core.NewTableWindows(t, windows)
+	if err != nil {
+		return err
+	}
+	return s.synthesizeSource(src, emit)
+}
+
+func (s *Synthesizer) synthesizeSource(src core.WindowSource, emit func(WindowResult) error) error {
+	return core.SynthesizeStream(src, s.cfg, func(wr core.WindowResult) error {
+		return emit(WindowResult{
+			Window:  wr.Window,
+			Table:   wr.Table,
+			Records: wr.Report.SynthRecords,
+			Rho:     wr.Report.Rho,
+			Stages:  wr.Report.Stages,
+		})
+	})
+}
+
+// ScanCSV validates a CSV trace for streaming synthesis without
+// materializing it: the header must cover the schema, every row must
+// decode, and the "ts" field must be non-decreasing (streaming
+// windows are cut in stream order, so an unsorted trace would not
+// yield time-contiguous partitions). It returns the record count —
+// which StreamOptions.TotalRows needs for quantile windowing — and
+// reads the input exactly once, in bounded memory.
+func ScanCSV(r io.Reader, schema *Schema) (rows int, err error) {
+	tsIdx := schema.Index(FieldTS)
+	if tsIdx < 0 {
+		return 0, fmt.Errorf("netdpsyn: streaming needs a %q field in the schema", FieldTS)
+	}
+	var last int64
+	have := false
+	err = dataset.StreamCSV(r, schema, 0, func(b *Table) error {
+		col := b.Column(tsIdx)
+		for i, ts := range col {
+			if have && ts < last {
+				return fmt.Errorf("netdpsyn: row %d: timestamp %d after %d — streaming synthesis needs a time-ordered trace", rows+i+1, ts, last)
+			}
+			last, have = ts, true
+		}
+		rows += b.NumRows()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rows, nil
+}
+
 // FlowSchema returns the canonical flow-header schema
 // ⟨srcip, dstip, srcport, dstport, proto, ts, td, pkt, byt, label⟩.
 // labelField names the label column ("label", or "type" for TON-style

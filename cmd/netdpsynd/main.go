@@ -17,11 +17,18 @@
 //
 // Large traces stream: register with ?stream=1 (chunked upload is
 // spooled straight to the state dir, never decoded whole), then
-// synthesize with {"windows": N} — the job reports per-window
-// progress and result.csv streams windows as they complete. The
-// -windows flag supplies a default window count for such datasets;
-// -stream accepts streaming registrations without a -state-dir by
-// spooling to a temp dir.
+// synthesize with {"window_span": S} — the trace is cut into fixed
+// time buckets of S timestamp units (membership is a function of each
+// record alone, so the ledger charges one window's ρ under parallel
+// composition), the job reports per-window progress, and result.csv
+// streams windows as they complete. The -window-span flag supplies a
+// default span for such datasets; -max-window-rows bounds one
+// window's records so a too-coarse span fails instead of swallowing
+// RAM; -stream accepts streaming registrations without a -state-dir
+// by spooling to a temp dir. In-memory datasets also accept
+// {"windows": N} count-quantile windows, charged N × ρ (their
+// boundaries are data-dependent, so the windows compose sequentially,
+// not in parallel).
 //
 // With -state-dir the daemon is restart-safe: the budget ledger,
 // dataset registry, and job journal are persisted (every charge
@@ -56,11 +63,12 @@ func main() {
 		budgetDelta = flag.Float64("budget-delta", 1e-5, "δ for the default budget ceiling")
 		drain       = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
 		stateDir    = flag.String("state-dir", "", "directory for durable service state (budget ledger, dataset registry, job journal, result spool); empty = in-memory only, spend is forgotten on restart")
-		windows     = flag.Int("windows", 0, "default window count for synthesis against streaming datasets whose request omits it (0 = require an explicit windows value)")
+		windowSpan  = flag.Int64("window-span", 0, "default time-window span (timestamp units) for synthesis against streaming datasets whose request omits window_span (0 = require an explicit value)")
+		maxWinRows  = flag.Int("max-window-rows", 0, "max records one streaming time window may hold before the job fails (0 = a ~1M-row default)")
 		stream      = flag.Bool("stream", false, "accept streaming registrations (?stream=1) without -state-dir by spooling uploads to a temp dir (not restart-safe)")
 	)
 	flag.Parse()
-	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta, *stateDir, *windows, *stream)
+	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta, *stateDir, *windowSpan, *maxWinRows, *stream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
 		os.Exit(2)
@@ -72,9 +80,12 @@ func main() {
 }
 
 // buildOptions validates the flag values into serve.Options.
-func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64, stateDir string, windows int, stream bool) (serve.Options, error) {
-	if windows < 0 {
-		return serve.Options{}, fmt.Errorf("-windows must be non-negative, got %d", windows)
+func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64, stateDir string, windowSpan int64, maxWinRows int, stream bool) (serve.Options, error) {
+	if windowSpan < 0 {
+		return serve.Options{}, fmt.Errorf("-window-span must be non-negative, got %d", windowSpan)
+	}
+	if maxWinRows < 0 {
+		return serve.Options{}, fmt.Errorf("-max-window-rows must be non-negative, got %d", maxWinRows)
 	}
 	if addr == "" {
 		return serve.Options{}, fmt.Errorf("missing -addr")
@@ -98,7 +109,8 @@ func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64
 		DefaultBudgetEps:    budgetEps,
 		DefaultBudgetDelta:  budgetDelta,
 		StateDir:            stateDir,
-		DefaultWindows:      windows,
+		DefaultWindowSpan:   windowSpan,
+		MaxWindowRows:       maxWinRows,
 		AllowVolatileStream: stream,
 	}, nil
 }

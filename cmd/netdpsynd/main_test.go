@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestBuildOptions(t *testing.T) {
-	opts, err := buildOptions(":8090", 4, 2, 8.0, 1e-5, "", 0, false)
+	opts, err := buildOptions(":8090", 4, 2, 8.0, 1e-5, "", 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -13,14 +13,14 @@ func TestBuildOptions(t *testing.T) {
 	if opts.StateDir != "" {
 		t.Fatalf("state dir should default off, got %q", opts.StateDir)
 	}
-	opts, err = buildOptions(":8090", 4, 2, 8.0, 1e-5, "/tmp/netdpsynd-state", 8, true)
+	opts, err = buildOptions(":8090", 4, 2, 8.0, 1e-5, "/tmp/netdpsynd-state", 3600, 500_000, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.StateDir != "/tmp/netdpsynd-state" {
 		t.Fatalf("state dir = %q", opts.StateDir)
 	}
-	if opts.DefaultWindows != 8 || !opts.AllowVolatileStream {
+	if opts.DefaultWindowSpan != 3600 || opts.MaxWindowRows != 500_000 || !opts.AllowVolatileStream {
 		t.Fatalf("streaming options = %+v", opts)
 	}
 
@@ -30,17 +30,19 @@ func TestBuildOptions(t *testing.T) {
 		workers    int
 		jobs       int
 		eps, delta float64
-		windows    int
+		span       int64
+		maxRows    int
 	}{
-		{"empty addr", "", 0, 2, 8, 1e-5, 0},
-		{"negative workers", ":8090", -1, 2, 8, 1e-5, 0},
-		{"zero jobs", ":8090", 0, 0, 8, 1e-5, 0},
-		{"zero budget eps", ":8090", 0, 2, 0, 1e-5, 0},
-		{"delta one", ":8090", 0, 2, 8, 1, 0},
-		{"negative windows", ":8090", 0, 2, 8, 1e-5, -1},
+		{"empty addr", "", 0, 2, 8, 1e-5, 0, 0},
+		{"negative workers", ":8090", -1, 2, 8, 1e-5, 0, 0},
+		{"zero jobs", ":8090", 0, 0, 8, 1e-5, 0, 0},
+		{"zero budget eps", ":8090", 0, 2, 0, 1e-5, 0, 0},
+		{"delta one", ":8090", 0, 2, 8, 1, 0, 0},
+		{"negative window span", ":8090", 0, 2, 8, 1e-5, -1, 0},
+		{"negative max window rows", ":8090", 0, 2, 8, 1e-5, 0, -1},
 	}
 	for _, tc := range bad {
-		if _, err := buildOptions(tc.addr, tc.workers, tc.jobs, tc.eps, tc.delta, "", tc.windows, false); err == nil {
+		if _, err := buildOptions(tc.addr, tc.workers, tc.jobs, tc.eps, tc.delta, "", tc.span, tc.maxRows, false); err == nil {
 			t.Errorf("%s: want error", tc.name)
 		}
 	}

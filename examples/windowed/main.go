@@ -1,9 +1,13 @@
 // Windowed synthesis: the scalability extension. A trace is split
-// into disjoint time windows and each window is synthesized
-// independently under the full (ε, δ) budget — valid by parallel
-// composition, since every record lives in exactly one window. This
-// bounds the record-synthesis (GUM) cost per window, which the paper
-// measures as ≈90% of total runtime.
+// into disjoint time windows (row-count quantiles here) and each
+// window is synthesized independently under the full (ε, δ) budget.
+// This bounds the record-synthesis (GUM) cost per window, which the
+// paper measures as ≈90% of total runtime. Note on the guarantee:
+// quantile boundaries are data-dependent, so each window is
+// (ε, δ)-DP in isolation and a record-level guarantee for the whole
+// output composes sequentially; fixed time-span windows
+// (core.NewTableTimeWindows) are the variant whose combined release
+// is record-level (ε, δ)-DP by parallel composition.
 //
 //	go run ./examples/windowed
 package main

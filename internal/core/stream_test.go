@@ -95,6 +95,69 @@ func TestStreamEquivalenceWithWindowed(t *testing.T) {
 	}
 }
 
+// TestTimeWindowEquivalence: fixed time-span windows over a
+// pre-loaded table and over a batch stream of the same rows produce
+// identical partitions with identical bucket IDs, hence byte-identical
+// synthesis.
+func TestTimeWindowEquivalence(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 1100, Seed: 163})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := raw.SortBy(raw.Schema().Index(trace.FieldTS))
+	ts := sorted.Column(sorted.Schema().Index(trace.FieldTS))
+	span := (ts[len(ts)-1]-ts[0])/5 + 1 // a handful of buckets
+	cfg := fastPipelineConfig()
+
+	run := func(src WindowSource) (tables []*dataset.Table, ids []int) {
+		t.Helper()
+		err := SynthesizeStream(src, cfg, func(wr WindowResult) error {
+			tables = append(tables, wr.Table)
+			ids = append(ids, wr.Window)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables, ids
+	}
+
+	tsrc, err := NewTableTimeWindows(sorted, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTabs, batchIDs := run(tsrc)
+
+	ssrc, err := dataset.NewStreamWindows(batchesOf(t, sorted, 217), sorted.Schema(),
+		dataset.WindowSplit{Field: trace.FieldTS, Span: span})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamTabs, streamIDs := run(ssrc)
+
+	if len(batchTabs) < 2 {
+		t.Fatalf("want ≥ 2 non-empty time windows, got %d", len(batchTabs))
+	}
+	if len(batchTabs) != len(streamTabs) {
+		t.Fatalf("windows: %d batch vs %d stream", len(batchTabs), len(streamTabs))
+	}
+	for i := range batchTabs {
+		if batchIDs[i] != streamIDs[i] {
+			t.Errorf("window %d emission index: %d vs %d", i, batchIDs[i], streamIDs[i])
+		}
+	}
+	a, b := batchTabs[0], streamTabs[0]
+	for i := 1; i < len(batchTabs); i++ {
+		if err := a.AppendRowRange(batchTabs[i], 0, batchTabs[i].NumRows()); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AppendRowRange(streamTabs[i], 0, streamTabs[i].NumRows()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tablesIdentical(t, a, b)
+}
+
 // TestSynthesizeStreamEmitsInOrder checks ordered delivery even with
 // several windows in flight.
 func TestSynthesizeStreamEmitsInOrder(t *testing.T) {
@@ -177,13 +240,18 @@ type failingSource struct {
 	tab     *dataset.Table
 }
 
-func (f *failingSource) Next() (*dataset.Table, error) {
+func (f *failingSource) Next() (dataset.Window, error) {
 	if f.yielded {
-		return nil, fmt.Errorf("stream torn mid-trace")
+		return dataset.Window{}, fmt.Errorf("stream torn mid-trace")
 	}
 	f.yielded = true
-	return f.tab, nil
+	return dataset.Window{Table: f.tab}, nil
 }
+
+// emptyWindows is a WindowSource that is immediately exhausted.
+type emptyWindows struct{}
+
+func (emptyWindows) Next() (dataset.Window, error) { return dataset.Window{}, io.EOF }
 
 func TestSynthesizeStreamSourceError(t *testing.T) {
 	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 400, Seed: 139})
@@ -233,7 +301,7 @@ func TestSynthesizeStreamWindowError(t *testing.T) {
 	}
 	cfg := fastPipelineConfig()
 	cfg.GUM.Iterations = 0 // NewPipeline inside the stream must reject this
-	err = SynthesizeStream(&sliceBatches{}, cfg, func(WindowResult) error { return nil })
+	err = SynthesizeStream(emptyWindows{}, cfg, func(WindowResult) error { return nil })
 	if err != nil {
 		t.Fatalf("empty source must be a clean EOF, got %v", err)
 	}

@@ -13,11 +13,16 @@ import (
 // WindowSource yields disjoint time-contiguous record partitions of
 // one trace, in time order. Next returns io.EOF after the last
 // window; an empty window (zero rows) is skipped by the engine but
-// still consumes its window index, so a source's numbering is stable
-// whether or not every window is populated. dataset.StreamWindows and
-// NewTableWindows both satisfy this.
+// still consumes its emission index, so a source's numbering is
+// stable whether or not every window is populated. The Window.ID is
+// the partition's seed identity — the engine derives the per-window
+// pipeline seed from it, so sources for which the parallel-composition
+// argument should hold must make it a data-independent function of
+// the partition (time-span sources use the absolute time bucket).
+// dataset.StreamWindows, NewTableWindows, and NewTableTimeWindows all
+// satisfy this.
 type WindowSource interface {
-	Next() (*dataset.Table, error)
+	Next() (dataset.Window, error)
 }
 
 // WindowResult is one synthesized window, delivered incrementally by
@@ -47,16 +52,22 @@ type WindowedResult struct {
 // its result has been emitted, so a slow early window cannot let the
 // reorder buffer grow without bound.
 //
-// Privacy: the windows are disjoint in records, so this is parallel
-// composition — every window is synthesized under the full (ε, δ)
-// budget of cfg and the combined release still satisfies (ε, δ)-DP at
-// record level. Each window's pipeline is seeded from (cfg.Seed,
-// window index) alone and sees only its own window's records
-// (including its own categorical dictionaries), so a window's output
-// is a deterministic function of its partition — the same property
-// the composition argument needs — and the emitted stream is
-// byte-identical for any worker count, and identical to the batch
-// path over the same partitions.
+// Privacy: every window is synthesized under the full (ε, δ) budget
+// of cfg, each window's pipeline is seeded from (cfg.Seed, Window.ID)
+// alone, and each sees only its own window's records (including its
+// own categorical dictionaries), so a window's output is a
+// deterministic function of its partition and its ID. What the
+// combined release guarantees depends on the source's partitioning
+// rule: with data-independent membership (fixed time-span windows,
+// where both a record's window and that window's ID are functions of
+// the record alone) parallel composition applies and the whole
+// release is (ε, δ)-DP at record level. With rank-cut windows
+// (count quantiles, fixed row counts) membership shifts when a
+// neighboring record is added or removed, parallel composition does
+// not apply, and the record-level guarantee must be priced by
+// sequential composition across windows — see dataset.WindowSplit.
+// Either way the emitted stream is byte-identical for any worker
+// count, and identical to the batch path over the same partitions.
 //
 // An error from the source, a window pipeline, or emit stops the
 // stream after the in-flight windows drain; the lowest-index window
@@ -101,7 +112,7 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 		}()
 		launched := 0
 		for w := 0; ; w++ {
-			part, err := src.Next()
+			win, err := src.Next()
 			if err == io.EOF {
 				return
 			}
@@ -109,6 +120,7 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 				srcErr = err // read by the collector only after close(results)
 				return
 			}
+			part := win.Table
 			if part == nil || part.NumRows() == 0 {
 				// Empty window (rows < windows): it keeps its index —
 				// the collector must see a marker for it, or the
@@ -129,7 +141,7 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 			li := launched
 			launched++
 			wg.Add(1)
-			go func(w, li int, part *dataset.Table) {
+			go func(w, li int, id int64, part *dataset.Table) {
 				defer wg.Done()
 				wcfg := cfg
 				wcfg.Workers = innerWorkers
@@ -139,7 +151,12 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 					// instant.
 					wcfg.Workers++
 				}
-				wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b9
+				// The seed identity is the source's Window.ID, not the
+				// emission index: for span sources that keeps every
+				// window's seed a function of its own records, so a
+				// record added elsewhere cannot perturb this window's
+				// output (required for parallel composition).
+				wcfg.Seed = cfg.Seed + uint64(id)*0x9e3779b9
 				p, err := NewPipeline(wcfg)
 				if err != nil {
 					results <- outcome{w: w, err: err}
@@ -150,7 +167,7 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 					err = fmt.Errorf("core: window %d: %w", w, err)
 				}
 				results <- outcome{w: w, res: res, err: err}
-			}(w, li, part)
+			}(w, li, win.ID, part)
 		}
 	}()
 
@@ -206,11 +223,16 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 // NewTableWindows adapts the table to a WindowSource — so the two
 // paths produce byte-identical output over identical partitions.
 //
-// Privacy and scalability: see SynthesizeStream for the parallel
-// composition argument; windowing additionally bounds each GUM
-// instance (the ≈90%-of-runtime stage, §3.1) to one window's records
-// and sharpens temporal locality, implementing the "scale up the
-// synthesis process" direction beyond GUMMI itself.
+// Privacy and scalability: the quantile boundaries are data-dependent
+// (row ranks), so each window's release is (ε, δ)-DP in isolation but
+// the combined release does NOT inherit that guarantee by parallel
+// composition — price it by sequential composition across windows, or
+// use time-span windows (NewTableTimeWindows) for a record-level
+// guarantee at one window's cost. See SynthesizeStream. Windowing
+// additionally bounds each GUM instance (the ≈90%-of-runtime stage,
+// §3.1) to one window's records and sharpens temporal locality,
+// implementing the "scale up the synthesis process" direction beyond
+// GUMMI itself.
 func SynthesizeWindowed(t *dataset.Table, cfg Config, windows int) (*WindowedResult, error) {
 	if windows <= 1 {
 		p, err := NewPipeline(cfg)
@@ -259,9 +281,10 @@ type tableWindows struct {
 // NewTableWindows builds the quantile window source over a loaded
 // trace. Each emitted window is a self-contained table — fresh
 // categorical dictionaries interned from its own rows — so a window's
-// synthesis depends only on its own partition (the property the
-// parallel composition argument needs) and matches the streaming path
-// byte for byte.
+// synthesis depends only on its own partition and matches the
+// streaming path byte for byte. Note the quantile *boundaries* are
+// row ranks and therefore data-dependent; see SynthesizeWindowed for
+// what that means for composition.
 func NewTableWindows(t *dataset.Table, windows int) (WindowSource, error) {
 	if windows < 1 {
 		return nil, fmt.Errorf("core: windows must be positive, got %d", windows)
@@ -285,9 +308,9 @@ func NewTableWindows(t *dataset.Table, windows int) (WindowSource, error) {
 func (s *tableWindows) Windows() int { return s.windows }
 
 // Next returns the next quantile window, or io.EOF past the last.
-func (s *tableWindows) Next() (*dataset.Table, error) {
+func (s *tableWindows) Next() (dataset.Window, error) {
 	if s.next >= s.windows {
-		return nil, io.EOF
+		return dataset.Window{}, io.EOF
 	}
 	w := s.next
 	s.next++
@@ -295,7 +318,75 @@ func (s *tableWindows) Next() (*dataset.Table, error) {
 	lo, hi := w*n/s.windows, (w+1)*n/s.windows
 	part := dataset.NewTable(s.t.Schema(), hi-lo)
 	if err := part.AppendRows(s.t, s.order[lo:hi]); err != nil {
-		return nil, err
+		return dataset.Window{}, err
 	}
-	return part, nil
+	return dataset.Window{ID: int64(w), Table: part}, nil
+}
+
+// tableTimeWindows adapts a pre-loaded table to a span WindowSource:
+// rows are stably sorted by timestamp and grouped into fixed time
+// buckets of `span` timestamp units, the same partitioning
+// dataset.StreamWindows applies in Span mode, so a time-sorted stream
+// of the same rows yields identical windows with identical IDs.
+type tableTimeWindows struct {
+	t       *dataset.Table
+	order   []int // row indices in time order
+	ts      []int64
+	span    int64
+	windows int // distinct non-empty buckets
+	next    int // offset into order
+}
+
+// NewTableTimeWindows builds the fixed time-range window source over
+// a loaded trace: a row with timestamp ts belongs to bucket
+// ⌊ts/span⌋, which is a function of that row alone — the
+// data-independent membership the parallel composition theorem
+// requires. Empty buckets are skipped; each emitted window is a
+// self-contained table with the bucket number as its ID.
+func NewTableTimeWindows(t *dataset.Table, span int64) (WindowSource, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("core: window span must be positive, got %d", span)
+	}
+	tsCol := t.Schema().Index(trace.FieldTS)
+	if tsCol < 0 {
+		return nil, fmt.Errorf("core: windowed synthesis needs a %q field", trace.FieldTS)
+	}
+	n := t.NumRows()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	ts := t.Column(tsCol)
+	sort.SliceStable(order, func(a, b int) bool { return ts[order[a]] < ts[order[b]] })
+	windows := 0
+	for i, r := range order {
+		if i == 0 || dataset.TimeBucket(ts[r], span) != dataset.TimeBucket(ts[order[i-1]], span) {
+			windows++
+		}
+	}
+	return &tableTimeWindows{t: t, order: order, ts: ts, span: span, windows: windows}, nil
+}
+
+// Windows reports the bucket count, letting SynthesizeStream size its
+// per-window worker split for small runs.
+func (s *tableTimeWindows) Windows() int { return s.windows }
+
+// Next returns the next non-empty time bucket, or io.EOF past the
+// last.
+func (s *tableTimeWindows) Next() (dataset.Window, error) {
+	if s.next >= len(s.order) {
+		return dataset.Window{}, io.EOF
+	}
+	lo := s.next
+	bucket := dataset.TimeBucket(s.ts[s.order[lo]], s.span)
+	hi := lo + 1
+	for hi < len(s.order) && dataset.TimeBucket(s.ts[s.order[hi]], s.span) == bucket {
+		hi++
+	}
+	s.next = hi
+	part := dataset.NewTable(s.t.Schema(), hi-lo)
+	if err := part.AppendRows(s.t, s.order[lo:hi]); err != nil {
+		return dataset.Window{}, err
+	}
+	return dataset.Window{ID: bucket, Table: part}, nil
 }

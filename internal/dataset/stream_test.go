@@ -149,13 +149,13 @@ func TestCSVStreamSchemaMismatchAtRowN(t *testing.T) {
 	}
 }
 
-func windows(t *testing.T, src BatchSource, schema *Schema, split WindowSplit) []*Table {
+func windowed(t *testing.T, src BatchSource, schema *Schema, split WindowSplit) []Window {
 	t.Helper()
 	w, err := NewStreamWindows(src, schema, split)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out []*Table
+	var out []Window
 	for {
 		win, err := w.Next()
 		if err == io.EOF {
@@ -166,6 +166,16 @@ func windows(t *testing.T, src BatchSource, schema *Schema, split WindowSplit) [
 		}
 		out = append(out, win)
 	}
+}
+
+func windows(t *testing.T, src BatchSource, schema *Schema, split WindowSplit) []*Table {
+	t.Helper()
+	wins := windowed(t, src, schema, split)
+	out := make([]*Table, len(wins))
+	for i, w := range wins {
+		out[i] = w.Table
+	}
+	return out
 }
 
 func TestStreamWindowsQuantile(t *testing.T) {
@@ -277,13 +287,102 @@ func TestStreamWindowsBadSplit(t *testing.T) {
 	s, _ := NewCSVStream(strings.NewReader(streamCSVBody(2)), streamSchema(), 0)
 	cases := []WindowSplit{
 		{Field: "nope", Windows: 2, TotalRows: 2},
-		{Field: "ts"},                           // neither rule
-		{Field: "ts", Windows: 2, MaxRows: 2},   // both rules
+		{Field: "ts"},                           // no rule
+		{Field: "ts", Windows: 2, MaxRows: 2},   // two rules
+		{Field: "ts", Windows: 2, Span: 4},      // two rules
+		{Field: "ts", MaxRows: 2, Span: 4},      // two rules
 		{Field: "ts", Windows: 2, TotalRows: 0}, // count mode without length
+		{Field: "ts", Span: -1},
+		{Field: "ts", Span: 4, MaxSpanRows: -1},
+		{Field: "ts", MaxRows: 2, MaxSpanRows: 8}, // cap outside Span mode
 	}
 	for i, split := range cases {
 		if _, err := NewStreamWindows(s, streamSchema(), split); err == nil {
 			t.Errorf("case %d: split %+v must fail", i, split)
 		}
+	}
+}
+
+// TestStreamWindowsSpan covers the fixed time-range mode: rows land
+// in ⌊ts/span⌋ buckets regardless of batch boundaries, every window's
+// ID is its absolute bucket number (the data-independent seed
+// identity the parallel composition argument needs), and empty
+// buckets are skipped.
+func TestStreamWindowsSpan(t *testing.T) {
+	// ts runs 1000..1009; span 4 ⇒ buckets 250 (1000–1003), 251
+	// (1004–1007), 252 (1008–1009).
+	s, err := NewCSVStream(strings.NewReader(streamCSVBody(10)), streamSchema(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := windowed(t, s, streamSchema(), WindowSplit{Field: "ts", Span: 4})
+	wantRows := []int{4, 4, 2}
+	wantIDs := []int64{250, 251, 252}
+	if len(wins) != len(wantRows) {
+		t.Fatalf("windows = %d, want %d", len(wins), len(wantRows))
+	}
+	next := int64(1000)
+	for i, w := range wins {
+		if w.ID != wantIDs[i] {
+			t.Errorf("window %d ID = %d, want %d", i, w.ID, wantIDs[i])
+		}
+		if w.Table.NumRows() != wantRows[i] {
+			t.Errorf("window %d rows = %d, want %d", i, w.Table.NumRows(), wantRows[i])
+		}
+		for _, ts := range w.Table.ColumnByName("ts") {
+			if ts != next {
+				t.Fatalf("window %d: ts %d, want %d", i, ts, next)
+			}
+			next++
+		}
+	}
+
+	// A gap in time leaves its buckets unemitted: the IDs jump.
+	body := "srcip,ts,byt,proto\n" +
+		"10.0.0.1,1000,4,TCP\n" +
+		"10.0.0.2,1001,4,TCP\n" +
+		"10.0.0.3,9000,4,UDP\n"
+	s2, _ := NewCSVStream(strings.NewReader(body), streamSchema(), 0)
+	wins = windowed(t, s2, streamSchema(), WindowSplit{Field: "ts", Span: 4})
+	if len(wins) != 2 || wins[0].ID != 250 || wins[1].ID != 2250 {
+		t.Fatalf("gapped windows = %+v", wins)
+	}
+}
+
+// TestTimeBucket pins the floor semantics, including negative
+// timestamps.
+func TestTimeBucket(t *testing.T) {
+	cases := []struct{ ts, span, want int64 }{
+		{0, 4, 0}, {3, 4, 0}, {4, 4, 1}, {7, 4, 1},
+		{-1, 4, -1}, {-4, 4, -1}, {-5, 4, -2},
+	}
+	for _, tc := range cases {
+		if got := TimeBucket(tc.ts, tc.span); got != tc.want {
+			t.Errorf("TimeBucket(%d, %d) = %d, want %d", tc.ts, tc.span, got, tc.want)
+		}
+	}
+}
+
+// TestStreamWindowsSpanRowCap: the MaxSpanRows resource guard fails
+// the stream when one bucket is denser than the bound, instead of
+// materializing it.
+func TestStreamWindowsSpanRowCap(t *testing.T) {
+	s, _ := NewCSVStream(strings.NewReader(streamCSVBody(10)), streamSchema(), 3)
+	w, err := NewStreamWindows(s, streamSchema(), WindowSplit{Field: "ts", Span: 1000, MaxSpanRows: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for last == nil {
+		_, last = w.Next()
+	}
+	if last == io.EOF || !strings.Contains(last.Error(), "row cap") {
+		t.Fatalf("cap err = %v", last)
+	}
+	// Under the cap, the same stream passes.
+	s, _ = NewCSVStream(strings.NewReader(streamCSVBody(10)), streamSchema(), 3)
+	wins := windowed(t, s, streamSchema(), WindowSplit{Field: "ts", Span: 1000, MaxSpanRows: 10})
+	if len(wins) != 1 || wins[0].Table.NumRows() != 10 {
+		t.Fatalf("windows = %+v", wins)
 	}
 }

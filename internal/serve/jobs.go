@@ -36,13 +36,21 @@ type Job struct {
 	Submitted time.Time
 	// Rho is the zCDP charge this job's admission cost the dataset
 	// ledger. Cache hits return the originally-charged job, so the
-	// spend is never duplicated. For a windowed job this is ONE
-	// window's ρ, not windows × ρ: the windows are disjoint record
-	// partitions, so their releases compose in parallel (see Submit).
+	// spend is never duplicated. For a time-span windowed job this is
+	// ONE window's ρ (parallel composition over fixed time ranges);
+	// for a count-windowed job it is windows × the per-window ρ
+	// (sequential composition — the quantile boundaries are
+	// data-dependent). See Submit.
 	Rho float64
-	// Windows > 1 marks a windowed job (window-by-window synthesis,
-	// per-window progress, result streamed as windows complete).
+	// Windows > 1 marks a count-windowed job: the trace is cut into
+	// that many row-count quantile windows (window-by-window
+	// synthesis, per-window progress, result streamed as windows
+	// complete).
 	Windows int
+	// Span > 0 marks a time-span windowed job: the trace is cut into
+	// fixed time buckets of Span timestamp units. The window count is
+	// data-dependent and unknown until the job runs.
+	Span int64
 
 	cfg      netdpsyn.Config
 	cacheKey string
@@ -134,11 +142,14 @@ type JobInfo struct {
 	Seed      uint64    `json:"seed"`
 	Rho       float64   `json:"rho"`
 	Submitted time.Time `json:"submitted"`
-	// Windows/WindowsDone report a windowed job's per-window progress
-	// (absent for plain jobs). result.csv streams the finished windows
-	// while the job runs.
-	Windows     int `json:"windows,omitempty"`
-	WindowsDone int `json:"windows_done,omitempty"`
+	// Windows/WindowSpan/WindowsDone report a windowed job's shape and
+	// per-window progress (absent for plain jobs). Span jobs leave
+	// Windows 0 — their window count is data-dependent and emerges as
+	// the job runs. result.csv streams the finished windows while the
+	// job runs.
+	Windows     int   `json:"windows,omitempty"`
+	WindowSpan  int64 `json:"window_span,omitempty"`
+	WindowsDone int   `json:"windows_done,omitempty"`
 	// Started/Finished are pointers so they are genuinely absent from
 	// the JSON until reached (omitempty never fires for struct types).
 	Started  *time.Time `json:"started,omitempty"`
@@ -162,6 +173,7 @@ func (j *Job) Snapshot() JobInfo {
 		Seed:        j.cfg.Seed,
 		Rho:         j.Rho,
 		Windows:     j.Windows,
+		WindowSpan:  j.Span,
 		WindowsDone: j.windowsDone,
 		Submitted:   j.Submitted,
 	}
@@ -246,9 +258,15 @@ type Queue struct {
 	// result spool: finished CSVs land under results/ and survive a
 	// restart.
 	store *persist.Store
-	// defaultWindows is applied to requests against streaming datasets
-	// that leave the window count unset (the daemon's -windows flag).
-	defaultWindows int
+	// defaultSpan is applied to requests against streaming datasets
+	// that leave the window span unset (the daemon's -window-span
+	// flag).
+	defaultSpan int64
+	// maxWindowRows caps how many records one streaming time window
+	// may hold before the job fails — the memory bound that makes
+	// traces-bigger-than-RAM workloads safe to serve (a too-coarse
+	// span would otherwise materialize the whole trace in one table).
+	maxWindowRows int
 
 	mu    sync.Mutex
 	next  int
@@ -269,10 +287,21 @@ type Queue struct {
 	wg      sync.WaitGroup
 }
 
-// maxWindows caps a request's window count: beyond it the per-window
+// maxWindows caps a job's window count: beyond it the per-window
 // pipelines are noise-dominated and the job metadata (per-window
-// progress, spool chunks) stops being worth tracking.
+// progress, spool chunks) stops being worth tracking. Count jobs are
+// rejected at Submit; span jobs — whose window count is
+// data-dependent and unknown until the job runs — are failed by
+// runWindowed when they cross it (a window_span of 1 against
+// fine-grained timestamps would otherwise spin up one pipeline per
+// distinct timestamp).
 const maxWindows = 4096
+
+// defaultMaxWindowRows bounds a streaming time window's record count
+// when the operator does not choose a cap: ~1M rows keeps one
+// window's working set in the hundreds of MB for the canonical
+// schemas while still letting realistic spans through.
+const defaultMaxWindowRows = 1 << 20
 
 // NewQueue starts a queue with `runners` concurrent jobs sharing
 // `workersTotal` engine workers (≤ 0 means all cores for the total,
@@ -280,9 +309,10 @@ const maxWindows = 4096
 // total synthesis parallelism: when it is smaller than the requested
 // job concurrency, the runner count is reduced to match rather than
 // overcommitting one worker per job. A nil store keeps the queue
-// volatile. defaultWindows (≥ 0) fills in the window count for
-// requests against streaming datasets that omit it.
-func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, defaultWindows int) *Queue {
+// volatile. defaultSpan (≥ 0) fills in the window span for requests
+// against streaming datasets that omit it; maxWindowRows caps a
+// streaming time window's records (≤ 0 means the default).
+func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, defaultSpan int64, maxWindowRows int) *Queue {
 	if runners <= 0 {
 		runners = 2
 	}
@@ -293,19 +323,23 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, de
 		runners = workersTotal
 	}
 	perJob := workersTotal / runners
-	if defaultWindows < 0 {
-		defaultWindows = 0
+	if defaultSpan < 0 {
+		defaultSpan = 0
+	}
+	if maxWindowRows <= 0 {
+		maxWindowRows = defaultMaxWindowRows
 	}
 	q := &Queue{
-		reg:            reg,
-		perJob:         perJob,
-		maxBacklog:     1024,
-		maxResults:     256,
-		maxJobs:        4096,
-		store:          store,
-		defaultWindows: defaultWindows,
-		jobs:           make(map[string]*Job),
-		cache:          make(map[string]*Job),
+		reg:           reg,
+		perJob:        perJob,
+		maxBacklog:    1024,
+		maxResults:    256,
+		maxJobs:       4096,
+		store:         store,
+		defaultSpan:   defaultSpan,
+		maxWindowRows: maxWindowRows,
+		jobs:          make(map[string]*Job),
+		cache:         make(map[string]*Job),
 	}
 	q.pending = make(chan *Job, q.maxBacklog)
 	for i := 0; i < runners; i++ {
@@ -321,36 +355,61 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, de
 // enqueues a fresh job. The bool reports whether the result was
 // served from cache.
 //
-// windows > 1 requests windowed synthesis: the trace is cut into that
-// many disjoint time-contiguous partitions and each is synthesized
-// under the full (ε, δ) of cfg. The admission still charges ONE
-// window's ρ — not windows × ρ — because disjoint partitions compose
-// in parallel: every record influences exactly one window's release,
-// so the combined release is (ε, δ)-DP at record level, the same
-// guarantee (and therefore the same ledger cost) as a single
-// whole-trace release. Streaming datasets accept only windowed
-// requests (their trace is never materialized); windows ≤ 1 on an
-// in-memory dataset normalizes to a plain whole-trace job.
-func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int) (*Job, bool, error) {
+// Two windowed job kinds exist, with different ledger costs because
+// they support different composition arguments:
+//
+//   - span > 0 (time-span windows): the trace is cut into fixed time
+//     buckets — a record with timestamp ts belongs to bucket
+//     ⌊ts/span⌋, a function of that record alone. Membership is
+//     data-independent, which is the hypothesis of the parallel
+//     composition theorem: every record influences exactly one
+//     window's release (and every window's seed is derived from its
+//     bucket number, not from how many records other windows hold),
+//     so the combined release is (ε, δ)-DP at record level and the
+//     admission charges ONE window's ρ — the same ledger cost as a
+//     single whole-trace release. Residual disclosure: which buckets
+//     are non-empty is visible, since empty buckets release nothing.
+//   - windows > 1 (count-quantile windows): boundaries sit at row
+//     ranks (w·n/k), so adding or removing one record shifts later
+//     records across every subsequent boundary — membership is
+//     data-dependent and parallel composition does NOT apply. Each
+//     window is (ε, δ)-DP in isolation, so the release is priced by
+//     sequential composition: the admission charges windows × ρ.
+//
+// At most one of windows/span may be set. Streaming datasets accept
+// only span windows (count quantiles would need the whole trace's
+// length and can degenerate to one full-trace window, defeating the
+// bounded-memory design); windows ≤ 1 with no span on an in-memory
+// dataset normalizes to a plain whole-trace job.
+func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64) (*Job, bool, error) {
 	if windows < 0 {
 		return nil, false, fmt.Errorf("serve: windows must be non-negative, got %d", windows)
 	}
 	if windows > maxWindows {
 		return nil, false, fmt.Errorf("serve: windows must be at most %d, got %d", maxWindows, windows)
 	}
+	if span < 0 {
+		return nil, false, fmt.Errorf("serve: window_span must be non-negative, got %d", span)
+	}
+	if windows > 0 && span > 0 {
+		return nil, false, fmt.Errorf("serve: set at most one of windows and window_span")
+	}
 	if d.Streaming() {
-		if windows == 0 {
-			windows = q.defaultWindows
+		if windows > 0 {
+			return nil, false, fmt.Errorf("serve: dataset %s is streaming-registered: count-quantile windows are not supported (their boundaries are data-dependent and one window can hold the whole trace); set \"window_span\" instead", d.ID)
 		}
-		if windows < 1 {
-			return nil, false, fmt.Errorf("serve: dataset %s is streaming-registered: synthesis must be windowed (set \"windows\" in the request, or start the daemon with -windows)", d.ID)
+		if span == 0 {
+			span = q.defaultSpan
 		}
-	} else if windows <= 1 {
+		if span <= 0 {
+			return nil, false, fmt.Errorf("serve: dataset %s is streaming-registered: synthesis must be windowed by time span (set \"window_span\" in the request, or start the daemon with -window-span)", d.ID)
+		}
+	} else if span == 0 && windows <= 1 {
 		// A single window is the whole trace: identical release to the
 		// plain job, so share its cache entry and its charge.
 		windows = 0
 	}
-	if windows > 0 && !d.Schema().Has(netdpsyn.FieldTS) {
+	if (windows > 0 || span > 0) && !d.Schema().Has(netdpsyn.FieldTS) {
 		return nil, false, fmt.Errorf("serve: windowed synthesis needs a %q field in the %s schema", netdpsyn.FieldTS, d.Kind)
 	}
 	// Normalize zero values to the pipeline defaults (taken from
@@ -388,11 +447,19 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int) (*Job, bool
 	if err != nil {
 		return nil, false, err
 	}
+	// The ledger charge follows the composition argument each window
+	// kind supports (see the Submit doc): span windows compose in
+	// parallel (one window's ρ), count-quantile windows compose
+	// sequentially (windows × ρ).
+	chargeRho := rho
+	if windows > 1 {
+		chargeRho = rho * float64(windows)
+	}
 
-	// The cache key includes the window count: a 4-window release and
-	// a whole-trace release of the same Config are different outputs
+	// The cache key includes the windowing: a 4-window release and a
+	// whole-trace release of the same Config are different outputs
 	// (each window is synthesized from its own marginals).
-	key := fmt.Sprintf("%s|%s|win=%d", d.ID, configKey(cfg, false), windows)
+	key := fmt.Sprintf("%s|%s|win=%d|span=%d", d.ID, configKey(cfg, false), windows, span)
 	// The whole admission — cache probe, charge, registration, and the
 	// (non-blocking) enqueue — happens under one critical section.
 	// That keeps three races out: Submit can never send on a channel
@@ -438,15 +505,14 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int) (*Job, bool
 		rec = &persist.ChargeRecord{
 			JobID:     id,
 			DatasetID: d.ID,
-			Rho:       rho,
+			Rho:       chargeRho,
 			Config:    cfg,
 			Submitted: now,
 			Windows:   windows,
+			Span:      span,
 		}
 	}
-	// One window's ρ, whatever the window count — see the parallel
-	// composition argument on Submit.
-	if err := d.Budget().Charge(rho, rec); err != nil {
+	if err := d.Budget().Charge(chargeRho, rec); err != nil {
 		return nil, false, err
 	}
 	q.next++
@@ -454,8 +520,9 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int) (*Job, bool
 		ID:        id,
 		DatasetID: d.ID,
 		Submitted: now,
-		Rho:       rho,
+		Rho:       chargeRho,
 		Windows:   windows,
+		Span:      span,
 		cfg:       cfg,
 		cacheKey:  key,
 		state:     JobQueued,
@@ -490,13 +557,17 @@ func (q *Queue) attachSpool(j *Job) {
 			j.spool = rs
 			j.mu.Unlock()
 		}
-	case j.Windows >= 1:
+	case j.windowed():
 		rs, _ := newResultSpool("")
 		j.mu.Lock()
 		j.spool = rs
 		j.mu.Unlock()
 	}
 }
+
+// windowed reports whether the job synthesizes window by window
+// (either kind), as opposed to one whole-trace pipeline run.
+func (j *Job) windowed() bool { return j.Windows > 1 || j.Span > 0 }
 
 // Spool returns the job's result spool, if any.
 func (j *Job) Spool() *resultSpool {
@@ -605,10 +676,10 @@ func (q *Queue) run(j *Job) {
 		q.fail(j, err)
 		return
 	}
-	if j.Windows >= 1 {
-		// Includes windows == 1 on streaming datasets, whose trace
-		// exists only in the spool — the plain path below has no table
-		// to hand the pipeline.
+	if j.windowed() {
+		// Includes every streaming-dataset job, whose trace exists only
+		// in the spool — the plain path below has no table to hand the
+		// pipeline.
 		q.runWindowed(j, d, syn, spool)
 		return
 	}
@@ -638,9 +709,10 @@ func (q *Queue) run(j *Job) {
 // runWindowed synthesizes a windowed job window-by-window, recording
 // per-window progress and streaming each completed window's CSV into
 // the result spool (header once, then rows). In-memory datasets go
-// through SynthesizeWindows over the registered table; streaming
-// datasets re-stream their spooled CSV through the bounded-memory
-// path, so the trace is never materialized even while serving it.
+// through SynthesizeTimeWindows (span jobs) or SynthesizeWindows
+// (count jobs) over the registered table; streaming datasets
+// re-stream their spooled CSV through the bounded-memory span path,
+// so the trace is never materialized even while serving it.
 func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool *resultSpool) {
 	records := 0
 	wroteHeader := false
@@ -662,21 +734,35 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 		records += wr.Records
 		j.mu.Lock()
 		j.windowsDone++
+		emitted := j.windowsDone
 		j.setStages(wr.Stages)
 		j.mu.Unlock()
+		if emitted > maxWindows {
+			// Only reachable on span jobs (count jobs are capped at
+			// Submit): the span is too fine for the trace's time
+			// resolution to be worth one pipeline per bucket.
+			return fmt.Errorf("serve: window_span %d produced more than %d windows — choose a coarser span", j.Span, maxWindows)
+		}
 		return nil
 	}
 	var err error
-	if d.Streaming() {
+	switch {
+	case d.Streaming():
+		// Streaming datasets are always span-windowed (enforced at
+		// Submit); the per-window row cap keeps one dense bucket from
+		// materializing the trace the bounded-memory path exists to
+		// avoid.
 		var f *os.File
 		if f, err = d.OpenSpool(); err == nil {
 			err = syn.SynthesizeStream(f, d.Schema(), netdpsyn.StreamOptions{
-				Windows:   j.Windows,
-				TotalRows: d.Rows(),
+				WindowSpan:    j.Span,
+				MaxWindowRows: q.maxWindowRows,
 			}, emit)
 			f.Close()
 		}
-	} else {
+	case j.Span > 0:
+		err = syn.SynthesizeTimeWindows(d.Table(), j.Span, emit)
+	default:
 		err = syn.SynthesizeWindows(d.Table(), j.Windows, emit)
 	}
 	if err != nil {
@@ -794,8 +880,9 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 			Submitted: js.Submitted,
 			Rho:       js.Rho,
 			Windows:   js.Windows,
+			Span:      js.Span,
 			cfg:       cfg,
-			cacheKey:  fmt.Sprintf("%s|%s|win=%d", js.DatasetID, configKey(cfg, false), js.Windows),
+			cacheKey:  fmt.Sprintf("%s|%s|win=%d|span=%d", js.DatasetID, configKey(cfg, false), js.Windows, js.Span),
 			done:      make(chan struct{}),
 		}
 		close(j.done) // every restored job is terminal

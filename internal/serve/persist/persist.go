@@ -78,10 +78,14 @@ type ChargeRecord struct {
 	Rho       float64         `json:"rho"`
 	Config    netdpsyn.Config `json:"config"`
 	Submitted time.Time       `json:"submitted"`
-	// Windows > 1 marks a windowed release. Rho is still one window's
-	// charge: the windows are disjoint record partitions, so their
-	// releases compose in parallel, not additively.
-	Windows int `json:"windows,omitempty"`
+	// Windows > 1 marks a count-quantile windowed release; Span > 0
+	// marks a time-span windowed release. Rho is always the FULL
+	// charge applied to the ledger: one window's ρ for span windows
+	// (data-independent membership ⇒ parallel composition), windows ×
+	// the per-window ρ for count windows (data-dependent boundaries ⇒
+	// sequential composition).
+	Windows int   `json:"windows,omitempty"`
+	Span    int64 `json:"span,omitempty"`
 }
 
 // TerminalRecord journals a job reaching a terminal state. It is

@@ -206,11 +206,18 @@ func (r *spoolReader) Read(p []byte) (int, error) {
 					err = nil // more may be coming; EOF is decided below
 				}
 			} else {
+				// Re-read fail under the same lock as mem: drop()/remove()
+				// can land between the state() snapshot above and here, in
+				// which case the stale snapshot's fail is empty while mem
+				// is already gone.
 				r.rs.mu.Lock()
-				mem := r.rs.mem
+				mem, memFail := r.rs.mem, r.rs.fail
 				r.rs.mu.Unlock()
 				if mem == nil {
-					return 0, fmt.Errorf("serve: %s", fail)
+					if memFail == "" {
+						memFail = "result is no longer available"
+					}
+					return 0, fmt.Errorf("serve: %s", memFail)
 				}
 				n = copy(p, mem[r.off:])
 			}

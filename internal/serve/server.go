@@ -47,10 +47,14 @@ type Options struct {
 	// spend, which is a privacy bug for any deployment that outlives
 	// its process.
 	StateDir string
-	// DefaultWindows fills in the window count for synthesis requests
-	// against streaming datasets that omit it (0 = no default; such
-	// requests are rejected).
-	DefaultWindows int
+	// DefaultWindowSpan fills in the time-window span for synthesis
+	// requests against streaming datasets that omit it (0 = no
+	// default; such requests are rejected).
+	DefaultWindowSpan int64
+	// MaxWindowRows caps how many records one streaming time window
+	// may hold before the job fails (≤ 0 = a ~1M-row default) — the
+	// memory bound for traces bigger than RAM.
+	MaxWindowRows int
 	// AllowVolatileStream accepts streaming registrations (?stream=1)
 	// without a StateDir by spooling the upload to a process-lifetime
 	// temp dir. The trace still never touches RAM whole, but nothing
@@ -117,7 +121,7 @@ func NewServer(opts Options) (*Server, error) {
 		store: store,
 		mux:   http.NewServeMux(),
 	}
-	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers, store, opts.DefaultWindows)
+	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers, store, opts.DefaultWindowSpan, opts.MaxWindowRows)
 	if state != nil {
 		s.recovery = restoreState(s.reg, s.queue, store, state)
 	}
@@ -474,12 +478,17 @@ type SynthesisRequest struct {
 	Tau        float64 `json:"tau"`
 	KeyAttr    string  `json:"key_attr"`
 	UseGUM     bool    `json:"use_gum"`
-	// Windows > 1 requests windowed synthesis: the trace is cut into
-	// that many disjoint time windows, each synthesized under the full
-	// (ε, δ) and streamed into result.csv as it completes. The ledger
-	// is charged one window's ρ (parallel composition over disjoint
-	// partitions — see Queue.Submit). Streaming datasets require this.
-	Windows int `json:"windows"`
+	// Windows and WindowSpan request windowed synthesis (set at most
+	// one); each window is synthesized under the full (ε, δ) and
+	// streamed into result.csv as it completes. WindowSpan cuts fixed
+	// time buckets of that many timestamp units — membership is
+	// data-independent, so the ledger charges ONE window's ρ (parallel
+	// composition). Windows cuts that many row-count quantile windows
+	// — boundaries are data-dependent, so the ledger charges windows ×
+	// ρ (sequential composition). Streaming datasets accept only
+	// WindowSpan. See Queue.Submit for the full argument.
+	Windows    int   `json:"windows"`
+	WindowSpan int64 `json:"window_span"`
 }
 
 // SynthesisResponse acknowledges an admitted (or cache-hit) job.
@@ -487,10 +496,11 @@ type SynthesisResponse struct {
 	JobID string `json:"job_id"`
 	// Cached reports that an identical (Config, Seed) release was
 	// already admitted; the budget was not charged again.
-	Cached  bool     `json:"cached"`
-	Rho     float64  `json:"rho"`
-	State   JobState `json:"state"`
-	Windows int      `json:"windows,omitempty"`
+	Cached     bool     `json:"cached"`
+	Rho        float64  `json:"rho"`
+	State      JobState `json:"state"`
+	Windows    int      `json:"windows,omitempty"`
+	WindowSpan int64    `json:"window_span,omitempty"`
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
@@ -515,7 +525,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		KeyAttr:          req.KeyAttr,
 		UseGUM:           req.UseGUM,
 	}
-	job, cached, err := s.queue.Submit(d, cfg, req.Windows)
+	job, cached, err := s.queue.Submit(d, cfg, req.Windows, req.WindowSpan)
 	switch {
 	case errors.Is(err, ErrBudgetExceeded):
 		writeErr(w, http.StatusForbidden, "%v", err)
@@ -531,11 +541,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	info := job.Snapshot()
 	writeJSON(w, http.StatusAccepted, SynthesisResponse{
-		JobID:   job.ID,
-		Cached:  cached,
-		Rho:     job.Rho,
-		State:   info.State,
-		Windows: job.Windows,
+		JobID:      job.ID,
+		Cached:     cached,
+		Rho:        job.Rho,
+		State:      info.State,
+		Windows:    job.Windows,
+		WindowSpan: job.Span,
 	})
 }
 
@@ -593,7 +604,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGone, "job %s's result was evicted from the retention window; resubmit the identical request to regenerate it (no new budget spend)", j.ID)
 		return
 	default:
-		if j.Windows >= 1 && rs != nil {
+		if j.windowed() && rs != nil {
 			// A windowed job streams finished windows while it runs:
 			// the response follows the spool and completes when the
 			// last window lands.

@@ -35,6 +35,31 @@ func sortedFlowCSV(t *testing.T, rows int) (string, string) {
 	return buf.String(), datagen.LabelField(datagen.TON)
 }
 
+// flowSpan loads the rendered CSV and returns a window span that cuts
+// its ts range into roughly `parts` fixed time buckets.
+func flowSpan(t *testing.T, csvBody, label string, parts int) int64 {
+	t.Helper()
+	table, err := netdpsyn.LoadCSV(strings.NewReader(csvBody), netdpsyn.FlowSchema(label))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := table.Column(table.Schema().Index(trace.FieldTS))
+	lo, hi := col[0], col[0]
+	for _, v := range col {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := (hi-lo)/int64(parts) + 1
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
 func register(t *testing.T, ts *httptest.Server, query, body string) (serve.Info, int) {
 	t.Helper()
 	resp, err := ts.Client().Post(ts.URL+"/datasets?"+query, "text/csv", strings.NewReader(body))
@@ -84,11 +109,12 @@ func checkOneCSV(t *testing.T, body string, minRows int) {
 	}
 }
 
-// TestWindowedJob drives the windowed job kind end to end: per-window
-// progress, a streamed multi-window result with a single header, and
-// — the budget acceptance criterion — a charge of ONE window's ρ
-// under parallel composition, with the 403 past the ceiling still
-// enforced.
+// TestWindowedJob drives the time-span windowed job kind end to end:
+// per-window progress, a streamed multi-window result with a single
+// header, and — the budget acceptance criterion — a charge of ONE
+// window's ρ under parallel composition (valid because a record's
+// window is ⌊ts/span⌋, a function of that record alone), with the 403
+// past the ceiling still enforced.
 func TestWindowedJob(t *testing.T) {
 	s := newTestServer(t, serve.Options{MaxConcurrentJobs: 1, Workers: 2})
 	ts := httptest.NewServer(s.Handler())
@@ -96,6 +122,7 @@ func TestWindowedJob(t *testing.T) {
 	client := ts.Client()
 
 	csvBody, label := sortedFlowCSV(t, 600)
+	span := flowSpan(t, csvBody, label, 3)
 	rho1, err := netdpsyn.RhoFromEpsDelta(1.0, 1e-5)
 	if err != nil {
 		t.Fatal(err)
@@ -107,23 +134,23 @@ func TestWindowedJob(t *testing.T) {
 	}
 
 	var ack serve.SynthesisResponse
-	req := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 5, Windows: 3}
+	req := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 5, WindowSpan: span}
 	if code := postJSON(t, client, ts.URL+"/datasets/"+info.ID+"/synthesize", req, &ack); code != http.StatusAccepted {
 		t.Fatalf("windowed submit = %d", code)
 	}
-	if ack.Windows != 3 {
-		t.Fatalf("ack windows = %d", ack.Windows)
+	if ack.WindowSpan != span {
+		t.Fatalf("ack window_span = %d, want %d", ack.WindowSpan, span)
 	}
 	if math.Abs(ack.Rho-rho1) > 1e-12 {
-		t.Fatalf("windowed charge ρ = %v, want one window's %v (parallel composition)", ack.Rho, rho1)
+		t.Fatalf("span-windowed charge ρ = %v, want one window's %v (parallel composition)", ack.Rho, rho1)
 	}
 
 	done := pollJob(t, client, ts.URL, ack.JobID)
 	if done.State != serve.JobDone {
 		t.Fatalf("windowed job = %s (%s)", done.State, done.Error)
 	}
-	if done.Windows != 3 || done.WindowsDone != 3 {
-		t.Fatalf("progress = %d/%d, want 3/3", done.WindowsDone, done.Windows)
+	if done.WindowsDone < 2 {
+		t.Fatalf("windows done = %d, want ≥ 2 (span %d should cut several buckets)", done.WindowsDone, span)
 	}
 	if done.Records <= 0 {
 		t.Fatalf("records = %d", done.Records)
@@ -135,7 +162,7 @@ func TestWindowedJob(t *testing.T) {
 	}
 	checkOneCSV(t, body, 100)
 
-	// The ledger holds exactly one window's ρ, not 3ρ.
+	// The ledger holds exactly one window's ρ, not windows × ρ.
 	var budget serve.Status
 	if code := getJSON(t, client, ts.URL+"/datasets/"+info.ID+"/budget", &budget); code != http.StatusOK {
 		t.Fatalf("budget = %d", code)
@@ -152,17 +179,72 @@ func TestWindowedJob(t *testing.T) {
 	if !ack2.Cached || ack2.JobID != ack.JobID {
 		t.Fatalf("resubmit: cached=%v job=%s", ack2.Cached, ack2.JobID)
 	}
-	// A different window count is a different release: it would need a
-	// fresh ρ, which the ceiling no longer covers → 403.
+	// A different span is a different release: it would need a fresh
+	// ρ, which the ceiling no longer covers → 403.
 	req2 := req
-	req2.Windows = 2
+	req2.WindowSpan = span + 1
 	if code := postJSON(t, client, ts.URL+"/datasets/"+info.ID+"/synthesize", req2, nil); code != http.StatusForbidden {
 		t.Fatalf("over-ceiling windowed submit = %d, want 403", code)
+	}
+	// Setting both windowings is a 400, before any charge.
+	req3 := req
+	req3.Windows = 2
+	if code := postJSON(t, client, ts.URL+"/datasets/"+info.ID+"/synthesize", req3, nil); code != http.StatusBadRequest {
+		t.Fatalf("windows+window_span submit = %d, want 400", code)
 	}
 	if got := s.Handler(); got == nil {
 		t.Fatal("handler disappeared")
 	}
 	shutdownSrv(t, s)
+}
+
+// TestCountWindowedJobChargesSequentially: count-quantile windows cut
+// at row ranks, whose membership is data-dependent, so parallel
+// composition does not apply and the ledger must charge windows × ρ.
+func TestCountWindowedJobChargesSequentially(t *testing.T) {
+	s := newTestServer(t, serve.Options{MaxConcurrentJobs: 1, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownSrv(t, s)
+	client := ts.Client()
+
+	csvBody, label := sortedFlowCSV(t, 600)
+	rho1, err := netdpsyn.RhoFromEpsDelta(1.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ceiling fits the 3-window sequential charge exactly once.
+	info, code := register(t, ts, fmt.Sprintf("schema=flow&label=%s&budget_rho=%g&budget_delta=1e-5", label, 3.5*rho1), csvBody)
+	if code != http.StatusCreated {
+		t.Fatalf("register = %d", code)
+	}
+	var ack serve.SynthesisResponse
+	req := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 5, Windows: 3}
+	if code := postJSON(t, client, ts.URL+"/datasets/"+info.ID+"/synthesize", req, &ack); code != http.StatusAccepted {
+		t.Fatalf("count-windowed submit = %d", code)
+	}
+	if ack.Windows != 3 {
+		t.Fatalf("ack windows = %d", ack.Windows)
+	}
+	if math.Abs(ack.Rho-3*rho1) > 1e-12 {
+		t.Fatalf("count-windowed charge ρ = %v, want 3 × %v (sequential composition)", ack.Rho, rho1)
+	}
+	done := pollJob(t, client, ts.URL, ack.JobID)
+	if done.State != serve.JobDone || done.Windows != 3 || done.WindowsDone != 3 {
+		t.Fatalf("job = %s (%s), progress %d/%d", done.State, done.Error, done.WindowsDone, done.Windows)
+	}
+	var budget serve.Status
+	if code := getJSON(t, client, ts.URL+"/datasets/"+info.ID+"/budget", &budget); code != http.StatusOK {
+		t.Fatalf("budget = %d", code)
+	}
+	if math.Abs(budget.SpentRho-3*rho1) > 1e-12 {
+		t.Fatalf("spent ρ = %v, want %v", budget.SpentRho, 3*rho1)
+	}
+	// A second 3-window release would overdraw the 3.5ρ ceiling.
+	req.Seed = 6
+	if code := postJSON(t, client, ts.URL+"/datasets/"+info.ID+"/synthesize", req, nil); code != http.StatusForbidden {
+		t.Fatalf("over-ceiling count-windowed submit = %d, want 403", code)
+	}
 }
 
 // TestStreamingDatasetEndToEnd covers the spool-only dataset: a
@@ -177,6 +259,7 @@ func TestStreamingDatasetEndToEnd(t *testing.T) {
 	client := ts.Client()
 
 	csvBody, label := sortedFlowCSV(t, 600)
+	span := flowSpan(t, csvBody, label, 3)
 	info, code := register(t, ts, "schema=flow&label="+label+"&stream=1", csvBody)
 	if code != http.StatusCreated {
 		t.Fatalf("streaming register = %d", code)
@@ -191,9 +274,16 @@ func TestStreamingDatasetEndToEnd(t *testing.T) {
 		serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 5}, nil); code != http.StatusBadRequest {
 		t.Fatalf("plain submit on streaming dataset = %d, want 400", code)
 	}
+	// So is a count-windowed request: quantile boundaries need the
+	// whole trace's row ranks and can degenerate to one full-trace
+	// window.
+	if code := postJSON(t, client, ts.URL+"/datasets/"+info.ID+"/synthesize",
+		serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 5, Windows: 3}, nil); code != http.StatusBadRequest {
+		t.Fatalf("count-windowed submit on streaming dataset = %d, want 400", code)
+	}
 
 	var ack serve.SynthesisResponse
-	req := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 5, Windows: 3}
+	req := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 5, WindowSpan: span}
 	if code := postJSON(t, client, ts.URL+"/datasets/"+info.ID+"/synthesize", req, &ack); code != http.StatusAccepted {
 		t.Fatalf("windowed submit = %d", code)
 	}
@@ -257,9 +347,10 @@ func TestStreamingRegistrationValidation(t *testing.T) {
 	ts.Close()
 	shutdownSrv(t, s)
 
-	// With the opt-in it works, spooling to a temp dir; jobs need the
-	// daemon's default window count when the request omits one.
-	s = newTestServer(t, serve.Options{MaxConcurrentJobs: 1, Workers: 2, AllowVolatileStream: true, DefaultWindows: 2})
+	// With the opt-in it works, spooling to a temp dir; jobs take the
+	// daemon's default window span when the request omits one.
+	span := flowSpan(t, csvBody, label, 2)
+	s = newTestServer(t, serve.Options{MaxConcurrentJobs: 1, Workers: 2, AllowVolatileStream: true, DefaultWindowSpan: span})
 	ts = httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer shutdownSrv(t, s)
@@ -270,25 +361,25 @@ func TestStreamingRegistrationValidation(t *testing.T) {
 	var ack serve.SynthesisResponse
 	if code := postJSON(t, ts.Client(), ts.URL+"/datasets/"+info.ID+"/synthesize",
 		serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 9}, &ack); code != http.StatusAccepted {
-		t.Fatalf("default-windows submit = %d", code)
+		t.Fatalf("default-span submit = %d", code)
 	}
-	if ack.Windows != 2 {
-		t.Fatalf("default windows = %d, want 2", ack.Windows)
+	if ack.WindowSpan != span {
+		t.Fatalf("default window_span = %d, want %d", ack.WindowSpan, span)
 	}
 	if done := pollJob(t, ts.Client(), ts.URL, ack.JobID); done.State != serve.JobDone {
 		t.Fatalf("job = %s (%s)", done.State, done.Error)
 	}
 
-	// windows: 1 on a streaming dataset is a single whole-trace window
+	// A span wide enough to cover the whole trace is a single window
 	// through the spool — it must run windowed, not hit the (absent)
 	// in-memory table.
 	var ack1 serve.SynthesisResponse
 	if code := postJSON(t, ts.Client(), ts.URL+"/datasets/"+info.ID+"/synthesize",
-		serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 10, Windows: 1}, &ack1); code != http.StatusAccepted {
-		t.Fatalf("windows=1 submit = %d", code)
+		serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 10, WindowSpan: span * 100}, &ack1); code != http.StatusAccepted {
+		t.Fatalf("wide-span submit = %d", code)
 	}
 	if done := pollJob(t, ts.Client(), ts.URL, ack1.JobID); done.State != serve.JobDone || done.Records <= 0 {
-		t.Fatalf("windows=1 job = %s (%s), records %d", done.State, done.Error, done.Records)
+		t.Fatalf("wide-span job = %s (%s), records %d", done.State, done.Error, done.Records)
 	}
 
 	// Unsorted input is rejected at registration, before any spend.
@@ -348,6 +439,33 @@ func TestWindowedResultFollows(t *testing.T) {
 	checkOneCSV(t, body, 100)
 	if info := pollJob(t, ts.Client(), ts.URL, ack.JobID); info.State != serve.JobDone {
 		t.Fatalf("job = %s", info.State)
+	}
+}
+
+// TestStreamingWindowRowCap: the per-window row cap keeps a
+// too-coarse span from materializing the whole trace in one table —
+// the job fails with a clear error instead of defeating the
+// bounded-memory design.
+func TestStreamingWindowRowCap(t *testing.T) {
+	s := newTestServer(t, serve.Options{MaxConcurrentJobs: 1, Workers: 2, AllowVolatileStream: true, MaxWindowRows: 100})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer shutdownSrv(t, s)
+
+	csvBody, label := sortedFlowCSV(t, 600)
+	span := flowSpan(t, csvBody, label, 1) // one bucket holds all 600 rows
+	info, code := register(t, ts, "schema=flow&label="+label+"&stream=1", csvBody)
+	if code != http.StatusCreated {
+		t.Fatalf("streaming register = %d", code)
+	}
+	var ack serve.SynthesisResponse
+	req := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 7, WindowSpan: span}
+	if code := postJSON(t, ts.Client(), ts.URL+"/datasets/"+info.ID+"/synthesize", req, &ack); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	done := pollJob(t, ts.Client(), ts.URL, ack.JobID)
+	if done.State != serve.JobFailed || !strings.Contains(done.Error, "row cap") {
+		t.Fatalf("job = %s (%q), want failed on the row cap", done.State, done.Error)
 	}
 }
 

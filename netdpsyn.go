@@ -206,10 +206,14 @@ type WindowResult struct {
 	Table *Table
 	// Records is the number of synthesized records in this window.
 	Records int
-	// Rho is the zCDP budget the window's release consumed. Windows
-	// are disjoint record partitions, so across a run the charges
-	// compose in parallel, not additively: the whole release costs one
-	// window's ρ.
+	// Rho is the zCDP budget the window's release consumed. How the
+	// per-window charges compose across a run depends on the
+	// partitioning rule: fixed time-span windows (WindowSpan,
+	// SynthesizeTimeWindows) have data-independent membership, so
+	// they compose in parallel and the whole release costs one
+	// window's ρ; count- or row-cut windows have data-dependent
+	// boundaries, so a record-level guarantee for the whole release
+	// composes sequentially (windows × ρ).
 	Rho float64
 	// Stages is the window's per-stage wall/busy timing split.
 	Stages map[string]StageTiming
@@ -218,15 +222,35 @@ type WindowResult struct {
 // StreamOptions configures SynthesizeStream's windowing. Exactly one
 // partitioning rule must be set:
 //
+//   - WindowSpan: fixed time-range windows of that many timestamp
+//     units — a record with timestamp ts lands in bucket ⌊ts/span⌋,
+//     a function of the record alone. This data-independent
+//     membership is what the parallel composition theorem requires,
+//     so it is the only mode whose combined release carries a
+//     record-level (ε, δ) guarantee at one window's cost. Identical
+//     to SynthesizeTimeWindows over the pre-loaded table.
 //   - Windows + TotalRows: quantile-by-count windows, identical to
 //     SynthesizeWindows over the pre-loaded table (use when the
 //     stream length is known, e.g. counted at registration).
+//     Boundaries sit at row ranks and are data-dependent: each
+//     window is (ε, δ)-DP in isolation, but a record-level guarantee
+//     for the whole release composes sequentially.
 //   - WindowRows: fixed-size windows of that many records, for
-//     streams of unknown length.
+//     streams of unknown length. Data-dependent boundaries, like
+//     Windows.
 type StreamOptions struct {
 	Windows    int
 	TotalRows  int
 	WindowRows int
+	// WindowSpan selects fixed time-range windows of that many
+	// timestamp units.
+	WindowSpan int64
+	// MaxWindowRows, with WindowSpan, fails the stream if one time
+	// window holds more than this many records (0 = unbounded): a
+	// resource guard keeping the per-window working set bounded when
+	// the trace is bigger than RAM. A tripped cap means the span is
+	// too coarse for the trace's density.
+	MaxWindowRows int
 	// BatchRows tunes the CSV decode batch size (0 = default 4096).
 	// It affects memory granularity only, never output.
 	BatchRows int
@@ -237,11 +261,13 @@ type StreamOptions struct {
 // built, so trace length is limited by disk (or the wire), not RAM.
 // The stream must be time-ordered on the "ts" field; each
 // time-contiguous window is synthesized under the full (ε, δ) budget
-// of cfg — valid by parallel composition over the disjoint windows —
-// and emitted through emit in window order as it completes. At a
-// fixed cfg.Seed and window count the emitted windows are
-// byte-identical to SynthesizeWindows on the pre-loaded table, for
-// any worker count.
+// of cfg and emitted through emit in window order as it completes.
+// The guarantee of the combined release depends on the partitioning
+// rule — see StreamOptions: WindowSpan composes in parallel
+// (record-level (ε, δ) overall), Windows/WindowRows compose
+// sequentially. At a fixed cfg.Seed and partitioning the emitted
+// windows are byte-identical to the batch path on the pre-loaded
+// table, for any worker count.
 func SynthesizeStream(r io.Reader, schema *Schema, cfg Config, opts StreamOptions, emit func(WindowResult) error) error {
 	syn, err := New(cfg)
 	if err != nil {
@@ -258,10 +284,12 @@ func (s *Synthesizer) SynthesizeStream(r io.Reader, schema *Schema, opts StreamO
 		return err
 	}
 	src, err := dataset.NewStreamWindows(cs, schema, dataset.WindowSplit{
-		Field:     FieldTS,
-		Windows:   opts.Windows,
-		TotalRows: opts.TotalRows,
-		MaxRows:   opts.WindowRows,
+		Field:       FieldTS,
+		Windows:     opts.Windows,
+		TotalRows:   opts.TotalRows,
+		MaxRows:     opts.WindowRows,
+		Span:        opts.WindowSpan,
+		MaxSpanRows: opts.MaxWindowRows,
 	})
 	if err != nil {
 		return err
@@ -270,15 +298,39 @@ func (s *Synthesizer) SynthesizeStream(r io.Reader, schema *Schema, opts StreamO
 }
 
 // SynthesizeWindows splits a pre-loaded trace into `windows` disjoint
-// time-contiguous partitions and synthesizes each under the full
-// (ε, δ) budget (parallel composition), emitting every window as it
-// completes — the incremental form of windowed synthesis that
-// serving uses for per-window progress and result streaming.
+// time-contiguous partitions at row-count quantiles and synthesizes
+// each under the full (ε, δ) budget, emitting every window as it
+// completes. The quantile boundaries are data-dependent, so each
+// window's release is (ε, δ)-DP in isolation but the combined release
+// composes sequentially (windows × ρ); use SynthesizeTimeWindows for
+// a record-level guarantee over the whole release at one window's
+// cost.
 func (s *Synthesizer) SynthesizeWindows(t *Table, windows int, emit func(WindowResult) error) error {
 	if t == nil || t.NumRows() == 0 {
 		return fmt.Errorf("netdpsyn: empty input table")
 	}
 	src, err := core.NewTableWindows(t, windows)
+	if err != nil {
+		return err
+	}
+	return s.synthesizeSource(src, emit)
+}
+
+// SynthesizeTimeWindows splits a pre-loaded trace into fixed time
+// windows of `span` timestamp units — a record with timestamp ts
+// belongs to bucket ⌊ts/span⌋, a function of that record alone — and
+// synthesizes each non-empty window under the full (ε, δ) budget,
+// emitting every window as it completes. Because window membership
+// (and each window's seed) is data-independent, the per-window
+// releases compose in parallel: the combined release is (ε, δ)-DP at
+// record level, at one window's ρ. (The set of non-empty buckets is
+// itself visible: empty buckets release nothing.) This is the mode
+// the netdpsynd windowed job kind charges a single window's ρ for.
+func (s *Synthesizer) SynthesizeTimeWindows(t *Table, span int64, emit func(WindowResult) error) error {
+	if t == nil || t.NumRows() == 0 {
+		return fmt.Errorf("netdpsyn: empty input table")
+	}
+	src, err := core.NewTableTimeWindows(t, span)
 	if err != nil {
 		return err
 	}

@@ -98,6 +98,59 @@ func TestStreamEquivalence(t *testing.T) {
 	}
 }
 
+// TestTimeWindowStreamEquivalence is the same contract for fixed
+// time-span windows — the mode whose combined release is record-level
+// (ε, δ)-DP by parallel composition: SynthesizeStream with WindowSpan
+// is byte-identical, window for window, to SynthesizeTimeWindows on
+// the pre-loaded table.
+func TestTimeWindowStreamEquivalence(t *testing.T) {
+	body, schema := sortedTraceCSV(t, 1400)
+	table, err := netdpsyn.LoadCSV(strings.NewReader(body), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := table.Column(table.Schema().Index(trace.FieldTS))
+	span := (col[len(col)-1]-col[0])/4 + 1
+	cfg := netdpsyn.Config{Epsilon: 1.0, UpdateIterations: 4, Seed: 17, Workers: 2}
+	syn, err := netdpsyn.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var batch []netdpsyn.WindowResult
+	if err := syn.SynthesizeTimeWindows(table, span, func(wr netdpsyn.WindowResult) error {
+		batch = append(batch, wr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []netdpsyn.WindowResult
+	err = netdpsyn.SynthesizeStream(strings.NewReader(body), schema, cfg,
+		netdpsyn.StreamOptions{WindowSpan: span, BatchRows: 300},
+		func(wr netdpsyn.WindowResult) error {
+			streamed = append(streamed, wr)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(batch) < 2 {
+		t.Fatalf("span %d cut only %d windows — want several", span, len(batch))
+	}
+	if len(batch) != len(streamed) {
+		t.Fatalf("windows: batch %d, streamed %d", len(batch), len(streamed))
+	}
+	for i := range batch {
+		if batch[i].Window != streamed[i].Window || batch[i].Records != streamed[i].Records {
+			t.Fatalf("window %d: (%d, %d records) vs (%d, %d records)",
+				i, batch[i].Window, batch[i].Records, streamed[i].Window, streamed[i].Records)
+		}
+		identicalTables(t, fmt.Sprintf("time window %d", i), batch[i].Table, streamed[i].Table)
+	}
+}
+
 // TestStreamUnsortedRejected: the streaming path refuses a trace that
 // is not time-ordered instead of silently cutting non-contiguous
 // windows.

@@ -14,8 +14,12 @@
 package netdpsyn_test
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -27,6 +31,7 @@ import (
 	netdpsyn "github.com/netdpsyn/netdpsyn"
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
 	"github.com/netdpsyn/netdpsyn/internal/experiments"
+	"github.com/netdpsyn/netdpsyn/internal/serve"
 )
 
 var (
@@ -250,6 +255,150 @@ func BenchmarkWindowedThroughput(b *testing.B) {
 		wall := map[string]time.Duration{"windowed": elapsed}
 		busyM := map[string]time.Duration{"windowed": busy}
 		if err := writeStageTimingsJSON(path, "BenchmarkWindowedThroughput", b.N, elapsed, wall, busyM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFollowIngest measures the continuous-ingest hot path
+// end to end over the real HTTP service: each iteration PUTs one
+// whole window at a live-feed dataset and waits until the follow job
+// reports it synthesized — so ns/op is the PUT→synthesized-window
+// latency, and rows/sec the sustained follow throughput. With
+// BENCH_STAGE_JSON set, merges a "follow" stage (per-window wall,
+// summed pipeline busy) into the same BENCH_stage_timings.json that
+// BenchmarkStageTimings and BenchmarkWindowedThroughput emit, so
+// cmd/benchtraj tracks all three against one committed baseline.
+func BenchmarkFollowIngest(b *testing.B) {
+	const (
+		span       = int64(1_000)
+		windowRows = 300
+	)
+	gen, err := datagen.Generate(datagen.TON, datagen.Config{Rows: windowRows, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var genCSV bytes.Buffer
+	if err := gen.WriteCSV(&genCSV); err != nil {
+		b.Fatal(err)
+	}
+	schema := netdpsyn.FlowSchema(datagen.LabelField(datagen.TON))
+	template, err := netdpsyn.LoadCSV(&genCSV, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tsIdx := schema.Index(netdpsyn.FieldTS)
+	// windowCSV renders the template shifted into bucket i: distinct
+	// buckets per iteration, time-ordered rows within each.
+	windowCSV := func(i int) string {
+		w := netdpsyn.NewTable(schema, template.NumRows())
+		if err := w.AppendRowRange(template, 0, template.NumRows()); err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < w.NumRows(); r++ {
+			w.SetValue(r, tsIdx, int64(i)*span+int64(r)*span/int64(w.NumRows()))
+		}
+		var buf bytes.Buffer
+		if err := w.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	srv, err := serve.NewServer(serve.Options{MaxConcurrentJobs: 1, AllowVolatileFeed: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	regURL := fmt.Sprintf("%s/datasets?label=%s&feed=1&span=%d&budget_rho=1e9", ts.URL, datagen.LabelField(datagen.TON), span)
+	resp, err := ts.Client().Post(regURL, "text/csv", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dsInfo serve.Info
+	if err := json.NewDecoder(resp.Body).Decode(&dsInfo); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	body, err := json.Marshal(serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 4, Seed: 9, Follow: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sresp, err := ts.Client().Post(ts.URL+"/datasets/"+dsInfo.ID+"/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ack serve.SynthesisResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&ack); err != nil {
+		b.Fatal(err)
+	}
+	sresp.Body.Close()
+
+	windowsDone := func() int {
+		resp, err := ts.Client().Get(ts.URL + "/jobs/" + ack.JobID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info serve.JobInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			b.Fatal(err)
+		}
+		if info.State == serve.JobFailed {
+			b.Fatalf("follow job failed: %s", info.Error)
+		}
+		return info.WindowsDone
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("%s/datasets/%s/windows/%d", ts.URL, dsInfo.ID, i), strings.NewReader(windowCSV(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			b.Fatalf("PUT window %d = %d", i, resp.StatusCode)
+		}
+		for windowsDone() < i+1 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	b.ReportMetric(float64(windowRows)*float64(b.N)/elapsed.Seconds(), "rows/sec")
+
+	// Seal so the job finishes and reports its summed pipeline stages
+	// — the "follow" stage's busy time.
+	fresp, err := ts.Client().Post(ts.URL+"/datasets/"+dsInfo.ID+"/seal", "application/json", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresp.Body.Close()
+	j, err := srv.WaitJob(ack.JobID, 60*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var busy time.Duration
+	for _, st := range j.Snapshot().Stages {
+		busy += time.Duration(st.BusyMS * float64(time.Millisecond))
+	}
+	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
+		wall := map[string]time.Duration{"follow": elapsed}
+		busyM := map[string]time.Duration{"follow": busy}
+		if err := writeStageTimingsJSON(path, "BenchmarkFollowIngest", b.N, elapsed, wall, busyM); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,12 +20,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -33,6 +36,26 @@ import (
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
 	"github.com/netdpsyn/netdpsyn/internal/serve"
 )
+
+// syncBuffer is a mutex-guarded log sink: the exec.Cmd pipe copier
+// writes it from its own goroutine while the test reads String(), so
+// a bare bytes.Buffer is a data race under -race.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // freePort reserves an ephemeral port and releases it for the daemon.
 func freePort(t *testing.T) string {
@@ -47,7 +70,7 @@ func freePort(t *testing.T) string {
 }
 
 // startDaemon launches the built binary and waits for /healthz.
-func startDaemon(t *testing.T, bin, addr, stateDir string, logs *bytes.Buffer) *exec.Cmd {
+func startDaemon(t *testing.T, bin, addr, stateDir string, logs *syncBuffer) *exec.Cmd {
 	t.Helper()
 	cmd := exec.Command(bin, "-addr", addr, "-jobs", "1", "-workers", "1", "-state-dir", stateDir)
 	cmd.Stdout = logs
@@ -147,7 +170,7 @@ func TestCrashRestartDurability(t *testing.T) {
 
 	addr := freePort(t)
 	base := "http://" + addr
-	var logs bytes.Buffer
+	var logs syncBuffer
 	daemon := startDaemon(t, bin, addr, stateDir, &logs)
 	defer func() { _ = daemon.Process.Kill() }()
 
@@ -264,6 +287,269 @@ func TestCrashRestartDurability(t *testing.T) {
 	// The recovery log line made it to the daemon's output.
 	if !strings.Contains(logs.String(), "interrupted") {
 		t.Fatalf("no recovery log line; logs:\n%s", logs.String())
+	}
+
+	_ = daemon2.Process.Signal(os.Interrupt)
+	_ = daemon2.Wait()
+}
+
+// putWindowHTTP PUTs one whole window at the daemon.
+func putWindowHTTP(t *testing.T, base, dsID string, bucket int64, body string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/datasets/%s/windows/%d", base, dsID, bucket), strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestCrashRestartFollowIngest is the continuous-ingest acceptance
+// walkthrough against the real daemon: PUT windows stream through a
+// follow job as they land, the per-window-key ledger holds ONE
+// window's ρ across distinct buckets, kill -9 mid-follow and restart
+// RESUMES the job at the next bucket with per-key positions intact
+// (spend monotone, and exactly unchanged — re-released buckets do not
+// re-charge), the sealed release is byte-identical to batch
+// SynthesizeTimeWindows at the same seed, and an epoch-2 re-release
+// of one bucket doubles only that key's spend.
+func TestCrashRestartFollowIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a daemon subprocess; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain on PATH")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "netdpsynd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build daemon: %v\n%s", err, out)
+	}
+	stateDir := filepath.Join(tmp, "state")
+
+	// A sorted trace cut into 3 span buckets, rendered per window. The
+	// emulator's extra columns are dropped through the canonical flow
+	// schema first — the daemon's dataset schema is what both sides
+	// must share.
+	gen, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 360, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var genCSV bytes.Buffer
+	if err := gen.WriteCSV(&genCSV); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := netdpsyn.LoadCSV(&genCSV, netdpsyn.FlowSchema(datagen.LabelField(datagen.TON)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = raw.SortBy(raw.Schema().Index(netdpsyn.FieldTS))
+	tsCol := raw.Column(raw.Schema().Index(netdpsyn.FieldTS))
+	span := (tsCol[len(tsCol)-1]-tsCol[0])/3 + 1
+	bucketOf := func(ts int64) int64 { return netdpsyn.TimeBucket(ts, span) }
+	type cut struct {
+		bucket int64
+		body   string
+		tab    *netdpsyn.Table
+	}
+	var cuts []cut
+	for lo := 0; lo < raw.NumRows(); {
+		b := bucketOf(tsCol[lo])
+		hi := lo
+		for hi < raw.NumRows() && bucketOf(tsCol[hi]) == b {
+			hi++
+		}
+		part := netdpsyn.NewTable(raw.Schema(), hi-lo)
+		if err := part.AppendRowRange(raw, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := part.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cuts = append(cuts, cut{bucket: b, body: buf.String(), tab: part})
+		lo = hi
+	}
+	if len(cuts) < 3 {
+		t.Fatalf("want ≥ 3 buckets, got %d", len(cuts))
+	}
+	cuts = cuts[:3]
+
+	jobRho, err := netdpsyn.RhoFromEpsDelta(1.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	base := "http://" + addr
+	var logs syncBuffer
+	daemon := startDaemon(t, bin, addr, stateDir, &logs)
+	defer func() { _ = daemon.Process.Kill() }()
+
+	// Register a live feed with a 2.5ρ ceiling: one full release plus
+	// one single-bucket re-release fit; a third release does not.
+	regURL := fmt.Sprintf("%s/datasets?label=%s&feed=1&span=%d&budget_rho=%g&budget_delta=1e-5",
+		base, datagen.LabelField(datagen.TON), span, 2.5*jobRho)
+	resp, err := http.Post(regURL, "text/csv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dsInfo serve.Info
+	if err := json.NewDecoder(resp.Body).Decode(&dsInfo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || !dsInfo.Feed {
+		t.Fatalf("feed register = %d (%+v)", resp.StatusCode, dsInfo)
+	}
+
+	follow := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 31, Follow: true}
+	ack, code := postSynth(t, base, dsInfo.ID, follow)
+	if code != http.StatusAccepted || !ack.Follow || ack.Epoch != 1 {
+		t.Fatalf("follow submit = %d (%+v)", code, ack)
+	}
+
+	// Two windows land pre-crash; each synthesizes as it arrives.
+	for i, c := range cuts[:2] {
+		if code := putWindowHTTP(t, base, dsInfo.ID, c.bucket, c.body); code != http.StatusCreated {
+			t.Fatalf("PUT window %d = %d", c.bucket, code)
+		}
+		waitJobState(t, base, ack.JobID, 60*time.Second, func(info serve.JobInfo) bool {
+			return info.WindowsDone >= i+1
+		})
+	}
+	var budget serve.Status
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	if math.Abs(budget.SpentRho-jobRho) > 1e-12 {
+		t.Fatalf("pre-crash spend = %v, want one window's %v (parallel over %d distinct keys)",
+			budget.SpentRho, jobRho, 2)
+	}
+
+	// kill -9 mid-follow.
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = daemon.Wait()
+
+	daemon2 := startDaemon(t, bin, addr, stateDir, &logs)
+	defer func() { _ = daemon2.Process.Kill() }()
+
+	// The follow job RESUMED (not a charged failure): it re-emits the
+	// two charged windows at zero new cost and waits for the next
+	// bucket. Spend is monotone AND exactly preserved per key.
+	waitJobState(t, base, ack.JobID, 60*time.Second, func(info serve.JobInfo) bool {
+		return info.State == serve.JobRunning && info.WindowsDone >= 2
+	})
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	if math.Abs(budget.SpentRho-jobRho) > 1e-12 {
+		t.Fatalf("post-restart spend = %v, want %v unchanged (per-key positions intact)", budget.SpentRho, jobRho)
+	}
+	if len(budget.WindowRho) != 2 {
+		t.Fatalf("post-restart window keys = %v, want the 2 pre-crash keys", budget.WindowRho)
+	}
+	if !strings.Contains(logs.String(), "follow job(s) resumed") {
+		t.Fatalf("no resume log line; logs:\n%s", logs.String())
+	}
+
+	// The third bucket lands after the restart: the job picks it up.
+	if code := putWindowHTTP(t, base, dsInfo.ID, cuts[2].bucket, cuts[2].body); code != http.StatusCreated {
+		t.Fatalf("post-restart PUT = %d", code)
+	}
+	waitJobState(t, base, ack.JobID, 60*time.Second, func(info serve.JobInfo) bool {
+		return info.WindowsDone >= 3
+	})
+
+	// Seal → done, and the release is byte-identical to the batch
+	// time-span path over the assembled trace at the same seed.
+	sresp, err := http.Post(base+"/datasets/"+dsInfo.ID+"/seal", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("seal = %d", sresp.StatusCode)
+	}
+	waitJobState(t, base, ack.JobID, 60*time.Second, func(info serve.JobInfo) bool {
+		return info.State == serve.JobDone
+	})
+	res, err := http.Get(base + "/jobs/" + ack.JobID + "/result.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result.csv = %d", res.StatusCode)
+	}
+	syn, err := netdpsyn.New(netdpsyn.Config{Epsilon: 1, Delta: 1e-5, UpdateIterations: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The released trace is the three PUT windows (the grid may have
+	// cut a fourth bucket that never landed), so the batch reference
+	// runs over exactly those records.
+	assembled := netdpsyn.NewTable(raw.Schema(), raw.NumRows())
+	for _, c := range cuts {
+		if err := assembled.AppendRowRange(c.tab, 0, c.tab.NumRows()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want bytes.Buffer
+	first := true
+	if err := syn.SynthesizeTimeWindows(assembled, span, func(wr netdpsyn.WindowResult) error {
+		if first {
+			first = false
+			return wr.Table.WriteCSV(&want)
+		}
+		return wr.Table.WriteCSVBody(&want)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want.String() {
+		g, w := strings.Split(string(got), "\n"), strings.Split(want.String(), "\n")
+		for i := 0; i < len(g) && i < len(w); i++ {
+			if g[i] != w[i] {
+				t.Fatalf("followed release differs from batch SynthesizeTimeWindows at the same seed: %d vs %d lines, first divergence line %d:\n got %q\nwant %q",
+					len(g), len(w), i+1, g[i], w[i])
+			}
+		}
+		t.Fatalf("followed release differs from batch SynthesizeTimeWindows at the same seed: %d vs %d lines (prefix identical)", len(g), len(w))
+	}
+
+	// Epoch 2: re-PUT one bucket and release it again — only that
+	// key's spend doubles.
+	if code := putWindowHTTP(t, base, dsInfo.ID, cuts[0].bucket, cuts[0].body); code != http.StatusCreated {
+		t.Fatalf("epoch-2 PUT = %d", code)
+	}
+	follow2 := follow
+	follow2.Seed = 32
+	ack2, code := postSynth(t, base, dsInfo.ID, follow2)
+	if code != http.StatusAccepted || ack2.Epoch != 2 {
+		t.Fatalf("epoch-2 follow = %d (%+v)", code, ack2)
+	}
+	waitJobState(t, base, ack2.JobID, 60*time.Second, func(info serve.JobInfo) bool {
+		return info.WindowsDone >= 1
+	})
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	if math.Abs(budget.SpentRho-2*jobRho) > 1e-12 {
+		t.Fatalf("re-release spend = %v, want %v (only the re-released key doubles)", budget.SpentRho, 2*jobRho)
+	}
+	doubled := 0
+	for _, v := range budget.WindowRho {
+		if math.Abs(v-2*jobRho) < 1e-12 {
+			doubled++
+		} else if math.Abs(v-jobRho) > 1e-12 {
+			t.Fatalf("unexpected key spend %v in %v", v, budget.WindowRho)
+		}
+	}
+	if doubled != 1 {
+		t.Fatalf("%d keys doubled, want exactly 1: %v", doubled, budget.WindowRho)
 	}
 
 	_ = daemon2.Process.Signal(os.Interrupt)

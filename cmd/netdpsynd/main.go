@@ -19,25 +19,44 @@
 // spooled straight to the state dir, never decoded whole), then
 // synthesize with {"window_span": S} — the trace is cut into fixed
 // time buckets of S timestamp units (membership is a function of each
-// record alone, so the ledger charges one window's ρ under parallel
-// composition), the job reports per-window progress, and result.csv
-// streams windows as they complete. The -window-span flag supplies a
-// default span for such datasets; -max-window-rows bounds one
-// window's records so a too-coarse span fails instead of swallowing
-// RAM; -stream accepts streaming registrations without a -state-dir
-// by spooling to a temp dir. In-memory datasets also accept
-// {"windows": N} count-quantile windows, charged N × ρ (their
-// boundaries are data-dependent, so the windows compose sequentially,
-// not in parallel).
+// record alone, so each window charges one window's ρ to its own
+// (span, bucket) ledger key and distinct keys compose in parallel —
+// the ledger position is their max), the job reports per-window
+// progress, and result.csv streams windows as they complete. The
+// -window-span flag supplies a default span for such datasets;
+// -max-window-rows bounds one window's records so a too-coarse span
+// fails instead of swallowing RAM; -stream accepts streaming
+// registrations without a -state-dir by spooling to a temp dir.
+// In-memory datasets also accept {"windows": N} count-quantile
+// windows, charged N × ρ (their boundaries are data-dependent, so the
+// windows compose sequentially, not in parallel).
 //
-// With -state-dir the daemon is restart-safe: the budget ledger,
-// dataset registry, and job journal are persisted (every charge
-// fsync'd before its job runs), so a crash never forgets cumulative
-// zCDP spend — interrupted jobs replay as charged failures and a
-// restart resumes exactly where the meter stopped. Without it, all
-// state is in-memory and dies with the process.
+// Continuous ingest: register a live window feed with ?feed=1&span=S
+// (no body), PUT whole windows to /datasets/{id}/windows/{bucket} as
+// they are captured (seal-on-PUT; re-PUT of a sealed bucket is 409),
+// and submit {"follow": true} — the job synthesizes each window as it
+// lands and finishes when the feed is sealed (POST
+// /datasets/{id}/seal, or automatically after -seal-after of
+// inactivity). Re-releasing the same bucket in a later epoch charges
+// that bucket's key again — sequential composition on the key, while
+// distinct buckets still cost the max. -follow accepts feed
+// registrations without a -state-dir (volatile).
 //
-// The daemon drains admitted jobs on SIGINT/SIGTERM before exiting.
+// With -state-dir the daemon is restart-safe: the budget ledger
+// (scalar and per-window-key), dataset registry, window arrivals, and
+// job journal are persisted (every charge fsync'd before its job
+// runs), so a crash never forgets cumulative zCDP spend — interrupted
+// jobs replay as charged failures, while an interrupted follow job
+// RESUMES at the next bucket with exact per-key ledger positions.
+// Without it, all state is in-memory and dies with the process.
+//
+// Result retention: -max-results bounds how many finished results are
+// kept (in memory and under results/), and -result-ttl ages them out;
+// evicted results answer 410 Gone and an identical resubmit
+// regenerates them at zero budget cost.
+//
+// The daemon drains admitted jobs on SIGINT/SIGTERM before exiting
+// (sealing live feeds so follow jobs finish).
 package main
 
 import (
@@ -64,11 +83,21 @@ func main() {
 		drain       = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
 		stateDir    = flag.String("state-dir", "", "directory for durable service state (budget ledger, dataset registry, job journal, result spool); empty = in-memory only, spend is forgotten on restart")
 		windowSpan  = flag.Int64("window-span", 0, "default time-window span (timestamp units) for synthesis against streaming datasets whose request omits window_span (0 = require an explicit value)")
-		maxWinRows  = flag.Int("max-window-rows", 0, "max records one streaming time window may hold before the job fails (0 = a ~1M-row default)")
+		maxWinRows  = flag.Int("max-window-rows", 0, "max records one streaming time window (or one PUT window) may hold before it is refused (0 = a ~1M-row default)")
 		stream      = flag.Bool("stream", false, "accept streaming registrations (?stream=1) without -state-dir by spooling uploads to a temp dir (not restart-safe)")
+		follow      = flag.Bool("follow", false, "accept live window-feed registrations (?feed=1) without -state-dir (in-memory feed, not restart-safe)")
+		sealAfter   = flag.Duration("seal-after", 0, "auto-seal a live feed after this much inactivity so follow jobs finish (0 = only explicit POST /datasets/{id}/seal)")
+		maxResults  = flag.Int("max-results", 0, "max finished results retained, in memory and under results/ (0 = 256); older results answer 410 Gone and regenerate on resubmit at zero budget cost")
+		resultTTL   = flag.Duration("result-ttl", 0, "age out finished results older than this (0 = no age sweep)")
 	)
 	flag.Parse()
-	opts, err := buildOptions(*addr, *workers, *jobs, *budgetEps, *budgetDelta, *stateDir, *windowSpan, *maxWinRows, *stream)
+	opts, err := buildOptions(flagValues{
+		addr: *addr, workers: *workers, jobs: *jobs,
+		budgetEps: *budgetEps, budgetDelta: *budgetDelta,
+		stateDir: *stateDir, windowSpan: *windowSpan, maxWinRows: *maxWinRows,
+		stream: *stream, follow: *follow, sealAfter: *sealAfter,
+		maxResults: *maxResults, resultTTL: *resultTTL,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
 		os.Exit(2)
@@ -79,39 +108,66 @@ func main() {
 	}
 }
 
+// flagValues carries the parsed flags into buildOptions.
+type flagValues struct {
+	addr                   string
+	workers, jobs          int
+	budgetEps, budgetDelta float64
+	stateDir               string
+	windowSpan             int64
+	maxWinRows             int
+	stream, follow         bool
+	sealAfter              time.Duration
+	maxResults             int
+	resultTTL              time.Duration
+}
+
 // buildOptions validates the flag values into serve.Options.
-func buildOptions(addr string, workers, jobs int, budgetEps, budgetDelta float64, stateDir string, windowSpan int64, maxWinRows int, stream bool) (serve.Options, error) {
-	if windowSpan < 0 {
-		return serve.Options{}, fmt.Errorf("-window-span must be non-negative, got %d", windowSpan)
+func buildOptions(f flagValues) (serve.Options, error) {
+	if f.windowSpan < 0 {
+		return serve.Options{}, fmt.Errorf("-window-span must be non-negative, got %d", f.windowSpan)
 	}
-	if maxWinRows < 0 {
-		return serve.Options{}, fmt.Errorf("-max-window-rows must be non-negative, got %d", maxWinRows)
+	if f.maxWinRows < 0 {
+		return serve.Options{}, fmt.Errorf("-max-window-rows must be non-negative, got %d", f.maxWinRows)
 	}
-	if addr == "" {
+	if f.addr == "" {
 		return serve.Options{}, fmt.Errorf("missing -addr")
 	}
-	if workers < 0 {
-		return serve.Options{}, fmt.Errorf("-workers must be non-negative, got %d", workers)
+	if f.workers < 0 {
+		return serve.Options{}, fmt.Errorf("-workers must be non-negative, got %d", f.workers)
 	}
-	if jobs <= 0 {
-		return serve.Options{}, fmt.Errorf("-jobs must be positive, got %d", jobs)
+	if f.jobs <= 0 {
+		return serve.Options{}, fmt.Errorf("-jobs must be positive, got %d", f.jobs)
 	}
-	if !(budgetEps > 0) || math.IsInf(budgetEps, 0) { // !(x > 0) also catches NaN
-		return serve.Options{}, fmt.Errorf("-budget-eps must be positive and finite, got %v", budgetEps)
+	if !(f.budgetEps > 0) || math.IsInf(f.budgetEps, 0) { // !(x > 0) also catches NaN
+		return serve.Options{}, fmt.Errorf("-budget-eps must be positive and finite, got %v", f.budgetEps)
 	}
-	if !(budgetDelta > 0) || budgetDelta >= 1 {
-		return serve.Options{}, fmt.Errorf("-budget-delta must be in (0,1), got %v", budgetDelta)
+	if !(f.budgetDelta > 0) || f.budgetDelta >= 1 {
+		return serve.Options{}, fmt.Errorf("-budget-delta must be in (0,1), got %v", f.budgetDelta)
+	}
+	if f.sealAfter < 0 {
+		return serve.Options{}, fmt.Errorf("-seal-after must be non-negative, got %v", f.sealAfter)
+	}
+	if f.maxResults < 0 {
+		return serve.Options{}, fmt.Errorf("-max-results must be non-negative, got %d", f.maxResults)
+	}
+	if f.resultTTL < 0 {
+		return serve.Options{}, fmt.Errorf("-result-ttl must be non-negative, got %v", f.resultTTL)
 	}
 	return serve.Options{
-		Addr:                addr,
-		Workers:             workers,
-		MaxConcurrentJobs:   jobs,
-		DefaultBudgetEps:    budgetEps,
-		DefaultBudgetDelta:  budgetDelta,
-		StateDir:            stateDir,
-		DefaultWindowSpan:   windowSpan,
-		MaxWindowRows:       maxWinRows,
-		AllowVolatileStream: stream,
+		Addr:                f.addr,
+		Workers:             f.workers,
+		MaxConcurrentJobs:   f.jobs,
+		DefaultBudgetEps:    f.budgetEps,
+		DefaultBudgetDelta:  f.budgetDelta,
+		StateDir:            f.stateDir,
+		DefaultWindowSpan:   f.windowSpan,
+		MaxWindowRows:       f.maxWinRows,
+		AllowVolatileStream: f.stream,
+		AllowVolatileFeed:   f.follow,
+		SealAfter:           f.sealAfter,
+		MaxResults:          f.maxResults,
+		ResultTTL:           f.resultTTL,
 	}, nil
 }
 

@@ -1,9 +1,12 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestBuildOptions(t *testing.T) {
-	opts, err := buildOptions(":8090", 4, 2, 8.0, 1e-5, "", 0, 0, false)
+	opts, err := buildOptions(flagValues{addr: ":8090", workers: 4, jobs: 2, budgetEps: 8.0, budgetDelta: 1e-5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -13,7 +16,12 @@ func TestBuildOptions(t *testing.T) {
 	if opts.StateDir != "" {
 		t.Fatalf("state dir should default off, got %q", opts.StateDir)
 	}
-	opts, err = buildOptions(":8090", 4, 2, 8.0, 1e-5, "/tmp/netdpsynd-state", 3600, 500_000, true)
+	opts, err = buildOptions(flagValues{
+		addr: ":8090", workers: 4, jobs: 2, budgetEps: 8.0, budgetDelta: 1e-5,
+		stateDir: "/tmp/netdpsynd-state", windowSpan: 3600, maxWinRows: 500_000,
+		stream: true, follow: true, sealAfter: time.Minute,
+		maxResults: 32, resultTTL: time.Hour,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,26 +31,33 @@ func TestBuildOptions(t *testing.T) {
 	if opts.DefaultWindowSpan != 3600 || opts.MaxWindowRows != 500_000 || !opts.AllowVolatileStream {
 		t.Fatalf("streaming options = %+v", opts)
 	}
+	if !opts.AllowVolatileFeed || opts.SealAfter != time.Minute {
+		t.Fatalf("feed options = %+v", opts)
+	}
+	if opts.MaxResults != 32 || opts.ResultTTL != time.Hour {
+		t.Fatalf("retention options = %+v", opts)
+	}
 
+	good := flagValues{addr: ":8090", jobs: 2, budgetEps: 8, budgetDelta: 1e-5}
 	bad := []struct {
-		name       string
-		addr       string
-		workers    int
-		jobs       int
-		eps, delta float64
-		span       int64
-		maxRows    int
+		name   string
+		mutate func(*flagValues)
 	}{
-		{"empty addr", "", 0, 2, 8, 1e-5, 0, 0},
-		{"negative workers", ":8090", -1, 2, 8, 1e-5, 0, 0},
-		{"zero jobs", ":8090", 0, 0, 8, 1e-5, 0, 0},
-		{"zero budget eps", ":8090", 0, 2, 0, 1e-5, 0, 0},
-		{"delta one", ":8090", 0, 2, 8, 1, 0, 0},
-		{"negative window span", ":8090", 0, 2, 8, 1e-5, -1, 0},
-		{"negative max window rows", ":8090", 0, 2, 8, 1e-5, 0, -1},
+		{"empty addr", func(f *flagValues) { f.addr = "" }},
+		{"negative workers", func(f *flagValues) { f.workers = -1 }},
+		{"zero jobs", func(f *flagValues) { f.jobs = 0 }},
+		{"zero budget eps", func(f *flagValues) { f.budgetEps = 0 }},
+		{"delta one", func(f *flagValues) { f.budgetDelta = 1 }},
+		{"negative window span", func(f *flagValues) { f.windowSpan = -1 }},
+		{"negative max window rows", func(f *flagValues) { f.maxWinRows = -1 }},
+		{"negative seal-after", func(f *flagValues) { f.sealAfter = -time.Second }},
+		{"negative max-results", func(f *flagValues) { f.maxResults = -1 }},
+		{"negative result-ttl", func(f *flagValues) { f.resultTTL = -time.Second }},
 	}
 	for _, tc := range bad {
-		if _, err := buildOptions(tc.addr, tc.workers, tc.jobs, tc.eps, tc.delta, "", tc.span, tc.maxRows, false); err == nil {
+		f := good
+		tc.mutate(&f)
+		if _, err := buildOptions(f); err == nil {
 			t.Errorf("%s: want error", tc.name)
 		}
 	}

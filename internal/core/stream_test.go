@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
 	"github.com/netdpsyn/netdpsyn/internal/dataset"
@@ -156,6 +157,146 @@ func TestTimeWindowEquivalence(t *testing.T) {
 		}
 	}
 	tablesIdentical(t, a, b)
+}
+
+// TestSynthesizeStreamLiveFeed drives the continuous-ingest seam: a
+// WindowFeed receives windows over time while SynthesizeStream is
+// already running, each window synthesizes as it lands (the emitter
+// observes window i before window i+1 is even published), and the
+// combined output is byte-identical to the batch time-span path —
+// the live source shares bucket IDs (hence seeds) with
+// NewTableTimeWindows.
+func TestSynthesizeStreamLiveFeed(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 900, Seed: 167})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := raw.SortBy(raw.Schema().Index(trace.FieldTS))
+	ts := sorted.Column(sorted.Schema().Index(trace.FieldTS))
+	span := (ts[len(ts)-1]-ts[0])/4 + 1
+	cfg := fastPipelineConfig()
+
+	// Batch reference over the same partitions.
+	bsrc, err := NewTableTimeWindows(sorted, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchTabs []*dataset.Table
+	if err := SynthesizeStream(bsrc, cfg, func(wr WindowResult) error {
+		batchTabs = append(batchTabs, wr.Table)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(batchTabs) < 2 {
+		t.Fatalf("want ≥ 2 buckets, got %d", len(batchTabs))
+	}
+
+	// Cut the sorted trace into its buckets up front so the test can
+	// publish them one at a time.
+	type cut struct {
+		bucket int64
+		tab    *dataset.Table
+	}
+	var cuts []cut
+	for lo := 0; lo < sorted.NumRows(); {
+		b := dataset.TimeBucket(ts[lo], span)
+		hi := lo
+		for hi < sorted.NumRows() && dataset.TimeBucket(ts[hi], span) == b {
+			hi++
+		}
+		part := dataset.NewTable(sorted.Schema(), hi-lo)
+		if err := part.AppendRowRange(sorted, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		cuts = append(cuts, cut{bucket: b, tab: part})
+		lo = hi
+	}
+
+	feed, err := dataset.NewWindowFeed(sorted.Schema(), trace.FieldTS, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish window i+1 only after window i's synthesis was emitted:
+	// this proves the engine synthesizes each arrival without waiting
+	// for the stream to end.
+	emitted := make(chan int)
+	go func() {
+		for i, c := range cuts {
+			if err := feed.Publish(c.bucket, c.tab); err != nil {
+				t.Errorf("publish %d: %v", c.bucket, err)
+				feed.Close()
+				return
+			}
+			if <-emitted != i {
+				t.Error("emission out of step with publication")
+			}
+		}
+		feed.Close()
+	}()
+	var liveTabs []*dataset.Table
+	err = SynthesizeStream(feed.Live(), cfg, func(wr WindowResult) error {
+		liveTabs = append(liveTabs, wr.Table)
+		emitted <- wr.Window
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveTabs) != len(batchTabs) {
+		t.Fatalf("windows: %d live vs %d batch", len(liveTabs), len(batchTabs))
+	}
+	for i := range liveTabs {
+		tablesIdentical(t, batchTabs[i], liveTabs[i])
+	}
+}
+
+// TestSynthesizeStreamLiveAbort: an emit failure while the live
+// source is parked in Next must stop the source and return — a
+// regression here deadlocks the stream (and leaks its producer), so
+// this is a liveness check.
+func TestSynthesizeStreamLiveAbort(t *testing.T) {
+	raw, err := datagen.Generate(datagen.UGR16, datagen.Config{Rows: 300, Seed: 173})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := raw.SortBy(raw.Schema().Index(trace.FieldTS))
+	ts := sorted.Column(sorted.Schema().Index(trace.FieldTS))
+	span := ts[len(ts)-1] - ts[0] + 1
+	feed, err := dataset.NewWindowFeed(sorted.Schema(), trace.FieldTS, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the first bucket's rows (the absolute bucket grid need
+	// not align with the trace start, so cut at the bucket boundary).
+	bucket := dataset.TimeBucket(ts[0], span)
+	hi := 0
+	for hi < len(ts) && dataset.TimeBucket(ts[hi], span) == bucket {
+		hi++
+	}
+	first := dataset.NewTable(sorted.Schema(), hi)
+	if err := first.AppendRowRange(sorted, 0, hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := feed.Publish(bucket, first); err != nil {
+		t.Fatal(err)
+	}
+	// The feed stays open: after the one window is emitted the
+	// producer blocks in Next, and the emit error must unblock it.
+	done := make(chan error, 1)
+	go func() {
+		done <- SynthesizeStream(feed.Live(), fastPipelineConfig(), func(WindowResult) error {
+			return fmt.Errorf("downstream gone")
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "downstream gone") {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("aborted live stream never returned")
+	}
 }
 
 // TestSynthesizeStreamEmitsInOrder checks ordered delivery even with

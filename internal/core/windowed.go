@@ -21,8 +21,26 @@ import (
 // the partition (time-span sources use the absolute time bucket).
 // dataset.StreamWindows, NewTableWindows, and NewTableTimeWindows all
 // satisfy this.
+//
+// A source is NOT required to be finite or prompt: Next may block
+// indefinitely awaiting data that has not arrived yet (a live window
+// feed behind continuous ingest). Such sources should also implement
+// StoppableSource, or an aborted stream would leak its producer
+// goroutine inside a Next that never returns.
 type WindowSource interface {
 	Next() (dataset.Window, error)
+}
+
+// StoppableSource is the optional extension live (blocking) sources
+// implement. SynthesizeStream calls Stop exactly once when the stream
+// aborts — an emit error, a window pipeline failure, or a source
+// error — and a pending or future Next must then return promptly
+// (returning io.EOF is fine; the engine is already failing and only
+// needs the producer unblocked). Stop must be safe to call
+// concurrently with Next. dataset.LiveWindows implements it.
+type StoppableSource interface {
+	WindowSource
+	Stop()
 }
 
 // WindowResult is one synthesized window, delivered incrementally by
@@ -51,6 +69,14 @@ type WindowedResult struct {
 // finished-but-unemitted), and a window's slot is released only when
 // its result has been emitted, so a slow early window cannot let the
 // reorder buffer grow without bound.
+//
+// The source may be live: Next blocking for minutes awaiting the next
+// window is normal operation, not a stall. Pipelines for windows that
+// already arrived run (and emit) while the producer waits, so a
+// continuous feed sees each window synthesized as it lands, and the
+// call returns only when the source ends (io.EOF) or the stream
+// fails. On failure a StoppableSource is stopped so a blocked Next
+// cannot strand the producer.
 //
 // Privacy: every window is synthesized under the full (ε, δ) budget
 // of cfg, each window's pipeline is seeded from (cfg.Seed, Window.ID)
@@ -87,7 +113,17 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 	sem := make(chan struct{}, conc)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
-	abort := func() { stopOnce.Do(func() { close(stop) }) }
+	abort := func() {
+		stopOnce.Do(func() {
+			close(stop)
+			// A live source's producer may be parked inside Next
+			// awaiting a window that will never matter now; stop it so
+			// the drain below can finish.
+			if st, ok := src.(StoppableSource); ok {
+				st.Stop()
+			}
+		})
+	}
 
 	// When the source knows its window count up front (batch tables,
 	// count-quantile streams), small runs split the worker budget the

@@ -1,0 +1,247 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Live window feed: the push seam of continuous ingest.
+//
+// StreamWindows pulls windows out of one producer that runs to EOF; a
+// WindowFeed turns the seam around. Producers *push* whole windows —
+// one fixed time bucket each, sealed on publish — and any number of
+// LiveWindows sources replay the feed from the start and then block
+// awaiting the next seal, so a consumer (core.SynthesizeStream behind
+// a follow job) synthesizes each window as it lands without tearing
+// the pipeline down between arrivals.
+//
+// The bucket key ⌊ts/Span⌋ carries the privacy argument exactly as in
+// the pull path: a record's bucket is a function of that record alone,
+// so per-bucket releases compose in parallel across distinct buckets.
+// What the feed adds is the sequential axis — the same bucket may be
+// published again in a later epoch (a revised or re-opened window; see
+// the serve layer), and a ledger keyed by bucket charges those
+// re-releases sequentially. The feed itself enforces only the
+// per-epoch invariant: within one feed a bucket seals exactly once.
+
+// ErrBucketSealed is returned by Publish when the bucket was already
+// sealed in this feed (the HTTP layer maps it to 409).
+var ErrBucketSealed = errors.New("dataset: window bucket already sealed")
+
+// ErrFeedClosed is returned by Publish after Close: a closed feed is
+// an ended epoch and accepts no more windows.
+var ErrFeedClosed = errors.New("dataset: window feed is closed")
+
+// WindowFeed is an append-only spool of sealed time-bucket windows.
+// It is safe for concurrent use: any number of publishers (serialized
+// by the feed) and any number of LiveWindows readers.
+//
+// Memory: every sealed window's table stays pinned for the feed's
+// lifetime — a live source may be created at any time and must replay
+// the epoch from its first window (the resume contract). The feed
+// itself is therefore bounded by its epoch, not by the stream: end an
+// epoch (Close, then start a fresh feed) at an operational cadence,
+// as the serve layer does with sealing, and cap windows per epoch at
+// the door (the daemon enforces its per-epoch window cap at PUT). A
+// disk-backed feed spool that evicts passed windows is the follow-on
+// for epochs that must outgrow RAM.
+type WindowFeed struct {
+	schema *Schema
+	tsIdx  int
+	span   int64
+
+	mu     sync.Mutex
+	spool  []Window           // sealed windows, arrival order
+	sealed map[int64]struct{} // bucket keys sealed so far
+	closed bool
+	notify chan struct{} // closed and replaced on every state change
+}
+
+// NewWindowFeed creates an empty feed cutting fixed time buckets of
+// `span` timestamp units on the named timestamp field.
+func NewWindowFeed(schema *Schema, tsField string, span int64) (*WindowFeed, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("dataset: window span must be positive, got %d", span)
+	}
+	tsIdx := schema.Index(tsField)
+	if tsIdx < 0 {
+		return nil, fmt.Errorf("dataset: window feed needs a %q field", tsField)
+	}
+	return &WindowFeed{
+		schema: schema,
+		tsIdx:  tsIdx,
+		span:   span,
+		sealed: make(map[int64]struct{}),
+		notify: make(chan struct{}),
+	}, nil
+}
+
+// Span returns the feed's fixed window span.
+func (f *WindowFeed) Span() int64 { return f.span }
+
+// ValidateWindow checks a window's rows against the feed contract
+// without publishing: every row must fall in the given bucket
+// (⌊ts/span⌋) and rows must be non-decreasing in the timestamp, the
+// same rules the streaming splitter enforces. Callers that make a
+// window durable before publishing it (the serve layer journals
+// arrivals) validate first, so an invalid window is refused before it
+// can poison a durable record.
+func (f *WindowFeed) ValidateWindow(bucket int64, t *Table) error {
+	if t == nil || t.NumRows() == 0 {
+		return fmt.Errorf("dataset: window %d has no rows", bucket)
+	}
+	ts := t.Column(f.tsIdx)
+	for r, v := range ts {
+		if b := TimeBucket(v, f.span); b != bucket {
+			return fmt.Errorf("dataset: window %d row %d: timestamp %d belongs to bucket %d (span %d)",
+				bucket, r+1, v, b, f.span)
+		}
+		if r > 0 && v < ts[r-1] {
+			return fmt.Errorf("dataset: window %d row %d: timestamp %d after %d — windows need time-ordered rows",
+				bucket, r+1, v, ts[r-1])
+		}
+	}
+	return nil
+}
+
+// Publish seals one window after ValidateWindow's checks. The rows
+// are copied into a fresh self-contained table (own categorical
+// dictionaries, interned in row order), so a window's synthesis can
+// depend only on its own records no matter what table the caller
+// assembled them in. Buckets may arrive in any order across calls;
+// each seals exactly once per feed (ErrBucketSealed on a re-publish,
+// ErrFeedClosed after Close).
+func (f *WindowFeed) Publish(bucket int64, t *Table) error {
+	if err := f.ValidateWindow(bucket, t); err != nil {
+		return err
+	}
+	// Re-intern outside the lock: the copy is O(rows) and the feed
+	// must not serialize publishers behind it.
+	part := NewTable(f.schema, t.NumRows())
+	if err := part.AppendRowRange(t, 0, t.NumRows()); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrFeedClosed
+	}
+	if _, dup := f.sealed[bucket]; dup {
+		return fmt.Errorf("%w: bucket %d", ErrBucketSealed, bucket)
+	}
+	f.sealed[bucket] = struct{}{}
+	f.spool = append(f.spool, Window{ID: bucket, Table: part})
+	f.wake()
+	return nil
+}
+
+// Close ends the feed: no more windows will arrive. Live sources
+// drain the spool and then return io.EOF. Idempotent.
+func (f *WindowFeed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.wake()
+}
+
+// Closed reports whether the feed has been closed.
+func (f *WindowFeed) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Len returns how many windows have been sealed.
+func (f *WindowFeed) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.spool)
+}
+
+// Sealed reports whether the bucket has been sealed in this feed.
+func (f *WindowFeed) Sealed(bucket int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.sealed[bucket]
+	return ok
+}
+
+// Buckets returns the sealed bucket keys in arrival order.
+func (f *WindowFeed) Buckets() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int64, len(f.spool))
+	for i, w := range f.spool {
+		out[i] = w.ID
+	}
+	return out
+}
+
+// wake signals every blocked reader. Caller holds f.mu.
+func (f *WindowFeed) wake() {
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// Live returns a window source that replays the feed from its first
+// sealed window and then blocks awaiting new seals; it returns io.EOF
+// once the feed is closed and drained (or the source is stopped).
+// Each call returns an independent cursor, so several consumers can
+// follow one feed.
+func (f *WindowFeed) Live() *LiveWindows {
+	return &LiveWindows{f: f, stop: make(chan struct{})}
+}
+
+// LiveWindows is the blocking WindowSource over a WindowFeed. It
+// implements the optional Stop extension core.SynthesizeStream uses
+// to unblock a pending Next when the stream is aborted.
+type LiveWindows struct {
+	f    *WindowFeed
+	next int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// Next returns the next sealed window, blocking until one is
+// published, the feed is closed (io.EOF after the spool drains), or
+// Stop is called (immediate io.EOF).
+func (s *LiveWindows) Next() (Window, error) {
+	for {
+		select {
+		case <-s.stop:
+			return Window{}, io.EOF
+		default:
+		}
+		s.f.mu.Lock()
+		if s.next < len(s.f.spool) {
+			w := s.f.spool[s.next]
+			s.next++
+			s.f.mu.Unlock()
+			return w, nil
+		}
+		if s.f.closed {
+			s.f.mu.Unlock()
+			return Window{}, io.EOF
+		}
+		notify := s.f.notify
+		s.f.mu.Unlock()
+		select {
+		case <-notify:
+		case <-s.stop:
+			return Window{}, io.EOF
+		}
+	}
+}
+
+// Stop unblocks a pending (or any future) Next with io.EOF without
+// closing the feed; other sources on the same feed are unaffected.
+// Safe to call concurrently with Next, more than once.
+func (s *LiveWindows) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// feedSchema is a minimal ts+categorical schema for feed tests.
+func feedSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Field{Name: "ts", Kind: KindTimestamp},
+		Field{Name: "proto", Kind: KindCategorical},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// feedWindow builds a one-bucket window table with the given
+// timestamps (span 10).
+func feedWindow(t *testing.T, s *Schema, tss ...int64) *Table {
+	t.Helper()
+	tab := NewTable(s, len(tss))
+	for _, ts := range tss {
+		if err := tab.AppendRow([]int64{ts, tab.CatCode(1, "tcp")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestWindowFeedPublishValidation(t *testing.T) {
+	s := feedSchema(t)
+	if _, err := NewWindowFeed(s, "ts", 0); err == nil {
+		t.Fatal("zero span accepted")
+	}
+	if _, err := NewWindowFeed(s, "nope", 10); err == nil {
+		t.Fatal("missing ts field accepted")
+	}
+	f, err := NewWindowFeed(s, "ts", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Span() != 10 {
+		t.Fatalf("span = %d", f.Span())
+	}
+	// Row outside the bucket.
+	if err := f.Publish(1, feedWindow(t, s, 12, 25)); err == nil {
+		t.Fatal("cross-bucket window accepted")
+	}
+	// Unordered rows within the bucket.
+	if err := f.Publish(1, feedWindow(t, s, 15, 12)); err == nil {
+		t.Fatal("unordered window accepted")
+	}
+	// Empty window.
+	if err := f.Publish(1, NewTable(s, 0)); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	// Negative timestamps bucket with floor semantics.
+	if err := f.Publish(-1, feedWindow(t, s, -10, -2)); err != nil {
+		t.Fatalf("negative bucket: %v", err)
+	}
+	if err := f.Publish(1, feedWindow(t, s, 12, 15)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-publish of a sealed bucket.
+	if err := f.Publish(1, feedWindow(t, s, 13)); !errors.Is(err, ErrBucketSealed) {
+		t.Fatalf("re-publish = %v, want ErrBucketSealed", err)
+	}
+	if got := f.Buckets(); len(got) != 2 || got[0] != -1 || got[1] != 1 {
+		t.Fatalf("buckets = %v", got)
+	}
+	if !f.Sealed(1) || f.Sealed(2) {
+		t.Fatal("sealed set wrong")
+	}
+	f.Close()
+	f.Close() // idempotent
+	if err := f.Publish(3, feedWindow(t, s, 31)); !errors.Is(err, ErrFeedClosed) {
+		t.Fatalf("publish after close = %v, want ErrFeedClosed", err)
+	}
+}
+
+// TestWindowFeedSelfContained: the feed copies published rows into a
+// fresh table with its own dictionaries, so a window's synthesis
+// cannot observe the publisher's table (or its cross-window interning
+// order).
+func TestWindowFeedSelfContained(t *testing.T) {
+	s := feedSchema(t)
+	f, err := NewWindowFeed(s, "ts", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewTable(s, 2)
+	// Intern "udp" first so the publisher's dictionary order differs
+	// from the window's own row order.
+	src.CatCode(1, "udp")
+	if err := src.AppendRow([]int64{11, src.CatCode(1, "tcp")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Publish(1, src); err != nil {
+		t.Fatal(err)
+	}
+	live := f.Live()
+	f.Close()
+	w, err := live.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Table == src {
+		t.Fatal("feed retained the publisher's table")
+	}
+	if got := w.Table.Dict(1).Values; len(got) != 1 || got[0] != "tcp" {
+		t.Fatalf("window dictionary = %v, want fresh row-order interning", got)
+	}
+	if w.Table.CatValue(1, w.Table.Value(0, 1)) != "tcp" {
+		t.Fatal("re-interned value mismatch")
+	}
+}
+
+func TestLiveWindowsBlocksAndDrains(t *testing.T) {
+	s := feedSchema(t)
+	f, err := NewWindowFeed(s, "ts", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := f.Live()
+
+	type res struct {
+		w   Window
+		err error
+	}
+	got := make(chan res, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			w, err := live.Next()
+			got <- res{w, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Nothing published yet: the reader must be blocked.
+	select {
+	case r := <-got:
+		t.Fatalf("Next returned early: %+v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := f.Publish(2, feedWindow(t, s, 25)); err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r.err != nil || r.w.ID != 2 {
+		t.Fatalf("first window = %+v", r)
+	}
+	// Out-of-order bucket arrival is fine; arrival order is yielded.
+	if err := f.Publish(0, feedWindow(t, s, 3)); err != nil {
+		t.Fatal(err)
+	}
+	r = <-got
+	if r.err != nil || r.w.ID != 0 {
+		t.Fatalf("second window = %+v", r)
+	}
+	f.Close()
+	r = <-got
+	if r.err != io.EOF {
+		t.Fatalf("after close = %+v, want io.EOF", r)
+	}
+	wg.Wait()
+
+	// A fresh source replays the spool from the start, then EOF.
+	replay := f.Live()
+	for i, want := range []int64{2, 0} {
+		w, err := replay.Next()
+		if err != nil || w.ID != want {
+			t.Fatalf("replay %d = (%v, %v), want bucket %d", i, w.ID, err, want)
+		}
+	}
+	if _, err := replay.Next(); err != io.EOF {
+		t.Fatalf("replay end = %v, want io.EOF", err)
+	}
+}
+
+func TestLiveWindowsStopUnblocks(t *testing.T) {
+	s := feedSchema(t)
+	f, err := NewWindowFeed(s, "ts", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := f.Live()
+	done := make(chan error, 1)
+	go func() {
+		_, err := live.Next()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Next returned before Stop: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	live.Stop()
+	live.Stop() // idempotent
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("stopped Next = %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not unblock Next")
+	}
+	// The feed itself is untouched: another source still works.
+	if err := f.Publish(1, feedWindow(t, s, 12)); err != nil {
+		t.Fatal(err)
+	}
+	other := f.Live()
+	if w, err := other.Next(); err != nil || w.ID != 1 {
+		t.Fatalf("other source = (%v, %v)", w.ID, err)
+	}
+}

@@ -34,10 +34,11 @@ var ErrBudgetExceeded = fmt.Errorf("serve: dataset privacy budget exceeded")
 // charged — and the client may retry.
 var ErrPersist = fmt.Errorf("serve: durable state write failed")
 
-// chargeJournal persists a charge record durably before the charge is
-// applied; *persist.Store satisfies it.
+// chargeJournal persists charge records durably before the charges
+// are applied; *persist.Store satisfies it.
 type chargeJournal interface {
 	AppendCharge(persist.ChargeRecord) error
+	AppendWindowCharge(persist.WindowChargeRecord) error
 }
 
 // Budget is the thread-safe per-dataset zCDP ledger. Charges are
@@ -46,12 +47,35 @@ type chargeJournal interface {
 // already have been sampled by the time a run errors). When a journal
 // is bound, a charge is made durable before it is applied, so a
 // daemon restart can never forget spend that influenced a release.
+//
+// The ledger has two axes:
+//
+//   - A scalar: plain and count-windowed releases touch every record,
+//     so they compose sequentially with everything and their ρ simply
+//     adds (Charge).
+//   - Per window key (span, bucket): a time-span windowed release
+//     touches only the records of one bucket, and a record's bucket
+//     is ⌊ts/span⌋ — a function of that record alone. Under parallel
+//     composition a record's loss across one span's windowed releases
+//     is the spend of ITS key, so the ledger position contributed by
+//     a span is the MAX across that span's keys, not the sum — three
+//     distinct buckets released under ρ cost the ledger ρ, while
+//     re-releasing the same bucket in a later epoch adds to that
+//     key alone (sequential on the key) and moves the max only once
+//     it leads (ChargeWindow). Keys of different spans overlap
+//     arbitrarily (a record has one bucket per span), so the spans'
+//     maxima add, as does the scalar.
+//
+// The enforced invariant: scalar + Σ_span max_bucket ≤ ceiling — an
+// upper bound on any single record's cumulative loss.
 type Budget struct {
 	mu       sync.Mutex
-	acct     *netdpsyn.Accountant
+	acct     *netdpsyn.Accountant // the scalar axis (and the ceiling)
 	delta    float64
 	releases int
 	journal  chargeJournal // nil: volatile ledger
+	// windowRho is the per-key axis: span → bucket → cumulative ρ.
+	windowRho map[int64]map[int64]float64
 }
 
 // NewBudget creates a ledger with a total ρ ceiling. delta is the δ
@@ -75,7 +99,7 @@ func (b *Budget) bind(j chargeJournal) {
 	b.journal = j
 }
 
-// restore replays a recovered ledger position. It bypasses the
+// restore replays a recovered scalar ledger position. It bypasses the
 // ceiling check (the charges were admitted under the ceiling when
 // they happened); if corrupt state pushes spend past the ceiling,
 // every further Charge fails — the conservative direction.
@@ -86,25 +110,91 @@ func (b *Budget) restore(spentRho float64, releases int) {
 	b.releases = releases
 }
 
-// Charge admits a release costing rho, or refuses without mutating
-// the ledger: ErrBudgetExceeded (wrapped with the shortfall) when the
-// release would cross the ceiling, ErrPersist when a bound journal
-// cannot make the charge durable. The order is ceiling check →
-// journal → apply, so a charge is durable before anything acts on it
-// and an unjournaled ρ is never charged.
-func (b *Budget) Charge(rho float64, rec *persist.ChargeRecord) error {
+// restoreWindow replays a recovered per-window-key position, with the
+// same bypass-the-ceiling rule as restore.
+func (b *Budget) restoreWindow(span, bucket int64, rho float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if !b.acct.CanSpend(rho) {
+	b.addWindowLocked(span, bucket, rho)
+}
+
+// forceScalar adds recovered spend to the scalar axis without a
+// ceiling check — the fold-in fallback for window spend whose key
+// cannot be attributed.
+func (b *Budget) forceScalar(rho float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.acct.ForceSpend(rho)
+}
+
+func (b *Budget) addWindowLocked(span, bucket int64, rho float64) {
+	if b.windowRho == nil {
+		b.windowRho = make(map[int64]map[int64]float64)
+	}
+	byBucket := b.windowRho[span]
+	if byBucket == nil {
+		byBucket = make(map[int64]float64)
+		b.windowRho[span] = byBucket
+	}
+	byBucket[bucket] += rho
+}
+
+// windowSpentLocked is the per-key axis' contribution to the ledger
+// position: per span the max across its bucket keys, summed over
+// spans. Caller holds b.mu.
+func (b *Budget) windowSpentLocked() float64 {
+	var total float64
+	for _, byBucket := range b.windowRho {
+		var max float64
+		for _, rho := range byBucket {
+			if rho > max {
+				max = rho
+			}
+		}
+		total += max
+	}
+	return total
+}
+
+// spentLocked is the full ledger position. Caller holds b.mu.
+func (b *Budget) spentLocked() float64 {
+	return b.acct.Spent() + b.windowSpentLocked()
+}
+
+// Charge admits a release costing rho on the scalar axis, or refuses
+// without mutating the ledger: ErrBudgetExceeded (wrapped with the
+// shortfall) when the release would cross the ceiling, ErrPersist
+// when a bound journal cannot make the charge durable. The order is
+// ceiling check → journal → apply, so a charge is durable before
+// anything acts on it and an unjournaled ρ is never charged.
+func (b *Budget) Charge(rho float64, rec *persist.ChargeRecord) error {
+	return b.ChargeAdmission(rho, rho, rec)
+}
+
+// ChargeAdmission is Charge with the ceiling gate decoupled from the
+// applied scalar spend: the admission is refused unless `gate` more ρ
+// still fits, but only `rho` is applied. Span and follow jobs admit
+// with gate = one window's ρ and rho = 0 — their spend lands per
+// window key while the job runs (ChargeWindow), but an admission that
+// could not afford even one fresh window must 403 up front rather
+// than fail at its first window.
+func (b *Budget) ChargeAdmission(gate, rho float64, rec *persist.ChargeRecord) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gate < rho {
+		gate = rho
+	}
+	if spent := b.spentLocked(); spent+gate > b.acct.Total() {
 		return fmt.Errorf("%w: want ρ=%.6g, remaining ρ=%.6g of %.6g",
-			ErrBudgetExceeded, rho, b.acct.Remaining(), b.acct.Total())
+			ErrBudgetExceeded, gate, b.acct.Total()-spent, b.acct.Total())
 	}
 	if b.journal != nil && rec != nil {
 		if err := b.journal.AppendCharge(*rec); err != nil {
 			return fmt.Errorf("%w: %v", ErrPersist, err)
 		}
 	}
-	// Cannot fail: CanSpend held under the same lock.
+	// Cannot fail: the combined check above is stricter than the
+	// accountant's scalar one, under the same lock.
 	if err := b.acct.Spend(rho); err != nil {
 		return err
 	}
@@ -112,10 +202,58 @@ func (b *Budget) Charge(rho float64, rec *persist.ChargeRecord) error {
 	return nil
 }
 
+// ChargeWindow admits one window's release: rho is added to the
+// (span, bucket) key, and the admission is refused (ErrBudgetExceeded)
+// if the resulting ledger position — scalar + Σ_span max_bucket, with
+// this key raised — would cross the ceiling. Raising a key that does
+// not become its span's max leaves the position unchanged (parallel
+// composition across distinct buckets); re-charging the leading key
+// moves it one-for-one (sequential composition on the same bucket).
+// Journal-before-apply as in Charge. Note the journaled record names
+// the bucket: for feeds whose bucket occupancy is itself sensitive,
+// the journal (like the result stream) is part of the release
+// surface — see the declared-range hardening at the HTTP layer.
+func (b *Budget) ChargeWindow(span, bucket int64, rho float64, rec *persist.WindowChargeRecord) error {
+	if !(rho >= 0) {
+		return fmt.Errorf("serve: window charge must be non-negative, got %v", rho)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The position delta from raising this key: how much the key's new
+	// value exceeds its span's current max (zero when another bucket
+	// still leads).
+	var cur, max float64
+	if byBucket := b.windowRho[span]; byBucket != nil {
+		cur = byBucket[bucket]
+		for _, v := range byBucket {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	increase := cur + rho - max
+	if increase < 0 {
+		increase = 0
+	}
+	if spent := b.spentLocked(); spent+increase > b.acct.Total() {
+		return fmt.Errorf("%w: window (span %d, bucket %d) needs ρ=%.6g beyond the position, remaining ρ=%.6g of %.6g",
+			ErrBudgetExceeded, span, bucket, increase, b.acct.Total()-spent, b.acct.Total())
+	}
+	if b.journal != nil && rec != nil {
+		if err := b.journal.AppendWindowCharge(*rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	b.addWindowLocked(span, bucket, rho)
+	return nil
+}
+
 // Status is a point-in-time snapshot of the ledger, serialized on the
 // GET /datasets/{id}/budget endpoint.
 type Status struct {
 	// CeilingRho, SpentRho, RemainingRho are the ledger state in zCDP.
+	// SpentRho is the full position: the scalar spend plus, per window
+	// span, the max across that span's bucket keys.
 	CeilingRho   float64 `json:"ceiling_rho"`
 	SpentRho     float64 `json:"spent_rho"`
 	RemainingRho float64 `json:"remaining_rho"`
@@ -126,6 +264,11 @@ type Status struct {
 	Delta      float64 `json:"delta"`
 	EpsSpent   float64 `json:"eps_spent"`
 	EpsCeiling float64 `json:"eps_ceiling"`
+	// WindowRho details the per-window-key spend behind SpentRho,
+	// keyed "s<span>/b<bucket>". It names released buckets, which is
+	// occupancy information — the budget endpoint is operator-facing,
+	// but treat this field with the same care as the release itself.
+	WindowRho map[string]float64 `json:"window_rho,omitempty"`
 }
 
 // Snapshot returns the current ledger state.
@@ -134,10 +277,21 @@ func (b *Budget) Snapshot() Status {
 	defer b.mu.Unlock()
 	s := Status{
 		CeilingRho:   b.acct.Total(),
-		SpentRho:     b.acct.Spent(),
-		RemainingRho: b.acct.Remaining(),
+		SpentRho:     b.spentLocked(),
+		RemainingRho: b.acct.Total() - b.spentLocked(),
 		Releases:     b.releases,
 		Delta:        b.delta,
+	}
+	if s.RemainingRho < 0 {
+		s.RemainingRho = 0 // corrupt over-ceiling restore: locked ledger
+	}
+	if len(b.windowRho) > 0 {
+		s.WindowRho = make(map[string]float64)
+		for span, byBucket := range b.windowRho {
+			for bucket, rho := range byBucket {
+				s.WindowRho[persist.WindowKey(span, bucket)] = rho
+			}
+		}
 	}
 	// Errors are impossible here: both ρ values are ≥ 0 and δ was
 	// validated in NewBudget.

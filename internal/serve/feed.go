@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
+)
+
+// Live window-feed operations on a Dataset: the serve-side half of
+// continuous ingest. A feed dataset holds no trace at registration;
+// operators PUT whole windows — one fixed time bucket each — and
+// follow jobs synthesize them as they land. Every arrival is
+// validated, then spooled and journaled before it becomes visible to
+// any job, so a restarted daemon rebuilds the feed exactly and a
+// killed follow job resumes at the right bucket.
+//
+// Epochs: within one epoch a bucket seals exactly once (re-PUT →
+// 409). Sealing the feed ends the epoch; the next PUT opens epoch+1
+// with a fresh feed, which is how the same bucket gets re-released —
+// its window key then charges sequentially on the per-key ledger.
+//
+// Concurrency: the spool write and its fsyncs happen OUTSIDE feedMu —
+// an in-flight upload must not stall GET /datasets or other PUTs
+// behind disk I/O. A PUT reserves its bucket in `pending` under a
+// short critical section first, so concurrent PUTs of the same bucket
+// cannot double-seal, and SealFeed waits for pending PUTs to drain so
+// a journaled window can never be rejected by the live feed yet
+// applied at replay.
+
+// removeTemp best-effort deletes an abandoned spool temp file.
+func removeTemp(path string) { _ = os.Remove(path) }
+
+// ErrBucketSealed is the serve-level re-PUT refusal; the HTTP layer
+// maps it to 409.
+var ErrBucketSealed = fmt.Errorf("serve: window bucket already sealed in this epoch")
+
+// ErrBucketRange is returned when a PUT (or a declared-range span
+// job's window) falls outside the declared bucket range; the HTTP
+// layer maps it to 422.
+var ErrBucketRange = fmt.Errorf("serve: bucket outside the declared range")
+
+// ErrFeedFull is returned when an epoch has reached the per-epoch
+// window cap; the HTTP layer maps it to 429. Every sealed window is
+// pinned in memory for the epoch's lifetime (live sources replay the
+// epoch from its first window), so an uncapped epoch would be an OOM
+// vector — seal the feed to start a new epoch.
+var ErrFeedFull = fmt.Errorf("serve: feed epoch is at the window cap; seal the feed to start a new epoch")
+
+// ErrNotFeed is returned by feed operations on non-feed datasets.
+var ErrNotFeed = fmt.Errorf("serve: dataset is not a live window feed")
+
+// inRange checks a bucket against the dataset's declared range (an
+// undeclared side is unbounded).
+func (d *Dataset) inRange(bucket int64) bool {
+	if d.bucketLo != nil && bucket < *d.bucketLo {
+		return false
+	}
+	if d.bucketHi != nil && bucket > *d.bucketHi {
+		return false
+	}
+	return true
+}
+
+// DeclaredRange returns the feed's declared bucket range (nil sides
+// are unbounded).
+func (d *Dataset) DeclaredRange() (lo, hi *int64) { return d.bucketLo, d.bucketHi }
+
+// currentFeed returns the live feed instance and its epoch — follow
+// jobs bind to the instance at admission, so a seal + reopen during
+// the job cannot splice two epochs into one release.
+func (d *Dataset) currentFeed() (*netdpsyn.WindowFeed, int, error) {
+	if !d.isFeed {
+		return nil, 0, ErrNotFeed
+	}
+	d.feedMu.Lock()
+	defer d.feedMu.Unlock()
+	if d.feedDamaged {
+		return nil, 0, fmt.Errorf("serve: dataset %s: this epoch's windows could not be fully recovered; seal and start a new epoch", d.ID)
+	}
+	return d.feed, d.epoch, nil
+}
+
+// reserveWindow is PublishWindow's short critical section: it reopens
+// a sealed epoch if needed, enforces the seal set, the pending set,
+// and the per-epoch cap, and reserves the bucket. On success the
+// caller owns the reservation and must publishReserved or
+// releaseReserved it.
+func (d *Dataset) reserveWindow(bucket int64, store *persist.Store) (epoch int, err error) {
+	d.feedMu.Lock()
+	defer d.feedMu.Unlock()
+	if d.feed.Closed() || d.feedDamaged {
+		// Sealed (or unrecoverable) epoch: the arrival opens the next
+		// one. The superseded epoch's window spool files are dead
+		// weight — the journal has already superseded them.
+		old, oldEpoch := d.feed, d.epoch
+		feed, err := netdpsyn.NewWindowFeed(d.schema, d.span)
+		if err != nil {
+			return 0, err // unreachable: the span was validated at registration
+		}
+		d.feed = feed
+		d.epoch++
+		d.feedRows = 0
+		d.feedDamaged = false
+		if store != nil {
+			for _, b := range old.Buckets() {
+				store.RemoveSpool(persist.WindowSpoolName(d.ID, oldEpoch, b))
+			}
+		}
+	}
+	if d.feed.Sealed(bucket) || d.pending[bucket] {
+		return 0, fmt.Errorf("%w: bucket %d (epoch %d)", ErrBucketSealed, bucket, d.epoch)
+	}
+	if d.feed.Len()+len(d.pending) >= maxWindows {
+		return 0, fmt.Errorf("%w (%d windows in epoch %d)", ErrFeedFull, maxWindows, d.epoch)
+	}
+	if d.pending == nil {
+		d.pending = make(map[int64]bool)
+	}
+	d.pending[bucket] = true
+	return d.epoch, nil
+}
+
+// releaseReserved drops a failed PUT's reservation.
+func (d *Dataset) releaseReserved(bucket int64) {
+	d.feedMu.Lock()
+	delete(d.pending, bucket)
+	if d.feedCond != nil {
+		d.feedCond.Broadcast()
+	}
+	d.feedMu.Unlock()
+}
+
+// publishReserved completes a reserved PUT: publishes to the feed and
+// updates the arrival bookkeeping.
+func (d *Dataset) publishReserved(bucket int64, t *netdpsyn.Table) error {
+	d.feedMu.Lock()
+	defer d.feedMu.Unlock()
+	delete(d.pending, bucket)
+	if d.feedCond != nil {
+		d.feedCond.Broadcast()
+	}
+	// Cannot fail: the window was validated up front, the bucket is
+	// reserved, and SealFeed waits for pending PUTs — so the feed is
+	// open and the bucket unsealed.
+	if err := d.feed.Publish(bucket, t); err != nil {
+		return err
+	}
+	d.feedRows += t.NumRows()
+	d.lastArrival = time.Now()
+	return nil
+}
+
+// PublishWindow ingests one sealed window: validates it against the
+// feed's span, the declared bucket range, and the seal set; spools
+// and journals it durably (when a store is bound) — all BEFORE the
+// window becomes visible, so a rejected PUT can never leave a
+// journaled record behind; and publishes it to the live feed. A PUT
+// against a sealed feed reopens the next epoch first (superseding the
+// old epoch's windows and spool files). Returns the epoch the window
+// landed in.
+func (d *Dataset) PublishWindow(bucket int64, t *netdpsyn.Table, store *persist.Store) (int, error) {
+	if !d.isFeed {
+		return 0, ErrNotFeed
+	}
+	if !d.inRange(bucket) {
+		lo, hi := "-∞", "+∞"
+		if d.bucketLo != nil {
+			lo = fmt.Sprintf("%d", *d.bucketLo)
+		}
+		if d.bucketHi != nil {
+			hi = fmt.Sprintf("%d", *d.bucketHi)
+		}
+		return 0, fmt.Errorf("%w: bucket %d outside [%s, %s]", ErrBucketRange, bucket, lo, hi)
+	}
+	// Validate before anything durable happens: a journaled window
+	// record must always replay cleanly, and a client error must not
+	// poison the epoch.
+	if err := d.feedValidate(bucket, t); err != nil {
+		return 0, err
+	}
+	epoch, err := d.reserveWindow(bucket, store)
+	if err != nil {
+		return 0, err
+	}
+	if store != nil {
+		// Durable before visible — and outside feedMu, so a slow disk
+		// stalls only this PUT, not dataset reads or other buckets'
+		// PUTs. A crash after the journal append replays the window; a
+		// crash before it never charged anything.
+		tmp, err := store.CreateSpoolTemp()
+		if err != nil {
+			d.releaseReserved(bucket)
+			return 0, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		tmpPath := tmp.Name()
+		werr := t.WriteCSV(tmp)
+		if werr == nil {
+			werr = tmp.Sync()
+		}
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			removeTemp(tmpPath)
+			d.releaseReserved(bucket)
+			return 0, fmt.Errorf("%w: spool window: %v", ErrPersist, werr)
+		}
+		name := persist.WindowSpoolName(d.ID, epoch, bucket)
+		if _, err := store.CommitSpoolName(tmpPath, name); err != nil {
+			removeTemp(tmpPath)
+			d.releaseReserved(bucket)
+			return 0, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		err = store.AppendWindow(persist.WindowRecord{
+			DatasetID: d.ID,
+			Epoch:     epoch,
+			Bucket:    bucket,
+			Rows:      t.NumRows(),
+			Spool:     name,
+			Received:  time.Now(),
+		})
+		if err != nil {
+			store.RemoveSpool(name)
+			d.releaseReserved(bucket)
+			return 0, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	if err := d.publishReserved(bucket, t); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// feedValidate runs the window contract checks against the current
+// feed shape (span and ts field are immutable per dataset, so no lock
+// is needed for the row scan).
+func (d *Dataset) feedValidate(bucket int64, t *netdpsyn.Table) error {
+	d.feedMu.Lock()
+	feed := d.feed
+	d.feedMu.Unlock()
+	return feed.ValidateWindow(bucket, t)
+}
+
+// sealLocked waits out in-flight PUT reservations (a reserved window
+// may already be journaled, and a journaled window must land in the
+// epoch it names), journals the close, and seals the feed. Caller
+// holds feedMu; the pending wait releases it via the cond.
+func (d *Dataset) sealLocked(store *persist.Store) (int, error) {
+	for len(d.pending) > 0 {
+		d.feedCondLocked().Wait()
+	}
+	if d.feed.Closed() {
+		return d.epoch, nil
+	}
+	if store != nil {
+		if err := store.AppendFeedClose(persist.FeedRecord{DatasetID: d.ID, Epoch: d.epoch}); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	d.feed.Close()
+	return d.epoch, nil
+}
+
+// feedCondLocked lazily builds the pending-drain condition variable.
+// Caller holds feedMu.
+func (d *Dataset) feedCondLocked() *sync.Cond {
+	if d.feedCond == nil {
+		d.feedCond = sync.NewCond(&d.feedMu)
+	}
+	return d.feedCond
+}
+
+// SealFeed closes the current epoch: no more windows will arrive, so
+// follow jobs drain and finish. Idempotent; journaled (when a store
+// is bound) so a restart keeps the feed sealed. Returns the sealed
+// epoch.
+func (d *Dataset) SealFeed(store *persist.Store) (int, error) {
+	if !d.isFeed {
+		return 0, ErrNotFeed
+	}
+	d.feedMu.Lock()
+	defer d.feedMu.Unlock()
+	return d.sealLocked(store)
+}
+
+// sealIfIdle seals the feed when no window has arrived for at least
+// `idle` — the -seal-after policy. The staleness check and the seal
+// run under one critical section (re-checked after any pending-PUT
+// wait), so an arrival racing the sealer keeps the epoch open.
+// Reports whether it sealed.
+func (d *Dataset) sealIfIdle(idle time.Duration, store *persist.Store) bool {
+	if !d.isFeed {
+		return false
+	}
+	d.feedMu.Lock()
+	defer d.feedMu.Unlock()
+	for {
+		if d.feed.Closed() || time.Since(d.lastArrival) < idle {
+			return false
+		}
+		if len(d.pending) > 0 {
+			// An arrival is mid-flight: wait it out, then re-check
+			// staleness — it will have refreshed lastArrival.
+			d.feedCondLocked().Wait()
+			continue
+		}
+		_, err := d.sealLocked(store)
+		return err == nil
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -34,13 +35,17 @@ type Job struct {
 	ID        string
 	DatasetID string
 	Submitted time.Time
-	// Rho is the zCDP charge this job's admission cost the dataset
-	// ledger. Cache hits return the originally-charged job, so the
-	// spend is never duplicated. For a time-span windowed job this is
-	// ONE window's ρ (parallel composition over fixed time ranges);
-	// for a count-windowed job it is windows × the per-window ρ
-	// (sequential composition — the quantile boundaries are
-	// data-dependent). See Submit.
+	// Rho is the per-release zCDP price of this job. Cache hits return
+	// the originally-charged job, so a spend is never duplicated. For
+	// a plain job it is the scalar charged at admission; for a
+	// count-windowed job, windows × the per-window ρ (sequential
+	// composition — the quantile boundaries are data-dependent). For
+	// span and follow jobs it is ONE window's ρ: the admission itself
+	// charges nothing, and each window charges Rho to its own
+	// (span, bucket) ledger key as it is released — distinct keys
+	// compose in parallel (the ledger position is their max), the same
+	// key re-released in a later epoch composes sequentially. See
+	// Submit.
 	Rho float64
 	// Windows > 1 marks a count-windowed job: the trace is cut into
 	// that many row-count quantile windows (window-by-window
@@ -49,11 +54,26 @@ type Job struct {
 	Windows int
 	// Span > 0 marks a time-span windowed job: the trace is cut into
 	// fixed time buckets of Span timestamp units. The window count is
-	// data-dependent and unknown until the job runs.
+	// data-dependent and unknown until the job runs. Follow jobs carry
+	// their feed's span here.
 	Span int64
+	// Follow marks a live-feed follow job: it synthesizes each window
+	// of Epoch's feed as it lands and finishes when the feed is
+	// sealed. Epoch pins the feed generation the job consumes.
+	Follow bool
+	Epoch  int
 
 	cfg      netdpsyn.Config
 	cacheKey string
+	// feed is the feed instance a follow job binds to (captured at
+	// admission, or at recovery for a resumed job).
+	feed *netdpsyn.WindowFeed
+	// bucketLo/Hi is the job's declared bucket range: follow jobs
+	// inherit the feed's, span jobs may declare one in the request.
+	// When set, the finished job reports the declared-but-empty
+	// buckets explicitly instead of silently omitting them, and a
+	// window outside the range fails the job at its gate.
+	bucketLo, bucketHi *int64
 
 	mu                sync.Mutex
 	state             JobState
@@ -61,8 +81,15 @@ type Job struct {
 	started, finished time.Time
 	records           int
 	windowsDone       int
-	result            *netdpsyn.Result // nil once evicted from the retention window
-	stages            map[string]StageMS
+	// charged is the set of window keys this job has charged (span and
+	// follow jobs), in the order charged. A resumed or resurrected job
+	// skips re-charging them: re-releasing the same bucket from the
+	// same records and seed is the identical deterministic
+	// computation, so it releases nothing new.
+	charged      map[int64]bool
+	chargedOrder []int64
+	result       *netdpsyn.Result // nil once evicted from the retention window
+	stages       map[string]StageMS
 	// spool streams the synthesized CSV incrementally (windowed jobs)
 	// and/or persists it under the state dir (any job kind with a
 	// store), so result.csv can follow a running job and a restarted
@@ -88,6 +115,13 @@ func (j *Job) Done() <-chan struct{} {
 // information, so this costs no budget. Reports whether the job was
 // in the done-but-unservable state.
 func (j *Job) resurrect() bool {
+	if j.Follow {
+		// A follow job's input was a live feed epoch, which may have
+		// been superseded since; re-running it is not guaranteed to be
+		// the identical computation, so an evicted follow result stays
+		// evicted (410 explains it).
+		return false
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != JobDone || j.result != nil {
@@ -150,6 +184,18 @@ type JobInfo struct {
 	Windows     int   `json:"windows,omitempty"`
 	WindowSpan  int64 `json:"window_span,omitempty"`
 	WindowsDone int   `json:"windows_done,omitempty"`
+	// Follow/Epoch mark a live-feed follow job and the feed epoch it
+	// consumes.
+	Follow bool `json:"follow,omitempty"`
+	Epoch  int  `json:"epoch,omitempty"`
+	// EmptyBuckets lists the declared-but-empty buckets of a finished
+	// job with a declared bucket range: buckets in the range that
+	// released no window. Reporting them explicitly (instead of the
+	// reader inferring occupancy from which windows are missing) is
+	// the disclosure-hardening contract — the release already reveals
+	// which buckets are non-empty, and this makes that surface
+	// auditable.
+	EmptyBuckets []int64 `json:"empty_buckets,omitempty"`
 	// Started/Finished are pointers so they are genuinely absent from
 	// the JSON until reached (omitempty never fires for struct types).
 	Started  *time.Time `json:"started,omitempty"`
@@ -175,6 +221,8 @@ func (j *Job) Snapshot() JobInfo {
 		Windows:     j.Windows,
 		WindowSpan:  j.Span,
 		WindowsDone: j.windowsDone,
+		Follow:      j.Follow,
+		Epoch:       j.Epoch,
 		Submitted:   j.Submitted,
 	}
 	if !j.started.IsZero() {
@@ -187,6 +235,7 @@ func (j *Job) Snapshot() JobInfo {
 	}
 	if j.state == JobDone {
 		info.Records = j.records
+		info.EmptyBuckets = j.emptyBucketsLocked()
 		if j.stages != nil {
 			// Copy: the live map is written again if the job is
 			// resurrected and re-run while a caller still holds this
@@ -198,6 +247,45 @@ func (j *Job) Snapshot() JobInfo {
 		}
 	}
 	return info
+}
+
+// emptyBucketsLocked lists the declared-but-empty buckets: every
+// bucket of the declared range that released no window. nil without a
+// declared range (nothing to enumerate against — the honest answer,
+// not an empty list). Caller holds j.mu.
+func (j *Job) emptyBucketsLocked() []int64 {
+	if j.bucketLo == nil || j.bucketHi == nil {
+		return nil
+	}
+	var empty []int64
+	for b := *j.bucketLo; b <= *j.bucketHi; b++ {
+		if !j.charged[b] {
+			empty = append(empty, b)
+		}
+	}
+	return empty
+}
+
+// markCharged records a window key this job charged (or inherited
+// from a recovered charge record).
+func (j *Job) markCharged(bucket int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.charged == nil {
+		j.charged = make(map[int64]bool)
+	}
+	if !j.charged[bucket] {
+		j.charged[bucket] = true
+		j.chargedOrder = append(j.chargedOrder, bucket)
+	}
+}
+
+// alreadyCharged reports whether this job charged the bucket before
+// (a resumed or resurrected job re-releases it at zero cost).
+func (j *Job) alreadyCharged(bucket int64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.charged[bucket]
 }
 
 // setStages renders per-stage timings for the JSON snapshot,
@@ -235,14 +323,19 @@ type Queue struct {
 	reg        *Registry
 	perJob     int // engine workers per concurrent job
 	maxBacklog int
-	// maxResults bounds how many finished jobs keep their synthesized
-	// table in memory: without a bound, a long-lived daemon's RSS
-	// grows by one full trace per admitted job. Evicted jobs keep
-	// their metadata (state, ρ, record count) and their cache entry;
-	// result.csv answers 410 Gone, and resubmitting the identical
-	// request resurrects the job — re-running the same deterministic
-	// computation — at zero budget cost.
+	// maxResults bounds how many finished jobs keep their result —
+	// the in-memory synthesized table AND the results/ spool file:
+	// without a bound, a long-lived daemon's RSS grows by one full
+	// trace per admitted job and its results/ dir grows one file per
+	// job forever (the ROADMAP retention follow-on). resultTTL, when
+	// set, additionally evicts results older than it (age sweep).
+	// Evicted jobs keep their metadata (state, ρ, record count) and
+	// their cache entry; result.csv answers 410 Gone, and resubmitting
+	// the identical request resurrects the job — re-running the same
+	// deterministic computation — at zero budget cost.
 	maxResults int
+	resultTTL  time.Duration
+	sweepStop  chan struct{}
 	// maxJobs bounds the job *metadata* maps the same way: past the
 	// cap, the oldest jobs that no longer hold a result (failed, or
 	// done and evicted) are forgotten entirely — their ids 404 and
@@ -287,6 +380,25 @@ type Queue struct {
 	wg      sync.WaitGroup
 }
 
+// validBucketRange checks a declared [lo, hi] bucket range: non-empty
+// and at most maxWindows wide. The width check subtracts in uint64 —
+// lo ≤ hi makes the two's-complement difference the true distance —
+// so a range like [MinInt64, MaxInt64] cannot overflow its way past
+// the cap (the finished-job report enumerates the range, and an
+// unbounded one would loop forever).
+func validBucketRange(lo, hi *int64) error {
+	if lo == nil || hi == nil {
+		return nil
+	}
+	if *lo > *hi {
+		return fmt.Errorf("serve: declared bucket range [%d, %d] is empty", *lo, *hi)
+	}
+	if uint64(*hi)-uint64(*lo) >= uint64(maxWindows) {
+		return fmt.Errorf("serve: declared bucket range [%d, %d] spans more than the %d-window cap", *lo, *hi, maxWindows)
+	}
+	return nil
+}
+
 // maxWindows caps a job's window count: beyond it the per-window
 // pipelines are noise-dominated and the job metadata (per-window
 // progress, spool chunks) stops being worth tracking. Count jobs are
@@ -303,16 +415,35 @@ const maxWindows = 4096
 // schemas while still letting realistic spans through.
 const defaultMaxWindowRows = 1 << 20
 
-// NewQueue starts a queue with `runners` concurrent jobs sharing
-// `workersTotal` engine workers (≤ 0 means all cores for the total,
-// and 2 for runners). The worker budget is a hard upper bound on
-// total synthesis parallelism: when it is smaller than the requested
-// job concurrency, the runner count is reduced to match rather than
-// overcommitting one worker per job. A nil store keeps the queue
-// volatile. defaultSpan (≥ 0) fills in the window span for requests
-// against streaming datasets that omit it; maxWindowRows caps a
-// streaming time window's records (≤ 0 means the default).
-func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, defaultSpan int64, maxWindowRows int) *Queue {
+// QueueOptions configures NewQueue.
+type QueueOptions struct {
+	// Runners is the max concurrent jobs (≤ 0 means 2); WorkersTotal
+	// the engine-worker budget they share (≤ 0 means all cores). The
+	// worker budget is a hard upper bound on total synthesis
+	// parallelism: when it is smaller than the requested job
+	// concurrency, the runner count is reduced to match rather than
+	// overcommitting one worker per job.
+	Runners, WorkersTotal int
+	// Store makes admissions and terminals durable; nil keeps the
+	// queue volatile.
+	Store *persist.Store
+	// DefaultSpan (≥ 0) fills in the window span for requests against
+	// streaming datasets that omit it.
+	DefaultSpan int64
+	// MaxWindowRows caps a streaming time window's records (≤ 0 means
+	// the ~1M default).
+	MaxWindowRows int
+	// MaxResults bounds retained results — in memory and in the
+	// results/ spool (≤ 0 means 256). ResultTTL additionally evicts
+	// results older than it (0 = no age sweep). Both preserve the 410
+	// Gone + zero-cost-resubmit contract.
+	MaxResults int
+	ResultTTL  time.Duration
+}
+
+// NewQueue starts a job queue over the registry. See QueueOptions.
+func NewQueue(reg *Registry, opts QueueOptions) *Queue {
+	runners, workersTotal := opts.Runners, opts.WorkersTotal
 	if runners <= 0 {
 		runners = 2
 	}
@@ -323,21 +454,29 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, de
 		runners = workersTotal
 	}
 	perJob := workersTotal / runners
+	defaultSpan := opts.DefaultSpan
 	if defaultSpan < 0 {
 		defaultSpan = 0
 	}
+	maxWindowRows := opts.MaxWindowRows
 	if maxWindowRows <= 0 {
 		maxWindowRows = defaultMaxWindowRows
+	}
+	maxResults := opts.MaxResults
+	if maxResults <= 0 {
+		maxResults = 256
 	}
 	q := &Queue{
 		reg:           reg,
 		perJob:        perJob,
 		maxBacklog:    1024,
-		maxResults:    256,
+		maxResults:    maxResults,
+		resultTTL:     opts.ResultTTL,
 		maxJobs:       4096,
-		store:         store,
+		store:         opts.Store,
 		defaultSpan:   defaultSpan,
 		maxWindowRows: maxWindowRows,
+		sweepStop:     make(chan struct{}),
 		jobs:          make(map[string]*Job),
 		cache:         make(map[string]*Job),
 	}
@@ -346,7 +485,94 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, de
 		q.wg.Add(1)
 		go q.runner()
 	}
+	if q.resultTTL > 0 {
+		q.wg.Add(1)
+		go q.ttlSweeper()
+	}
 	return q
+}
+
+// ttlSweeper ages results out of the retention window: every quarter
+// TTL (clamped to a sane tick) it evicts retained results whose jobs
+// finished more than resultTTL ago — memory dropped, spool file
+// deleted, 410 Gone thereafter.
+func (q *Queue) ttlSweeper() {
+	defer q.wg.Done()
+	tick := q.resultTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > 30*time.Second {
+		tick = 30 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.sweepStop:
+			return
+		case <-t.C:
+			q.sweepExpired(time.Now().Add(-q.resultTTL))
+		}
+	}
+}
+
+// sweepExpired evicts retained results whose jobs finished before the
+// cutoff. Retention order is finish order, so the expired jobs are a
+// prefix.
+func (q *Queue) sweepExpired(cutoff time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.retained) > 0 {
+		old := q.retained[0]
+		old.mu.Lock()
+		expired := !old.finished.IsZero() && old.finished.Before(cutoff)
+		if expired {
+			evictResultLocked(old)
+		}
+		old.mu.Unlock()
+		if !expired {
+			return
+		}
+		q.retained[0] = nil
+		q.retained = q.retained[1:]
+	}
+}
+
+// evictResultLocked drops a done job's result from every backend: the
+// in-memory table, a memory spool's buffer, and a file spool's
+// results/ file. The job's metadata and cache entry survive, so
+// result.csv answers 410 Gone and an identical resubmit regenerates
+// deterministically at zero charge. Caller holds the job's mu.
+func evictResultLocked(j *Job) {
+	j.result = nil
+	if j.spool == nil {
+		return
+	}
+	if j.spool.drop() {
+		j.spool = nil // memory spool: buffer gone with it
+		return
+	}
+	j.spool.evict() // file spool: delete the results/ file
+}
+
+// SubmitRequest shapes a synthesis admission beyond the pipeline
+// Config: the windowing kind and, optionally, a declared bucket
+// range.
+type SubmitRequest struct {
+	// Windows/Span select count-quantile or time-span windowing (at
+	// most one); see Submit for their ledger costs.
+	Windows int
+	Span    int64
+	// Follow requests a live-feed follow job (feed datasets only):
+	// the job synthesizes each window of the current feed epoch as it
+	// lands and finishes when the feed is sealed.
+	Follow bool
+	// BucketLo/Hi declare the expected bucket range of a span job:
+	// the finished job reports declared-but-empty buckets explicitly,
+	// and a window outside the range fails the job. Follow jobs
+	// inherit the feed's declared range instead.
+	BucketLo, BucketHi *int64
 }
 
 // Submit admits a synthesis request against a dataset: it validates
@@ -355,7 +581,7 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, de
 // enqueues a fresh job. The bool reports whether the result was
 // served from cache.
 //
-// Two windowed job kinds exist, with different ledger costs because
+// Three windowed job kinds exist, with different ledger costs because
 // they support different composition arguments:
 //
 //   - span > 0 (time-span windows): the trace is cut into fixed time
@@ -364,24 +590,34 @@ func NewQueue(reg *Registry, runners, workersTotal int, store *persist.Store, de
 //     data-independent, which is the hypothesis of the parallel
 //     composition theorem: every record influences exactly one
 //     window's release (and every window's seed is derived from its
-//     bucket number, not from how many records other windows hold),
-//     so the combined release is (ε, δ)-DP at record level and the
-//     admission charges ONE window's ρ — the same ledger cost as a
-//     single whole-trace release. Residual disclosure: which buckets
-//     are non-empty is visible, since empty buckets release nothing.
+//     bucket number, not from how many records other windows hold).
+//     The admission itself charges nothing; each window charges one
+//     window's ρ to its own (span, bucket) ledger key as it is
+//     released, and the ledger position counts the MAX across a
+//     span's keys — so a whole span release costs one window's ρ,
+//     exactly the old scalar price, while the per-key structure is
+//     what lets a later epoch re-release one bucket and pay only on
+//     that key. Residual disclosure: which buckets are non-empty is
+//     visible — empty buckets release nothing, and the per-key
+//     ledger/journal name the released buckets (see the charge gate).
+//   - follow (live feeds): span windows whose trace arrives over
+//     time. Same per-key accounting; the job runs until the feed
+//     epoch is sealed.
 //   - windows > 1 (count-quantile windows): boundaries sit at row
 //     ranks (w·n/k), so adding or removing one record shifts later
 //     records across every subsequent boundary — membership is
 //     data-dependent and parallel composition does NOT apply. Each
 //     window is (ε, δ)-DP in isolation, so the release is priced by
-//     sequential composition: the admission charges windows × ρ.
+//     sequential composition: the admission charges windows × ρ on
+//     the scalar axis.
 //
-// At most one of windows/span may be set. Streaming datasets accept
-// only span windows (count quantiles would need the whole trace's
-// length and can degenerate to one full-trace window, defeating the
-// bounded-memory design); windows ≤ 1 with no span on an in-memory
-// dataset normalizes to a plain whole-trace job.
-func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64) (*Job, bool, error) {
+// Streaming datasets accept only span windows (count quantiles would
+// need the whole trace's length and can degenerate to one full-trace
+// window, defeating the bounded-memory design); feed datasets accept
+// only follow jobs; windows ≤ 1 with no span on an in-memory dataset
+// normalizes to a plain whole-trace job.
+func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, sr SubmitRequest) (*Job, bool, error) {
+	windows, span := sr.Windows, sr.Span
 	if windows < 0 {
 		return nil, false, fmt.Errorf("serve: windows must be non-negative, got %d", windows)
 	}
@@ -394,7 +630,29 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64)
 	if windows > 0 && span > 0 {
 		return nil, false, fmt.Errorf("serve: set at most one of windows and window_span")
 	}
-	if d.Streaming() {
+	if (sr.BucketLo == nil) != (sr.BucketHi == nil) {
+		return nil, false, fmt.Errorf("serve: declare both bucket_lo and bucket_hi, or neither")
+	}
+	bucketLo, bucketHi := sr.BucketLo, sr.BucketHi
+	var feed *netdpsyn.WindowFeed
+	epoch := 0
+	switch {
+	case sr.Follow:
+		if windows > 0 || span > 0 {
+			return nil, false, fmt.Errorf("serve: a follow job takes its windowing from the feed; leave windows and window_span unset")
+		}
+		if bucketLo != nil {
+			return nil, false, fmt.Errorf("serve: a follow job inherits the feed's declared bucket range; declare it at registration")
+		}
+		var err error
+		if feed, epoch, err = d.currentFeed(); err != nil {
+			return nil, false, err
+		}
+		span = d.FeedSpan()
+		bucketLo, bucketHi = d.DeclaredRange()
+	case d.Feed():
+		return nil, false, fmt.Errorf("serve: dataset %s is a live window feed: synthesis follows the feed (set \"follow\": true)", d.ID)
+	case d.Streaming():
 		if windows > 0 {
 			return nil, false, fmt.Errorf("serve: dataset %s is streaming-registered: count-quantile windows are not supported (their boundaries are data-dependent and one window can hold the whole trace); set \"window_span\" instead", d.ID)
 		}
@@ -404,10 +662,16 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64)
 		if span <= 0 {
 			return nil, false, fmt.Errorf("serve: dataset %s is streaming-registered: synthesis must be windowed by time span (set \"window_span\" in the request, or start the daemon with -window-span)", d.ID)
 		}
-	} else if span == 0 && windows <= 1 {
+	case span == 0 && windows <= 1:
 		// A single window is the whole trace: identical release to the
 		// plain job, so share its cache entry and its charge.
 		windows = 0
+	}
+	if bucketLo != nil && !sr.Follow && span == 0 {
+		return nil, false, fmt.Errorf("serve: a declared bucket range needs window_span (buckets are spans of it)")
+	}
+	if err := validBucketRange(bucketLo, bucketHi); err != nil {
+		return nil, false, err
 	}
 	if (windows > 0 || span > 0) && !d.Schema().Has(netdpsyn.FieldTS) {
 		return nil, false, fmt.Errorf("serve: windowed synthesis needs a %q field in the %s schema", netdpsyn.FieldTS, d.Kind)
@@ -448,18 +712,27 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64)
 		return nil, false, err
 	}
 	// The ledger charge follows the composition argument each window
-	// kind supports (see the Submit doc): span windows compose in
-	// parallel (one window's ρ), count-quantile windows compose
-	// sequentially (windows × ρ).
+	// kind supports (see the Submit doc): count-quantile windows
+	// compose sequentially (windows × ρ at admission); span and
+	// follow windows compose in parallel per window key, so their
+	// admission charges 0 and gates on one window's ρ (an admission
+	// that could not afford a single fresh window 403s up front).
 	chargeRho := rho
 	if windows > 1 {
 		chargeRho = rho * float64(windows)
 	}
+	perKey := span > 0 || sr.Follow
+	admitRho := chargeRho
+	if perKey {
+		admitRho = 0
+	}
 
 	// The cache key includes the windowing: a 4-window release and a
 	// whole-trace release of the same Config are different outputs
-	// (each window is synthesized from its own marginals).
-	key := fmt.Sprintf("%s|%s|win=%d|span=%d", d.ID, configKey(cfg, false), windows, span)
+	// (each window is synthesized from its own marginals). Follow
+	// jobs key on the feed epoch too — the same Config against a
+	// later epoch consumes different records and is a new release.
+	key := fmt.Sprintf("%s|%s|win=%d|span=%d|follow=%t|epoch=%d", d.ID, configKey(cfg, false), windows, span, sr.Follow, epoch)
 	// The whole admission — cache probe, charge, registration, and the
 	// (non-blocking) enqueue — happens under one critical section.
 	// That keeps three races out: Submit can never send on a channel
@@ -494,10 +767,12 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64)
 		// Backlog full: refuse before charging the ledger.
 		return nil, false, ErrQueueFull
 	}
-	// The charge is journaled durably (fsync) inside Charge before it
-	// is applied and before the job is enqueued: by the time anything
-	// computes on this admission, the spend is already on disk. On a
-	// journal failure nothing was charged and the id is not consumed.
+	// The admission is journaled durably (fsync) inside the charge
+	// before it is applied and before the job is enqueued: by the time
+	// anything computes on this admission, the spend is already on
+	// disk. On a journal failure nothing was charged and the id is not
+	// consumed. Per-key jobs admit at ρ 0 — their windows journal
+	// WindowChargeRecords before each window runs (see windowGate).
 	id := fmt.Sprintf("job-%d", q.next+1)
 	now := time.Now()
 	var rec *persist.ChargeRecord
@@ -505,14 +780,16 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64)
 		rec = &persist.ChargeRecord{
 			JobID:     id,
 			DatasetID: d.ID,
-			Rho:       chargeRho,
+			Rho:       admitRho,
 			Config:    cfg,
 			Submitted: now,
 			Windows:   windows,
 			Span:      span,
+			Follow:    sr.Follow,
+			Epoch:     epoch,
 		}
 	}
-	if err := d.Budget().Charge(chargeRho, rec); err != nil {
+	if err := d.Budget().ChargeAdmission(rho, admitRho, rec); err != nil {
 		return nil, false, err
 	}
 	q.next++
@@ -523,6 +800,11 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, windows int, span int64)
 		Rho:       chargeRho,
 		Windows:   windows,
 		Span:      span,
+		Follow:    sr.Follow,
+		Epoch:     epoch,
+		feed:      feed,
+		bucketLo:  bucketLo,
+		bucketHi:  bucketHi,
 		cfg:       cfg,
 		cacheKey:  key,
 		state:     JobQueued,
@@ -622,6 +904,29 @@ func (q *Queue) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// List snapshots the remembered jobs in admission order, optionally
+// filtered by dataset id and/or state (""/zero means no filter) — the
+// operator's view over long-lived follow deployments, where polling
+// per-id stops scaling.
+func (q *Queue) List(datasetID string, state JobState) []JobInfo {
+	q.mu.Lock()
+	order := make([]*Job, len(q.order))
+	copy(order, q.order)
+	q.mu.Unlock()
+	out := make([]JobInfo, 0, len(order))
+	for _, j := range order {
+		if datasetID != "" && j.DatasetID != datasetID {
+			continue
+		}
+		info := j.Snapshot()
+		if state != "" && info.State != state {
+			continue
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
 // Shutdown stops admissions and waits for in-flight and backlogged
 // jobs to drain, or for ctx to expire.
 func (q *Queue) Shutdown(ctx context.Context) error {
@@ -635,6 +940,7 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 	// re-checking closed, so a send on the closed channel is
 	// impossible.
 	close(q.pending)
+	close(q.sweepStop)
 	q.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
@@ -706,13 +1012,61 @@ func (q *Queue) run(j *Job) {
 	q.finishDone(j, res.Records)
 }
 
+// windowGate is the per-window admission hook of span and follow
+// jobs: it runs before a window's pipeline and charges one window's ρ
+// to the (span, bucket) ledger key — journaled durably first — unless
+// this job already charged that key (a resumed or resurrected job
+// re-releasing the identical window pays nothing new). A window
+// outside the job's declared bucket range fails here, before any
+// charge.
+//
+// Occupancy caveat, documented at the charge site on purpose: the
+// gate fires only for non-empty buckets, so the per-key ledger, the
+// charge journal, and the result stream all reveal WHICH buckets held
+// traffic (and nothing releases for empty ones). The (ε, δ) guarantee
+// covers record values within a bucket, not the bucket's existence.
+// Deployments where interval occupancy is itself sensitive should
+// declare a bucket range (making the disclosure surface explicit and
+// auditable via EmptyBuckets) and treat ledger/journal access as part
+// of the release.
+func (q *Queue) windowGate(j *Job, d *Dataset) func(bucket int64, rows int) error {
+	rho := j.Rho // the per-window price
+	return func(bucket int64, rows int) error {
+		if (j.bucketLo != nil && bucket < *j.bucketLo) || (j.bucketHi != nil && bucket > *j.bucketHi) {
+			return fmt.Errorf("%w: window bucket %d outside the declared range", ErrBucketRange, bucket)
+		}
+		if j.alreadyCharged(bucket) {
+			return nil
+		}
+		var rec *persist.WindowChargeRecord
+		if q.store != nil {
+			rec = &persist.WindowChargeRecord{
+				JobID:     j.ID,
+				DatasetID: d.ID,
+				Span:      j.Span,
+				Bucket:    bucket,
+				Rho:       rho,
+			}
+		}
+		if err := d.Budget().ChargeWindow(j.Span, bucket, rho, rec); err != nil {
+			return err
+		}
+		j.markCharged(bucket)
+		return nil
+	}
+}
+
 // runWindowed synthesizes a windowed job window-by-window, recording
 // per-window progress and streaming each completed window's CSV into
 // the result spool (header once, then rows). In-memory datasets go
-// through SynthesizeTimeWindows (span jobs) or SynthesizeWindows
+// through the time-span source (span jobs) or SynthesizeWindows
 // (count jobs) over the registered table; streaming datasets
 // re-stream their spooled CSV through the bounded-memory span path,
-// so the trace is never materialized even while serving it.
+// so the trace is never materialized even while serving it; follow
+// jobs ride the live feed captured at admission, synthesizing each
+// window as it lands until the feed epoch is sealed. Span and follow
+// windows pass through windowGate — charge-before-compute, per window
+// key.
 func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool *resultSpool) {
 	records := 0
 	wroteHeader := false
@@ -738,8 +1092,8 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 		j.setStages(wr.Stages)
 		j.mu.Unlock()
 		if emitted > maxWindows {
-			// Only reachable on span jobs (count jobs are capped at
-			// Submit): the span is too fine for the trace's time
+			// Only reachable on span/follow jobs (count jobs are capped
+			// at Submit): the span is too fine for the trace's time
 			// resolution to be worth one pipeline per bucket.
 			return fmt.Errorf("serve: window_span %d produced more than %d windows — choose a coarser span", j.Span, maxWindows)
 		}
@@ -747,6 +1101,8 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 	}
 	var err error
 	switch {
+	case j.Follow:
+		err = syn.SynthesizeSource(j.feed.Live(), netdpsyn.StreamOptions{BeforeWindow: q.windowGate(j, d)}, emit)
 	case d.Streaming():
 		// Streaming datasets are always span-windowed (enforced at
 		// Submit); the per-window row cap keeps one dense bucket from
@@ -757,11 +1113,15 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 			err = syn.SynthesizeStream(f, d.Schema(), netdpsyn.StreamOptions{
 				WindowSpan:    j.Span,
 				MaxWindowRows: q.maxWindowRows,
+				BeforeWindow:  q.windowGate(j, d),
 			}, emit)
 			f.Close()
 		}
 	case j.Span > 0:
-		err = syn.SynthesizeTimeWindows(d.Table(), j.Span, emit)
+		var src netdpsyn.WindowSource
+		if src, err = netdpsyn.TimeWindowSource(d.Table(), j.Span); err == nil {
+			err = syn.SynthesizeSource(src, netdpsyn.StreamOptions{BeforeWindow: q.windowGate(j, d)}, emit)
+		}
 	default:
 		err = syn.SynthesizeWindows(d.Table(), j.Windows, emit)
 	}
@@ -792,19 +1152,17 @@ func (q *Queue) finishDone(j *Job, records int) {
 	// and install a fresh channel; the close must hit the channel the
 	// current waiters hold.
 	done := j.done
-	retain := j.result != nil || (j.spool != nil && j.spool.path == "")
+	retain := j.result != nil || j.spool != nil
 	j.mu.Unlock()
 	if retain {
 		q.mu.Lock()
 		q.retained = append(q.retained, j)
 		for len(q.retained) > q.maxResults {
 			old := q.retained[0]
+			q.retained[0] = nil
 			q.retained = q.retained[1:]
 			old.mu.Lock()
-			old.result = nil
-			if old.spool != nil && old.spool.drop() {
-				old.spool = nil
-			}
+			evictResultLocked(old)
 			old.mu.Unlock()
 		}
 		q.mu.Unlock()
@@ -865,8 +1223,14 @@ const interruptedJobError = "interrupted by a daemon restart before completion; 
 // restoreJobs installs recovered jobs: done jobs come back as
 // done-with-evicted-result (their cache entry intact, so an identical
 // resubmit resurrects them at zero charge), failed jobs keep their
-// error, and charged-but-unfinished jobs become charged failures.
-// Runs at boot before the queue is visible to requests.
+// error, and charged-but-unfinished jobs become charged failures —
+// EXCEPT unfinished follow jobs whose feed epoch survived, which
+// RESUME: the feed was rebuilt from journaled windows, the job's
+// per-key charge positions are exact (ChargedBuckets), so it re-runs
+// from the epoch's first window, skips the charge for every bucket it
+// already paid for (the identical deterministic computation), and
+// picks up at the next bucket — new arrivals charge normally. Runs at
+// boot before the queue is visible to requests.
 func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -881,16 +1245,43 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 			Rho:       js.Rho,
 			Windows:   js.Windows,
 			Span:      js.Span,
+			Follow:    js.Follow,
+			Epoch:     js.Epoch,
 			cfg:       cfg,
-			cacheKey:  fmt.Sprintf("%s|%s|win=%d|span=%d", js.DatasetID, configKey(cfg, false), js.Windows, js.Span),
-			done:      make(chan struct{}),
+			cacheKey: fmt.Sprintf("%s|%s|win=%d|span=%d|follow=%t|epoch=%d",
+				js.DatasetID, configKey(cfg, false), js.Windows, js.Span, js.Follow, js.Epoch),
+			done: make(chan struct{}),
 		}
-		close(j.done) // every restored job is terminal
+		if (js.Follow || js.Span > 0) && js.Rho == 0 {
+			// Span and follow admissions journal ρ 0 (their spend is
+			// per window key); the job's reported Rho is the
+			// per-window price.
+			if rho, err := netdpsyn.RhoFromEpsDelta(cfg.Epsilon, cfg.Delta); err == nil {
+				j.Rho = rho
+			}
+		}
+		// A span job from a pre-per-key journal (admission Rho = ρ,
+		// charged on the scalar axis, no per-key history): its result
+		// must not be resurrectable — a re-run would charge every
+		// window key on top of the replayed scalar spend, turning the
+		// documented zero-cost regeneration into a double charge. It
+		// keeps its metadata; an identical resubmit is a fresh
+		// admission under the new accounting (the conservative
+		// direction, same as the metadata-sweep rule).
+		legacySpan := js.Span > 0 && !js.Follow && js.Rho > 0
+		for _, b := range js.ChargedBuckets {
+			j.markCharged(b)
+		}
+		resumed := false
 		switch js.State {
 		case string(JobDone):
+			close(j.done)
 			j.state = JobDone
 			j.records = js.Records
 			j.windowsDone = js.Windows
+			if len(js.ChargedBuckets) > 0 {
+				j.windowsDone = len(js.ChargedBuckets)
+			}
 			// A persisted result lets the restarted daemon serve
 			// result.csv directly instead of regenerating. The file is
 			// only trusted under a journaled done terminal: the spool is
@@ -899,10 +1290,12 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 			if q.store != nil {
 				if fi, err := os.Stat(q.store.ResultPath(j.ID)); err == nil {
 					j.spool = recoveredResultSpool(q.store.ResultPath(j.ID), fi.Size())
+					j.finished = fi.ModTime() // retention age of the recovered file
 					info.PersistedResults++
 				}
 			}
 		case string(JobFailed):
+			close(j.done)
 			j.state = JobFailed
 			j.errMsg = js.Error
 			if q.store != nil {
@@ -911,19 +1304,38 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 				_ = os.Remove(q.store.ResultPath(j.ID))
 			}
 		default:
-			// Admitted (charged, durably) but no terminal record:
-			// replay as a charged failure, never re-run. A result file
-			// the crash left behind is untrusted (no done terminal ⇒
-			// possibly torn) and deleted.
-			j.state = JobFailed
-			j.errMsg = interruptedJobError
-			info.InterruptedJobs++
+			// Admitted (charged, durably) but no terminal record. A
+			// result file the crash left behind is untrusted (no done
+			// terminal ⇒ possibly torn) and deleted; resumed follow
+			// jobs rebuild theirs from window zero.
 			if q.store != nil {
 				_ = os.Remove(q.store.ResultPath(j.ID))
 			}
-			// Converge the journal: next restart replays it as a plain
-			// failure without re-counting it as interrupted.
-			q.journalTerminal(j.ID, string(JobFailed), 0, j.errMsg)
+			if js.Follow && q.backlog < q.maxBacklog {
+				if d, ok := q.reg.Get(js.DatasetID); ok {
+					if feed, epoch, err := d.currentFeed(); err == nil && epoch == js.Epoch {
+						j.feed = feed
+						j.bucketLo, j.bucketHi = d.DeclaredRange()
+						j.state = JobQueued
+						q.attachSpool(j)
+						q.backlog++
+						resumed = true
+						info.ResumedFollowJobs++
+					}
+				}
+			}
+			if !resumed {
+				// The conservative fallback (non-follow jobs, vanished
+				// datasets, superseded epochs): a charged failure,
+				// never a silent re-run.
+				close(j.done)
+				j.state = JobFailed
+				j.errMsg = interruptedJobError
+				info.InterruptedJobs++
+				// Converge the journal: next restart replays it as a
+				// plain failure without re-counting it as interrupted.
+				q.journalTerminal(j.ID, string(JobFailed), 0, j.errMsg)
+			}
 		}
 		if n, err := strconv.Atoi(strings.TrimPrefix(j.ID, "job-")); err == nil && n > q.next {
 			q.next = n
@@ -932,13 +1344,37 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 		q.jobs[j.ID] = j
 		q.jobsMu.Unlock()
 		q.order = append(q.order, j)
-		if j.state == JobDone {
-			// The synthesized table itself is not persisted (results
-			// are large and deterministic); the job replays as
-			// done-but-evicted and regenerates on an identical
-			// resubmit at zero charge.
+		if (j.state == JobDone && !legacySpan) || resumed {
+			// Done: the synthesized table itself is not persisted
+			// (results are large and deterministic); the job replays as
+			// done-but-evicted and regenerates on an identical resubmit
+			// at zero charge. Resumed: an identical submit must hit the
+			// running job, not admit a duplicate.
 			q.cache[j.cacheKey] = j
 		}
+		if j.state == JobDone && j.spool != nil {
+			// Recovered results join the retention window so the
+			// count/TTL policy governs them too.
+			q.retained = append(q.retained, j)
+		}
 		info.Jobs++
+		if resumed {
+			// Enqueue after the maps are consistent. The channel has
+			// maxBacklog capacity and backlog was checked above, so
+			// this cannot block.
+			q.pending <- j
+		}
+	}
+	// The recovered retention set may exceed the cap (a prior
+	// generation with a larger -max-results, or accumulated files):
+	// apply the count policy now, oldest first.
+	sort.Slice(q.retained, func(a, b int) bool { return q.retained[a].finished.Before(q.retained[b].finished) })
+	for len(q.retained) > q.maxResults {
+		old := q.retained[0]
+		q.retained[0] = nil
+		q.retained = q.retained[1:]
+		old.mu.Lock()
+		evictResultLocked(old)
+		old.mu.Unlock()
 	}
 }

@@ -38,7 +38,7 @@ func TestResultRetentionEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(reg, 1, 1, nil, 0, 0)
+	q := NewQueue(reg, QueueOptions{Runners: 1, WorkersTotal: 1})
 	q.maxResults = 1
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -49,13 +49,13 @@ func TestResultRetentionEviction(t *testing.T) {
 	}()
 
 	cfg := netdpsyn.Config{Epsilon: 0.5, UpdateIterations: 3, Seed: 1}
-	j1, cached, err := q.Submit(d, cfg, 0, 0)
+	j1, cached, err := q.Submit(d, cfg, SubmitRequest{})
 	if err != nil || cached {
 		t.Fatalf("submit 1: cached=%v err=%v", cached, err)
 	}
 	cfg2 := cfg
 	cfg2.Seed = 2
-	j2, _, err := q.Submit(d, cfg2, 0, 0)
+	j2, _, err := q.Submit(d, cfg2, SubmitRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestResultRetentionEviction(t *testing.T) {
 	spent := d.Budget().Snapshot().SpentRho
 	// An identical request resurrects the evicted job: same job, no
 	// new charge, and the deterministic result is regenerated.
-	again, cached, err := q.Submit(d, cfg, 0, 0)
+	again, cached, err := q.Submit(d, cfg, SubmitRequest{})
 	if err != nil || !cached || again != j1 {
 		t.Fatalf("identical request after eviction: job=%v cached=%v err=%v", again, cached, err)
 	}
@@ -126,7 +126,7 @@ func TestJobMetadataSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(reg, 1, 1, nil, 0, 0)
+	q := NewQueue(reg, QueueOptions{Runners: 1, WorkersTotal: 1})
 	q.maxResults = 1
 	q.maxJobs = 2
 	defer func() {
@@ -142,7 +142,7 @@ func TestJobMetadataSweep(t *testing.T) {
 	for seed := uint64(1); seed <= 3; seed++ {
 		c := cfg
 		c.Seed = seed
-		j, _, err := q.Submit(d, c, 0, 0)
+		j, _, err := q.Submit(d, c, SubmitRequest{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +166,7 @@ func TestJobMetadataSweep(t *testing.T) {
 	spent := d.Budget().Snapshot().SpentRho
 	c := cfg
 	c.Seed = 1
-	again, cached, err := q.Submit(d, c, 0, 0)
+	again, cached, err := q.Submit(d, c, SubmitRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,7 @@
 package persist
 
 import (
+	"fmt"
 	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
@@ -44,6 +45,9 @@ const (
 	recDataset  = "dataset"
 	recCharge   = "charge"
 	recTerminal = "terminal"
+	recWindow   = "window"  // live-feed window arrival (sealed bucket)
+	recWCharge  = "wcharge" // per-window-key budget charge
+	recFeed     = "feed"    // feed epoch close
 )
 
 // DatasetRecord journals one dataset registration. The raw CSV is
@@ -66,6 +70,73 @@ type DatasetRecord struct {
 	// unmarshal to the in-memory default.
 	Streaming bool `json:"streaming,omitempty"`
 	Rows      int  `json:"rows,omitempty"`
+	// Feed marks a live window-feed dataset: it holds no trace at
+	// registration — windows of Span timestamp units arrive over time
+	// as WindowRecords (one durable spool file each). BucketLo/Hi,
+	// when set, are the declared bucket range: arrivals outside it are
+	// rejected at the door, so the set of *released* buckets within
+	// the range is the only occupancy the service discloses by
+	// construction rather than by accident.
+	Feed     bool   `json:"feed,omitempty"`
+	Span     int64  `json:"span,omitempty"`
+	BucketLo *int64 `json:"bucket_lo,omitempty"`
+	BucketHi *int64 `json:"bucket_hi,omitempty"`
+}
+
+// WindowRecord journals one sealed live-feed window. The window's CSV
+// is already durable in the spool under Spool (written and fsync'd
+// before this record is appended), so replay can rebuild the feed and
+// a resumed follow job can re-release the window byte-identically.
+// Epoch numbers feed generations: a bucket seals at most once per
+// epoch, and a record with a higher epoch than the dataset's current
+// one supersedes all earlier epochs' windows.
+type WindowRecord struct {
+	DatasetID string    `json:"dataset_id"`
+	Epoch     int       `json:"epoch"`
+	Bucket    int64     `json:"bucket"`
+	Rows      int       `json:"rows"`
+	Spool     string    `json:"spool"`
+	Received  time.Time `json:"received"`
+}
+
+// WindowChargeRecord journals one per-window-key budget charge: the ρ
+// a window's release adds to the (Span, Bucket) key of the dataset's
+// ledger. Distinct keys of one span compose in parallel (the ledger
+// position is the max across them), re-charges of the same key
+// compose sequentially (they add). It is fsync'd before the window it
+// admits is synthesized.
+type WindowChargeRecord struct {
+	JobID     string  `json:"job_id"`
+	DatasetID string  `json:"dataset_id"`
+	Span      int64   `json:"span"`
+	Bucket    int64   `json:"bucket"`
+	Rho       float64 `json:"rho"`
+}
+
+// FeedRecord journals a feed epoch closing: no more windows will
+// arrive in this epoch, so follow jobs drain and finish. A later
+// WindowRecord with a higher epoch reopens the feed.
+type FeedRecord struct {
+	DatasetID string `json:"dataset_id"`
+	Epoch     int    `json:"epoch"`
+}
+
+// WindowKey renders the per-window ledger key for a (span, bucket)
+// pair — the map key used in DatasetState.WindowRho and the budget
+// status JSON.
+func WindowKey(span, bucket int64) string {
+	return fmt.Sprintf("s%d/b%d", span, bucket)
+}
+
+// ParseWindowKey inverts WindowKey; ok is false for a malformed key
+// (a hand-edited snapshot — the caller skips it, conservatively
+// keeping the spend elsewhere rather than guessing).
+func ParseWindowKey(key string) (span, bucket int64, ok bool) {
+	var s, b int64
+	if n, err := fmt.Sscanf(key, "s%d/b%d", &s, &b); err != nil || n != 2 {
+		return 0, 0, false
+	}
+	return s, b, true
 }
 
 // ChargeRecord journals one admitted release: the ρ charged against
@@ -79,13 +150,22 @@ type ChargeRecord struct {
 	Config    netdpsyn.Config `json:"config"`
 	Submitted time.Time       `json:"submitted"`
 	// Windows > 1 marks a count-quantile windowed release; Span > 0
-	// marks a time-span windowed release. Rho is always the FULL
-	// charge applied to the ledger: one window's ρ for span windows
-	// (data-independent membership ⇒ parallel composition), windows ×
-	// the per-window ρ for count windows (data-dependent boundaries ⇒
-	// sequential composition).
+	// marks a time-span windowed release. Rho is the SCALAR charge
+	// applied to the ledger at admission: windows × the per-window ρ
+	// for count windows (data-dependent boundaries ⇒ sequential
+	// composition), the full ρ for plain jobs. Span and follow jobs
+	// admit at Rho 0 — their spend lands per window key as
+	// WindowChargeRecords while the job runs, which is what lets
+	// distinct buckets compose in parallel and the same bucket
+	// re-release sequentially. (Older journals carry span admissions
+	// with Rho = ρ; replaying them as scalar spend is the conservative
+	// reading.)
 	Windows int   `json:"windows,omitempty"`
 	Span    int64 `json:"span,omitempty"`
+	// Follow marks a live-feed follow job and Epoch the feed epoch it
+	// consumes (also set on span jobs for symmetry: 0).
+	Follow bool `json:"follow,omitempty"`
+	Epoch  int  `json:"epoch,omitempty"`
 }
 
 // TerminalRecord journals a job reaching a terminal state. It is
@@ -103,19 +183,34 @@ type TerminalRecord struct {
 // set per record; Seq is assigned at append and strictly increases
 // within one journal generation.
 type record struct {
-	Seq uint64          `json:"seq"`
-	T   string          `json:"t"`
-	DS  *DatasetRecord  `json:"ds,omitempty"`
-	CH  *ChargeRecord   `json:"ch,omitempty"`
-	TM  *TerminalRecord `json:"tm,omitempty"`
+	Seq uint64              `json:"seq"`
+	T   string              `json:"t"`
+	DS  *DatasetRecord      `json:"ds,omitempty"`
+	CH  *ChargeRecord       `json:"ch,omitempty"`
+	TM  *TerminalRecord     `json:"tm,omitempty"`
+	WD  *WindowRecord       `json:"wd,omitempty"`
+	WC  *WindowChargeRecord `json:"wc,omitempty"`
+	FD  *FeedRecord         `json:"fd,omitempty"`
 }
 
 // DatasetState is a dataset's replayed durable state: its
-// registration record plus the accumulated ledger position.
+// registration record plus the accumulated ledger position. SpentRho
+// is the scalar spend (plain and count-windowed releases); WindowRho
+// is the per-window-key spend, keyed by WindowKey(span, bucket) — the
+// ledger position a restart restores is SpentRho plus, per span, the
+// max across that span's keys.
 type DatasetState struct {
 	DatasetRecord
-	SpentRho float64 `json:"spent_rho"`
-	Releases int     `json:"releases"`
+	SpentRho  float64            `json:"spent_rho"`
+	Releases  int                `json:"releases"`
+	WindowRho map[string]float64 `json:"window_rho,omitempty"`
+	// FeedEpoch/FeedClosed/Windows are the live feed's durable state:
+	// the current epoch, whether it has closed, and its sealed windows
+	// in arrival order (earlier epochs' windows are superseded and
+	// dropped at replay).
+	FeedEpoch  int            `json:"feed_epoch,omitempty"`
+	FeedClosed bool           `json:"feed_closed,omitempty"`
+	Windows    []WindowRecord `json:"windows,omitempty"`
 }
 
 // JobState is a job's replayed durable state: its admission charge
@@ -128,6 +223,12 @@ type JobState struct {
 	State   string `json:"state,omitempty"`
 	Records int    `json:"records,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// ChargedBuckets lists the window keys this job already charged
+	// (span/follow jobs), in charge order. A resumed or resurrected
+	// job skips re-charging these — re-releasing the same bucket from
+	// the same records and seed is the identical deterministic
+	// computation, so it costs nothing new.
+	ChargedBuckets []int64 `json:"charged_buckets,omitempty"`
 }
 
 // State is the durable state replayed at Open: every dataset with its
@@ -244,10 +345,83 @@ func (m *memState) apply(rec *record) {
 		j.State = rec.TM.State
 		j.Records = rec.TM.Records
 		j.Error = rec.TM.Error
+	case recWindow:
+		if rec.WD == nil {
+			m.skipped++
+			return
+		}
+		ds, ok := m.dsByID[rec.WD.DatasetID]
+		if !ok {
+			m.skipped++
+			return
+		}
+		if rec.WD.Epoch < ds.FeedEpoch {
+			m.skipped++ // stale epoch: already superseded
+			return
+		}
+		ds.advanceEpoch(rec.WD.Epoch)
+		for _, w := range ds.Windows {
+			if w.Bucket == rec.WD.Bucket {
+				m.skipped++ // duplicate seal: first wins
+				return
+			}
+		}
+		ds.Windows = append(ds.Windows, *rec.WD)
+	case recFeed:
+		if rec.FD == nil {
+			m.skipped++
+			return
+		}
+		ds, ok := m.dsByID[rec.FD.DatasetID]
+		if !ok {
+			m.skipped++
+			return
+		}
+		if rec.FD.Epoch < ds.FeedEpoch {
+			m.skipped++
+			return
+		}
+		ds.advanceEpoch(rec.FD.Epoch)
+		ds.FeedClosed = true
+	case recWCharge:
+		if rec.WC == nil {
+			m.skipped++
+			return
+		}
+		// The ledger position and the job's charged set are tracked
+		// independently: a charge against a swept job still counts
+		// against the dataset (spend is never forgotten), and a charge
+		// against an unknown dataset is still pinned to the job so a
+		// resumed job never re-charges it.
+		applied := false
+		if ds, ok := m.dsByID[rec.WC.DatasetID]; ok {
+			if ds.WindowRho == nil {
+				ds.WindowRho = make(map[string]float64)
+			}
+			ds.WindowRho[WindowKey(rec.WC.Span, rec.WC.Bucket)] += rec.WC.Rho
+			applied = true
+		}
+		if j, ok := m.jobByID[rec.WC.JobID]; ok {
+			j.ChargedBuckets = append(j.ChargedBuckets, rec.WC.Bucket)
+			applied = true
+		}
+		if !applied {
+			m.skipped++
+		}
 	default:
 		m.skipped++ // forward compatibility: newer daemons may journal new types
 	}
 	m.sweepJobs()
+}
+
+// advanceEpoch moves a dataset's feed to a newer epoch, superseding
+// the previous epoch's windows and reopening the feed.
+func (ds *DatasetState) advanceEpoch(epoch int) {
+	if epoch > ds.FeedEpoch {
+		ds.FeedEpoch = epoch
+		ds.FeedClosed = false
+		ds.Windows = nil
+	}
 }
 
 // sweepJobs enforces maxJobHistory by forgetting the oldest terminal
@@ -300,6 +474,8 @@ func (m *memState) restore(sf *snapshotFile) {
 }
 
 // snapshot copies the state machine into an externally-safe State.
+// Maps and slices are deep-copied: the state machine keeps mutating
+// them on later appends, and the snapshot must stay a point in time.
 func (m *memState) snapshot() *State {
 	st := &State{
 		Seq:            m.seq,
@@ -308,10 +484,20 @@ func (m *memState) snapshot() *State {
 		SkippedRecords: m.skipped,
 	}
 	for i, ds := range m.dsOrder {
-		st.Datasets[i] = *ds
+		c := *ds
+		if ds.WindowRho != nil {
+			c.WindowRho = make(map[string]float64, len(ds.WindowRho))
+			for k, v := range ds.WindowRho {
+				c.WindowRho[k] = v
+			}
+		}
+		c.Windows = append([]WindowRecord(nil), ds.Windows...)
+		st.Datasets[i] = c
 	}
 	for i, j := range m.jobOrder {
-		st.Jobs[i] = *j
+		c := *j
+		c.ChargedBuckets = append([]int64(nil), j.ChargedBuckets...)
+		st.Jobs[i] = c
 	}
 	return st
 }

@@ -395,3 +395,135 @@ func TestSnapshotVersionGate(t *testing.T) {
 		t.Fatalf("future snapshot opened: %v", err)
 	}
 }
+
+// TestWindowFeedRecordsReplay covers the continuous-ingest journal
+// records: window arrivals accumulate per epoch, a feed close seals
+// the epoch, a later epoch's first window supersedes the previous
+// epoch's windows entirely, per-window-key charges land both on the
+// dataset ledger map and the job's charged-bucket list, and all of it
+// survives a compaction + reopen.
+func TestWindowFeedRecordsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	appendDataset(t, s, "ds-1")
+	appendCharge(t, s, "ds-1", "job-1", 0) // a follow admission: scalar 0
+	win := func(epoch int, bucket int64, rows int) {
+		t.Helper()
+		if err := s.AppendWindow(WindowRecord{
+			DatasetID: "ds-1", Epoch: epoch, Bucket: bucket, Rows: rows,
+			Spool:    WindowSpoolName("ds-1", epoch, bucket),
+			Received: time.Unix(1700000002, 0).UTC(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wcharge := func(jobID string, bucket int64, rho float64) {
+		t.Helper()
+		if err := s.AppendWindowCharge(WindowChargeRecord{
+			JobID: jobID, DatasetID: "ds-1", Span: 100, Bucket: bucket, Rho: rho,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	win(1, 5, 10)
+	win(1, 6, 20)
+	wcharge("job-1", 5, 0.25)
+	wcharge("job-1", 6, 0.25)
+	// A duplicate seal in the same epoch is skipped, first wins.
+	win(1, 5, 99)
+	if err := s.AppendFeedClose(FeedRecord{DatasetID: "ds-1", Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	_, st := mustOpen(t, dir)
+	if len(st.Datasets) != 1 {
+		t.Fatalf("datasets = %d", len(st.Datasets))
+	}
+	ds := st.Datasets[0]
+	if ds.FeedEpoch != 1 || !ds.FeedClosed {
+		t.Fatalf("feed state = epoch %d closed %v", ds.FeedEpoch, ds.FeedClosed)
+	}
+	if len(ds.Windows) != 2 || ds.Windows[0].Bucket != 5 || ds.Windows[0].Rows != 10 || ds.Windows[1].Bucket != 6 {
+		t.Fatalf("windows = %+v", ds.Windows)
+	}
+	if ds.SpentRho != 0 {
+		t.Fatalf("scalar spend = %v, want 0 (follow admissions are free)", ds.SpentRho)
+	}
+	if ds.WindowRho[WindowKey(100, 5)] != 0.25 || ds.WindowRho[WindowKey(100, 6)] != 0.25 {
+		t.Fatalf("window rho = %v", ds.WindowRho)
+	}
+	if len(st.Jobs) != 1 || len(st.Jobs[0].ChargedBuckets) != 2 {
+		t.Fatalf("jobs = %+v", st.Jobs)
+	}
+	if st.SkippedRecords != 1 {
+		t.Fatalf("skipped = %d, want 1 (the duplicate seal)", st.SkippedRecords)
+	}
+
+	// Epoch 2 supersedes epoch 1's windows but NOT the ledger: a
+	// re-charge of bucket 5 accumulates on its key.
+	s2, _ := mustOpen(t, dir)
+	if err := s2.AppendWindow(WindowRecord{
+		DatasetID: "ds-1", Epoch: 2, Bucket: 5, Rows: 7,
+		Spool: WindowSpoolName("ds-1", 2, 5), Received: time.Unix(1700000003, 0).UTC(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AppendCharge(ChargeRecord{JobID: "job-2", DatasetID: "ds-1", Rho: 0, Follow: true, Epoch: 2,
+		Config: netdpsyn.Config{Epsilon: 1, Delta: 1e-5, Seed: 8}, Submitted: time.Unix(1700000004, 0).UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AppendWindowCharge(WindowChargeRecord{JobID: "job-2", DatasetID: "ds-1", Span: 100, Bucket: 5, Rho: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	// A stale epoch-1 window arriving now is skipped, not resurrected.
+	if err := s2.AppendWindow(WindowRecord{
+		DatasetID: "ds-1", Epoch: 1, Bucket: 9, Rows: 1,
+		Spool: WindowSpoolName("ds-1", 1, 9), Received: time.Unix(1700000005, 0).UTC(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	_, st3 := mustOpen(t, dir)
+	ds3 := st3.Datasets[0]
+	if ds3.FeedEpoch != 2 || ds3.FeedClosed {
+		t.Fatalf("epoch-2 feed state = epoch %d closed %v", ds3.FeedEpoch, ds3.FeedClosed)
+	}
+	if len(ds3.Windows) != 1 || ds3.Windows[0].Bucket != 5 || ds3.Windows[0].Epoch != 2 {
+		t.Fatalf("epoch-2 windows = %+v", ds3.Windows)
+	}
+	if got := ds3.WindowRho[WindowKey(100, 5)]; got != 0.5 {
+		t.Fatalf("re-charged key = %v, want 0.5 (sequential on the key)", got)
+	}
+	if got := ds3.WindowRho[WindowKey(100, 6)]; got != 0.25 {
+		t.Fatalf("untouched key = %v, want 0.25", got)
+	}
+	var job2 *JobState
+	for i := range st3.Jobs {
+		if st3.Jobs[i].JobID == "job-2" {
+			job2 = &st3.Jobs[i]
+		}
+	}
+	if job2 == nil || !job2.Follow || job2.Epoch != 2 || len(job2.ChargedBuckets) != 1 || job2.ChargedBuckets[0] != 5 {
+		t.Fatalf("job-2 state = %+v", job2)
+	}
+}
+
+// TestWindowKeyRoundTrip pins the ledger key encoding (it appears in
+// snapshots and the budget JSON, so it is a compatibility surface).
+func TestWindowKeyRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ span, bucket int64 }{{100, 5}, {1, -3}, {3600, 0}} {
+		key := WindowKey(tc.span, tc.bucket)
+		span, bucket, ok := ParseWindowKey(key)
+		if !ok || span != tc.span || bucket != tc.bucket {
+			t.Fatalf("round trip %q → (%d, %d, %v)", key, span, bucket, ok)
+		}
+	}
+	if _, _, ok := ParseWindowKey("garbage"); ok {
+		t.Fatal("garbage key parsed")
+	}
+}

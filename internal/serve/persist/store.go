@@ -228,6 +228,23 @@ func (s *Store) AppendTerminal(rec TerminalRecord) error {
 	return s.append(record{T: recTerminal, TM: &rec})
 }
 
+// AppendWindow journals a sealed live-feed window (spool its CSV
+// durably first, with CommitSpoolName, so replay always finds it).
+func (s *Store) AppendWindow(rec WindowRecord) error {
+	return s.append(record{T: recWindow, WD: &rec})
+}
+
+// AppendWindowCharge journals a per-window-key budget charge. It must
+// return before the window it admits is synthesized.
+func (s *Store) AppendWindowCharge(rec WindowChargeRecord) error {
+	return s.append(record{T: recWCharge, WC: &rec})
+}
+
+// AppendFeedClose journals a feed epoch closing.
+func (s *Store) AppendFeedClose(rec FeedRecord) error {
+	return s.append(record{T: recFeed, FD: &rec})
+}
+
 // Compact writes the current state as snapshot.json and truncates the
 // journal. Safe to call at any time; also triggered automatically
 // every compactEvery appends and on clean Close.
@@ -314,7 +331,13 @@ func (s *Store) CreateSpoolTemp() (*os.File, error) {
 // directory entry are synced here, so a journaled dataset record
 // always finds its spool at replay.
 func (s *Store) CommitSpool(tmpPath, datasetID string) (string, error) {
-	name := datasetID + ".csv"
+	return s.CommitSpoolName(tmpPath, datasetID+".csv")
+}
+
+// CommitSpoolName is CommitSpool under an explicit spool file name —
+// live-feed windows use one file per window (see WindowSpoolName).
+func (s *Store) CommitSpoolName(tmpPath, name string) (string, error) {
+	name = filepath.Base(name)
 	if err := os.Rename(tmpPath, filepath.Join(s.dir, spoolDirName, name)); err != nil {
 		return "", fmt.Errorf("persist: commit spool: %w", err)
 	}
@@ -322,6 +345,20 @@ func (s *Store) CommitSpool(tmpPath, datasetID string) (string, error) {
 		return "", err
 	}
 	return name, nil
+}
+
+// WindowSpoolName is the spool file name of one live-feed window:
+// per dataset, epoch, and bucket, so epochs never collide and a
+// superseded epoch's files can be swept by prefix.
+func WindowSpoolName(datasetID string, epoch int, bucket int64) string {
+	return fmt.Sprintf("%s.e%d.w%d.csv", datasetID, epoch, bucket)
+}
+
+// RemoveSpool deletes a spool file by name, best-effort — used to
+// sweep a superseded feed epoch's window files. The name is flattened
+// to its base so a crafted snapshot cannot escape the spool dir.
+func (s *Store) RemoveSpool(name string) {
+	_ = os.Remove(filepath.Join(s.dir, spoolDirName, filepath.Base(name)))
 }
 
 // ResultPath is where a job's synthesized CSV is spooled (and looked

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"os"
+	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
 	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
@@ -26,6 +27,13 @@ type RecoveryInfo struct {
 	Jobs             int `json:"jobs"`
 	InterruptedJobs  int `json:"interrupted_jobs"`
 	PersistedResults int `json:"persisted_results,omitempty"`
+	// FeedWindows counts live-feed windows re-published from the
+	// spool; ResumedFollowJobs counts unfinished follow jobs that
+	// resumed against their rebuilt feed (exact per-key ledger
+	// positions, already-charged buckets re-released at zero cost)
+	// instead of replaying as charged failures.
+	FeedWindows       int `json:"feed_windows,omitempty"`
+	ResumedFollowJobs int `json:"resumed_follow_jobs,omitempty"`
 	// SkippedRecords counts journal records replay could not apply
 	// (unknown types, unknown references); TruncatedBytes is the torn
 	// journal tail dropped at open.
@@ -42,6 +50,12 @@ func (r *RecoveryInfo) String() string {
 		r.Datasets, r.SpentRho, r.Jobs, r.InterruptedJobs)
 	if r.PersistedResults > 0 {
 		s += fmt.Sprintf(", %d persisted result(s)", r.PersistedResults)
+	}
+	if r.FeedWindows > 0 {
+		s += fmt.Sprintf(", %d feed window(s)", r.FeedWindows)
+	}
+	if r.ResumedFollowJobs > 0 {
+		s += fmt.Sprintf(", %d follow job(s) resumed", r.ResumedFollowJobs)
 	}
 	if r.SkippedRecords > 0 {
 		s += fmt.Sprintf(", %d record(s) skipped", r.SkippedRecords)
@@ -88,7 +102,50 @@ func restoreState(reg *Registry, q *Queue, store *persist.Store, st *persist.Sta
 		}
 		spoolPath := store.SpoolPath(ds.Spool)
 		var table *netdpsyn.Table
-		if ds.Streaming {
+		var (
+			feed        *netdpsyn.WindowFeed
+			feedRows    int
+			feedDamaged bool
+		)
+		switch {
+		case ds.Feed:
+			// A feed dataset's records are its journaled windows: one
+			// durable spool file each, re-published into a rebuilt
+			// feed so a resumed follow job re-releases them
+			// byte-identically. A window that cannot be re-published
+			// marks the epoch damaged — its follow jobs fall back to
+			// charged failures rather than releasing a partial epoch
+			// under a resumed identity, and the next PUT opens a
+			// fresh epoch.
+			var err error
+			if feed, err = netdpsyn.NewWindowFeed(schema, ds.Span); err != nil {
+				info.Warnings = append(info.Warnings,
+					fmt.Sprintf("dataset %s: rebuild feed: %v, not restored", ds.ID, err))
+				continue
+			}
+			for _, wrec := range ds.Windows {
+				f, err := os.Open(store.SpoolPath(wrec.Spool))
+				var wt *netdpsyn.Table
+				if err == nil {
+					wt, err = netdpsyn.LoadCSV(f, schema)
+					f.Close()
+				}
+				if err == nil {
+					err = feed.Publish(wrec.Bucket, wt)
+				}
+				if err != nil {
+					info.Warnings = append(info.Warnings,
+						fmt.Sprintf("dataset %s: window %d (epoch %d): %v — feed epoch marked damaged", ds.ID, wrec.Bucket, wrec.Epoch, err))
+					feedDamaged = true
+					break
+				}
+				feedRows += wt.NumRows()
+				info.FeedWindows++
+			}
+			if ds.FeedClosed || feedDamaged {
+				feed.Close()
+			}
+		case ds.Streaming:
 			// A streaming dataset's trace lives only in the spool; it
 			// is re-streamed per windowed job, never materialized. The
 			// file just has to be there.
@@ -97,7 +154,7 @@ func restoreState(reg *Registry, q *Queue, store *persist.Store, st *persist.Sta
 					fmt.Sprintf("dataset %s: stat spool: %v, not restored", ds.ID, err))
 				continue
 			}
-		} else {
+		default:
 			f, err := os.Open(spoolPath)
 			if err != nil {
 				info.Warnings = append(info.Warnings,
@@ -119,21 +176,48 @@ func restoreState(reg *Registry, q *Queue, store *persist.Store, st *persist.Sta
 			continue
 		}
 		b.restore(ds.SpentRho, ds.Releases)
+		for key, rho := range ds.WindowRho {
+			span, bucket, ok := persist.ParseWindowKey(key)
+			if !ok {
+				// Unparseable key (hand-edited snapshot): fold the
+				// spend into the scalar axis instead — strictly more
+				// conservative than dropping it.
+				b.forceScalar(rho)
+				info.Warnings = append(info.Warnings,
+					fmt.Sprintf("dataset %s: bad window key %q, spend folded into the scalar ledger", ds.ID, key))
+				continue
+			}
+			b.restoreWindow(span, bucket, rho)
+		}
+		spent := b.Snapshot().SpentRho
 		b.bind(store)
+		epoch := ds.FeedEpoch
+		if ds.Feed && epoch == 0 {
+			epoch = 1 // a feed that never saw a window is still epoch 1
+		}
 		reg.restore(&Dataset{
-			ID:     ds.ID,
-			Name:   ds.Name,
-			Kind:   ds.Kind,
-			Label:  ds.Label,
-			schema: schema,
-			table:  table,
-			spool:  spoolPath,
-			stream: ds.Streaming,
-			rows:   ds.Rows,
-			budget: b,
+			ID:          ds.ID,
+			Name:        ds.Name,
+			Kind:        ds.Kind,
+			Label:       ds.Label,
+			schema:      schema,
+			table:       table,
+			spool:       spoolPath,
+			stream:      ds.Streaming,
+			rows:        ds.Rows,
+			budget:      b,
+			isFeed:      ds.Feed,
+			span:        ds.Span,
+			bucketLo:    ds.BucketLo,
+			bucketHi:    ds.BucketHi,
+			feed:        feed,
+			epoch:       epoch,
+			feedRows:    feedRows,
+			feedDamaged: feedDamaged,
+			lastArrival: time.Now(),
 		})
 		info.Datasets++
-		info.SpentRho += ds.SpentRho
+		info.SpentRho += spent
 	}
 	q.restoreJobs(st.Jobs, info)
 	return info

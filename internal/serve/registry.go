@@ -28,11 +28,31 @@ type Dataset struct {
 
 	seq    int // registration order, for List
 	schema *netdpsyn.Schema
-	table  *netdpsyn.Table // nil for streaming datasets
+	table  *netdpsyn.Table // nil for streaming and feed datasets
 	spool  string          // CSV path; always set for streaming datasets
 	stream bool
 	rows   int // record count (streaming datasets: counted at registration)
 	budget *Budget
+
+	// Live window-feed state (nil span/feed for other dataset kinds).
+	// The feed is the current epoch's; sealing closes it and the next
+	// PUT opens a fresh one under epoch+1, which is what lets the same
+	// bucket be released again — charged sequentially on its window
+	// key. See internal/serve/feed.go.
+	isFeed             bool
+	span               int64
+	bucketLo, bucketHi *int64 // declared bucket range (nil = undeclared)
+	feedMu             sync.Mutex
+	feed               *netdpsyn.WindowFeed
+	epoch              int
+	feedRows           int
+	feedDamaged        bool      // recovery could not rebuild the epoch's windows
+	lastArrival        time.Time // last PUT (or epoch open), for -seal-after
+	// pending reserves buckets whose PUT is mid-flight (spool write +
+	// journal run outside feedMu); feedCond signals each drain so a
+	// seal can wait reservations out.
+	pending  map[int64]bool
+	feedCond *sync.Cond
 
 	mu   sync.Mutex
 	pool map[string]*netdpsyn.Synthesizer
@@ -56,10 +76,22 @@ func (d *Dataset) Schema() *netdpsyn.Schema { return d.schema }
 // spool (windowed streaming synthesis required).
 func (d *Dataset) Streaming() bool { return d.stream }
 
+// Feed reports whether the dataset is a live window feed (records
+// arrive over time via PUT; synthesis follows the feed).
+func (d *Dataset) Feed() bool { return d.isFeed }
+
+// FeedSpan returns a feed dataset's fixed window span (0 otherwise).
+func (d *Dataset) FeedSpan() int64 { return d.span }
+
 // Rows returns the dataset's record count.
 func (d *Dataset) Rows() int {
 	if d.table != nil {
 		return d.table.NumRows()
+	}
+	if d.isFeed {
+		d.feedMu.Lock()
+		defer d.feedMu.Unlock()
+		return d.feedRows
 	}
 	return d.rows
 }
@@ -114,12 +146,23 @@ type Info struct {
 	Rows      int    `json:"rows"`
 	Attrs     int    `json:"attrs"`
 	Streaming bool   `json:"streaming,omitempty"`
-	Budget    Status `json:"budget"`
+	// Feed metadata (live window-feed datasets): the fixed window
+	// span, the current epoch, whether it has been sealed, and how
+	// many windows it holds. BucketLo/Hi echo the declared bucket
+	// range when one was registered.
+	Feed          bool   `json:"feed,omitempty"`
+	Span          int64  `json:"span,omitempty"`
+	Epoch         int    `json:"epoch,omitempty"`
+	FeedSealed    bool   `json:"feed_sealed,omitempty"`
+	WindowsSealed int    `json:"windows_sealed,omitempty"`
+	BucketLo      *int64 `json:"bucket_lo,omitempty"`
+	BucketHi      *int64 `json:"bucket_hi,omitempty"`
+	Budget        Status `json:"budget"`
 }
 
 // Info snapshots the dataset's metadata and budget state.
 func (d *Dataset) Info() Info {
-	return Info{
+	info := Info{
 		ID:        d.ID,
 		Name:      d.Name,
 		Kind:      d.Kind,
@@ -129,6 +172,20 @@ func (d *Dataset) Info() Info {
 		Streaming: d.stream,
 		Budget:    d.budget.Snapshot(),
 	}
+	if d.isFeed {
+		d.feedMu.Lock()
+		info.Feed = true
+		info.Span = d.span
+		info.Epoch = d.epoch
+		info.FeedSealed = d.feed == nil || d.feed.Closed()
+		info.WindowsSealed = 0
+		if d.feed != nil {
+			info.WindowsSealed = d.feed.Len()
+		}
+		info.BucketLo, info.BucketHi = d.bucketLo, d.bucketHi
+		d.feedMu.Unlock()
+	}
+	return info
 }
 
 // ErrRegistryFull is returned by Register at the dataset cap; the
@@ -182,6 +239,12 @@ type RegisterRequest struct {
 	// during the registration scan).
 	Streaming bool
 	Rows      int
+	// Feed marks a live window-feed dataset: no records at
+	// registration, windows of Span timestamp units arrive via PUT.
+	// BucketLo/Hi, when non-nil, declare the accepted bucket range.
+	Feed               bool
+	Span               int64
+	BucketLo, BucketHi *int64
 }
 
 // Register installs a dataset under a fresh id, or returns
@@ -196,22 +259,43 @@ func (r *Registry) Register(req RegisterRequest) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: %d datasets registered", ErrRegistryFull, len(r.byID))
 	}
 	id := fmt.Sprintf("ds-%d", r.next+1)
+	// Validate the feed shape before anything durable happens: a bad
+	// span or range must not burn a journaled dataset id.
+	var feed *netdpsyn.WindowFeed
+	if req.Feed {
+		var err error
+		if feed, err = netdpsyn.NewWindowFeed(req.Schema, req.Span); err != nil {
+			return nil, err
+		}
+		if err := validBucketRange(req.BucketLo, req.BucketHi); err != nil {
+			return nil, err
+		}
+	}
 	spoolPath := req.SpoolTmp
 	if r.store != nil {
 		// Commit the spool before the journal record: a journaled
 		// dataset must always find its CSV at replay (the reverse — an
 		// orphan spool file — is harmless and cleaned up by the next
-		// registration under the id).
-		if req.SpoolTmp == "" {
-			return nil, fmt.Errorf("%w: registration without a spooled upload", ErrPersist)
+		// registration under the id). Feed datasets have no upload —
+		// their windows spool one file each as they arrive.
+		var name string
+		if req.Feed {
+			if req.SpoolTmp != "" {
+				return nil, fmt.Errorf("serve: feed registration carries no upload")
+			}
+		} else {
+			if req.SpoolTmp == "" {
+				return nil, fmt.Errorf("%w: registration without a spooled upload", ErrPersist)
+			}
+			var err error
+			name, err = r.store.CommitSpool(req.SpoolTmp, id)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+			}
+			spoolPath = r.store.SpoolPath(name)
 		}
-		name, err := r.store.CommitSpool(req.SpoolTmp, id)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrPersist, err)
-		}
-		spoolPath = r.store.SpoolPath(name)
 		st := req.Budget.Snapshot()
-		err = r.store.AppendDataset(persist.DatasetRecord{
+		err := r.store.AppendDataset(persist.DatasetRecord{
 			ID:         id,
 			Name:       req.Name,
 			Kind:       req.Kind,
@@ -222,27 +306,40 @@ func (r *Registry) Register(req RegisterRequest) (*Dataset, error) {
 			Registered: time.Now(),
 			Streaming:  req.Streaming,
 			Rows:       req.Rows,
+			Feed:       req.Feed,
+			Span:       req.Span,
+			BucketLo:   req.BucketLo,
+			BucketHi:   req.BucketHi,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrPersist, err)
 		}
 		req.Budget.bind(r.store)
 	}
-	r.next++
 	d := &Dataset{
-		ID:     id,
-		seq:    r.next,
-		Name:   req.Name,
-		Kind:   req.Kind,
-		Label:  req.Label,
-		schema: req.Schema,
-		table:  req.Table,
-		spool:  spoolPath,
-		stream: req.Streaming,
-		rows:   req.Rows,
-		budget: req.Budget,
-		pool:   make(map[string]*netdpsyn.Synthesizer),
+		ID:       id,
+		Name:     req.Name,
+		Kind:     req.Kind,
+		Label:    req.Label,
+		schema:   req.Schema,
+		table:    req.Table,
+		spool:    spoolPath,
+		stream:   req.Streaming,
+		rows:     req.Rows,
+		budget:   req.Budget,
+		isFeed:   req.Feed,
+		span:     req.Span,
+		bucketLo: req.BucketLo,
+		bucketHi: req.BucketHi,
+		pool:     make(map[string]*netdpsyn.Synthesizer),
 	}
+	if req.Feed {
+		d.feed = feed
+		d.epoch = 1
+		d.lastArrival = time.Now()
+	}
+	r.next++
+	d.seq = r.next
 	r.byID[d.ID] = d
 	return d, nil
 }

@@ -244,6 +244,192 @@ func TestRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestFollowResumeAcrossRestart is the continuous-ingest crash
+// contract, in-process: a follow job mid-epoch survives a crash — the
+// restarted daemon rebuilds the feed from journaled windows, RESUMES
+// the job (same id) with exact per-key ledger positions, re-releases
+// the already-charged buckets at zero new cost, and picks up the next
+// bucket PUT after the restart. The subprocess SIGKILL twin lives in
+// cmd/netdpsynd.
+func TestFollowResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	jobRho, err := netdpsyn.RhoFromEpsDelta(1.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	// A feed dataset and its windows, cut from a sorted trace.
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 360, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = raw.SortBy(raw.Schema().Index(netdpsyn.FieldTS))
+	tsCol := raw.Column(raw.Schema().Index(netdpsyn.FieldTS))
+	span := (tsCol[len(tsCol)-1]-tsCol[0])/3 + 1
+	type cut struct {
+		bucket int64
+		body   string
+	}
+	var cuts []cut
+	for lo := 0; lo < raw.NumRows(); {
+		b := netdpsyn.TimeBucket(tsCol[lo], span)
+		hi := lo
+		for hi < raw.NumRows() && netdpsyn.TimeBucket(tsCol[hi], span) == b {
+			hi++
+		}
+		part := netdpsyn.NewTable(raw.Schema(), hi-lo)
+		if err := part.AppendRowRange(raw, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := part.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cuts = append(cuts, cut{bucket: b, body: buf.String()})
+		lo = hi
+	}
+	if len(cuts) < 3 {
+		t.Fatalf("want ≥ 3 buckets, got %d", len(cuts))
+	}
+	cuts = cuts[:3]
+
+	regURL := fmt.Sprintf("%s/datasets?label=%s&feed=1&span=%d&budget_rho=%g&budget_delta=1e-5",
+		ts1.URL, datagen.LabelField(datagen.TON), span, 2.5*jobRho)
+	resp, err := ts1.Client().Post(regURL, "text/csv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dsInfo Info
+	if err := json.NewDecoder(resp.Body).Decode(&dsInfo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("feed register = %d", resp.StatusCode)
+	}
+
+	put := func(ts *httptest.Server, c cut) int {
+		req, err := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("%s/datasets/%s/windows/%d", ts.URL, dsInfo.ID, c.bucket), strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r.StatusCode
+	}
+	waitWindows := func(s *Server, jobID string, n int) JobInfo {
+		t.Helper()
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			j, ok := s.queue.Get(jobID)
+			if !ok {
+				t.Fatalf("job %s vanished", jobID)
+			}
+			info := j.Snapshot()
+			if info.WindowsDone >= n || info.State == JobFailed {
+				return info
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck at %d/%d (%s %s)", jobID, info.WindowsDone, n, info.State, info.Error)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	ack, code := submit(t, ts1, dsInfo.ID, SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 21, Follow: true})
+	if code != http.StatusAccepted {
+		t.Fatalf("follow submit = %d", code)
+	}
+	for _, c := range cuts[:2] {
+		if code := put(ts1, c); code != http.StatusCreated {
+			t.Fatalf("PUT = %d", code)
+		}
+	}
+	waitWindows(s1, ack.JobID, 2)
+	d1, _ := s1.reg.Get(dsInfo.ID)
+	preCrash := d1.Budget().Snapshot()
+	if math.Abs(preCrash.SpentRho-jobRho) > 1e-12 {
+		t.Fatalf("pre-crash spend = %v, want %v (max over 2 keys)", preCrash.SpentRho, jobRho)
+	}
+
+	// Crash: journal yanked under the live server, follow job mid-epoch.
+	if err := s1.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	s2, err := NewServer(Options{StateDir: dir, MaxConcurrentJobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	rec := s2.Recovery()
+	if rec.ResumedFollowJobs != 1 || rec.FeedWindows != 2 {
+		t.Fatalf("recovery = %+v, want 1 resumed follow job over 2 feed windows", rec)
+	}
+	// Per-key positions are exact: the resumed job re-releases the two
+	// charged buckets at zero new cost, so spend is unchanged (not
+	// doubled) once it has re-emitted them.
+	d2, ok := s2.reg.Get(dsInfo.ID)
+	if !ok {
+		t.Fatal("feed dataset not recovered")
+	}
+	waitWindows(s2, ack.JobID, 2)
+	post := d2.Budget().Snapshot()
+	if math.Abs(post.SpentRho-preCrash.SpentRho) > 1e-12 {
+		t.Fatalf("resume changed spend: %v → %v (re-released buckets must not re-charge)", preCrash.SpentRho, post.SpentRho)
+	}
+	if len(post.WindowRho) != 2 {
+		t.Fatalf("window keys after resume = %v", post.WindowRho)
+	}
+
+	// The NEXT bucket lands after the restart: the resumed job picks
+	// it up (fresh charge on its key — still the max, so spend holds).
+	if code := put(ts2, cuts[2]); code != http.StatusCreated {
+		t.Fatalf("post-restart PUT = %d", code)
+	}
+	waitWindows(s2, ack.JobID, 3)
+	if got := d2.Budget().Snapshot(); math.Abs(got.SpentRho-jobRho) > 1e-12 || len(got.WindowRho) != 3 {
+		t.Fatalf("post-resume ledger = %+v", got)
+	}
+
+	// Seal → the job finishes with the complete 3-window result.
+	resp2, err := ts2.Client().Post(ts2.URL+"/datasets/"+dsInfo.ID+"/seal", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	j, err := s2.WaitJob(ack.JobID, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := j.Snapshot(); info.State != JobDone || info.WindowsDone != 3 {
+		t.Fatalf("resumed job = %s (%s), %d windows", info.State, info.Error, info.WindowsDone)
+	}
+	res, err := ts2.Client().Get(ts2.URL + "/jobs/" + ack.JobID + "/result.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || strings.Count(string(body), "\n") < 10 {
+		t.Fatalf("resumed result.csv = %d (%d bytes)", res.StatusCode, len(body))
+	}
+	shutdownServer(t, s2)
+}
+
 func shutdownServer(t *testing.T, s *Server) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -374,6 +560,10 @@ func TestJournalFailure503(t *testing.T) {
 type failingChargeJournal struct{}
 
 func (failingChargeJournal) AppendCharge(persist.ChargeRecord) error {
+	return errors.New("injected charge-journal failure")
+}
+
+func (failingChargeJournal) AppendWindowCharge(persist.WindowChargeRecord) error {
 	return errors.New("injected charge-journal failure")
 }
 

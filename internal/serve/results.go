@@ -108,8 +108,8 @@ func (rs *resultSpool) finish(errMsg string) error {
 }
 
 // drop releases a memory-backed spool's bytes (the result-retention
-// sweep); file-backed spools keep their file — disk is the point.
-// Reports whether the spool no longer holds a servable result.
+// sweep); file-backed spools are untouched here — evict handles their
+// file. Reports whether the spool no longer holds a servable result.
 func (rs *resultSpool) drop() bool {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -120,6 +120,22 @@ func (rs *resultSpool) drop() bool {
 	rs.fail = "result evicted from the retention window"
 	rs.wake()
 	return true
+}
+
+// evict deletes a finished file-backed spool's results/ file (the
+// count/TTL retention policy). The spool stays "done" with no
+// failure, so a later reader finds it unservable — the 410 Gone
+// path — rather than failed; an identical resubmit regenerates the
+// file deterministically at zero charge. A still-running spool is
+// left alone: its writer owns the file.
+func (rs *resultSpool) evict() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.path == "" || !rs.done {
+		return
+	}
+	_ = os.Remove(rs.path)
+	rs.wake()
 }
 
 // remove deletes a file-backed spool's file (jobs forgotten by the

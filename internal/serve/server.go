@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"sync"
@@ -60,20 +61,41 @@ type Options struct {
 	// temp dir. The trace still never touches RAM whole, but nothing
 	// survives a restart — including the spool and the ledger.
 	AllowVolatileStream bool
+	// AllowVolatileFeed accepts live window-feed registrations
+	// (?feed=1) without a StateDir: window arrivals and per-key
+	// charges then live in memory only and die with the process —
+	// fine for tests and demos, a privacy bug for any deployment
+	// whose feed outlives its process.
+	AllowVolatileFeed bool
+	// SealAfter, when positive, auto-seals a live feed once no window
+	// has arrived for that long: follow jobs then drain and finish
+	// instead of waiting forever on a producer that went away. The
+	// next PUT reopens the feed under a new epoch.
+	SealAfter time.Duration
+	// MaxResults bounds retained results — finished jobs' in-memory
+	// tables and their results/ spool files (≤ 0 means 256); evicted
+	// results answer 410 Gone and regenerate on an identical resubmit
+	// at zero budget cost. ResultTTL additionally evicts results
+	// older than it (0 = no age sweep).
+	MaxResults int
+	ResultTTL  time.Duration
 }
 
 // Server is the netdpsynd HTTP service: a dataset registry, a
 // per-dataset budget ledger, and an async job queue behind a JSON
 // API.
 //
-//	POST /datasets                    register a CSV trace (body = CSV)
-//	GET  /datasets                    list datasets
-//	GET  /datasets/{id}               one dataset's metadata + budget
-//	GET  /datasets/{id}/budget        the cumulative zCDP ledger
-//	POST /datasets/{id}/synthesize    submit a synthesis job (JSON body)
-//	GET  /jobs/{id}                   poll a job
-//	GET  /jobs/{id}/result.csv        fetch a finished job's trace
-//	GET  /healthz                     liveness
+//	POST /datasets                           register a CSV trace (body = CSV)
+//	GET  /datasets                           list datasets
+//	GET  /datasets/{id}                      one dataset's metadata + budget
+//	GET  /datasets/{id}/budget               the cumulative zCDP ledger
+//	PUT  /datasets/{id}/windows/{bucket}     publish one live-feed window (body = CSV)
+//	POST /datasets/{id}/seal                 seal a live feed's current epoch
+//	POST /datasets/{id}/synthesize           submit a synthesis job (JSON body)
+//	GET  /jobs                               list jobs (?dataset=&status=)
+//	GET  /jobs/{id}                          poll a job
+//	GET  /jobs/{id}/result.csv               fetch a finished job's trace
+//	GET  /healthz                            liveness
 type Server struct {
 	opts     Options
 	reg      *Registry
@@ -82,6 +104,10 @@ type Server struct {
 	recovery *RecoveryInfo  // nil when StateDir is empty
 	mux      *http.ServeMux
 	http     *http.Server
+
+	// sealStop ends the -seal-after idle sweeper (nil when disabled).
+	sealStop chan struct{}
+	sealWG   sync.WaitGroup
 
 	// tmpSpool backs volatile streaming registrations (no state dir):
 	// created lazily, removed at Shutdown.
@@ -121,7 +147,15 @@ func NewServer(opts Options) (*Server, error) {
 		store: store,
 		mux:   http.NewServeMux(),
 	}
-	s.queue = NewQueue(s.reg, opts.MaxConcurrentJobs, opts.Workers, store, opts.DefaultWindowSpan, opts.MaxWindowRows)
+	s.queue = NewQueue(s.reg, QueueOptions{
+		Runners:       opts.MaxConcurrentJobs,
+		WorkersTotal:  opts.Workers,
+		Store:         store,
+		DefaultSpan:   opts.DefaultWindowSpan,
+		MaxWindowRows: opts.MaxWindowRows,
+		MaxResults:    opts.MaxResults,
+		ResultTTL:     opts.ResultTTL,
+	})
 	if state != nil {
 		s.recovery = restoreState(s.reg, s.queue, store, state)
 	}
@@ -133,12 +167,46 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /datasets/{id}", s.handleDataset)
 	s.mux.HandleFunc("GET /datasets/{id}/budget", s.handleBudget)
+	s.mux.HandleFunc("PUT /datasets/{id}/windows/{bucket}", s.handleWindowPut)
+	s.mux.HandleFunc("POST /datasets/{id}/seal", s.handleSeal)
 	s.mux.HandleFunc("POST /datasets/{id}/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /jobs/{id}/result.csv", s.handleJobResult)
 
+	if opts.SealAfter > 0 {
+		s.sealStop = make(chan struct{})
+		s.sealWG.Add(1)
+		go s.idleSealer(opts.SealAfter)
+	}
+
 	s.http = &http.Server{Addr: opts.Addr, Handler: s.mux}
 	return s, nil
+}
+
+// idleSealer implements -seal-after: a feed with no arrival for the
+// idle window is sealed so its follow jobs finish.
+func (s *Server) idleSealer(idle time.Duration) {
+	defer s.sealWG.Done()
+	tick := idle / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > 30*time.Second {
+		tick = 30 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sealStop:
+			return
+		case <-t.C:
+			for _, d := range s.reg.List() {
+				d.sealIfIdle(idle, s.store)
+			}
+		}
+	}
 }
 
 // Handler exposes the route table, for tests via httptest.Server.
@@ -168,12 +236,23 @@ func (s *Server) volatileSpoolDir() (string, error) {
 	return s.tmpSpoolDir, s.tmpSpoolErr
 }
 
-// Shutdown stops accepting requests, drains the job queue so admitted
-// (budget-charged) jobs finish before the process exits, then
-// compacts and closes the durable store so the next boot replays a
-// snapshot instead of a long journal.
+// Shutdown stops accepting requests, seals every live feed (so
+// follow jobs drain and finish — a journaled seal: after a restart
+// the epoch stays closed and the next PUT opens a fresh one), drains
+// the job queue so admitted (budget-charged) jobs finish before the
+// process exits, then compacts and closes the durable store so the
+// next boot replays a snapshot instead of a long journal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	httpErr := s.http.Shutdown(ctx)
+	if s.sealStop != nil {
+		close(s.sealStop)
+		s.sealWG.Wait()
+	}
+	for _, d := range s.reg.List() {
+		if d.Feed() {
+			_, _ = d.SealFeed(s.store) // best-effort: the drain below needs follow jobs unblocked
+		}
+	}
 	queueErr := s.queue.Shutdown(ctx)
 	if s.store != nil {
 		// Best-effort: an uncompacted journal replays identically,
@@ -248,6 +327,14 @@ func schemaFor(kind, label string) (*netdpsyn.Schema, string, error) {
 //	stream       1/true: register as a streaming dataset — the trace
 //	             is spooled to disk only (time-ordered input required)
 //	             and synthesized window-by-window in bounded memory
+//	feed         1/true: register a live window feed — no body; whole
+//	             windows of `span` timestamp units arrive later via
+//	             PUT /datasets/{id}/windows/{bucket} and follow jobs
+//	             synthesize them as they land
+//	span         the feed's fixed time-bucket span (required with feed)
+//	bucket_lo    declared bucket range for the feed: arrivals outside
+//	bucket_hi    [bucket_lo, bucket_hi] are rejected at PUT, and follow
+//	             jobs report declared-but-empty buckets explicitly
 //	budget_eps   cumulative ε ceiling (with budget_delta → ρ ceiling)
 //	budget_delta δ for the ceiling and for reported ε (default 1e-5)
 //	budget_rho   ρ ceiling directly (overrides budget_eps)
@@ -271,44 +358,26 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad stream %q (want 1 or 0)", v)
 		return
 	}
-
-	// Strict parsing for the privacy-ceiling parameters: a typo in the
-	// security-critical numbers must 400, never be half-parsed.
-	budgetDelta := 1e-5
-	if v := q.Get("budget_delta"); v != "" {
-		var err error
-		if budgetDelta, err = strconv.ParseFloat(v, 64); err != nil {
-			writeErr(w, http.StatusBadRequest, "bad budget_delta %q", v)
-			return
-		}
-	}
-	var ceilingRho float64
-	switch {
-	case q.Get("budget_rho") != "":
-		var err error
-		if ceilingRho, err = strconv.ParseFloat(q.Get("budget_rho"), 64); err != nil {
-			writeErr(w, http.StatusBadRequest, "bad budget_rho %q", q.Get("budget_rho"))
-			return
-		}
+	feed := false
+	switch v := q.Get("feed"); v {
+	case "", "0", "false":
+	case "1", "true":
+		feed = true
 	default:
-		eps := s.opts.DefaultBudgetEps
-		if v := q.Get("budget_eps"); v != "" {
-			var err error
-			if eps, err = strconv.ParseFloat(v, 64); err != nil {
-				writeErr(w, http.StatusBadRequest, "bad budget_eps %q", v)
-				return
-			}
-		}
-		var err error
-		ceilingRho, err = netdpsyn.RhoFromEpsDelta(eps, budgetDelta)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad budget ceiling: %v", err)
-			return
-		}
+		writeErr(w, http.StatusBadRequest, "bad feed %q (want 1 or 0)", v)
+		return
 	}
-	budget, err := NewBudget(ceilingRho, budgetDelta)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+	if feed {
+		s.registerFeed(w, r, kind, label, schema)
+		return
+	}
+	if q.Get("span") != "" || q.Get("bucket_lo") != "" || q.Get("bucket_hi") != "" {
+		writeErr(w, http.StatusBadRequest, "span and bucket_lo/bucket_hi apply to feed registrations (feed=1)")
+		return
+	}
+
+	budget, ok := s.parseBudget(w, q)
+	if !ok {
 		return
 	}
 
@@ -434,6 +503,243 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, d.Info())
 }
 
+// parseBudget strictly parses the privacy-ceiling query parameters
+// (budget_rho / budget_eps / budget_delta): a typo in the
+// security-critical numbers must 400, never be half-parsed. On
+// failure the response has been written and ok is false.
+func (s *Server) parseBudget(w http.ResponseWriter, q url.Values) (*Budget, bool) {
+	budgetDelta := 1e-5
+	if v := q.Get("budget_delta"); v != "" {
+		var err error
+		if budgetDelta, err = strconv.ParseFloat(v, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad budget_delta %q", v)
+			return nil, false
+		}
+	}
+	var ceilingRho float64
+	switch {
+	case q.Get("budget_rho") != "":
+		var err error
+		if ceilingRho, err = strconv.ParseFloat(q.Get("budget_rho"), 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad budget_rho %q", q.Get("budget_rho"))
+			return nil, false
+		}
+	default:
+		eps := s.opts.DefaultBudgetEps
+		if v := q.Get("budget_eps"); v != "" {
+			var err error
+			if eps, err = strconv.ParseFloat(v, 64); err != nil {
+				writeErr(w, http.StatusBadRequest, "bad budget_eps %q", v)
+				return nil, false
+			}
+		}
+		var err error
+		ceilingRho, err = netdpsyn.RhoFromEpsDelta(eps, budgetDelta)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad budget ceiling: %v", err)
+			return nil, false
+		}
+	}
+	budget, err := NewBudget(ceilingRho, budgetDelta)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return budget, true
+}
+
+// registerFeed installs a live window-feed dataset: no records yet —
+// whole windows arrive later via PUT. Requires a state dir (window
+// arrivals and per-key charges must be durable) unless the volatile
+// opt-in is set.
+func (s *Server) registerFeed(w http.ResponseWriter, r *http.Request, kind, label string, schema *netdpsyn.Schema) {
+	q := r.URL.Query()
+	if s.store == nil && !s.opts.AllowVolatileFeed {
+		writeErr(w, http.StatusBadRequest, "feed registration needs -state-dir (or -follow to accept a volatile in-memory feed)")
+		return
+	}
+	span, err := strconv.ParseInt(q.Get("span"), 10, 64)
+	if err != nil || span <= 0 {
+		writeErr(w, http.StatusBadRequest, "feed registration needs a positive span, got %q", q.Get("span"))
+		return
+	}
+	parseBucket := func(name string) (*int64, bool) {
+		v := q.Get(name)
+		if v == "" {
+			return nil, true
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad %s %q", name, v)
+			return nil, false
+		}
+		return &n, true
+	}
+	bucketLo, ok := parseBucket("bucket_lo")
+	if !ok {
+		return
+	}
+	bucketHi, ok := parseBucket("bucket_hi")
+	if !ok {
+		return
+	}
+	if (bucketLo == nil) != (bucketHi == nil) {
+		writeErr(w, http.StatusBadRequest, "declare both bucket_lo and bucket_hi, or neither")
+		return
+	}
+	// A feed carries no registration body: windows arrive via PUT.
+	if n, _ := io.CopyN(io.Discard, r.Body, 1); n > 0 {
+		writeErr(w, http.StatusBadRequest, "feed registrations take no body; PUT windows to /datasets/{id}/windows/{bucket}")
+		return
+	}
+	budget, ok := s.parseBudget(w, q)
+	if !ok {
+		return
+	}
+	d, err := s.reg.Register(RegisterRequest{
+		Name:     q.Get("name"),
+		Kind:     kind,
+		Label:    label,
+		Schema:   schema,
+		Budget:   budget,
+		Feed:     true,
+		Span:     span,
+		BucketLo: bucketLo,
+		BucketHi: bucketHi,
+	})
+	switch {
+	case errors.Is(err, ErrPersist):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrRegistryFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, d.Info())
+}
+
+// WindowAck acknowledges a published live-feed window.
+type WindowAck struct {
+	DatasetID string `json:"dataset_id"`
+	Bucket    int64  `json:"bucket"`
+	Epoch     int    `json:"epoch"`
+	Rows      int    `json:"rows"`
+	// WindowsSealed counts the epoch's sealed windows so far.
+	WindowsSealed int `json:"windows_sealed"`
+}
+
+// handleWindowPut ingests one whole window into a live feed: the CSV
+// body must decode against the dataset's schema, every row must fall
+// in the path's bucket (⌊ts/span⌋), and rows must be time-ordered.
+// The bucket seals on PUT — a re-PUT in the same epoch is 409 — and
+// the window is spooled + journaled durably before any follow job can
+// see it. A PUT against a sealed feed opens the next epoch.
+func (s *Server) handleWindowPut(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	if !d.Feed() {
+		writeErr(w, http.StatusBadRequest, "dataset %s is not a live window feed (register with feed=1&span=S)", d.ID)
+		return
+	}
+	bucket, err := strconv.ParseInt(r.PathValue("bucket"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad bucket %q: want the absolute time bucket ⌊ts/span⌋ as an integer", r.PathValue("bucket"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	table, err := netdpsyn.LoadCSV(body, d.Schema())
+	if err != nil {
+		if code, msg := uploadErr(err); code != 0 {
+			writeErr(w, code, "%s", msg)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "load window CSV: %v", err)
+		return
+	}
+	if table.NumRows() == 0 {
+		writeErr(w, http.StatusBadRequest, "window has no rows (empty buckets are never PUT — they are what the declared range reports)")
+		return
+	}
+	if max := s.queue.maxWindowRows; table.NumRows() > max {
+		writeErr(w, http.StatusRequestEntityTooLarge, "window holds %d rows, more than the %d-row cap — choose a smaller span", table.NumRows(), max)
+		return
+	}
+	epoch, err := d.PublishWindow(bucket, table, s.store)
+	switch {
+	case errors.Is(err, ErrBucketSealed):
+		writeErr(w, http.StatusConflict, "%v — sealed windows are immutable within an epoch; seal the feed and re-PUT to open a new epoch (the re-release charges that bucket's ledger key again)", err)
+		return
+	case errors.Is(err, ErrBucketRange):
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	case errors.Is(err, ErrFeedFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrPersist):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info := d.Info()
+	writeJSON(w, http.StatusCreated, WindowAck{
+		DatasetID:     d.ID,
+		Bucket:        bucket,
+		Epoch:         epoch,
+		Rows:          table.NumRows(),
+		WindowsSealed: info.WindowsSealed,
+	})
+}
+
+// handleSeal closes a live feed's current epoch: follow jobs drain
+// and finish, and the next PUT reopens the feed under a new epoch.
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	epoch, err := d.SealFeed(s.store)
+	switch {
+	case errors.Is(err, ErrNotFeed):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrPersist):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset_id": d.ID, "epoch": epoch, "sealed": true})
+}
+
+// handleListJobs enumerates jobs in admission order, for operators of
+// long-lived follow deployments. Filters: ?dataset={id} and
+// ?status={queued|running|done|failed}.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := JobState(q.Get("status"))
+	switch state {
+	case "", JobQueued, JobRunning, JobDone, JobFailed:
+	default:
+		writeErr(w, http.StatusBadRequest, "bad status %q (want queued, running, done, or failed)", state)
+		return
+	}
+	if ds := q.Get("dataset"); ds != "" {
+		if _, ok := s.reg.Get(ds); !ok {
+			writeErr(w, http.StatusNotFound, "no dataset %q", ds)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.queue.List(q.Get("dataset"), state))
+}
+
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	ds := s.reg.List()
 	out := make([]Info, len(ds))
@@ -482,13 +788,25 @@ type SynthesisRequest struct {
 	// one); each window is synthesized under the full (ε, δ) and
 	// streamed into result.csv as it completes. WindowSpan cuts fixed
 	// time buckets of that many timestamp units — membership is
-	// data-independent, so the ledger charges ONE window's ρ (parallel
-	// composition). Windows cuts that many row-count quantile windows
-	// — boundaries are data-dependent, so the ledger charges windows ×
-	// ρ (sequential composition). Streaming datasets accept only
+	// data-independent, so each window's release charges ONE window's
+	// ρ to its own (span, bucket) ledger key, and distinct keys
+	// compose in parallel (the ledger position is their max). Windows
+	// cuts that many row-count quantile windows — boundaries are
+	// data-dependent, so the ledger charges windows × ρ at admission
+	// (sequential composition). Streaming datasets accept only
 	// WindowSpan. See Queue.Submit for the full argument.
 	Windows    int   `json:"windows"`
 	WindowSpan int64 `json:"window_span"`
+	// Follow requests a live-feed follow job (feed datasets only):
+	// synthesize each window of the current epoch as it lands, finish
+	// when the feed is sealed. Windowing comes from the feed's span.
+	Follow bool `json:"follow"`
+	// BucketLo/Hi declare a span job's expected bucket range: the
+	// finished job reports declared-but-empty buckets explicitly and
+	// a window outside the range fails the job. Follow jobs inherit
+	// the range declared at feed registration instead.
+	BucketLo *int64 `json:"bucket_lo,omitempty"`
+	BucketHi *int64 `json:"bucket_hi,omitempty"`
 }
 
 // SynthesisResponse acknowledges an admitted (or cache-hit) job.
@@ -496,11 +814,15 @@ type SynthesisResponse struct {
 	JobID string `json:"job_id"`
 	// Cached reports that an identical (Config, Seed) release was
 	// already admitted; the budget was not charged again.
-	Cached     bool     `json:"cached"`
+	Cached bool `json:"cached"`
+	// Rho is the job's per-release price — for span/follow jobs, the
+	// per-window ρ each released bucket's ledger key is charged.
 	Rho        float64  `json:"rho"`
 	State      JobState `json:"state"`
 	Windows    int      `json:"windows,omitempty"`
 	WindowSpan int64    `json:"window_span,omitempty"`
+	Follow     bool     `json:"follow,omitempty"`
+	Epoch      int      `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
@@ -525,7 +847,13 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		KeyAttr:          req.KeyAttr,
 		UseGUM:           req.UseGUM,
 	}
-	job, cached, err := s.queue.Submit(d, cfg, req.Windows, req.WindowSpan)
+	job, cached, err := s.queue.Submit(d, cfg, SubmitRequest{
+		Windows:  req.Windows,
+		Span:     req.WindowSpan,
+		Follow:   req.Follow,
+		BucketLo: req.BucketLo,
+		BucketHi: req.BucketHi,
+	})
 	switch {
 	case errors.Is(err, ErrBudgetExceeded):
 		writeErr(w, http.StatusForbidden, "%v", err)
@@ -547,6 +875,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		State:      info.State,
 		Windows:    job.Windows,
 		WindowSpan: job.Span,
+		Follow:     job.Follow,
+		Epoch:      job.Epoch,
 	})
 }
 

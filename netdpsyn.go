@@ -254,6 +254,18 @@ type StreamOptions struct {
 	// BatchRows tunes the CSV decode batch size (0 = default 4096).
 	// It affects memory granularity only, never output.
 	BatchRows int
+	// BeforeWindow, when non-nil, runs before each window's pipeline
+	// with the window's bucket key and record count; returning an
+	// error stops the stream before that window (or any later one) is
+	// synthesized. It is the admission seam for per-window budget
+	// accounting: a ledger that meters ρ per bucket key charges here,
+	// so the charge is durable before any noise is sampled for the
+	// window. Note the callback observes which buckets are non-empty
+	// (and how full) — callers metering a deployment where bucket
+	// occupancy is itself sensitive must treat that information with
+	// the same care as the release (see the serve layer's declared
+	// bucket ranges). BeforeWindow never changes synthesis output.
+	BeforeWindow func(bucket int64, rows int) error
 }
 
 // SynthesizeStream reads a CSV trace from r and synthesizes it
@@ -294,7 +306,7 @@ func (s *Synthesizer) SynthesizeStream(r io.Reader, schema *Schema, opts StreamO
 	if err != nil {
 		return err
 	}
-	return s.synthesizeSource(src, emit)
+	return s.synthesizeGated(src, opts.BeforeWindow, emit)
 }
 
 // SynthesizeWindows splits a pre-loaded trace into `windows` disjoint
@@ -333,6 +345,110 @@ func (s *Synthesizer) SynthesizeTimeWindows(t *Table, span int64, emit func(Wind
 	src, err := core.NewTableTimeWindows(t, span)
 	if err != nil {
 		return err
+	}
+	return s.synthesizeSource(src, emit)
+}
+
+// Window is one partition of a trace flowing through windowed
+// synthesis: its bucket key (ID) and its self-contained table.
+type Window = dataset.Window
+
+// WindowSource yields trace partitions for windowed synthesis; see
+// the core engine for the seeding and composition contract. A source
+// may block in Next awaiting live data (implement Stop as
+// dataset.LiveWindows does so an aborted stream can unblock it).
+type WindowSource = core.WindowSource
+
+// WindowFeed is the push seam of continuous ingest: producers publish
+// whole fixed time-bucket windows as they are sealed, and live
+// sources replay the feed and then block awaiting the next seal. It
+// is what the netdpsynd PUT /datasets/{id}/windows/{bucket} endpoint
+// feeds, exported here for library deployments that ingest windows
+// in-process.
+type WindowFeed = dataset.WindowFeed
+
+// LiveWindows is the blocking WindowSource over a WindowFeed (see
+// WindowFeed.Live).
+type LiveWindows = dataset.LiveWindows
+
+// NewWindowFeed creates an empty live window feed over the canonical
+// "ts" field with fixed time buckets of `span` timestamp units.
+func NewWindowFeed(schema *Schema, span int64) (*WindowFeed, error) {
+	return dataset.NewWindowFeed(schema, FieldTS, span)
+}
+
+// TimeBucket maps a timestamp to its span window key ⌊ts/span⌋ (floor
+// semantics, so negative timestamps bucket consistently) — the bucket
+// number a producer PUTs a window under, and the key the per-window
+// budget ledger charges.
+func TimeBucket(ts, span int64) int64 {
+	return dataset.TimeBucket(ts, span)
+}
+
+// TimeWindowSource adapts a pre-loaded trace to a fixed time-span
+// WindowSource — the same partitions (and bucket IDs, hence seeds)
+// SynthesizeTimeWindows uses, exposed so callers can run them through
+// SynthesizeSource with a BeforeWindow hook.
+func TimeWindowSource(t *Table, span int64) (WindowSource, error) {
+	return core.NewTableTimeWindows(t, span)
+}
+
+// SynthesizeSource runs windowed synthesis over an arbitrary
+// WindowSource: each yielded window is synthesized under the full
+// (ε, δ) budget with a seed derived from (Config.Seed, Window.ID) and
+// emitted in yield order as it completes. The source decides the
+// partitioning — and therefore the composition argument; see
+// StreamOptions. Of opts, only BeforeWindow applies here (the split
+// fields configure CSV streams and must be zero). With a live source
+// (WindowFeed.Live) the call keeps synthesizing windows as they are
+// published and returns when the feed is closed and drained.
+func (s *Synthesizer) SynthesizeSource(src WindowSource, opts StreamOptions, emit func(WindowResult) error) error {
+	if opts.Windows != 0 || opts.TotalRows != 0 || opts.WindowRows != 0 || opts.WindowSpan != 0 || opts.MaxWindowRows != 0 || opts.BatchRows != 0 {
+		return fmt.Errorf("netdpsyn: SynthesizeSource takes the partitioning from the source; only StreamOptions.BeforeWindow may be set")
+	}
+	if src == nil {
+		return fmt.Errorf("netdpsyn: nil window source")
+	}
+	return s.synthesizeGated(src, opts.BeforeWindow, emit)
+}
+
+// gatedSource runs a BeforeWindow hook in front of an inner source,
+// forwarding the optional Windows/Stop extensions so worker splitting
+// and live-abort behave exactly as without the gate.
+type gatedSource struct {
+	src    core.WindowSource
+	before func(bucket int64, rows int) error
+}
+
+func (g *gatedSource) Next() (dataset.Window, error) {
+	w, err := g.src.Next()
+	if err != nil {
+		return w, err
+	}
+	if w.Table != nil && w.Table.NumRows() > 0 {
+		if err := g.before(w.ID, w.Table.NumRows()); err != nil {
+			return dataset.Window{}, err
+		}
+	}
+	return w, nil
+}
+
+func (g *gatedSource) Windows() int {
+	if wc, ok := g.src.(interface{ Windows() int }); ok {
+		return wc.Windows()
+	}
+	return 0
+}
+
+func (g *gatedSource) Stop() {
+	if st, ok := g.src.(core.StoppableSource); ok {
+		st.Stop()
+	}
+}
+
+func (s *Synthesizer) synthesizeGated(src core.WindowSource, before func(bucket int64, rows int) error, emit func(WindowResult) error) error {
+	if before != nil {
+		src = &gatedSource{src: src, before: before}
 	}
 	return s.synthesizeSource(src, emit)
 }
@@ -398,6 +514,14 @@ func PacketSchema() *Schema {
 // header must include every schema field).
 func LoadCSV(r io.Reader, schema *Schema) (*Table, error) {
 	return dataset.ReadCSV(r, schema)
+}
+
+// NewTable creates an empty trace table over a schema (n is a
+// capacity hint). Programmatic producers — a capture loop publishing
+// windows into a WindowFeed, for instance — build their tables here
+// and append rows with Table.AppendRow.
+func NewTable(schema *Schema, n int) *Table {
+	return dataset.NewTable(schema, n)
 }
 
 // RhoFromEpsDelta exposes the zCDP conversion used internally, for

@@ -151,6 +151,115 @@ func TestTimeWindowStreamEquivalence(t *testing.T) {
 	}
 }
 
+// TestLiveFeedEquivalence is the continuous-ingest contract on the
+// public API: the same buckets published in time order into a live
+// WindowFeed — while SynthesizeSource is already running and blocking
+// on the feed — produce output byte-identical, window for window, to
+// SynthesizeTimeWindows on the pre-loaded table at the same seed. The
+// live source shares bucket IDs (hence per-window seeds) with the
+// batch path, so arrival timing never touches the bytes. The
+// BeforeWindow hook observes every bucket exactly once, in order,
+// without changing output — the property the serve layer's
+// per-window-key ledger charges through.
+func TestLiveFeedEquivalence(t *testing.T) {
+	body, schema := sortedTraceCSV(t, 1100)
+	table, err := netdpsyn.LoadCSV(strings.NewReader(body), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := table.Column(table.Schema().Index(trace.FieldTS))
+	span := (col[len(col)-1]-col[0])/4 + 1
+	cfg := netdpsyn.Config{Epsilon: 1.0, UpdateIterations: 4, Seed: 17, Workers: 2}
+	syn, err := netdpsyn.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var batch []netdpsyn.WindowResult
+	if err := syn.SynthesizeTimeWindows(table, span, func(wr netdpsyn.WindowResult) error {
+		batch = append(batch, wr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) < 2 {
+		t.Fatalf("span %d cut only %d windows — want several", span, len(batch))
+	}
+
+	// Cut the table into its buckets and publish them one at a time,
+	// each only after the previous window's synthesis was emitted —
+	// the strictest live schedule.
+	bucketOf := func(ts int64) int64 { return netdpsyn.TimeBucket(ts, span) }
+	type cut struct {
+		bucket int64
+		tab    *netdpsyn.Table
+	}
+	var cuts []cut
+	for lo := 0; lo < table.NumRows(); {
+		b := bucketOf(col[lo])
+		hi := lo
+		for hi < table.NumRows() && bucketOf(col[hi]) == b {
+			hi++
+		}
+		part := netdpsyn.NewTable(schema, hi-lo)
+		if err := part.AppendRowRange(table, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		cuts = append(cuts, cut{bucket: b, tab: part})
+		lo = hi
+	}
+	feed, err := netdpsyn.NewWindowFeed(schema, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := make(chan struct{})
+	go func() {
+		for _, c := range cuts {
+			if err := feed.Publish(c.bucket, c.tab); err != nil {
+				t.Errorf("publish bucket %d: %v", c.bucket, err)
+				break
+			}
+			<-emitted
+		}
+		feed.Close()
+	}()
+
+	var gated []int64
+	var live []netdpsyn.WindowResult
+	err = syn.SynthesizeSource(feed.Live(), netdpsyn.StreamOptions{
+		BeforeWindow: func(bucket int64, rows int) error {
+			gated = append(gated, bucket)
+			return nil
+		},
+	}, func(wr netdpsyn.WindowResult) error {
+		live = append(live, wr)
+		emitted <- struct{}{}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(live) != len(batch) {
+		t.Fatalf("windows: live %d, batch %d", len(live), len(batch))
+	}
+	if len(gated) != len(cuts) {
+		t.Fatalf("BeforeWindow saw %d buckets, want %d", len(gated), len(cuts))
+	}
+	for i := range gated {
+		if gated[i] != cuts[i].bucket {
+			t.Fatalf("gate order: %v", gated)
+		}
+	}
+	for i := range batch {
+		if batch[i].Window != live[i].Window || batch[i].Records != live[i].Records {
+			t.Fatalf("window %d: (%d, %d records) vs (%d, %d records)",
+				i, batch[i].Window, batch[i].Records, live[i].Window, live[i].Records)
+		}
+		identicalTables(t, fmt.Sprintf("live window %d", i), batch[i].Table, live[i].Table)
+	}
+}
+
 // TestStreamUnsortedRejected: the streaming path refuses a trace that
 // is not time-ordered instead of silently cutting non-contiguous
 // windows.

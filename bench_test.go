@@ -188,6 +188,8 @@ func BenchmarkStageTimings(b *testing.B) {
 	}
 	wall := make(map[string]time.Duration)
 	busy := make(map[string]time.Duration)
+	b.ReportAllocs()
+	mem := newMemMeter()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := syn.Synthesize(raw)
@@ -209,7 +211,7 @@ func BenchmarkStageTimings(b *testing.B) {
 		b.ReportMetric(ms(busy[name]), name+"-busy-ms")
 	}
 	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
-		if err := writeStageTimingsJSON(path, "BenchmarkStageTimings", b.N, elapsed, wall, busy); err != nil {
+		if err := writeStageTimingsJSON(path, "BenchmarkStageTimings", b.N, elapsed, wall, busy, mem.perOp(b.N)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,6 +237,8 @@ func BenchmarkWindowedThroughput(b *testing.B) {
 	}
 	const windows = 4
 	var busy time.Duration
+	b.ReportAllocs()
+	mem := newMemMeter()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		err := syn.SynthesizeWindows(raw, windows, func(wr netdpsyn.WindowResult) error {
@@ -254,7 +258,7 @@ func BenchmarkWindowedThroughput(b *testing.B) {
 	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
 		wall := map[string]time.Duration{"windowed": elapsed}
 		busyM := map[string]time.Duration{"windowed": busy}
-		if err := writeStageTimingsJSON(path, "BenchmarkWindowedThroughput", b.N, elapsed, wall, busyM); err != nil {
+		if err := writeStageTimingsJSON(path, "BenchmarkWindowedThroughput", b.N, elapsed, wall, busyM, mem.perOp(b.N)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -357,6 +361,8 @@ func BenchmarkFollowIngest(b *testing.B) {
 		return info.WindowsDone
 	}
 
+	b.ReportAllocs()
+	mem := newMemMeter()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req, err := http.NewRequest(http.MethodPut,
@@ -378,6 +384,7 @@ func BenchmarkFollowIngest(b *testing.B) {
 	}
 	b.StopTimer()
 	elapsed := b.Elapsed()
+	memOp := mem.perOp(b.N) // before the seal below allocates more
 	b.ReportMetric(float64(windowRows)*float64(b.N)/elapsed.Seconds(), "rows/sec")
 
 	// Seal so the job finishes and reports its summed pipeline stages
@@ -398,15 +405,47 @@ func BenchmarkFollowIngest(b *testing.B) {
 	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
 		wall := map[string]time.Duration{"follow": elapsed}
 		busyM := map[string]time.Duration{"follow": busy}
-		if err := writeStageTimingsJSON(path, "BenchmarkFollowIngest", b.N, elapsed, wall, busyM); err != nil {
+		if err := writeStageTimingsJSON(path, "BenchmarkFollowIngest", b.N, elapsed, wall, busyM, memOp); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+// memMeter measures a benchmark loop's heap traffic so allocs/op can
+// land in the trajectory artifact: snapshot at construction (just
+// before ResetTimer), read the deltas at perOp (just after
+// StopTimer). testing's own -benchmem counters aren't readable from
+// inside the benchmark, so this mirrors them with ReadMemStats.
+type memMeter struct {
+	start runtime.MemStats
+}
+
+// memPerOp is one benchmark's per-op heap traffic.
+type memPerOp struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+func newMemMeter() *memMeter {
+	m := &memMeter{}
+	runtime.ReadMemStats(&m.start)
+	return m
+}
+
+// perOp reads the deltas since construction, averaged over n ops.
+func (m *memMeter) perOp(n int) memPerOp {
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	return memPerOp{
+		AllocsPerOp: float64(end.Mallocs-m.start.Mallocs) / float64(n),
+		BytesPerOp:  float64(end.TotalAlloc-m.start.TotalAlloc) / float64(n),
+	}
+}
+
 // stageTimingsFile is the BENCH_stage_timings.json shape shared with
 // cmd/benchtraj: per-stage wall/busy milliseconds averaged over N
-// runs, plus the equivalent benchfmt text lines for benchstat.
+// runs, per-benchmark heap traffic, plus the equivalent benchfmt text
+// lines for benchstat.
 type stageTimingsFile struct {
 	Benchmark string                       `json:"benchmark"`
 	Go        string                       `json:"go"`
@@ -415,6 +454,7 @@ type stageTimingsFile struct {
 	N         int                          `json:"n"`
 	NsPerOp   float64                      `json:"ns_per_op"`
 	Stages    map[string]stageTimingsEntry `json:"stages"`
+	Mem       map[string]memPerOp          `json:"mem,omitempty"`
 	Benchfmt  []string                     `json:"benchfmt"`
 }
 
@@ -424,11 +464,12 @@ type stageTimingsEntry struct {
 }
 
 // writeStageTimingsJSON merges the given benchmark's stage metrics
-// into the bench trajectory artifact: an existing file's stages and
-// benchfmt lines are kept (same-named stages overwritten), so
-// BenchmarkStageTimings and BenchmarkWindowedThroughput run in one CI
-// step and land in one artifact.
-func writeStageTimingsJSON(path, bench string, n int, elapsed time.Duration, wall, busy map[string]time.Duration) error {
+// into the bench trajectory artifact: an existing file's stages, mem
+// entries, and benchfmt lines are kept (same-named entries
+// overwritten), so BenchmarkStageTimings, BenchmarkWindowedThroughput
+// and BenchmarkFollowIngest run in one CI step and land in one
+// artifact.
+func writeStageTimingsJSON(path, bench string, n int, elapsed time.Duration, wall, busy map[string]time.Duration, mem memPerOp) error {
 	ms := func(d time.Duration) float64 {
 		return float64(d.Microseconds()) / 1e3 / float64(n)
 	}
@@ -440,12 +481,18 @@ func writeStageTimingsJSON(path, bench string, n int, elapsed time.Duration, wal
 		N:         n,
 		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(n),
 		Stages:    make(map[string]stageTimingsEntry, len(wall)),
+		Mem:       map[string]memPerOp{bench: mem},
 	}
 	if prev, err := os.ReadFile(path); err == nil {
 		var old stageTimingsFile
 		if json.Unmarshal(prev, &old) == nil {
 			for name, e := range old.Stages {
 				out.Stages[name] = e
+			}
+			for name, e := range old.Mem {
+				if name != bench {
+					out.Mem[name] = e
+				}
 			}
 			for _, l := range old.Benchfmt {
 				// Re-running the same benchmark replaces its line.
@@ -461,7 +508,8 @@ func writeStageTimingsJSON(path, bench string, n int, elapsed time.Duration, wal
 		out.Stages[name] = stageTimingsEntry{WallMS: ms(wall[name]), BusyMS: ms(busy[name])}
 	}
 	sort.Strings(names)
-	line := fmt.Sprintf("%s-%d %d %.0f ns/op", bench, runtime.GOMAXPROCS(0), n, out.NsPerOp)
+	line := fmt.Sprintf("%s-%d %d %.0f ns/op %.0f B/op %.0f allocs/op",
+		bench, runtime.GOMAXPROCS(0), n, out.NsPerOp, mem.BytesPerOp, mem.AllocsPerOp)
 	for _, name := range names {
 		line += fmt.Sprintf(" %.3f %s-wall-ms %.3f %s-busy-ms",
 			out.Stages[name].WallMS, name, out.Stages[name].BusyMS, name)

@@ -30,6 +30,12 @@ type stageEntry struct {
 	BusyMS float64 `json:"busy_ms"`
 }
 
+// memEntry mirrors bench_test.go's memPerOp.
+type memEntry struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
 // stageFile mirrors bench_test.go's stageTimingsFile (unknown fields
 // are ignored, so the two shapes may grow independently).
 type stageFile struct {
@@ -38,6 +44,7 @@ type stageFile struct {
 	N         int                   `json:"n"`
 	NsPerOp   float64               `json:"ns_per_op"`
 	Stages    map[string]stageEntry `json:"stages"`
+	Mem       map[string]memEntry   `json:"mem"`
 }
 
 func load(path string) (*stageFile, error) {
@@ -114,11 +121,60 @@ func compare(baseline, current *stageFile, warnPct float64) (table string, regre
 	return table, regressions
 }
 
+// compareMem renders a per-benchmark allocs/op trajectory and returns
+// the benchmarks whose allocation count regressed by more than
+// allocsWarnPct percent. Baselines without mem data (pre-allocs
+// emissions) and new benchmarks report "—" and never regress.
+func compareMem(baseline, current *stageFile, allocsWarnPct float64) (table string, regressions []string) {
+	if len(baseline.Mem) == 0 && len(current.Mem) == 0 {
+		return "", nil
+	}
+	names := make(map[string]bool)
+	for n := range baseline.Mem {
+		names[n] = true
+	}
+	for n := range current.Mem {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	table = fmt.Sprintf("%-28s %15s %15s %9s\n", "benchmark", "base allocs/op", "cur allocs/op", "Δ%")
+	for _, n := range sorted {
+		b, inBase := baseline.Mem[n]
+		c, inCur := current.Mem[n]
+		switch {
+		case !inBase:
+			table += fmt.Sprintf("%-28s %15s %15.0f %9s\n", n, "—", c.AllocsPerOp, "new")
+		case !inCur:
+			table += fmt.Sprintf("%-28s %15.0f %15s %9s\n", n, b.AllocsPerOp, "—", "gone")
+		default:
+			pct := 0.0
+			if b.AllocsPerOp > 0 {
+				pct = (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp * 100
+			}
+			mark := ""
+			if pct > allocsWarnPct {
+				mark = "  ← REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s allocs/op regressed %.1f%% (%.0f → %.0f, warn threshold %g%%)",
+						n, pct, b.AllocsPerOp, c.AllocsPerOp, allocsWarnPct))
+			}
+			table += fmt.Sprintf("%-28s %15.0f %15.0f %+8.1f%%%s\n", n, b.AllocsPerOp, c.AllocsPerOp, pct, mark)
+		}
+	}
+	return table, regressions
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "bench/BENCH_stage_timings.baseline.json", "committed baseline emission")
 		currentPath  = flag.String("current", "BENCH_stage_timings.json", "this run's emission")
 		warnPct      = flag.Float64("warn-pct", 15, "wall-time regression percentage that triggers a warning")
+		allocsPct    = flag.Float64("allocs-warn-pct", 25, "allocs/op regression percentage that triggers a warning")
 		hard         = flag.Bool("hard", false, "exit 1 on regression instead of soft-warning (dedicated bench hardware only)")
 	)
 	flag.Parse()
@@ -137,13 +193,18 @@ func main() {
 		current.Benchmark, baseline.Go, baseline.N, current.Go, current.N)
 	table, regressions := compare(baseline, current, *warnPct)
 	fmt.Print(table)
+	memTable, memRegressions := compareMem(baseline, current, *allocsPct)
+	if memTable != "" {
+		fmt.Print(memTable)
+	}
+	regressions = append(regressions, memRegressions...)
 	for _, r := range regressions {
 		// ::warning renders as an annotation on the GitHub Actions run;
 		// locally it is just a loud line.
 		fmt.Printf("::warning title=bench trajectory::%s\n", r)
 	}
 	if len(regressions) == 0 {
-		fmt.Printf("no stage regressed past %g%% wall time\n", *warnPct)
+		fmt.Printf("no stage regressed past %g%% wall time or %g%% allocs/op\n", *warnPct, *allocsPct)
 	} else if *hard {
 		os.Exit(1)
 	}

@@ -63,3 +63,53 @@ func TestCompareZeroBaselineStage(t *testing.T) {
 		t.Fatalf("zero-baseline stage flagged: %v", regs)
 	}
 }
+
+func mems(m map[string]float64) map[string]memEntry {
+	out := make(map[string]memEntry, len(m))
+	for n, allocs := range m {
+		out[n] = memEntry{AllocsPerOp: allocs, BytesPerOp: allocs * 100}
+	}
+	return out
+}
+
+func TestCompareMemFlagsRegressions(t *testing.T) {
+	base := &stageFile{Mem: mems(map[string]float64{"BenchmarkStageTimings": 1000, "BenchmarkFollowIngest": 500})}
+	cur := &stageFile{Mem: mems(map[string]float64{"BenchmarkStageTimings": 1400, "BenchmarkFollowIngest": 550})}
+	table, regs := compareMem(base, cur, 25)
+	if len(regs) != 1 { // StageTimings +40%; FollowIngest +10% stays quiet
+		t.Fatalf("mem regressions = %v, want 1", regs)
+	}
+	if !strings.Contains(regs[0], "BenchmarkStageTimings") || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("mem regression = %v", regs)
+	}
+	if !strings.Contains(table, "REGRESSION") {
+		t.Fatalf("mem table missing marker:\n%s", table)
+	}
+}
+
+func TestCompareMemMissingBaseline(t *testing.T) {
+	// A pre-allocs baseline (no mem section) must stay quiet whatever
+	// the current run allocates, and an entirely mem-less pair renders
+	// no table at all.
+	base := &stageFile{}
+	cur := &stageFile{Mem: mems(map[string]float64{"BenchmarkStageTimings": 99999})}
+	table, regs := compareMem(base, cur, 25)
+	if len(regs) != 0 {
+		t.Fatalf("missing-baseline mem flagged: %v", regs)
+	}
+	if !strings.Contains(table, "new") {
+		t.Fatalf("mem table should mark new benchmarks:\n%s", table)
+	}
+	if table, regs := compareMem(&stageFile{}, &stageFile{}, 25); table != "" || len(regs) != 0 {
+		t.Fatalf("mem-less pair should render nothing, got %q %v", table, regs)
+	}
+}
+
+func TestCompareMemZeroBaseline(t *testing.T) {
+	// A zero-alloc baseline benchmark must not divide by zero or flag.
+	base := &stageFile{Mem: mems(map[string]float64{"BenchmarkGUMSteadyState": 0})}
+	cur := &stageFile{Mem: mems(map[string]float64{"BenchmarkGUMSteadyState": 1})}
+	if _, regs := compareMem(base, cur, 25); len(regs) != 0 {
+		t.Fatalf("zero-baseline mem flagged: %v", regs)
+	}
+}

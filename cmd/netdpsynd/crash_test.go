@@ -211,8 +211,10 @@ func TestCrashRestartDurability(t *testing.T) {
 		t.Fatalf("job A = %s (%s)", infoA.State, infoA.Error)
 	}
 
-	// Job B: heavy enough to still be running when the SIGKILL lands.
-	reqB := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 2000, Seed: 12}
+	// Job B: heavy enough (~1s of GUM rounds on one core) to still be
+	// running when the SIGKILL lands, even after the JobRunning poll
+	// and budget read below.
+	reqB := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 50000, Seed: 12}
 	ackB, code := postSynth(t, base, dsInfo.ID, reqB)
 	if code != http.StatusAccepted {
 		t.Fatalf("job B = %d", code)

@@ -89,6 +89,7 @@ func main() {
 		sealAfter   = flag.Duration("seal-after", 0, "auto-seal a live feed after this much inactivity so follow jobs finish (0 = only explicit POST /datasets/{id}/seal)")
 		maxResults  = flag.Int("max-results", 0, "max finished results retained, in memory and under results/ (0 = 256); older results answer 410 Gone and regenerate on resubmit at zero budget cost")
 		resultTTL   = flag.Duration("result-ttl", 0, "age out finished results older than this (0 = no age sweep)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled. The endpoints are unauthenticated — bind to loopback")
 	)
 	flag.Parse()
 	opts, err := buildOptions(flagValues{
@@ -102,7 +103,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
 		os.Exit(2)
 	}
-	if err := run(opts, *drain); err != nil {
+	if err := run(opts, *drain, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "netdpsynd:", err)
 		os.Exit(1)
 	}
@@ -171,10 +172,19 @@ func buildOptions(f flagValues) (serve.Options, error) {
 	}, nil
 }
 
-func run(opts serve.Options, drain time.Duration) error {
+func run(opts serve.Options, drain time.Duration, pprofAddr string) error {
 	s, err := serve.NewServer(opts)
 	if err != nil {
 		return err
+	}
+	if pprofAddr != "" {
+		prof, err := newProfServer(pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer prof.close()
+		go prof.serve()
+		log.Printf("netdpsynd pprof on http://%s/debug/pprof/", prof.addrString())
 	}
 	if rec := s.Recovery(); rec != nil {
 		log.Printf("netdpsynd state dir %s: %s", opts.StateDir, rec)

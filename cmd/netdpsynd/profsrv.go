@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// profServer exposes net/http/pprof on its own listener, separate
+// from the service port: profiling endpoints carry no auth and dump
+// process internals, so they bind to their own (typically loopback)
+// address instead of riding the public mux. Started with -pprof; the
+// synthesis hot path (GUM planning) is what profile and allocs are
+// for — see the README's performance section.
+type profServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// newProfServer binds addr and serves the standard pprof index plus
+// the named handlers on it. The returned server is already listening
+// (so a bad addr fails fast at startup) but not yet serving.
+func newProfServer(addr string) (*profServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener %s: %w", addr, err)
+	}
+	return &profServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}, nil
+}
+
+// addrString reports the bound address (resolving a ":0" request).
+func (p *profServer) addrString() string {
+	return p.ln.Addr().String()
+}
+
+// serve blocks on the pprof listener; a profiling server failing must
+// not take the daemon down, so the error is logged, not returned.
+func (p *profServer) serve() {
+	if err := p.srv.Serve(p.ln); err != nil && err != http.ErrServerClosed {
+		log.Printf("netdpsynd pprof server: %v", err)
+	}
+}
+
+// close tears the listener down (used by shutdown and tests).
+func (p *profServer) close() error {
+	return p.srv.Close()
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestProfServer exercises the -pprof listener end to end: bind an
+// ephemeral port, hit the index and a sampling endpoint, and confirm
+// the profiles the performance docs point at are actually served.
+func TestProfServer(t *testing.T) {
+	prof, err := newProfServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prof.close()
+	go prof.serve()
+	base := "http://" + prof.addrString()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("index = %d", code)
+	}
+	for _, want := range []string{"heap", "goroutine", "allocs"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("pprof index missing %q profile", want)
+		}
+	}
+
+	if code, _ := get("/debug/pprof/heap?debug=1"); code != http.StatusOK {
+		t.Errorf("heap profile = %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("cmdline = %d", code)
+	}
+	if code, _ := get("/debug/pprof/symbol"); code != http.StatusOK {
+		t.Errorf("symbol = %d", code)
+	}
+}
+
+// TestProfServerBadAddr makes a malformed -pprof address fail at
+// startup, not at first scrape.
+func TestProfServerBadAddr(t *testing.T) {
+	if _, err := newProfServer("definitely:not:an:addr"); err == nil {
+		t.Fatal("expected error for malformed address")
+	} else if !strings.Contains(fmt.Sprint(err), "pprof listener") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
-	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,6 +46,17 @@ func newEngine(workers int) *engine {
 // fn must not depend on which worker runs it or in what order tasks
 // complete; results belong in per-index slots.
 func (e *engine) parallelFor(n int, fn func(i int)) {
+	e.parallelForWorker(n, func(_, i int) { fn(i) })
+}
+
+// parallelForWorker is parallelFor with the running worker's pool
+// slot handed to each task: fn(w, i) sees w < e.workers, and no two
+// concurrent tasks share a w. Tasks may therefore keep per-worker
+// scratch arenas indexed by w (GUM's planUpdate does) — but the
+// determinism contract still holds: a task's OUTPUT must not depend
+// on w, so scratch may carry reusable buffers, never values that
+// leak into results.
+func (e *engine) parallelForWorker(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -58,7 +67,7 @@ func (e *engine) parallelFor(n int, fn func(i int)) {
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			start := time.Now()
-			fn(i)
+			fn(0, i)
 			e.busy.Add(int64(time.Since(start)))
 		}
 		return
@@ -67,7 +76,7 @@ func (e *engine) parallelFor(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -75,10 +84,10 @@ func (e *engine) parallelFor(n int, fn func(i int)) {
 					return
 				}
 				start := time.Now()
-				fn(i)
+				fn(worker, i)
 				e.busy.Add(int64(time.Since(start)))
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }
@@ -113,15 +122,23 @@ type StageTiming struct {
 }
 
 // taskSeed derives the RNG seed of parallel task idx within a named
-// stage from the pipeline seed. The stage tag is hashed so different
-// stages draw from unrelated streams even at equal indices, and a
-// splitmix64 finalizer decorrelates consecutive indices. This is the
-// only sanctioned seed derivation for parallel tasks (see the
-// determinism contract above).
+// stage from the pipeline seed. The stage tag is hashed (FNV-1a,
+// inlined so the per-task call allocates nothing — it sits on GUM's
+// zero-alloc plan path) so different stages draw from unrelated
+// streams even at equal indices, and a splitmix64 finalizer
+// decorrelates consecutive indices. This is the only sanctioned seed
+// derivation for parallel tasks (see the determinism contract above).
 func taskSeed(base uint64, stage string, idx int) uint64 {
-	h := fnv.New64a()
-	io.WriteString(h, stage)
-	x := base ^ h.Sum64() ^ (uint64(idx)+1)*0x9e3779b97f4a7c15
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(stage); i++ {
+		h ^= uint64(stage[i])
+		h *= fnvPrime64
+	}
+	x := base ^ h ^ (uint64(idx)+1)*0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27

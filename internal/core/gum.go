@@ -1,9 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"github.com/netdpsyn/netdpsyn/internal/dataset"
@@ -31,7 +33,20 @@ type GUMConfig struct {
 	// its own (Seed, round, marginal)-derived RNG, so the output is
 	// identical for any worker count.
 	Workers int
+	// denseMode overrides the per-marginal dense/sparse counting
+	// decision for tests: the two paths are contractually
+	// byte-identical, and the equivalence suite forces each in turn.
+	denseMode int
 }
+
+// denseMode values: 0 decides per marginal at NewGUM (dense iff the
+// cell space fits max(4·n, gumDenseCellFloor)); the forced modes are
+// test-only.
+const (
+	gumDenseAuto = iota
+	gumDenseForced
+	gumSparseForced
+)
 
 // DefaultGUMConfig returns the paper's defaults.
 func DefaultGUMConfig() GUMConfig {
@@ -43,19 +58,34 @@ func DefaultGUMConfig() GUMConfig {
 // modified in place and returned; use InitIndependent for plain GUM
 // or InitGUMMI for NetDPSyn's marginal initialization.
 type GUM struct {
-	cfg     GUMConfig
-	targets []*target
+	cfg        GUMConfig
+	targets    []*target
+	denseCells int // largest dense marginal's cell space (arena size)
 }
 
 type target struct {
 	m      *marginal.Marginal
 	counts []float64 // scaled so the sum equals the synthetic record count
+	// dense selects the arena counting path: current counts, move
+	// quotas, and representative rows live in epoch-stamped arrays
+	// indexed by cell instead of maps. Chosen at NewGUM time; both
+	// paths produce byte-identical plans.
+	dense bool
+	// tcells are the cells with target > gumDust, ascending — the
+	// only zero-count cells that can contribute deficits. Fixed per
+	// run, so each plan merges it with the touched set instead of
+	// rescanning the whole (possibly huge) target vector.
+	tcells []int
 }
 
 // NewGUM prepares a synthesizer for the given published marginals and
 // synthetic record count n.
 func NewGUM(ms []*marginal.Marginal, n int, cfg GUMConfig) *GUM {
 	g := &GUM{cfg: cfg}
+	denseLimit := 4 * n
+	if denseLimit < gumDenseCellFloor {
+		denseLimit = gumDenseCellFloor
+	}
 	for _, m := range ms {
 		t := &target{m: m, counts: append([]float64(nil), m.Counts...)}
 		var sum float64
@@ -73,6 +103,22 @@ func NewGUM(ms []*marginal.Marginal, n int, cfg GUMConfig) *GUM {
 					c = 0
 				}
 				t.counts[i] = c * scale
+			}
+		}
+		switch cfg.denseMode {
+		case gumDenseForced:
+			t.dense = true
+		case gumSparseForced:
+			t.dense = false
+		default:
+			t.dense = len(t.counts) <= denseLimit
+		}
+		if t.dense && len(t.counts) > g.denseCells {
+			g.denseCells = len(t.counts)
+		}
+		for c, tc := range t.counts {
+			if tc > gumDust {
+				t.tcells = append(t.tcells, c)
 			}
 		}
 		g.targets = append(g.targets, t)
@@ -105,21 +151,57 @@ func (g *GUM) run(ds *dataset.Encoded, eng *engine) []float64 {
 	errs := make([]float64, 0, g.cfg.Iterations)
 	alpha := g.cfg.InitAlpha
 	snap := dataset.NewEncoded(ds.Names, ds.Domains, n)
-	plans := make([]*gumPlan, len(g.targets))
+	// Steady-state arenas: one plan per target (its moves/row buffers
+	// live until the sequential apply, then are reused next round)
+	// and one scratch per worker slot (reused across every
+	// (round, marginal) task that slot runs — see gumScratch).
+	plans := make([]gumPlan, len(g.targets))
+	scratch := make([]*gumScratch, eng.workers)
+	maxAttrs := 0
+	for _, t := range g.targets {
+		if len(t.m.Attrs) > maxAttrs {
+			maxAttrs = len(t.m.Attrs)
+		}
+	}
+	codes := make([]int32, maxAttrs) // applyPlan's cell-decode buffer
+	// Dirty-column tracking: ds differs from snap only in columns the
+	// previous round's moves touched (a duplicate move rewrites every
+	// column, a replace move only its marginal's attributes), so the
+	// per-round snapshot re-copies just those instead of the whole
+	// table.
+	dirty := make([]bool, len(ds.Cols))
+	allDirty := true // first round: snap starts zeroed
 	for it := 0; it < g.cfg.Iterations; it++ {
 		for a := range ds.Cols {
-			copy(snap.Cols[a], ds.Cols[a])
+			if allDirty || dirty[a] {
+				copy(snap.Cols[a], ds.Cols[a])
+				dirty[a] = false
+			}
 		}
+		allDirty = false
 		base := it * len(g.targets)
-		eng.parallelFor(len(g.targets), func(ti int) {
+		eng.parallelForWorker(len(g.targets), func(w, ti int) {
+			sc := scratch[w]
+			if sc == nil {
+				sc = newGumScratch(n, g.denseCells)
+				scratch[w] = sc
+			}
 			seed := taskSeed(g.cfg.Seed, "gum-update", base+ti)
-			rng := rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc908))
-			plans[ti] = planUpdate(snap, g.targets[ti], alpha, g.cfg.DuplicateProb, rng)
+			sc.reseed(seed)
+			planUpdate(snap, g.targets[ti], alpha, g.cfg.DuplicateProb, sc, &plans[ti])
 		})
 		var roundErr float64
 		for ti, t := range g.targets {
-			roundErr += plans[ti].l1
-			applyPlan(ds, t.m, plans[ti])
+			p := &plans[ti]
+			roundErr += p.l1
+			applyPlan(ds, t.m, p, codes)
+			if p.dups > 0 {
+				allDirty = true
+			} else if len(p.moves) > 0 {
+				for _, a := range t.m.Attrs {
+					dirty[a] = true
+				}
+			}
 		}
 		errs = append(errs, roundErr/float64(len(g.targets))/float64(n))
 		alpha *= g.cfg.AlphaDecay
@@ -128,166 +210,298 @@ func (g *GUM) run(ds *dataset.Encoded, eng *engine) []float64 {
 }
 
 // gumMove is one planned record rewrite: duplicate a full source row
-// over r (row != nil, preserving the source's cross-marginal
-// correlations), or overwrite r's marginal attributes with the codes
-// of cell (row == nil). The duplicate captures the source record's
-// snapshot codes at planning time, so applying a plan cannot be
-// invalidated by an earlier marginal's moves in the same round.
+// over r (rowOff ≥ 0, an offset into the plan's rowBuf, preserving
+// the source's cross-marginal correlations), or overwrite r's
+// marginal attributes with the codes of cell (rowOff < 0). The
+// duplicate captures the source record's snapshot codes at planning
+// time, so applying a plan cannot be invalidated by an earlier
+// marginal's moves in the same round.
 type gumMove struct {
-	r    int
-	row  []int32
-	cell int
+	r      int
+	cell   int
+	rowOff int
 }
 
 // gumPlan is one marginal's update pass: the L1 error measured on the
-// round snapshot and the record moves to apply.
+// round snapshot and the record moves to apply. The move and row
+// buffers are owned by the plan and recycled across rounds (a plan
+// must stay readable until the round's sequential apply, so the
+// buffers cannot live in the per-worker scratch).
 type gumPlan struct {
-	l1    float64
-	moves []gumMove
+	l1     float64
+	moves  []gumMove
+	rowBuf []int32 // duplicate moves' captured rows, nAttrs each
+	dups   int     // duplicate moves planned (they dirty every column)
+}
+
+// reset clears the plan for reuse, keeping the buffers.
+func (p *gumPlan) reset() {
+	p.l1 = 0
+	p.moves = p.moves[:0]
+	p.rowBuf = p.rowBuf[:0]
+	p.dups = 0
 }
 
 // planUpdate computes one marginal's update pass against the round
-// snapshot and returns the planned moves plus the L1 error before the
-// update. It reads only ds and rng, so concurrent plans are safe and
-// reproducible.
-func planUpdate(ds *dataset.Encoded, t *target, alpha, dupProb float64, rng *rand.Rand) *gumPlan {
+// snapshot into plan: the planned moves plus the L1 error before the
+// update. It reads only ds and the (freshly reseeded) scratch RNG, so
+// concurrent plans are safe and reproducible; all working memory
+// comes from the scratch arena and the plan's own buffers, so the
+// steady state allocates ~nothing. The dense and sparse counting
+// paths are byte-identical by contract: every ordered traversal —
+// and in particular every RNG draw — happens in ascending cell order
+// (or the gap-sorted under order), never in map order.
+func planUpdate(ds *dataset.Encoded, t *target, alpha, dupProb float64, sc *gumScratch, plan *gumPlan) {
 	n := ds.NumRows()
-	m := t.m
-	// Current cell of every record, accumulated column-by-column with
-	// the marginal's precomputed strides (this pass runs once per
-	// marginal per round over every record — it is the inner loop of
-	// the ≈90%-of-runtime synthesis stage, so no per-row variadic
-	// Index calls and no per-row stride recomputation).
-	cellOf := make([]int, n)
-	strides := m.Strides()
-	for i, a := range m.Attrs {
-		col := ds.Cols[a]
-		s := strides[i]
-		if i == 0 {
-			for r, c := range col {
-				cellOf[r] = int(c) * s
-			}
-			continue
-		}
-		for r, c := range col {
-			cellOf[r] += int(c) * s
-		}
+	plan.reset()
+	rng := sc.rng
+	// Phase 1: current cell of every record plus cell counts, fused
+	// into one row sweep (this runs once per marginal per round over
+	// every record — the inner loop of the ≈90%-of-runtime synthesis
+	// stage).
+	var quotaE, repE uint32
+	if t.dense {
+		_, quotaE, repE = sc.phases()
+		sc.denseTally(ds, t.m)
+	} else {
+		sc.sparseTally(ds, t.m)
 	}
-	// Sparse current counts.
-	s := make(map[int]float64, n)
-	for _, c := range cellOf {
-		s[c]++
-	}
-	// L1 error and over/under split. Only cells with nonzero target
-	// or nonzero current can contribute.
-	// Dust filtering: noisy targets spread tiny fractional counts
-	// over huge cell spaces after projection; gaps below half a
-	// record cannot be satisfied by integer record moves and would
-	// only soak up the move budget.
-	const dust = 0.5
+	// Phase 2: L1 error and over/under split, merging the touched
+	// cells (ascending) with the precomputed target-bearing cells.
+	// Only cells with nonzero current or target > gumDust can
+	// contribute; gaps below gumDust cannot be satisfied by integer
+	// record moves and would only soak up the move budget. Ascending
+	// cell order fixes the FP accumulation order of l1 and leaves
+	// over already cell-sorted — the order the quota draws consume
+	// the RNG in.
+	touched := sc.touched
+	slices.SortFunc(touched, func(a, b cellGap) int { return cmp.Compare(a.cell, b.cell) })
+	over, under := sc.over[:0], sc.under[:0]
 	var l1 float64
-	type cellGap struct {
-		cell int
-		gap  float64
-	}
-	var over, under []cellGap
-	seen := make(map[int]bool, len(s))
-	for c, sc := range s {
-		d := sc - t.counts[c]
+	ki, kn := 0, len(t.tcells)
+	for _, tc := range touched {
+		for ki < kn && t.tcells[ki] < tc.cell {
+			c := t.tcells[ki]
+			gap := t.counts[c]
+			l1 += gap
+			under = append(under, cellGap{c, gap})
+			ki++
+		}
+		if ki < kn && t.tcells[ki] == tc.cell {
+			ki++
+		}
+		d := tc.gap - t.counts[tc.cell]
 		l1 += math.Abs(d)
-		if d > dust {
-			over = append(over, cellGap{c, d})
-		} else if d < -dust {
-			under = append(under, cellGap{c, -d})
-		}
-		seen[c] = true
-	}
-	for c, tc := range t.counts {
-		if tc > dust && !seen[c] {
-			l1 += tc
-			under = append(under, cellGap{c, tc})
+		if d > gumDust {
+			over = append(over, cellGap{tc.cell, d})
+		} else if d < -gumDust {
+			under = append(under, cellGap{tc.cell, -d})
 		}
 	}
-	plan := &gumPlan{l1: l1}
+	for ; ki < kn; ki++ {
+		c := t.tcells[ki]
+		gap := t.counts[c]
+		l1 += gap
+		under = append(under, cellGap{c, gap})
+	}
+	sc.over, sc.under = over, under
+	plan.l1 = l1
 	if len(over) == 0 || len(under) == 0 || alpha <= 0 {
-		return plan
+		return
 	}
-	// Deterministic order for reproducibility (maps iterate randomly;
-	// gap ties must fall back to the cell index).
-	sort.Slice(over, func(a, b int) bool { return over[a].cell < over[b].cell })
-	sort.Slice(under, func(a, b int) bool {
-		if under[a].gap != under[b].gap {
-			return under[a].gap > under[b].gap
+	// Deficits are served largest-gap first (ties by cell index).
+	slices.SortFunc(under, func(a, b cellGap) int {
+		if a.gap != b.gap {
+			if a.gap > b.gap {
+				return -1
+			}
+			return 1
 		}
-		return under[a].cell < under[b].cell
+		return cmp.Compare(a.cell, b.cell)
 	})
 
-	// Pool of movable records from over-represented cells, capped at
-	// alpha·excess per cell. Quotas use probabilistic rounding: with
-	// ceil(), every cell would keep contributing ≥1 record per round
-	// no matter how small alpha gets, and a large marginal set would
-	// thrash forever instead of settling.
-	overSet := make(map[int]float64, len(over))
-	for _, o := range over {
-		overSet[o.cell] = stochasticRound(rng, o.gap*alpha)
+	// Phase 3: pool of movable records from over-represented cells,
+	// capped at alpha·excess per cell. Quotas use probabilistic
+	// rounding: with ceil(), every cell would keep contributing ≥1
+	// record per round no matter how small alpha gets, and a large
+	// marginal set would thrash forever instead of settling. The
+	// summed quotas pre-size the pool and move buffers.
+	poolCap := 0
+	cellOf := sc.cellOf[:n]
+	if t.dense {
+		vals, stamp := sc.vals, sc.stamp
+		for _, o := range over {
+			q := stochasticRound(rng, o.gap*alpha)
+			vals[o.cell] = q
+			stamp[o.cell] = quotaE
+			poolCap += int(q)
+		}
+		pool := sc.pool[:0]
+		if cap(pool) < poolCap {
+			pool = make([]int, 0, poolCap)
+		}
+		r := 0
+		for ; r+8 <= n; r += 8 {
+			if c := cellOf[r]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r)
+			}
+			if c := cellOf[r+1]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r+1)
+			}
+			if c := cellOf[r+2]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r+2)
+			}
+			if c := cellOf[r+3]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r+3)
+			}
+			if c := cellOf[r+4]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r+4)
+			}
+			if c := cellOf[r+5]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r+5)
+			}
+			if c := cellOf[r+6]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r+6)
+			}
+			if c := cellOf[r+7]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r+7)
+			}
+		}
+		for ; r < n; r++ {
+			if c := cellOf[r]; stamp[c] == quotaE && vals[c] >= 1 {
+				vals[c]--
+				pool = append(pool, r)
+			}
+		}
+		sc.pool = pool
+	} else {
+		clear(sc.quota)
+		for _, o := range over {
+			q := stochasticRound(rng, o.gap*alpha)
+			sc.quota[o.cell] = q
+			poolCap += int(q)
+		}
+		pool := sc.pool[:0]
+		if cap(pool) < poolCap {
+			pool = make([]int, 0, poolCap)
+		}
+		for r := 0; r < n; r++ {
+			if q, ok := sc.quota[cellOf[r]]; ok && q >= 1 {
+				pool = append(pool, r)
+				sc.quota[cellOf[r]] = q - 1
+			}
+		}
+		sc.pool = pool
 	}
-	var pool []int
-	for r := 0; r < n; r++ {
-		if q, ok := overSet[cellOf[r]]; ok && q >= 1 {
-			pool = append(pool, r)
-			overSet[cellOf[r]] = q - 1
+	pool := sc.pool
+	// Fisher–Yates with the same draw sequence as rng.Shuffle, minus
+	// its closure allocation.
+	for i := len(pool) - 1; i > 0; i-- {
+		j := int(rng.Uint64N(uint64(i + 1)))
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+
+	// Phase 4: a representative record for each under cell enables
+	// the duplicate operation. Only under cells are mapped, and the
+	// row scan stops as soon as every under cell that has rows found
+	// one.
+	if t.dense {
+		rep, stamp := sc.rep, sc.stamp
+		for _, u := range under {
+			stamp[u.cell] = repE
+			rep[u.cell] = -1
+		}
+		needRep := len(under)
+		for r := 0; r < n && needRep > 0; r++ {
+			if c := cellOf[r]; stamp[c] == repE && rep[c] < 0 {
+				rep[c] = int32(r)
+				needRep--
+			}
+		}
+	} else {
+		clear(sc.srep)
+		for _, u := range under {
+			sc.srep[u.cell] = -1
+		}
+		needRep := len(under)
+		for r := 0; r < n && needRep > 0; r++ {
+			if v, ok := sc.srep[cellOf[r]]; ok && v < 0 {
+				sc.srep[cellOf[r]] = r
+				needRep--
+			}
 		}
 	}
-	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 
-	// A representative record for each under cell enables the
-	// duplicate operation.
-	rep := make(map[int]int, len(under))
-	for r := 0; r < n; r++ {
-		c := cellOf[r]
-		if _, ok := rep[c]; !ok {
-			rep[c] = r
-		}
+	// Phase 5: the moves.
+	nAttrs := ds.NumAttrs()
+	moves := plan.moves[:0]
+	if cap(moves) < poolCap {
+		moves = make([]gumMove, 0, poolCap)
 	}
-
+	rowBuf := plan.rowBuf
 	pi := 0
 	for _, u := range under {
 		need := int(stochasticRound(rng, u.gap*alpha))
 		for k := 0; k < need && pi < len(pool); k++ {
 			r := pool[pi]
 			pi++
-			if q, ok := rep[u.cell]; ok && q != r && rng.Float64() < dupProb {
-				row := make([]int32, ds.NumAttrs())
-				for a := range row {
-					row[a] = ds.Cols[a][q]
+			q, ok := 0, false
+			if t.dense {
+				if v := sc.rep[u.cell]; v >= 0 { // stamped repE above
+					q, ok = int(v), true
 				}
-				plan.moves = append(plan.moves, gumMove{r: r, row: row})
+			} else if v := sc.srep[u.cell]; v >= 0 {
+				q, ok = v, true
+			}
+			if ok && q != r && rng.Float64() < dupProb {
+				// Duplicate: capture the source row's snapshot codes.
+				off := len(rowBuf)
+				for a := 0; a < nAttrs; a++ {
+					rowBuf = append(rowBuf, ds.Cols[a][q])
+				}
+				moves = append(moves, gumMove{r: r, rowOff: off})
+				plan.dups++
 			} else {
-				plan.moves = append(plan.moves, gumMove{r: r, cell: u.cell})
-				rep[u.cell] = r
+				moves = append(moves, gumMove{r: r, cell: u.cell, rowOff: -1})
+				if t.dense {
+					sc.rep[u.cell] = int32(r)
+				} else {
+					sc.srep[u.cell] = r
+				}
 			}
 		}
 		if pi >= len(pool) {
 			break
 		}
 	}
-	return plan
+	plan.moves, plan.rowBuf = moves, rowBuf
 }
 
 // applyPlan executes one marginal's planned moves against the live
 // dataset. Plans are applied in marginal order, so the result is
-// independent of how the planning was scheduled.
-func applyPlan(ds *dataset.Encoded, m *marginal.Marginal, p *gumPlan) {
+// independent of how the planning was scheduled. codes is a
+// len ≥ len(m.Attrs) decode buffer owned by the caller.
+func applyPlan(ds *dataset.Encoded, m *marginal.Marginal, p *gumPlan, codes []int32) {
+	nAttrs := ds.NumAttrs()
 	for _, mv := range p.moves {
-		if mv.row != nil {
+		if mv.rowOff >= 0 {
 			// Duplicate: copy the planned full record, preserving the
 			// correlations of attributes outside this marginal.
-			for a := 0; a < ds.NumAttrs(); a++ {
-				ds.Cols[a][mv.r] = mv.row[a]
+			row := p.rowBuf[mv.rowOff : mv.rowOff+nAttrs]
+			for a, v := range row {
+				ds.Cols[a][mv.r] = v
 			}
 		} else {
 			// Replace: overwrite only this marginal's attributes.
-			codes := m.Cell(mv.cell)
+			m.CellInto(mv.cell, codes)
 			for i, a := range m.Attrs {
 				ds.Cols[a][mv.r] = codes[i]
 			}

@@ -8,28 +8,77 @@ import (
 	"github.com/netdpsyn/netdpsyn/internal/marginal"
 )
 
+// benchGUMSetup builds a 3-way marginal over a random dataset sized
+// like one synthesis window, the shape both planning benchmarks
+// share. The target counts come from a differently-seeded dataset so
+// every plan has real over/under gaps — the pool scan, shuffle,
+// representative pass and move loop all run, not just the tally.
+func benchGUMSetup(rows int) (*dataset.Encoded, *GUM) {
+	domains := []int{64, 32, 16}
+	names := []string{"a", "b", "c"}
+	mk := func(s1, s2 uint64) *dataset.Encoded {
+		ds := dataset.NewEncoded(names, domains, rows)
+		rng := rand.New(rand.NewPCG(s1, s2))
+		for a, dom := range domains {
+			col := ds.Cols[a]
+			for r := range col {
+				col[r] = int32(rng.IntN(dom))
+			}
+		}
+		return ds
+	}
+	ds := mk(3, 5)
+	m := marginal.Compute(mk(7, 9), []int{0, 1, 2})
+	g := NewGUM([]*marginal.Marginal{m}, rows, DefaultGUMConfig())
+	return ds, g
+}
+
 // BenchmarkGUMPlanUpdate measures one marginal's planning pass — the
 // cell-index tally it opens with is the inner loop of the synthesis
 // stage (≈90% of end-to-end runtime per §3.1), which is what the
-// column-stride accumulation targets.
+// dense scratch arena targets.
 func BenchmarkGUMPlanUpdate(b *testing.B) {
 	const rows = 50_000
-	domains := []int{64, 32, 16}
-	names := []string{"a", "b", "c"}
-	ds := dataset.NewEncoded(names, domains, rows)
-	rng := rand.New(rand.NewPCG(3, 5))
-	for a, dom := range domains {
-		col := ds.Cols[a]
-		for r := range col {
-			col[r] = int32(rng.IntN(dom))
-		}
-	}
-	m := marginal.Compute(ds, []int{0, 1, 2})
-	g := NewGUM([]*marginal.Marginal{m}, rows, DefaultGUMConfig())
-	b.SetBytes(int64(len(domains)) * rows * 4)
+	ds, g := benchGUMSetup(rows)
+	sc := newGumScratch(rows, g.denseCells)
+	var plan gumPlan
+	b.SetBytes(int64(ds.NumAttrs()) * rows * 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prng := rand.New(rand.NewPCG(uint64(i), 17))
-		planUpdate(ds, g.targets[0], 0.5, 0.5, prng)
+		sc.reseed(taskSeed(uint64(i), "gum-update", i))
+		planUpdate(ds, g.targets[0], 0.5, 0.5, sc, &plan)
+	}
+}
+
+// BenchmarkGUMSteadyState locks in the zero-alloc contract: once the
+// scratch arena and plan buffers are warm, a planning pass must not
+// allocate. It fails the benchmark if AllocsPerRun sees more than one
+// residual allocation per plan (slack for one-off buffer growth when
+// a round's pool outgrows every previous round's).
+func BenchmarkGUMSteadyState(b *testing.B) {
+	const rows = 50_000
+	ds, g := benchGUMSetup(rows)
+	sc := newGumScratch(rows, g.denseCells)
+	var plan gumPlan
+	i := 0
+	run := func() {
+		sc.reseed(taskSeed(uint64(i), "gum-update", i))
+		planUpdate(ds, g.targets[0], 0.5, 0.5, sc, &plan)
+		i++
+	}
+	// Warm every buffer to its steady-state capacity.
+	for k := 0; k < 20; k++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	b.ReportMetric(allocs, "allocs/plan")
+	if allocs > 1 {
+		b.Fatalf("steady-state planUpdate allocates %.1f allocs/plan, want ~0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		run()
 	}
 }

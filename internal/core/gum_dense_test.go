@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+)
+
+// gumEquivSetup builds a mixed marginal set (1-, 2- and 3-way) whose
+// targets come from a differently-seeded dataset than the one being
+// synthesized, so every planning pass has real over/under gaps and
+// the pool, shuffle, representative and duplicate phases all run.
+func gumEquivSetup(rows int) (*dataset.Encoded, []*marginal.Marginal) {
+	domains := []int{16, 8, 12, 6}
+	names := []string{"a", "b", "c", "d"}
+	mk := func(seed1, seed2 uint64) *dataset.Encoded {
+		ds := dataset.NewEncoded(names, domains, rows)
+		rng := rand.New(rand.NewPCG(seed1, seed2))
+		for a, dom := range domains {
+			col := ds.Cols[a]
+			for r := range col {
+				col[r] = int32(rng.IntN(dom))
+			}
+		}
+		return ds
+	}
+	ds := mk(3, 5)
+	tgt := mk(7, 9)
+	ms := []*marginal.Marginal{
+		marginal.Compute(tgt, []int{0}),
+		marginal.Compute(tgt, []int{1, 2}),
+		marginal.Compute(tgt, []int{0, 2, 3}),
+	}
+	return ds, ms
+}
+
+// cloneEncoded deep-copies an encoded dataset.
+func cloneEncoded(ds *dataset.Encoded) *dataset.Encoded {
+	out := dataset.NewEncoded(ds.Names, ds.Domains, ds.NumRows())
+	for a := range ds.Cols {
+		copy(out.Cols[a], ds.Cols[a])
+	}
+	return out
+}
+
+// TestGUMDenseSparseEquivalence is the tentpole's hard contract: the
+// dense arena path and the sparse map fallback must synthesize
+// byte-identical output at a fixed seed — same plans, same moves,
+// same RNG consumption, same per-round errors.
+func TestGUMDenseSparseEquivalence(t *testing.T) {
+	const rows = 2000
+	ds, ms := gumEquivSetup(rows)
+	cfg := GUMConfig{Iterations: 25, InitAlpha: 1, AlphaDecay: 0.84, DuplicateProb: 0.5, Seed: 42, Workers: 1}
+
+	run := func(mode int) (*dataset.Encoded, []float64) {
+		c := cfg
+		c.denseMode = mode
+		d := cloneEncoded(ds)
+		errs := NewGUM(ms, rows, c).Run(d)
+		return d, errs
+	}
+	dDense, errsDense := run(gumDenseForced)
+	dSparse, errsSparse := run(gumSparseForced)
+
+	if len(errsDense) != len(errsSparse) {
+		t.Fatalf("round counts differ: %d vs %d", len(errsDense), len(errsSparse))
+	}
+	for i := range errsDense {
+		if errsDense[i] != errsSparse[i] {
+			t.Fatalf("round %d error differs: dense %v vs sparse %v", i, errsDense[i], errsSparse[i])
+		}
+	}
+	for a := range dDense.Cols {
+		for r := range dDense.Cols[a] {
+			if dDense.Cols[a][r] != dSparse.Cols[a][r] {
+				t.Fatalf("output differs at col %d row %d: dense %d vs sparse %d",
+					a, r, dDense.Cols[a][r], dSparse.Cols[a][r])
+			}
+		}
+	}
+
+	// Auto mode must agree too (these marginals are all dense-eligible).
+	dAuto, _ := run(gumDenseAuto)
+	for a := range dAuto.Cols {
+		for r := range dAuto.Cols[a] {
+			if dAuto.Cols[a][r] != dDense.Cols[a][r] {
+				t.Fatalf("auto mode differs at col %d row %d", a, r)
+			}
+		}
+	}
+}
+
+// samePlan compares two plans field by field.
+func samePlan(t *testing.T, tag string, got, want *gumPlan) {
+	t.Helper()
+	if got.l1 != want.l1 {
+		t.Fatalf("%s: l1 = %v, want %v", tag, got.l1, want.l1)
+	}
+	if got.dups != want.dups {
+		t.Fatalf("%s: dups = %d, want %d", tag, got.dups, want.dups)
+	}
+	if len(got.moves) != len(want.moves) {
+		t.Fatalf("%s: %d moves, want %d", tag, len(got.moves), len(want.moves))
+	}
+	for i := range got.moves {
+		if got.moves[i] != want.moves[i] {
+			t.Fatalf("%s: move %d = %+v, want %+v", tag, i, got.moves[i], want.moves[i])
+		}
+	}
+	if len(got.rowBuf) != len(want.rowBuf) {
+		t.Fatalf("%s: rowBuf len %d, want %d", tag, len(got.rowBuf), len(want.rowBuf))
+	}
+	for i := range got.rowBuf {
+		if got.rowBuf[i] != want.rowBuf[i] {
+			t.Fatalf("%s: rowBuf[%d] = %d, want %d", tag, i, got.rowBuf[i], want.rowBuf[i])
+		}
+	}
+}
+
+// TestGumScratchEpochReuse drives one scratch arena through many
+// plans with shifting touched sets — cycling marginals and mutating
+// the dataset between rounds, the way GUM itself reuses a worker's
+// scratch — and checks every plan against a freshly allocated
+// scratch. A stale count, quota, or representative surviving an epoch
+// bump would surface as a plan mismatch.
+func TestGumScratchEpochReuse(t *testing.T) {
+	const rows = 600
+	ds, ms := gumEquivSetup(rows)
+	g := NewGUM(ms, rows, GUMConfig{denseMode: gumDenseForced})
+	reused := newGumScratch(rows, g.denseCells)
+	codes := make([]int32, 4)
+
+	var gotPlan, wantPlan gumPlan
+	for round := 0; round < 30; round++ {
+		ti := round % len(g.targets)
+		tgt := g.targets[ti]
+		seed := taskSeed(99, "gum-update", round)
+
+		reused.reseed(seed)
+		planUpdate(ds, tgt, 0.7, 0.5, reused, &gotPlan)
+
+		fresh := newGumScratch(rows, g.denseCells)
+		fresh.reseed(seed)
+		planUpdate(ds, tgt, 0.7, 0.5, fresh, &wantPlan)
+
+		samePlan(t, "reuse", &gotPlan, &wantPlan)
+		// Mutate the dataset so the next round's touched set differs.
+		applyPlan(ds, tgt.m, &gotPlan, codes)
+	}
+}
+
+// TestGumScratchEpochWrap forces the epoch counter to the uint32
+// wraparound boundary and checks plans stay correct across the wrap:
+// the one-time stamp zeroing must leave no cell reading as live.
+func TestGumScratchEpochWrap(t *testing.T) {
+	const rows = 600
+	ds, ms := gumEquivSetup(rows)
+	g := NewGUM(ms, rows, GUMConfig{denseMode: gumDenseForced})
+	sc := newGumScratch(rows, g.denseCells)
+	// Simulate ~4 billion prior plans: cells last touched by the very
+	// first epochs (1..3) still hold those stamps, and the wrap is
+	// about to reissue exactly those epoch values. Without the
+	// one-time clear, the stale stamps would read as live and the
+	// poisoned vals/rep below would leak into plans.
+	sc.epoch = math.MaxUint32 - 4
+	for i := range sc.stamp {
+		sc.stamp[i] = uint32(1 + i%3)
+		sc.vals[i] = 5
+		sc.rep[i] = 7
+	}
+
+	var gotPlan, wantPlan gumPlan
+	for round := 0; round < 6; round++ {
+		ti := round % len(g.targets)
+		tgt := g.targets[ti]
+		seed := taskSeed(7, "gum-update", round)
+
+		sc.reseed(seed)
+		planUpdate(ds, tgt, 0.7, 0.5, sc, &gotPlan)
+
+		fresh := newGumScratch(rows, g.denseCells)
+		fresh.reseed(seed)
+		planUpdate(ds, tgt, 0.7, 0.5, fresh, &wantPlan)
+
+		samePlan(t, "wrap", &gotPlan, &wantPlan)
+	}
+	if sc.epoch > 18 {
+		t.Fatalf("epoch did not wrap: %d", sc.epoch)
+	}
+}

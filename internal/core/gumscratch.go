@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
+	"github.com/netdpsyn/netdpsyn/internal/marginal"
+)
+
+// gumDust is the gap below which a cell's deficit or excess cannot be
+// satisfied by integer record moves: noisy targets spread tiny
+// fractional counts over huge cell spaces after projection, and gaps
+// below half a record would only soak up the move budget.
+const gumDust = 0.5
+
+// gumDenseCellFloor is the cell-space size every marginal may arena
+// regardless of the record count; above it a marginal is dense only
+// while its cells stay within 4·n (see NewGUM), so the arena's extra
+// memory is O(records), never O(domain product).
+const gumDenseCellFloor = 1 << 20
+
+// cellGap is one cell's distance from its target count.
+type cellGap struct {
+	cell int
+	gap  float64
+}
+
+// gumScratch is one worker's reusable arena for GUM's planning pass.
+// It is allocated once per GUM run and reused across every
+// (round, marginal) plan handed to that worker slot, so steady-state
+// planUpdate allocates ~nothing: every slice below is reset by
+// re-slicing to zero length, and the dense arrays are "cleared" by an
+// epoch bump (O(touched cells), not O(cell space)).
+//
+// The arena carries only buffers, never values: planUpdate's output
+// is a pure function of (snapshot, target, alpha, seed), so which
+// worker's scratch served a task cannot perturb the plan (the engine
+// determinism contract, see parallelForWorker).
+type gumScratch struct {
+	cellOf  []int     // current cell of every snapshot row
+	touched []cellGap // cells with nonzero current count, with their counts
+	over    []cellGap // cells above target by more than gumDust
+	under   []cellGap // cells below target by more than gumDust
+	pool    []int     // movable rows drawn from over cells
+
+	// Dense arena, sized to the largest dense-eligible marginal's
+	// cell space. vals holds per-cell counts during the tally and
+	// per-cell move quotas during the pool scan; rep holds each under
+	// cell's representative row (-1 = under member with no rep yet).
+	// stamp gates every read: a cell is live only while stamp[c]
+	// matches the current phase's epoch, so nothing is ever zeroed
+	// wholesale between plans.
+	vals  []float64
+	rep   []int32
+	stamp []uint32
+	epoch uint32
+
+	// Sparse fallback for marginals whose projected cell space is too
+	// large to arena. The maps are cleared per plan; iteration order
+	// never reaches the output (touched cells are extracted and
+	// sorted before any ordered use).
+	counts map[int]float64
+	quota  map[int]float64
+	srep   map[int]int
+
+	// Per-plan RNG, reseeded for every (round, marginal) task so
+	// scratch reuse cannot perturb the stream.
+	pcg *rand.PCG
+	rng *rand.Rand
+}
+
+// newGumScratch sizes an arena for rows-record plans; denseCells is
+// the largest dense marginal's cell space (0 if every marginal takes
+// the sparse path).
+func newGumScratch(rows, denseCells int) *gumScratch {
+	sc := &gumScratch{
+		cellOf: make([]int, rows),
+		pcg:    rand.NewPCG(0, 0),
+	}
+	sc.rng = rand.New(sc.pcg)
+	if denseCells > 0 {
+		sc.vals = make([]float64, denseCells)
+		sc.rep = make([]int32, denseCells)
+		sc.stamp = make([]uint32, denseCells)
+	}
+	return sc
+}
+
+// reseed points the scratch RNG at one plan's stream. The derivation
+// matches the pre-arena code path (rand.NewPCG per plan) exactly, so
+// reuse is invisible in the output.
+func (sc *gumScratch) reseed(seed uint64) {
+	sc.pcg.Seed(seed, seed^0x6a09e667f3bcc908)
+}
+
+// phases advances the arena epoch for one plan and returns the three
+// phase stamps: countE marks tallied cells, quotaE marks over cells
+// holding move quotas, repE marks under cells holding representative
+// rows. The phases run strictly in that order within planUpdate and
+// over/under cells are disjoint, so later stamps only ever overwrite
+// state the plan has finished reading. Near uint32 wraparound the
+// stamp array is zeroed once so a stale stamp from ~4 billion plans
+// ago cannot read as live.
+func (sc *gumScratch) phases() (countE, quotaE, repE uint32) {
+	if sc.epoch > math.MaxUint32-3 {
+		clear(sc.stamp)
+		sc.epoch = 0
+	}
+	sc.epoch += 3
+	return sc.epoch - 2, sc.epoch - 1, sc.epoch
+}
+
+// denseTally fills cellOf with every snapshot row's flattened cell
+// and tallies the counts into the arena at the current count epoch,
+// leaving touched holding every nonzero cell with its final count
+// (unsorted, first-touch order) — the same shape sparseTally
+// produces, so planUpdate's over/under merge is mode-blind. The
+// stride accumulation and the count pass are fused into ONE row
+// sweep — not len(Attrs) accumulation passes plus a count pass —
+// with the 2- and 3-way shapes 8-lane unrolled.
+func (sc *gumScratch) denseTally(ds *dataset.Encoded, m *marginal.Marginal) {
+	n := ds.NumRows()
+	cellOf := sc.cellOf[:n]
+	vals, stamp := sc.vals, sc.stamp
+	e := sc.epoch - 2 // countE from phases()
+	touched := sc.touched[:0]
+	attrs, strides := m.Attrs, m.Strides()
+	switch len(attrs) {
+	case 1:
+		col := ds.Cols[attrs[0]][:n]
+		for r, c := range col {
+			cellOf[r] = int(c)
+		}
+	case 2:
+		a := ds.Cols[attrs[0]][:n]
+		b := ds.Cols[attrs[1]][:n]
+		s0 := strides[0]
+		r := 0
+		for ; r+8 <= n; r += 8 {
+			cellOf[r+0] = int(a[r+0])*s0 + int(b[r+0])
+			cellOf[r+1] = int(a[r+1])*s0 + int(b[r+1])
+			cellOf[r+2] = int(a[r+2])*s0 + int(b[r+2])
+			cellOf[r+3] = int(a[r+3])*s0 + int(b[r+3])
+			cellOf[r+4] = int(a[r+4])*s0 + int(b[r+4])
+			cellOf[r+5] = int(a[r+5])*s0 + int(b[r+5])
+			cellOf[r+6] = int(a[r+6])*s0 + int(b[r+6])
+			cellOf[r+7] = int(a[r+7])*s0 + int(b[r+7])
+			for _, c := range cellOf[r : r+8] {
+				if stamp[c] != e {
+					stamp[c] = e
+					vals[c] = 1
+					touched = append(touched, cellGap{cell: c})
+				} else {
+					vals[c]++
+				}
+			}
+		}
+		for ; r < n; r++ {
+			c := int(a[r])*s0 + int(b[r])
+			cellOf[r] = c
+			if stamp[c] != e {
+				stamp[c] = e
+				vals[c] = 1
+				touched = append(touched, cellGap{cell: c})
+			} else {
+				vals[c]++
+			}
+		}
+		sc.finishDenseTally(touched)
+		return
+	case 3:
+		a := ds.Cols[attrs[0]][:n]
+		b := ds.Cols[attrs[1]][:n]
+		c3 := ds.Cols[attrs[2]][:n]
+		s0, s1 := strides[0], strides[1]
+		r := 0
+		for ; r+8 <= n; r += 8 {
+			cellOf[r+0] = int(a[r+0])*s0 + int(b[r+0])*s1 + int(c3[r+0])
+			cellOf[r+1] = int(a[r+1])*s0 + int(b[r+1])*s1 + int(c3[r+1])
+			cellOf[r+2] = int(a[r+2])*s0 + int(b[r+2])*s1 + int(c3[r+2])
+			cellOf[r+3] = int(a[r+3])*s0 + int(b[r+3])*s1 + int(c3[r+3])
+			cellOf[r+4] = int(a[r+4])*s0 + int(b[r+4])*s1 + int(c3[r+4])
+			cellOf[r+5] = int(a[r+5])*s0 + int(b[r+5])*s1 + int(c3[r+5])
+			cellOf[r+6] = int(a[r+6])*s0 + int(b[r+6])*s1 + int(c3[r+6])
+			cellOf[r+7] = int(a[r+7])*s0 + int(b[r+7])*s1 + int(c3[r+7])
+			for _, c := range cellOf[r : r+8] {
+				if stamp[c] != e {
+					stamp[c] = e
+					vals[c] = 1
+					touched = append(touched, cellGap{cell: c})
+				} else {
+					vals[c]++
+				}
+			}
+		}
+		for ; r < n; r++ {
+			c := int(a[r])*s0 + int(b[r])*s1 + int(c3[r])
+			cellOf[r] = c
+			if stamp[c] != e {
+				stamp[c] = e
+				vals[c] = 1
+				touched = append(touched, cellGap{cell: c})
+			} else {
+				vals[c]++
+			}
+		}
+		sc.finishDenseTally(touched)
+		return
+	default:
+		m.CellsInto(ds, cellOf)
+	}
+	// 1-way and generic shapes: cellOf is filled, tally it.
+	for _, c := range cellOf {
+		if stamp[c] != e {
+			stamp[c] = e
+			vals[c] = 1
+			touched = append(touched, cellGap{cell: c})
+		} else {
+			vals[c]++
+		}
+	}
+	sc.finishDenseTally(touched)
+}
+
+// finishDenseTally copies each touched cell's final count out of the
+// arena so touched matches sparseTally's (cell, count) shape.
+func (sc *gumScratch) finishDenseTally(touched []cellGap) {
+	for i := range touched {
+		touched[i].gap = sc.vals[touched[i].cell]
+	}
+	sc.touched = touched
+}
+
+// sparseTally is denseTally's fallback for cell spaces too large to
+// arena: counts live in a map, then the touched set is extracted so
+// the caller can order it deterministically.
+func (sc *gumScratch) sparseTally(ds *dataset.Encoded, m *marginal.Marginal) {
+	n := ds.NumRows()
+	cellOf := sc.cellOf[:n]
+	m.CellsInto(ds, cellOf)
+	if sc.counts == nil {
+		sc.counts = make(map[int]float64, n)
+		sc.quota = make(map[int]float64)
+		sc.srep = make(map[int]int)
+	} else {
+		clear(sc.counts)
+	}
+	for _, c := range cellOf {
+		sc.counts[c]++
+	}
+	touched := sc.touched[:0]
+	for c, cnt := range sc.counts {
+		touched = append(touched, cellGap{cell: c, gap: cnt})
+	}
+	sc.touched = touched
+}

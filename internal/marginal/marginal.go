@@ -84,11 +84,89 @@ func (m *Marginal) Strides() []int { return m.strides }
 // Cell returns the multi-dimensional codes of flattened index idx.
 func (m *Marginal) Cell(idx int) []int32 {
 	codes := make([]int32, len(m.Domains))
+	m.CellInto(idx, codes)
+	return codes
+}
+
+// CellInto writes the multi-dimensional codes of flattened index idx
+// into the first len(Domains) entries of codes, which must be at
+// least that long. It is the non-allocating form of Cell for hot
+// loops (GUM's apply pass decodes one cell per replace move).
+func (m *Marginal) CellInto(idx int, codes []int32) {
 	for i, s := range m.strides {
 		codes[i] = int32(idx / s)
 		idx %= s
 	}
-	return codes
+}
+
+// CellsInto writes the flattened cell index of every row of e into
+// out (len ≥ e.NumRows()) in a single row sweep: for each row the
+// stride products of all the marginal's attributes are accumulated
+// at once, instead of one pass per attribute. The 2- and 3-way
+// shapes — the common cases under the pipeline's arity cap — are
+// specialized and 8-lane unrolled; anything wider takes the generic
+// loop. GUM's planning pass and Compute both sit on top of this.
+func (m *Marginal) CellsInto(e *dataset.Encoded, out []int) {
+	n := e.NumRows()
+	out = out[:n]
+	switch len(m.Attrs) {
+	case 1:
+		col := e.Cols[m.Attrs[0]][:n]
+		for r, c := range col {
+			out[r] = int(c)
+		}
+	case 2:
+		a := e.Cols[m.Attrs[0]][:n]
+		b := e.Cols[m.Attrs[1]][:n]
+		s0 := m.strides[0]
+		r := 0
+		for ; r+8 <= n; r += 8 {
+			out[r+0] = int(a[r+0])*s0 + int(b[r+0])
+			out[r+1] = int(a[r+1])*s0 + int(b[r+1])
+			out[r+2] = int(a[r+2])*s0 + int(b[r+2])
+			out[r+3] = int(a[r+3])*s0 + int(b[r+3])
+			out[r+4] = int(a[r+4])*s0 + int(b[r+4])
+			out[r+5] = int(a[r+5])*s0 + int(b[r+5])
+			out[r+6] = int(a[r+6])*s0 + int(b[r+6])
+			out[r+7] = int(a[r+7])*s0 + int(b[r+7])
+		}
+		for ; r < n; r++ {
+			out[r] = int(a[r])*s0 + int(b[r])
+		}
+	case 3:
+		a := e.Cols[m.Attrs[0]][:n]
+		b := e.Cols[m.Attrs[1]][:n]
+		c := e.Cols[m.Attrs[2]][:n]
+		s0, s1 := m.strides[0], m.strides[1]
+		r := 0
+		for ; r+8 <= n; r += 8 {
+			out[r+0] = int(a[r+0])*s0 + int(b[r+0])*s1 + int(c[r+0])
+			out[r+1] = int(a[r+1])*s0 + int(b[r+1])*s1 + int(c[r+1])
+			out[r+2] = int(a[r+2])*s0 + int(b[r+2])*s1 + int(c[r+2])
+			out[r+3] = int(a[r+3])*s0 + int(b[r+3])*s1 + int(c[r+3])
+			out[r+4] = int(a[r+4])*s0 + int(b[r+4])*s1 + int(c[r+4])
+			out[r+5] = int(a[r+5])*s0 + int(b[r+5])*s1 + int(c[r+5])
+			out[r+6] = int(a[r+6])*s0 + int(b[r+6])*s1 + int(c[r+6])
+			out[r+7] = int(a[r+7])*s0 + int(b[r+7])*s1 + int(c[r+7])
+		}
+		for ; r < n; r++ {
+			out[r] = int(a[r])*s0 + int(b[r])*s1 + int(c[r])
+		}
+	default:
+		for i, at := range m.Attrs {
+			col := e.Cols[at][:n]
+			s := m.strides[i]
+			if i == 0 {
+				for r, c := range col {
+					out[r] = int(c) * s
+				}
+				continue
+			}
+			for r, c := range col {
+				out[r] += int(c) * s
+			}
+		}
+	}
 }
 
 // Total returns the sum of all cells.
@@ -146,26 +224,12 @@ func Compute(e *dataset.Encoded, attrs []int) *Marginal {
 			m.Counts[int(a[r])*s0+int(b[r])]++
 		}
 	default:
-		// Column-stride accumulation: walk one attribute column at a
-		// time, accumulating each row's flattened cell index, then
-		// tally in a single pass. Compared with the row-major variadic
-		// Index per row, this touches memory sequentially per column
-		// and keeps the inner loop free of bounds-varied indirection —
-		// the first step of the cache-tuned tally (see ROADMAP).
+		// One fused row sweep computes every row's flattened cell
+		// (CellsInto's unrolled stride accumulation), then a single
+		// pass tallies — instead of one pass per attribute plus the
+		// tally.
 		idx := make([]int, n)
-		for i, at := range sorted {
-			col := e.Cols[at]
-			s := m.strides[i]
-			if i == 0 {
-				for r, c := range col {
-					idx[r] = int(c) * s
-				}
-				continue
-			}
-			for r, c := range col {
-				idx[r] += int(c) * s
-			}
-		}
+		m.CellsInto(e, idx)
 		for _, ix := range idx {
 			m.Counts[ix]++
 		}

@@ -114,9 +114,11 @@ func TestRestartRecovery(t *testing.T) {
 	}
 
 	// Job B is admitted (charged, journaled, fsync'd) and killed
-	// mid-run: enough iterations that it cannot finish before the
-	// store is yanked a few statements below.
-	reqB := SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 500, Seed: 12}
+	// mid-run: enough iterations (~1s of GUM rounds on one core) that
+	// it cannot finish before the store is yanked a few statements
+	// below, even when the scheduler runs the job ahead of this
+	// goroutine.
+	reqB := SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 50000, Seed: 12}
 	ackB, code := submit(t, ts1, dsID, reqB)
 	if code != http.StatusAccepted {
 		t.Fatalf("job B = %d", code)

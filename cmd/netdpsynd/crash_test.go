@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -34,6 +35,7 @@ import (
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/obs"
 	"github.com/netdpsyn/netdpsyn/internal/serve"
 )
 
@@ -109,6 +111,45 @@ func getJSONInto(t *testing.T, url string, out any) int {
 		}
 	}
 	return resp.StatusCode
+}
+
+// scrapeMetrics fetches /metrics and validates the exposition against
+// the hand-rolled grammar checker before handing the body back.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample's value from an exposition body by
+// its exact rendered series name (name + label set).
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not in exposition:\n%s", series, body)
+	return 0
 }
 
 func postSynth(t *testing.T, base, dsID string, req serve.SynthesisRequest) (serve.SynthesisResponse, int) {
@@ -230,6 +271,17 @@ func TestCrashRestartDurability(t *testing.T) {
 		t.Fatalf("pre-crash spent ρ = %v, want ≥ %v", preCrash, 2*jobRho)
 	}
 
+	// Scrape /metrics pre-crash: the ledger gauges must agree with the
+	// budget endpoint (both read the same ledger at scrape time).
+	spentSeries := fmt.Sprintf(`netdpsynd_budget_spent_rho{dataset=%q}`, dsInfo.ID)
+	ceilSeries := fmt.Sprintf(`netdpsynd_budget_ceiling_rho{dataset=%q}`, dsInfo.ID)
+	preMetrics := scrapeMetrics(t, base)
+	preSpentGauge := metricValue(t, preMetrics, spentSeries)
+	if math.Abs(preSpentGauge-preCrash) > 1e-12 {
+		t.Fatalf("pre-crash spend gauge = %v, budget endpoint = %v", preSpentGauge, preCrash)
+	}
+	preCeilGauge := metricValue(t, preMetrics, ceilSeries)
+
 	// kill -9 mid-job: no drain, no goodbye.
 	if err := daemon.Process.Kill(); err != nil {
 		t.Fatal(err)
@@ -244,6 +296,19 @@ func TestCrashRestartDurability(t *testing.T) {
 	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
 	if budget.SpentRho < preCrash-1e-12 {
 		t.Fatalf("spend shrank across kill -9: %v < %v", budget.SpentRho, preCrash)
+	}
+
+	// The ledger gauges survive the SIGKILL exactly: the recovered
+	// exposition renders the identical spend and ceiling (the gauges
+	// read the replayed ledger at scrape time, so a spend that shrank
+	// would be a journal-replay bug, not a metrics bug).
+	postMetrics := scrapeMetrics(t, base)
+	postSpentGauge := metricValue(t, postMetrics, spentSeries)
+	if math.Abs(postSpentGauge-preSpentGauge) > 1e-12 {
+		t.Fatalf("spend gauge changed across kill -9: %v → %v", preSpentGauge, postSpentGauge)
+	}
+	if ceil := metricValue(t, postMetrics, ceilSeries); math.Abs(ceil-preCeilGauge) > 1e-12 {
+		t.Fatalf("ceiling gauge changed across kill -9: %v → %v", preCeilGauge, ceil)
 	}
 
 	// (2) The interrupted job replays as a charged failure.

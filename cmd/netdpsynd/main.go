@@ -63,7 +63,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
@@ -89,7 +89,7 @@ func main() {
 		sealAfter   = flag.Duration("seal-after", 0, "auto-seal a live feed after this much inactivity so follow jobs finish (0 = only explicit POST /datasets/{id}/seal)")
 		maxResults  = flag.Int("max-results", 0, "max finished results retained, in memory and under results/ (0 = 256); older results answer 410 Gone and regenerate on resubmit at zero budget cost")
 		resultTTL   = flag.Duration("result-ttl", 0, "age out finished results older than this (0 = no age sweep)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled. The endpoints are unauthenticated — bind to loopback")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof (plus a mirrored /metrics) on this separate address (e.g. localhost:6060); empty = disabled. The endpoints are unauthenticated — bind to loopback")
 	)
 	flag.Parse()
 	opts, err := buildOptions(flagValues{
@@ -173,26 +173,38 @@ func buildOptions(f flagValues) (serve.Options, error) {
 }
 
 func run(opts serve.Options, drain time.Duration, pprofAddr string) error {
+	// One structured logger for the whole daemon: key=value text on
+	// stderr. The serve layer threads a request_id attribute through
+	// every request-scoped line.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	opts.Logger = logger
+
 	s, err := serve.NewServer(opts)
 	if err != nil {
 		return err
 	}
 	if pprofAddr != "" {
-		prof, err := newProfServer(pprofAddr)
+		// The side listener mirrors /metrics next to the pprof
+		// endpoints; both are unauthenticated, so keep this address on
+		// loopback.
+		prof, err := newProfServer(pprofAddr, s.MetricsHandler())
 		if err != nil {
 			return err
 		}
 		defer prof.close()
 		go prof.serve()
-		log.Printf("netdpsynd pprof on http://%s/debug/pprof/", prof.addrString())
+		logger.Info("pprof sidecar listening",
+			"pprof", "http://"+prof.addrString()+"/debug/pprof/",
+			"metrics", "http://"+prof.addrString()+"/metrics")
 	}
 	if rec := s.Recovery(); rec != nil {
-		log.Printf("netdpsynd state dir %s: %s", opts.StateDir, rec)
+		logger.Info("state recovered", "state_dir", opts.StateDir, "recovery", rec.String())
 		for _, warn := range rec.Warnings {
-			log.Printf("netdpsynd recovery warning: %s", warn)
+			logger.Warn("recovery warning", "warning", warn)
 		}
 	} else {
-		log.Printf("netdpsynd running without -state-dir: ledger, registry, and jobs are in-memory and cumulative spend is forgotten on restart")
+		logger.Warn("running without -state-dir: ledger, registry, and jobs are in-memory and cumulative spend is forgotten on restart")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -200,8 +212,11 @@ func run(opts serve.Options, drain time.Duration, pprofAddr string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()
-	log.Printf("netdpsynd listening on %s (jobs=%d, default ceiling ε=%g @ δ=%g)",
-		opts.Addr, opts.MaxConcurrentJobs, opts.DefaultBudgetEps, opts.DefaultBudgetDelta)
+	logger.Info("listening",
+		"addr", opts.Addr,
+		"jobs", opts.MaxConcurrentJobs,
+		"budget_eps", opts.DefaultBudgetEps,
+		"budget_delta", opts.DefaultBudgetDelta)
 
 	select {
 	case err := <-errc:
@@ -212,7 +227,7 @@ func run(opts serve.Options, drain time.Duration, pprofAddr string) error {
 	// SIGINT/SIGTERM during the drain kills the process instead of
 	// being swallowed for the full -drain window.
 	stop()
-	log.Printf("netdpsynd shutting down: draining jobs (up to %v); signal again to force quit", drain)
+	logger.Info("shutting down: draining jobs; signal again to force quit", "drain", drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := s.Shutdown(shutCtx); err != nil {

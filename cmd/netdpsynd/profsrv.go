@@ -2,7 +2,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -14,22 +14,32 @@ import (
 // process internals, so they bind to their own (typically loopback)
 // address instead of riding the public mux. Started with -pprof; the
 // synthesis hot path (GUM planning) is what profile and allocs are
-// for — see the README's performance section.
+// for — see the README's performance section. The same listener
+// mirrors GET /metrics so an ops scrape never has to touch the
+// public service port — like the pprof endpoints, the mirror is
+// unauthenticated, which is exactly why the listener should stay on
+// loopback (or an otherwise firewalled interface).
 type profServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
 // newProfServer binds addr and serves the standard pprof index plus
-// the named handlers on it. The returned server is already listening
-// (so a bad addr fails fast at startup) but not yet serving.
-func newProfServer(addr string) (*profServer, error) {
+// the named handlers on it; metrics, when non-nil, is mounted at
+// /metrics (the daemon passes the service's Prometheus exposition so
+// both listeners render the identical registry). The returned server
+// is already listening (so a bad addr fails fast at startup) but not
+// yet serving.
+func newProfServer(addr string, metrics http.Handler) (*profServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if metrics != nil {
+		mux.Handle("GET /metrics", metrics)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("pprof listener %s: %w", addr, err)
@@ -52,7 +62,7 @@ func (p *profServer) addrString() string {
 // not take the daemon down, so the error is logged, not returned.
 func (p *profServer) serve() {
 	if err := p.srv.Serve(p.ln); err != nil && err != http.ErrServerClosed {
-		log.Printf("netdpsynd pprof server: %v", err)
+		slog.Error("pprof server", "error", err)
 	}
 }
 

@@ -12,7 +12,10 @@ import (
 // ephemeral port, hit the index and a sampling endpoint, and confirm
 // the profiles the performance docs point at are actually served.
 func TestProfServer(t *testing.T) {
-	prof, err := newProfServer("127.0.0.1:0")
+	metrics := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "# mirrored exposition")
+	})
+	prof, err := newProfServer("127.0.0.1:0", metrics)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,12 +56,18 @@ func TestProfServer(t *testing.T) {
 	if code, _ := get("/debug/pprof/symbol"); code != http.StatusOK {
 		t.Errorf("symbol = %d", code)
 	}
+	// The side listener mirrors the service's /metrics exposition.
+	if code, body := get("/metrics"); code != http.StatusOK {
+		t.Errorf("metrics mirror = %d", code)
+	} else if !strings.Contains(body, "mirrored exposition") {
+		t.Errorf("metrics mirror served the wrong handler: %q", body)
+	}
 }
 
 // TestProfServerBadAddr makes a malformed -pprof address fail at
 // startup, not at first scrape.
 func TestProfServerBadAddr(t *testing.T) {
-	if _, err := newProfServer("definitely:not:an:addr"); err == nil {
+	if _, err := newProfServer("definitely:not:an:addr", nil); err == nil {
 		t.Fatal("expected error for malformed address")
 	} else if !strings.Contains(fmt.Sprint(err), "pprof listener") {
 		t.Fatalf("unexpected error: %v", err)

@@ -29,7 +29,28 @@ import (
 // the same seed; engine_test.go locks that in.
 type engine struct {
 	workers int
-	busy    atomic.Int64 // summed per-task wall time (ns) across parallel loops
+	busy    atomic.Int64  // summed per-task wall time (ns) across parallel loops
+	active  *atomic.Int64 // optional shared occupancy counter (EngineMetrics.ActiveWorkers)
+}
+
+// EngineMetrics wires optional engine-level observability into a
+// pipeline run. Both hooks are designed for the zero-alloc contract
+// of the GUM hot path: ActiveWorkers costs one atomic add per task
+// edge and StageDone fires once per pipeline stage, never inside a
+// parallel loop. A nil EngineMetrics (or nil fields) disables the
+// corresponding hook at zero cost.
+type EngineMetrics struct {
+	// ActiveWorkers, when non-nil, is incremented as a pool worker
+	// picks up a task and decremented when the task returns, so its
+	// instantaneous value is the number of busy workers across every
+	// engine sharing the counter (a serving daemon passes one counter
+	// to all jobs).
+	ActiveWorkers *atomic.Int64
+	// StageDone, when non-nil, is called once per completed pipeline
+	// stage with the stage's wall/busy split — the live counterpart
+	// of Report.Stages, letting a caller feed histograms without
+	// waiting for the run to finish.
+	StageDone func(stage string, wall, busy time.Duration)
 }
 
 // newEngine sizes a worker pool; workers <= 0 selects
@@ -66,9 +87,15 @@ func (e *engine) parallelForWorker(n int, fn func(worker, i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if e.active != nil {
+				e.active.Add(1)
+			}
 			start := time.Now()
 			fn(0, i)
 			e.busy.Add(int64(time.Since(start)))
+			if e.active != nil {
+				e.active.Add(-1)
+			}
 		}
 		return
 	}
@@ -83,9 +110,15 @@ func (e *engine) parallelForWorker(n int, fn func(worker, i int)) {
 				if i >= n {
 					return
 				}
+				if e.active != nil {
+					e.active.Add(1)
+				}
 				start := time.Now()
 				fn(worker, i)
 				e.busy.Add(int64(time.Since(start)))
+				if e.active != nil {
+					e.active.Add(-1)
+				}
 			}
 		}(k)
 	}

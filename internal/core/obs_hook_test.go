@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+// TestEngineMetricsHooks checks the observability seam: StageDone
+// fires once per stage in execution order, Report.Spans mirrors it,
+// ActiveWorkers returns to zero after the run, and wiring the hooks
+// never changes synthesis output.
+func TestEngineMetricsHooks(t *testing.T) {
+	tbl, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 600, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := fastPipelineConfig()
+	base.Workers = 4
+	plain, err := mustPipeline(t, base).Synthesize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var active atomic.Int64
+	var mu sync.Mutex
+	var seen []string
+	cfg := base
+	cfg.Metrics = &EngineMetrics{
+		ActiveWorkers: &active,
+		StageDone: func(stage string, wall, busy time.Duration) {
+			mu.Lock()
+			seen = append(seen, stage)
+			mu.Unlock()
+			if wall < 0 || busy < 0 {
+				t.Errorf("stage %s: negative timing wall=%v busy=%v", stage, wall, busy)
+			}
+		},
+	}
+	hooked, err := mustPipeline(t, cfg).Synthesize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := active.Load(); got != 0 {
+		t.Errorf("ActiveWorkers = %d after run, want 0", got)
+	}
+	want := make([]string, len(synthStages))
+	for i, s := range synthStages {
+		want[i] = s.name
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("StageDone fired for %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("StageDone order %v, want %v", seen, want)
+		}
+	}
+	if len(hooked.Report.Spans) != len(want) {
+		t.Fatalf("Report.Spans has %d entries, want %d", len(hooked.Report.Spans), len(want))
+	}
+	var lastStart time.Time
+	for i, sp := range hooked.Report.Spans {
+		if sp.Name != want[i] {
+			t.Errorf("span %d = %s, want %s", i, sp.Name, want[i])
+		}
+		if sp.Start.Before(lastStart) {
+			t.Errorf("span %d starts before its predecessor", i)
+		}
+		lastStart = sp.Start
+		if sp.Wall < 0 || sp.Busy < 0 {
+			t.Errorf("span %s: negative timing", sp.Name)
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := plain.Table.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := hooked.Table.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("wiring EngineMetrics changed synthesis output")
+	}
+}
+
+func mustPipeline(t *testing.T, cfg Config) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -67,6 +67,11 @@ type Config struct {
 	DisableTSDiff        bool
 	DisableConsistency   bool
 	DisableProtocolRules bool
+	// Metrics optionally wires engine-level observability (worker
+	// occupancy, live per-stage timings) into every run of this
+	// pipeline; nil disables it at zero cost. It never affects
+	// synthesis output and is ignored by configuration identity.
+	Metrics *EngineMetrics
 }
 
 // DefaultConfig returns the paper's default parameters.
@@ -102,6 +107,21 @@ type Report struct {
 	// the speedup from Config.Workers is observable: Busy/Wall is the
 	// effective parallelism the stage achieved.
 	Stages map[string]StageTiming
+	// Spans is the ordered trace of the run: one entry per executed
+	// stage, in execution order, with absolute start times — the raw
+	// material for a job-level trace where the Stages map only keeps
+	// aggregates.
+	Spans []StageSpan
+}
+
+// StageSpan is one ordered entry of a pipeline run's trace.
+type StageSpan struct {
+	// Name is the stage name (a synthStages entry).
+	Name string
+	// Start is the wall-clock instant the stage began.
+	Start time.Time
+	// Wall and Busy split the stage's cost as in StageTiming.
+	Wall, Busy time.Duration
 }
 
 // Result is the output of a pipeline run.
@@ -204,6 +224,9 @@ var synthStages = []synthStage{
 // determinism contract).
 func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
 	eng := newEngine(p.cfg.Workers)
+	if p.cfg.Metrics != nil {
+		eng.active = p.cfg.Metrics.ActiveWorkers
+	}
 	st := &synthState{
 		input: t,
 		report: Report{
@@ -228,6 +251,10 @@ func (p *Pipeline) Synthesize(t *dataset.Table) (*Result, error) {
 		st.report.Durations[s.name] += wall
 		prev := st.report.Stages[s.name]
 		st.report.Stages[s.name] = StageTiming{Wall: prev.Wall + wall, Busy: prev.Busy + busy}
+		st.report.Spans = append(st.report.Spans, StageSpan{Name: s.name, Start: start, Wall: wall, Busy: busy})
+		if p.cfg.Metrics != nil && p.cfg.Metrics.StageDone != nil {
+			p.cfg.Metrics.StageDone(s.name, wall, busy)
+		}
 	}
 	return &Result{Table: st.out, Encoded: st.synth, Encoder: st.enc, Report: st.report}, nil
 }

@@ -48,6 +48,11 @@ type StoppableSource interface {
 type WindowResult struct {
 	// Window is the source's window index.
 	Window int
+	// Bucket is the source's Window.ID for this partition — the
+	// absolute time bucket for span sources, the emission index for
+	// quantile sources. It identifies the window to budget ledgers
+	// and job traces without re-deriving it from the data.
+	Bucket int64
 	// Table is the synthesized trace for this window.
 	Table *dataset.Table
 	// Report carries the window's pipeline diagnostics.
@@ -106,6 +111,7 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 	conc := eng.workers
 	type outcome struct {
 		w   int
+		id  int64 // the source's Window.ID
 		res *Result
 		err error
 	}
@@ -165,7 +171,7 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 				select {
 				case <-stop:
 					return
-				case results <- outcome{w: w}:
+				case results <- outcome{w: w, id: win.ID}:
 				}
 				continue
 			}
@@ -195,20 +201,20 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 				wcfg.Seed = cfg.Seed + uint64(id)*0x9e3779b9
 				p, err := NewPipeline(wcfg)
 				if err != nil {
-					results <- outcome{w: w, err: err}
+					results <- outcome{w: w, id: id, err: err}
 					return
 				}
 				res, err := p.Synthesize(part)
 				if err != nil {
 					err = fmt.Errorf("core: window %d: %w", w, err)
 				}
-				results <- outcome{w: w, res: res, err: err}
+				results <- outcome{w: w, id: id, res: res, err: err}
 			}(w, li, win.ID, part)
 		}
 	}()
 
 	var (
-		buf      = make(map[int]*Result) // nil value = empty-window marker
+		buf      = make(map[int]outcome) // res == nil marks an empty window
 		next     int
 		failedAt = -1
 		failErr  error
@@ -224,19 +230,19 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 		if failedAt >= 0 {
 			continue // already failing: drain without emitting
 		}
-		buf[oc.w] = oc.res
+		buf[oc.w] = oc
 		for {
-			res, ok := buf[next]
+			o, ok := buf[next]
 			if !ok {
 				break
 			}
-			if res == nil {
+			if o.res == nil {
 				// Empty window: nothing to emit, no slot to free.
 				delete(buf, next)
 				next++
 				continue
 			}
-			if err := emit(WindowResult{Window: next, Table: res.Table, Report: res.Report}); err != nil {
+			if err := emit(WindowResult{Window: next, Bucket: o.id, Table: o.res.Table, Report: o.res.Report}); err != nil {
 				failedAt, failErr = next, err
 				abort()
 				break

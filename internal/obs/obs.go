@@ -1,0 +1,463 @@
+// Package obs is a dependency-free observability toolkit: a
+// concurrent metrics registry (counters, gauges, histograms with
+// fixed bucket layouts) that renders the Prometheus text exposition
+// format (version 0.0.4) by hand. The module carries no go.sum and
+// must stay that way, so this package deliberately reimplements the
+// small slice of a metrics client the daemon needs instead of
+// importing one.
+//
+// Concurrency model: registration (get-or-create) takes a registry
+// lock; updates on registered instruments are lock-free atomics, so
+// hot paths that hold an instrument pointer pay one atomic op per
+// update and never allocate. Scrapes walk the registry under the
+// lock and evaluate GaugeFunc callbacks at render time, so derived
+// gauges (queue depth, ledger positions) always reflect the source
+// of truth at the instant of the scrape.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Registration sorts labels by name,
+// so call sites may list them in any order.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing metric. The zero value is
+// unusable; obtain counters from Registry.Counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Obtain gauges from
+// Registry.Gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (atomically, CAS loop).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets.
+// Obtain histograms from Registry.Histogram; the bucket layout is
+// fixed at registration.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, excluding +Inf
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket layouts are small (≤ ~20) and the scan is
+	// branch-predictable, so this beats a binary search in practice.
+	placed := false
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n + h.inf.Load()
+}
+
+// ExpBuckets returns count bucket upper bounds starting at start and
+// multiplying by factor: {start, start·factor, …}. It panics on a
+// non-positive start, a factor ≤ 1, or count < 1 (programmer error).
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%v, %v, %d)", start, factor, count))
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metric kinds, also the TYPE strings rendered in the exposition.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// sample is one labeled instrument inside a family. Exactly one of
+// the value fields is set, matching the family type (fn is the
+// GaugeFunc variant of a gauge).
+type sample struct {
+	key     string // canonical rendered label set, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family is every sample sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	buckets []float64 // histogram layout, shared by all samples
+	samples map[string]*sample
+	order   []*sample // insertion order is irrelevant; render sorts
+}
+
+// Registry holds metric families and renders them. The zero value is
+// unusable; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Re-registering an existing name with a different type or help
+// text panics (programmer error, caught by any test that scrapes).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getOrCreate(name, help, typeCounter, nil, labels)
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getOrCreate(name, help, typeGauge, nil, labels)
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is fn() evaluated at every
+// scrape. fn must be safe to call concurrently. Registering the same
+// name+labels twice replaces the callback (so a restoring caller can
+// re-bind without bookkeeping).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if fn == nil {
+		panic("obs: nil GaugeFunc callback for " + name)
+	}
+	s := r.getOrCreate(name, help, typeGauge, nil, labels)
+	r.mu.Lock()
+	s.fn, s.gauge = fn, nil
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram for name+labels, creating it on
+// first use with the given bucket upper bounds (sorted ascending;
+// +Inf is implicit). All samples of a family share one layout; a
+// second registration's buckets are ignored.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram " + name + " buckets must increase")
+		}
+	}
+	s := r.getOrCreate(name, help, typeHistogram, buckets, labels)
+	return s.hist
+}
+
+func (r *Registry) getOrCreate(name, help, typ string, buckets []float64, labels []Label) *sample {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	for i, l := range ls {
+		if !validLabelName(l.Name) {
+			panic("obs: invalid label name " + strconv.Quote(l.Name) + " on " + name)
+		}
+		if i > 0 && ls[i-1].Name == l.Name {
+			panic("obs: duplicate label " + strconv.Quote(l.Name) + " on " + name)
+		}
+		if typ == typeHistogram && l.Name == "le" {
+			panic("obs: histogram " + name + " may not carry an le label")
+		}
+	}
+	key := renderLabels(ls, "")
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, samples: make(map[string]*sample)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic("obs: metric " + name + " re-registered as " + typ + ", was " + f.typ)
+	} else if f.help != help {
+		panic("obs: metric " + name + " re-registered with different help text")
+	}
+	s, ok := f.samples[key]
+	if ok {
+		return s
+	}
+	s = &sample{key: key}
+	switch typ {
+	case typeCounter:
+		s.counter = &Counter{}
+	case typeGauge:
+		s.gauge = &Gauge{}
+	case typeHistogram:
+		h := &Histogram{upper: f.buckets}
+		h.counts = make([]atomic.Uint64, len(f.buckets))
+		s.hist = h
+	}
+	f.samples[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// WritePrometheus renders every family in text exposition format
+// 0.0.4: families sorted by name, samples sorted by label set, each
+// family preceded by its # HELP and # TYPE lines. GaugeFunc
+// callbacks are evaluated here.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		r.mu.Lock()
+		samples := append([]*sample(nil), f.order...)
+		r.mu.Unlock()
+		sort.Slice(samples, func(i, j int) bool { return samples[i].key < samples[j].key })
+
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range samples {
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, s.counter.Value())
+			case typeGauge:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				} else {
+					v = s.gauge.Value()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.key, formatValue(v))
+			case typeHistogram:
+				writeHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram sample: cumulative _bucket
+// lines (le ascending, ending at +Inf), then _sum and _count.
+func writeHistogram(w io.Writer, name string, s *sample) {
+	h := s.hist
+	labels := parseKey(s.key)
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, formatValue(ub)), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.key, formatValue(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, cum)
+}
+
+// Handler returns an http.Handler serving the exposition, suitable
+// for mounting at /metrics. The endpoint is unauthenticated — bind
+// it loopback or cluster-internal only.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// renderLabels renders a sorted label set as {a="b",c="d"}, appending
+// an le label when le != "". An empty set with no le renders as "".
+func renderLabels(ls []Label, le string) string {
+	if len(ls) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseKey recovers the label set from a canonical sample key (the
+// exact output of renderLabels, so the parse is trivial and total).
+func parseKey(key string) []Label {
+	if key == "" {
+		return nil
+	}
+	body := key[1 : len(key)-1]
+	var out []Label
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		name := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		body = rest[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return out
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip decimal, with the canonical +Inf/-Inf/NaN spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP docstring: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

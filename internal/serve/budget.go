@@ -18,6 +18,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
@@ -269,6 +270,39 @@ type Status struct {
 	// occupancy information — the budget endpoint is operator-facing,
 	// but treat this field with the same care as the release itself.
 	WindowRho map[string]float64 `json:"window_rho,omitempty"`
+	// WindowSpend is the same per-key spend in structured form, sorted
+	// by (span, bucket) — the machine-consumable representation (the
+	// map above keeps the string keys for older clients). The numbers
+	// are the ledger's own, so they agree exactly with the
+	// netdpsynd_budget_* gauges on /metrics.
+	WindowSpend []WindowKeySpend `json:"window_spend,omitempty"`
+}
+
+// WindowKeySpend is one (span, bucket) ledger key's cumulative ρ.
+type WindowKeySpend struct {
+	Key    string  `json:"key"` // persist.WindowKey(span, bucket)
+	Span   int64   `json:"span"`
+	Bucket int64   `json:"bucket"`
+	Rho    float64 `json:"rho"`
+}
+
+// Position returns the ledger position and ceiling — the scrape-time
+// read behind the budget gauges (cheaper than a full Snapshot).
+func (b *Budget) Position() (spent, ceiling float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spentLocked(), b.acct.Total()
+}
+
+// WindowKeys counts the distinct (span, bucket) keys holding spend.
+func (b *Budget) WindowKeys() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, byBucket := range b.windowRho {
+		n += len(byBucket)
+	}
+	return n
 }
 
 // Snapshot returns the current ledger state.
@@ -290,8 +324,21 @@ func (b *Budget) Snapshot() Status {
 		for span, byBucket := range b.windowRho {
 			for bucket, rho := range byBucket {
 				s.WindowRho[persist.WindowKey(span, bucket)] = rho
+				s.WindowSpend = append(s.WindowSpend, WindowKeySpend{
+					Key:    persist.WindowKey(span, bucket),
+					Span:   span,
+					Bucket: bucket,
+					Rho:    rho,
+				})
 			}
 		}
+		sort.Slice(s.WindowSpend, func(i, j int) bool {
+			a, c := s.WindowSpend[i], s.WindowSpend[j]
+			if a.Span != c.Span {
+				return a.Span < c.Span
+			}
+			return a.Bucket < c.Bucket
+		})
 	}
 	// Errors are impossible here: both ρ values are ≥ 0 and δ was
 	// validated in NewBudget.

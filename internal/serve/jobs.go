@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
@@ -88,8 +89,18 @@ type Job struct {
 	// computation, so it releases nothing new.
 	charged      map[int64]bool
 	chargedOrder []int64
-	result       *netdpsyn.Result // nil once evicted from the retention window
-	stages       map[string]StageMS
+	// chargedRho records the ρ this job charged per bucket (0 for
+	// buckets inherited from a recovered charge record — the spend is
+	// on the ledger, but this run paid nothing new). It feeds the
+	// per-window ρ of the job trace.
+	chargedRho map[int64]float64
+	// trace is the job's ordered execution trace: one entry per
+	// released window (plain jobs: one whole-trace entry), each with
+	// its stage spans. Appended as windows complete, so GET /jobs/{id}
+	// shows the trace growing while the job runs.
+	trace  []WindowTrace
+	result *netdpsyn.Result // nil once evicted from the retention window
+	stages map[string]StageMS
 	// spool streams the synthesized CSV incrementally (windowed jobs)
 	// and/or persists it under the state dir (any job kind with a
 	// store), so result.csv can follow a running job and a restarted
@@ -134,6 +145,7 @@ func (j *Job) resurrect() bool {
 	j.started, j.finished = time.Time{}, time.Time{}
 	j.windowsDone = 0
 	j.stages = nil // the re-run re-accumulates; keeping them would double-count
+	j.trace = nil  // ditto (chargedRho survives: the re-run pays nothing new)
 	j.spool = nil
 	j.done = make(chan struct{})
 	return true
@@ -163,6 +175,49 @@ func (j *Job) Result() (*netdpsyn.Result, bool) {
 type StageMS struct {
 	WallMS float64 `json:"wall_ms"`
 	BusyMS float64 `json:"busy_ms"`
+}
+
+// SpanMS is one ordered stage span of a job trace: the stage name,
+// its absolute start instant, and its wall/busy split — the JSON
+// rendering of netdpsyn.StageSpan.
+type SpanMS struct {
+	Stage  string    `json:"stage"`
+	Start  time.Time `json:"start"`
+	WallMS float64   `json:"wall_ms"`
+	BusyMS float64   `json:"busy_ms"`
+}
+
+// WindowTrace is one entry of a job's execution trace: one released
+// window (or, for plain jobs, the single whole-trace run), with the
+// ordered stage spans of its pipeline and the ρ the job charged for
+// it. RhoCharged is 0 for windows whose charge was inherited — a
+// resumed or resurrected job re-releasing a bucket it already paid
+// for, where the deterministic re-run releases nothing new.
+type WindowTrace struct {
+	// Window is the 0-based emission ordinal; Bucket is the absolute
+	// time bucket for span/follow windows (absent otherwise).
+	Window     int      `json:"window"`
+	Bucket     *int64   `json:"bucket,omitempty"`
+	RhoCharged float64  `json:"rho_charged"`
+	Records    int      `json:"records"`
+	Spans      []SpanMS `json:"spans"`
+}
+
+// spansMS renders a pipeline run's ordered stage spans for the trace.
+func spansMS(spans []netdpsyn.StageSpan) []SpanMS {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanMS, len(spans))
+	for i, sp := range spans {
+		out[i] = SpanMS{
+			Stage:  sp.Name,
+			Start:  sp.Start,
+			WallMS: float64(sp.Wall.Microseconds()) / 1e3,
+			BusyMS: float64(sp.Busy.Microseconds()) / 1e3,
+		}
+	}
+	return out
 }
 
 // JobInfo is the JSON shape of a job on GET /jobs/{id}.
@@ -203,6 +258,11 @@ type JobInfo struct {
 	// Records and Stages are filled once the job is done.
 	Records int                `json:"records,omitempty"`
 	Stages  map[string]StageMS `json:"stages,omitempty"`
+	// Trace is the job's ordered execution trace — per released window
+	// (plain jobs: one whole-trace entry), the stage spans and the ρ
+	// charged. Present as soon as the first window lands, so a running
+	// windowed job's trace grows under polling.
+	Trace []WindowTrace `json:"trace,omitempty"`
 }
 
 // Snapshot returns the job's current state for serialization.
@@ -225,6 +285,11 @@ func (j *Job) Snapshot() JobInfo {
 		Epoch:       j.Epoch,
 		Submitted:   j.Submitted,
 	}
+	// Entries are immutable once appended, so sharing the backing
+	// array up to the snapshot length is safe even while the job keeps
+	// appending (append past len never rewrites earlier entries, and a
+	// resurrected job starts a fresh slice).
+	info.Trace = j.trace[:len(j.trace):len(j.trace)]
 	if !j.started.IsZero() {
 		t := j.started
 		info.Started = &t
@@ -266,16 +331,18 @@ func (j *Job) emptyBucketsLocked() []int64 {
 	return empty
 }
 
-// markCharged records a window key this job charged (or inherited
-// from a recovered charge record).
-func (j *Job) markCharged(bucket int64) {
+// markCharged records a window key this job charged (or, at rho 0,
+// inherited from a recovered charge record).
+func (j *Job) markCharged(bucket int64, rho float64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.charged == nil {
 		j.charged = make(map[int64]bool)
+		j.chargedRho = make(map[int64]float64)
 	}
 	if !j.charged[bucket] {
 		j.charged[bucket] = true
+		j.chargedRho[bucket] = rho
 		j.chargedOrder = append(j.chargedOrder, bucket)
 	}
 }
@@ -360,6 +427,12 @@ type Queue struct {
 	// traces-bigger-than-RAM workloads safe to serve (a too-coarse
 	// span would otherwise materialize the whole trace in one table).
 	maxWindowRows int
+	// metrics is the service instrument hub (never nil — NewQueue
+	// builds a private one when the caller passes none); its
+	// EngineMetrics is wired into every job config. log receives job
+	// lifecycle lines (never nil either).
+	metrics *serveMetrics
+	log     *slog.Logger
 
 	mu    sync.Mutex
 	next  int
@@ -439,6 +512,11 @@ type QueueOptions struct {
 	// Gone + zero-cost-resubmit contract.
 	MaxResults int
 	ResultTTL  time.Duration
+	// Metrics is the service instrument hub to feed (nil = a private
+	// registry, so standalone queues stay instrumented-but-unscraped).
+	// Logger receives job lifecycle lines (nil = slog.Default()).
+	Metrics *serveMetrics
+	Logger  *slog.Logger
 }
 
 // NewQueue starts a job queue over the registry. See QueueOptions.
@@ -466,6 +544,14 @@ func NewQueue(reg *Registry, opts QueueOptions) *Queue {
 	if maxResults <= 0 {
 		maxResults = 256
 	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = newServeMetrics(nil)
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	q := &Queue{
 		reg:           reg,
 		perJob:        perJob,
@@ -476,6 +562,8 @@ func NewQueue(reg *Registry, opts QueueOptions) *Queue {
 		store:         opts.Store,
 		defaultSpan:   defaultSpan,
 		maxWindowRows: maxWindowRows,
+		metrics:       metrics,
+		log:           logger,
 		sweepStop:     make(chan struct{}),
 		jobs:          make(map[string]*Job),
 		cache:         make(map[string]*Job),
@@ -701,6 +789,11 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, sr SubmitRequest) (*Job,
 		cfg.KeyAttr = d.labelField()
 	}
 	cfg.Workers = q.perJob
+	// Wire the engine instruments before the warm call below: the pool
+	// bakes the config at construction, so a synthesizer built without
+	// the hook would never report stage timings. Excluded from the
+	// cache/journal identity (json:"-", and configKey skips it).
+	cfg.Metrics = q.metrics.Engine()
 
 	// Validate the config (and warm the pipeline pool) before any
 	// budget charge, so a malformed request costs nothing.
@@ -758,8 +851,10 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, sr SubmitRequest) (*Job,
 			q.attachSpool(prev)
 			q.backlog++
 			q.pending <- prev
+			q.metrics.cacheHits.Inc()
 			return prev, true, nil
 		default:
+			q.metrics.cacheHits.Inc()
 			return prev, true, nil
 		}
 	}
@@ -821,7 +916,40 @@ func (q *Queue) Submit(d *Dataset, cfg netdpsyn.Config, sr SubmitRequest) (*Job,
 	// Cannot block: channel occupancy ≤ q.backlog ≤ maxBacklog == cap
 	// (runners decrement backlog only after receiving).
 	q.pending <- j
+	q.metrics.cacheMisses.Inc()
+	q.metrics.jobsAdmitted.Inc()
+	q.log.LogAttrs(context.Background(), slog.LevelInfo, "job admitted",
+		slog.String("job", j.ID),
+		slog.String("dataset", d.ID),
+		slog.Float64("rho", chargeRho),
+		slog.Int("windows", windows),
+		slog.Int64("span", span),
+		slog.Bool("follow", sr.Follow),
+	)
 	return j, false, nil
+}
+
+// backlogLen reports the number of admitted-but-unfinished jobs — the
+// queue-depth gauge reads it at scrape time.
+func (q *Queue) backlogLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.backlog
+}
+
+// stateCount reports how many known jobs sit in st; the per-state job
+// gauges read it at scrape time. Lock order q.mu → j.mu matches
+// Submit.
+func (q *Queue) stateCount(st JobState) int {
+	q.jobsMu.Lock()
+	defer q.jobsMu.Unlock()
+	n := 0
+	for _, j := range q.jobs {
+		if j.State() == st {
+			n++
+		}
+	}
+	return n
 }
 
 // attachSpool gives an admitted job its result spool: file-backed
@@ -1008,6 +1136,12 @@ func (q *Queue) run(j *Job) {
 	j.records = res.Records
 	j.result = res
 	j.setStages(res.Stages)
+	j.trace = append(j.trace, WindowTrace{
+		Window:     0,
+		RhoCharged: j.Rho,
+		Records:    res.Records,
+		Spans:      spansMS(res.Spans),
+	})
 	j.mu.Unlock()
 	q.finishDone(j, res.Records)
 }
@@ -1051,7 +1185,7 @@ func (q *Queue) windowGate(j *Job, d *Dataset) func(bucket int64, rows int) erro
 		if err := d.Budget().ChargeWindow(j.Span, bucket, rho, rec); err != nil {
 			return err
 		}
-		j.markCharged(bucket)
+		j.markCharged(bucket, rho)
 		return nil
 	}
 }
@@ -1090,7 +1224,21 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 		j.windowsDone++
 		emitted := j.windowsDone
 		j.setStages(wr.Stages)
+		tr := WindowTrace{Window: emitted - 1, Records: wr.Records, Spans: spansMS(wr.Spans)}
+		switch {
+		case j.Span > 0:
+			// Per-key windows: the trace reports the actual ledger charge
+			// for this bucket (0 when a resumed/resurrected run inherited
+			// an already-paid key).
+			b := wr.Bucket
+			tr.Bucket = &b
+			tr.RhoCharged = j.chargedRho[b]
+		case j.Windows > 1:
+			tr.RhoCharged = j.Rho / float64(j.Windows)
+		}
+		j.trace = append(j.trace, tr)
 		j.mu.Unlock()
+		q.metrics.recordWindow(j.DatasetID, wr.Bucket, j.Follow)
 		if emitted > maxWindows {
 			// Only reachable on span/follow jobs (count jobs are capped
 			// at Submit): the span is too fine for the trace's time
@@ -1169,6 +1317,11 @@ func (q *Queue) finishDone(j *Job, records int) {
 	}
 	q.journalTerminal(j.ID, string(JobDone), records, "")
 	close(done)
+	q.log.LogAttrs(context.Background(), slog.LevelInfo, "job done",
+		slog.String("job", j.ID),
+		slog.String("dataset", j.DatasetID),
+		slog.Int("records", records),
+	)
 }
 
 // journalTerminal records a job's terminal transition, best-effort: a
@@ -1211,6 +1364,11 @@ func (q *Queue) fail(j *Job, err error) {
 	q.mu.Unlock()
 	q.journalTerminal(j.ID, string(JobFailed), 0, err.Error())
 	close(done)
+	q.log.LogAttrs(context.Background(), slog.LevelWarn, "job failed",
+		slog.String("job", j.ID),
+		slog.String("dataset", j.DatasetID),
+		slog.String("error", err.Error()),
+	)
 }
 
 // interruptedJobError is the error surfaced on jobs whose admission
@@ -1238,6 +1396,7 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 		js := &jobs[i]
 		cfg := js.Config
 		cfg.Workers = q.perJob // this generation's worker split, not the old one's
+		cfg.Metrics = q.metrics.Engine()
 		j := &Job{
 			ID:        js.JobID,
 			DatasetID: js.DatasetID,
@@ -1270,7 +1429,7 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 		// direction, same as the metadata-sweep rule).
 		legacySpan := js.Span > 0 && !js.Follow && js.Rho > 0
 		for _, b := range js.ChargedBuckets {
-			j.markCharged(b)
+			j.markCharged(b, 0)
 		}
 		resumed := false
 		switch js.State {

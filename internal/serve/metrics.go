@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/obs"
+	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
+)
+
+// Metric families exported by the service, all under the netdpsynd_
+// prefix. Everything renders through one obs.Registry, served at
+// GET /metrics on the main mux and mirrorable on a side listener
+// (the daemon's -pprof server) via Server.MetricsHandler.
+//
+// Layering: the engine feeds stage timings and worker occupancy
+// through netdpsyn.EngineMetrics (one atomic add per task edge — the
+// GUM hot path stays allocation-free); the queue and registry feed
+// job, cache, window, and budget state; the persist layer feeds
+// journal/fsync/snapshot/spool state through persist.Observer. Budget
+// positions, queue depth, and job states are GaugeFuncs evaluated at
+// scrape time, so /metrics always reports exactly what the ledger
+// holds — across a crash and recovery, the restored gauges equal the
+// journaled spend.
+const (
+	mHTTPRequests   = "netdpsynd_http_requests_total"
+	mHTTPLatency    = "netdpsynd_http_request_seconds"
+	mStageSeconds   = "netdpsynd_stage_seconds"
+	mWorkersActive  = "netdpsynd_engine_workers_active"
+	mQueueDepth     = "netdpsynd_queue_depth"
+	mJobs           = "netdpsynd_jobs"
+	mJobsAdmitted   = "netdpsynd_jobs_admitted_total"
+	mCacheHits      = "netdpsynd_result_cache_hits_total"
+	mCacheMisses    = "netdpsynd_result_cache_misses_total"
+	mWindowsSynth   = "netdpsynd_windows_synthesized_total"
+	mBudgetSpent    = "netdpsynd_budget_spent_rho"
+	mBudgetCeiling  = "netdpsynd_budget_ceiling_rho"
+	mBudgetKeys     = "netdpsynd_budget_window_keys"
+	mFeedNewestPut  = "netdpsynd_feed_newest_put_bucket"
+	mFeedNewestSyn  = "netdpsynd_feed_newest_synthesized_bucket"
+	mFeedLag        = "netdpsynd_feed_lag_buckets"
+	mJournalAppends = "netdpsynd_journal_appends_total"
+	mJournalFsync   = "netdpsynd_journal_fsync_seconds"
+	mSnapshots      = "netdpsynd_journal_compactions_total"
+	mSnapshotAge    = "netdpsynd_snapshot_age_seconds"
+	mStateBytes     = "netdpsynd_state_bytes"
+	mDatasets       = "netdpsynd_datasets"
+	mReady          = "netdpsynd_ready"
+)
+
+// serveMetrics is the service-wide instrument hub: one per Server,
+// shared with its Queue, wired into every Synthesizer (EngineMetrics)
+// and into the persist store (Observer). All methods are safe for
+// concurrent use; the hot-path instruments are lock-free atomics.
+type serveMetrics struct {
+	reg *obs.Registry
+
+	// engine is handed (by pointer) to every job's Config.Metrics, so
+	// worker occupancy and stage timings aggregate across concurrent
+	// jobs. activeWorkers backs the occupancy gauge.
+	engine        netdpsyn.EngineMetrics
+	activeWorkers atomic.Int64
+
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	jobsAdmitted *obs.Counter
+
+	mu    sync.Mutex
+	feeds map[string]*feedLag
+}
+
+// feedLag tracks one feed dataset's ingest-vs-synthesis frontier:
+// the newest bucket PUT into the feed and the newest bucket a follow
+// job has synthesized. Lag is their difference in buckets. Both start
+// unset (NaN on /metrics) until the first event.
+type feedLag struct {
+	put, synth atomic.Int64
+	putSet     atomic.Bool
+	synthSet   atomic.Bool
+}
+
+// maxBucket advances a frontier to bucket if it is newer.
+func maxBucket(v *atomic.Int64, set *atomic.Bool, bucket int64) {
+	if !set.Load() {
+		// First event: initialize, racing initializers settle via CAS
+		// below (a stale smaller value is corrected by the loop).
+		v.Store(bucket)
+		set.Store(true)
+	}
+	for {
+		cur := v.Load()
+		if bucket <= cur {
+			return
+		}
+		if v.CompareAndSwap(cur, bucket) {
+			return
+		}
+	}
+}
+
+// Histogram bucket layouts. HTTP and stage latencies span sub-ms
+// cache hits to multi-second pipeline runs; fsync spans device-cache
+// hits to seconds of contended disk.
+var (
+	latencyBuckets = obs.ExpBuckets(0.001, 2, 14)  // 1ms … ~8s
+	stageBuckets   = obs.ExpBuckets(0.0005, 2, 16) // 0.5ms … ~16s
+	fsyncBuckets   = obs.ExpBuckets(0.0001, 2, 14) // 0.1ms … ~0.8s
+)
+
+// newServeMetrics builds the hub over reg (nil = a private registry)
+// and registers the instruments that exist independent of any dataset
+// or queue.
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &serveMetrics{
+		reg:   reg,
+		feeds: make(map[string]*feedLag),
+	}
+	m.cacheHits = reg.Counter(mCacheHits, "Synthesis requests served from the result cache (no new budget charge).")
+	m.cacheMisses = reg.Counter(mCacheMisses, "Synthesis requests admitted as fresh jobs (budget charged).")
+	m.jobsAdmitted = reg.Counter(mJobsAdmitted, "Jobs admitted to the synthesis queue.")
+	m.engine.ActiveWorkers = &m.activeWorkers
+	m.engine.StageDone = func(stage string, wall, busy time.Duration) {
+		m.reg.Histogram(mStageSeconds, "Pipeline stage duration by stage and clock (wall vs summed worker-busy).",
+			stageBuckets, obs.L("stage", stage), obs.L("clock", "wall")).Observe(wall.Seconds())
+		m.reg.Histogram(mStageSeconds, "Pipeline stage duration by stage and clock (wall vs summed worker-busy).",
+			stageBuckets, obs.L("stage", stage), obs.L("clock", "busy")).Observe(busy.Seconds())
+	}
+	reg.GaugeFunc(mWorkersActive, "Engine pool workers currently executing a task, across all running jobs.",
+		func() float64 { return float64(m.activeWorkers.Load()) })
+	return m
+}
+
+// Engine returns the EngineMetrics every job config shares.
+func (m *serveMetrics) Engine() *netdpsyn.EngineMetrics { return &m.engine }
+
+// httpDone records one finished request on the route-labeled counter
+// and latency histogram.
+func (m *serveMetrics) httpDone(route, method string, code int, dur time.Duration) {
+	m.reg.Counter(mHTTPRequests, "HTTP requests by route pattern, method, and status code.",
+		obs.L("route", route), obs.L("method", method), obs.L("code", statusLabel(code))).Inc()
+	m.reg.Histogram(mHTTPLatency, "HTTP request duration by route pattern.",
+		latencyBuckets, obs.L("route", route)).Observe(dur.Seconds())
+}
+
+// statusLabel renders an HTTP status for the code label. Exact codes
+// (not classes): the route cardinality is bounded by the fixed route
+// table, and exact codes are what the 403-vs-503 budget distinction
+// needs.
+func statusLabel(code int) string {
+	if code <= 0 {
+		code = 200 // WriteHeader never called: net/http defaults to 200
+	}
+	return itoa3(code)
+}
+
+// itoa3 formats a 3-digit status without fmt (scrape-path friendly).
+func itoa3(code int) string {
+	if code < 0 || code > 999 {
+		code = 0
+	}
+	b := [3]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)}
+	return string(b[:])
+}
+
+// observeDataset registers the per-dataset scrape-time gauges: the
+// budget position and ceiling (read from the ledger at scrape, so the
+// gauge can never disagree with the accountant — including across a
+// crash and journal replay), the per-window-key count, and, for feed
+// datasets, the ingest/synthesis frontier gauges. Called once per
+// dataset at registration and at recovery.
+func (m *serveMetrics) observeDataset(d *Dataset) {
+	b := d.Budget()
+	ds := obs.L("dataset", d.ID)
+	m.reg.GaugeFunc(mBudgetSpent, "Cumulative zCDP spend (ledger position: scalar + per-span max over window keys).",
+		func() float64 { spent, _ := b.Position(); return spent }, ds)
+	m.reg.GaugeFunc(mBudgetCeiling, "Configured zCDP ceiling.",
+		func() float64 { _, ceiling := b.Position(); return ceiling }, ds)
+	m.reg.GaugeFunc(mBudgetKeys, "Distinct (span, bucket) window keys holding spend.",
+		func() float64 { return float64(b.WindowKeys()) }, ds)
+	if !d.Feed() {
+		return
+	}
+	fl := m.feedFor(d.ID)
+	m.reg.GaugeFunc(mFeedNewestPut, "Newest bucket PUT into the live feed (NaN until the first arrival).",
+		func() float64 { return frontier(&fl.put, &fl.putSet) }, ds)
+	m.reg.GaugeFunc(mFeedNewestSyn, "Newest feed bucket a follow job has synthesized (NaN until the first release).",
+		func() float64 { return frontier(&fl.synth, &fl.synthSet) }, ds)
+	m.reg.GaugeFunc(mFeedLag, "Feed lag in buckets: newest PUT bucket minus newest synthesized bucket.",
+		func() float64 {
+			if !fl.putSet.Load() || !fl.synthSet.Load() {
+				return math.NaN()
+			}
+			return float64(fl.put.Load() - fl.synth.Load())
+		}, ds)
+}
+
+func frontier(v *atomic.Int64, set *atomic.Bool) float64 {
+	if !set.Load() {
+		return math.NaN()
+	}
+	return float64(v.Load())
+}
+
+func (m *serveMetrics) feedFor(datasetID string) *feedLag {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fl, ok := m.feeds[datasetID]
+	if !ok {
+		fl = &feedLag{}
+		m.feeds[datasetID] = fl
+	}
+	return fl
+}
+
+// recordPut advances a feed's ingest frontier (one window PUT).
+func (m *serveMetrics) recordPut(datasetID string, bucket int64) {
+	fl := m.feedFor(datasetID)
+	maxBucket(&fl.put, &fl.putSet, bucket)
+}
+
+// recordWindow counts one synthesized window and, for follow jobs,
+// advances the feed's synthesis frontier.
+func (m *serveMetrics) recordWindow(datasetID string, bucket int64, follow bool) {
+	m.reg.Counter(mWindowsSynth, "Windows synthesized and released, by dataset.",
+		obs.L("dataset", datasetID)).Inc()
+	if follow {
+		fl := m.feedFor(datasetID)
+		maxBucket(&fl.synth, &fl.synthSet, bucket)
+	}
+}
+
+// observeQueue registers the queue's scrape-time gauges: backlog
+// depth and jobs by lifecycle state.
+func (m *serveMetrics) observeQueue(q *Queue) {
+	m.reg.GaugeFunc(mQueueDepth, "Jobs admitted but not yet picked up by a runner.",
+		func() float64 { return float64(q.backlogLen()) })
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed} {
+		st := st
+		m.reg.GaugeFunc(mJobs, "Remembered jobs by lifecycle state.",
+			func() float64 { return float64(q.stateCount(st)) }, obs.L("state", string(st)))
+	}
+}
+
+// observeStore wires the persist layer in: journal append counters
+// (by record type) and fsync latency via the store's Observer hook,
+// plus scrape-time gauges over the state dir's footprint and the
+// snapshot's age.
+func (m *serveMetrics) observeStore(store *persist.Store) {
+	store.SetObserver(persist.Observer{
+		Append: func(kind string, took time.Duration) {
+			m.reg.Counter(mJournalAppends, "Durable journal appends by record type.",
+				obs.L("type", kind)).Inc()
+			m.reg.Histogram(mJournalFsync, "Journal append latency including the fsync.",
+				fsyncBuckets).Observe(took.Seconds())
+		},
+		Compacted: func() {
+			m.reg.Counter(mSnapshots, "Journal compactions (snapshot writes).").Inc()
+		},
+	})
+	m.reg.GaugeFunc(mSnapshotAge, "Seconds since the last snapshot compaction (NaN when none exists yet).",
+		func() float64 {
+			u := store.Usage()
+			if u.SnapshotTime.IsZero() {
+				return math.NaN()
+			}
+			return time.Since(u.SnapshotTime).Seconds()
+		})
+	for _, dir := range []struct {
+		name string
+		get  func(persist.Usage) int64
+	}{
+		{"journal", func(u persist.Usage) int64 { return u.JournalBytes }},
+		{"snapshot", func(u persist.Usage) int64 { return u.SnapshotBytes }},
+		{"spool", func(u persist.Usage) int64 { return u.SpoolBytes }},
+		{"results", func(u persist.Usage) int64 { return u.ResultsBytes }},
+	} {
+		dir := dir
+		m.reg.GaugeFunc(mStateBytes, "On-disk footprint of the state dir by component.",
+			func() float64 { return float64(dir.get(store.Usage())) }, obs.L("dir", dir.name))
+	}
+}
+
+// observeServer registers the server-level gauges: readiness and the
+// dataset count.
+func (m *serveMetrics) observeServer(s *Server) {
+	m.reg.GaugeFunc(mReady, "1 when the server is serving (recovery done, not draining), else 0.",
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
+	m.reg.GaugeFunc(mDatasets, "Registered datasets.",
+		func() float64 { return float64(len(s.reg.List())) })
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // File and directory names under the state dir.
@@ -53,6 +54,26 @@ type Store struct {
 	sinceCompact int
 	compactEvery int
 	closed       bool
+	obs          Observer
+}
+
+// Observer receives durable-state events for metrics. Append fires
+// after every successful journal append with the record kind (the
+// journal type tag: "dataset", "charge", "terminal", "window",
+// "wcharge", "feed") and how long the write-plus-fsync took;
+// Compacted fires after each successful snapshot compaction. Either
+// field may be nil. Callbacks run under the store's lock and must be
+// cheap and non-blocking (atomic counter bumps).
+type Observer struct {
+	Append    func(kind string, took time.Duration)
+	Compacted func()
+}
+
+// SetObserver installs the event observer; call before serving.
+func (s *Store) SetObserver(o Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
 }
 
 // Open creates or recovers the state dir: it loads snapshot.json if
@@ -185,6 +206,7 @@ func (s *Store) append(rec record) error {
 		return fmt.Errorf("persist: marshal record: %w", err)
 	}
 	b = append(b, '\n')
+	wstart := time.Now()
 	n, werr := s.sink.Write(b)
 	if werr == nil {
 		werr = s.sink.Sync()
@@ -199,6 +221,9 @@ func (s *Store) append(rec record) error {
 	}
 	if s.sink == AppendSyncer(s.f) {
 		s.goodOff += int64(len(b))
+	}
+	if s.obs.Append != nil {
+		s.obs.Append(rec.T, time.Since(wstart))
 	}
 	s.mem.apply(&rec)
 	s.mem.seq = rec.Seq
@@ -288,7 +313,54 @@ func (s *Store) compactLocked() error {
 	}
 	s.goodOff = 0
 	s.sinceCompact = 0
+	if s.obs.Compacted != nil {
+		s.obs.Compacted()
+	}
 	return nil
+}
+
+// Usage is the state dir's on-disk footprint, measured at call time —
+// scrape-path fodder for capacity gauges. SnapshotTime is the zero
+// time when no snapshot exists yet.
+type Usage struct {
+	JournalBytes  int64
+	SnapshotBytes int64
+	SpoolBytes    int64
+	ResultsBytes  int64
+	SnapshotTime  time.Time
+}
+
+// Usage stats the journal, snapshot, spool, and results under the
+// state dir. It takes no lock — sizes are advisory and the paths are
+// immutable — so a scrape never waits behind an fsync.
+func (s *Store) Usage() Usage {
+	var u Usage
+	if fi, err := os.Stat(filepath.Join(s.dir, journalName)); err == nil {
+		u.JournalBytes = fi.Size()
+	}
+	if fi, err := os.Stat(filepath.Join(s.dir, snapshotName)); err == nil {
+		u.SnapshotBytes = fi.Size()
+		u.SnapshotTime = fi.ModTime()
+	}
+	u.SpoolBytes = dirBytes(filepath.Join(s.dir, spoolDirName))
+	u.ResultsBytes = dirBytes(filepath.Join(s.dir, resultsDirName))
+	return u
+}
+
+// dirBytes sums the regular files directly under dir (both the spool
+// and results dirs are flat).
+func dirBytes(dir string) int64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range ents {
+		if fi, err := e.Info(); err == nil && fi.Mode().IsRegular() {
+			total += fi.Size()
+		}
+	}
+	return total
 }
 
 // WriteSpool stores a dataset's raw CSV under the spool dir and

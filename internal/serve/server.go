@@ -7,14 +7,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/obs"
 	"github.com/netdpsyn/netdpsyn/internal/serve/persist"
 )
 
@@ -79,6 +82,14 @@ type Options struct {
 	// older than it (0 = no age sweep).
 	MaxResults int
 	ResultTTL  time.Duration
+	// Logger receives the service's structured log lines (nil =
+	// slog.Default()). Every request-scoped line carries the
+	// request_id the tracing middleware assigned.
+	Logger *slog.Logger
+	// Obs is the metrics registry /metrics renders (nil = a fresh
+	// private registry). Pass one to mirror the exposition elsewhere
+	// (the daemon mounts it on the -pprof side listener too).
+	Obs *obs.Registry
 }
 
 // Server is the netdpsynd HTTP service: a dataset registry, a
@@ -96,6 +107,8 @@ type Options struct {
 //	GET  /jobs/{id}                          poll a job
 //	GET  /jobs/{id}/result.csv               fetch a finished job's trace
 //	GET  /healthz                            liveness
+//	GET  /readyz                             readiness (503 while booting/draining)
+//	GET  /metrics                            Prometheus text exposition
 type Server struct {
 	opts     Options
 	reg      *Registry
@@ -103,7 +116,16 @@ type Server struct {
 	store    *persist.Store // nil when StateDir is empty
 	recovery *RecoveryInfo  // nil when StateDir is empty
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the observability middleware
 	http     *http.Server
+	log      *slog.Logger
+	metrics  *serveMetrics
+
+	// ready gates /readyz: false until recovery and wiring finish,
+	// false again the moment Shutdown begins (so a load balancer
+	// drains the instance while in-flight work completes). /healthz
+	// stays pure liveness and never flips.
+	ready atomic.Bool
 
 	// sealStop ends the -seal-after idle sweeper (nil when disabled).
 	sealStop chan struct{}
@@ -147,6 +169,14 @@ func NewServer(opts Options) (*Server, error) {
 		store: store,
 		mux:   http.NewServeMux(),
 	}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.metrics = newServeMetrics(opts.Obs)
+	if store != nil {
+		s.metrics.observeStore(store)
+	}
 	s.queue = NewQueue(s.reg, QueueOptions{
 		Runners:       opts.MaxConcurrentJobs,
 		WorkersTotal:  opts.Workers,
@@ -155,14 +185,23 @@ func NewServer(opts Options) (*Server, error) {
 		MaxWindowRows: opts.MaxWindowRows,
 		MaxResults:    opts.MaxResults,
 		ResultTTL:     opts.ResultTTL,
+		Metrics:       s.metrics,
+		Logger:        s.log,
 	})
 	if state != nil {
 		s.recovery = restoreState(s.reg, s.queue, store, state)
+	}
+	// Recovered datasets get their budget/feed gauges now; datasets
+	// registered over HTTP get theirs in handleRegister.
+	for _, d := range s.reg.List() {
+		s.metrics.observeDataset(d)
 	}
 
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.HandleFunc("POST /datasets", s.handleRegister)
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /datasets/{id}", s.handleDataset)
@@ -179,9 +218,26 @@ func NewServer(opts Options) (*Server, error) {
 		s.sealWG.Add(1)
 		go s.idleSealer(opts.SealAfter)
 	}
+	s.metrics.observeQueue(s.queue)
+	s.metrics.observeServer(s)
 
-	s.http = &http.Server{Addr: opts.Addr, Handler: s.mux}
+	s.handler = s.withObservability(s.mux)
+	s.http = &http.Server{Addr: opts.Addr, Handler: s.handler}
+	// Ready only now: recovery replayed, gauges wired, routes mounted.
+	s.ready.Store(true)
 	return s, nil
+}
+
+// handleReady is the readiness probe: 503 while the server is not
+// accepting work (before recovery completes, and again once Shutdown
+// begins draining). Distinct from /healthz on purpose — an instance
+// mid-drain is alive but must fall out of the load balancer.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // idleSealer implements -seal-after: a feed with no arrival for the
@@ -209,8 +265,14 @@ func (s *Server) idleSealer(idle time.Duration) {
 	}
 }
 
-// Handler exposes the route table, for tests via httptest.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the route table (wrapped in the request-tracing /
+// metrics middleware), for tests via httptest.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// MetricsHandler exposes the Prometheus exposition alone, for
+// mirroring on a side listener (the daemon mounts it next to pprof on
+// the loopback-only profiling port).
+func (s *Server) MetricsHandler() http.Handler { return s.metrics.reg.Handler() }
 
 // Recovery reports what NewServer restored from the state dir, or nil
 // when the service runs without one (or started fresh — a fresh dir
@@ -243,6 +305,7 @@ func (s *Server) volatileSpoolDir() (string, error) {
 // process exits, then compacts and closes the durable store so the
 // next boot replays a snapshot instead of a long journal.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false) // fail /readyz first so load balancers drain us
 	httpErr := s.http.Shutdown(ctx)
 	if s.sealStop != nil {
 		close(s.sealStop)
@@ -500,6 +563,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	registered = true
+	s.metrics.observeDataset(d)
+	s.logger(r.Context()).LogAttrs(r.Context(), slog.LevelInfo, "dataset registered",
+		slog.String("dataset", d.ID),
+		slog.String("kind", kind),
+		slog.Int("rows", rows),
+		slog.Bool("streaming", streaming),
+	)
 	writeJSON(w, http.StatusCreated, d.Info())
 }
 
@@ -618,6 +688,12 @@ func (s *Server) registerFeed(w http.ResponseWriter, r *http.Request, kind, labe
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.metrics.observeDataset(d)
+	s.logger(r.Context()).LogAttrs(r.Context(), slog.LevelInfo, "feed registered",
+		slog.String("dataset", d.ID),
+		slog.String("kind", kind),
+		slog.Int64("span", span),
+	)
 	writeJSON(w, http.StatusCreated, d.Info())
 }
 
@@ -687,6 +763,13 @@ func (s *Server) handleWindowPut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.metrics.recordPut(d.ID, bucket)
+	s.logger(r.Context()).LogAttrs(r.Context(), slog.LevelInfo, "window published",
+		slog.String("dataset", d.ID),
+		slog.Int64("bucket", bucket),
+		slog.Int("epoch", epoch),
+		slog.Int("rows", table.NumRows()),
+	)
 	info := d.Info()
 	writeJSON(w, http.StatusCreated, WindowAck{
 		DatasetID:     d.ID,
@@ -867,6 +950,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.logger(r.Context()).LogAttrs(r.Context(), slog.LevelInfo, "synthesis submitted",
+		slog.String("job", job.ID),
+		slog.String("dataset", d.ID),
+		slog.Bool("cached", cached),
+		slog.Float64("rho", job.Rho),
+	)
 	info := job.Snapshot()
 	writeJSON(w, http.StatusAccepted, SynthesisResponse{
 		JobID:      job.ID,

@@ -76,7 +76,20 @@ type Config struct {
 	Workers int
 	// UseGUM disables GUMMI's marginal initialization (ablation).
 	UseGUM bool
+	// Metrics optionally wires engine-level observability (worker
+	// occupancy, live stage timings) into every run of this
+	// synthesizer; nil disables it at zero cost. It never affects
+	// synthesis output. A serving daemon passes one EngineMetrics to
+	// every synthesizer so the hooks aggregate across jobs. Excluded
+	// from JSON: configs are journaled durably, and hooks are runtime
+	// wiring, not release parameters.
+	Metrics *EngineMetrics `json:"-"`
 }
+
+// EngineMetrics wires optional engine observability hooks; see the
+// field docs on the core type. Both hooks are allocation-free on the
+// synthesis hot path.
+type EngineMetrics = core.EngineMetrics
 
 // Synthesizer produces DP-protected synthetic traces.
 type Synthesizer struct {
@@ -141,6 +154,7 @@ func New(cfg Config) (*Synthesizer, error) {
 	cc.Seed = cfg.Seed
 	cc.Workers = cfg.Workers
 	cc.UseGUMMI = !cfg.UseGUM
+	cc.Metrics = cfg.Metrics
 	p, err := core.NewPipeline(cc)
 	if err != nil {
 		return nil, err
@@ -151,6 +165,12 @@ func New(cfg Config) (*Synthesizer, error) {
 // StageTiming splits one pipeline stage's cost into wall-clock time
 // and summed worker-busy time (Busy/Wall ≈ achieved parallelism).
 type StageTiming = core.StageTiming
+
+// StageSpan is one ordered entry of a run's stage trace: the stage
+// name, its absolute start instant, and its wall/busy split. Where
+// Stages aggregates per stage name, Spans preserves execution order
+// and timing, so a job-level trace can be reconstructed.
+type StageSpan = core.StageSpan
 
 // Result is the outcome of a synthesis run.
 type Result struct {
@@ -170,6 +190,9 @@ type Result struct {
 	// keyed by stage name (preprocess, select, publish, postprocess,
 	// gum, decode).
 	Stages map[string]StageTiming
+	// Spans is the ordered stage trace of the run (execution order,
+	// absolute start times) — what Stages aggregates away.
+	Spans []StageSpan
 }
 
 // Synthesize runs the NetDPSyn pipeline on a trace table.
@@ -189,6 +212,7 @@ func (s *Synthesizer) Synthesize(t *Table) (*Result, error) {
 		SelectedMarginals: res.Report.SelectedSets,
 		Records:           res.Report.SynthRecords,
 		Stages:            res.Report.Stages,
+		Spans:             res.Report.Spans,
 	}, nil
 }
 
@@ -201,6 +225,11 @@ const FieldTS = "ts"
 type WindowResult struct {
 	// Window is the time-window index within the trace.
 	Window int
+	// Bucket is the window's bucket key (the source's Window.ID): the
+	// absolute time bucket ⌊ts/span⌋ for span-partitioned runs, the
+	// window index for count-cut runs. It is the key a per-window
+	// budget ledger charges and the one job traces report.
+	Bucket int64
 	// Table is the synthesized trace for this window, same schema as
 	// the input.
 	Table *Table
@@ -217,6 +246,9 @@ type WindowResult struct {
 	Rho float64
 	// Stages is the window's per-stage wall/busy timing split.
 	Stages map[string]StageTiming
+	// Spans is the window's ordered stage trace (execution order,
+	// absolute start times).
+	Spans []StageSpan
 }
 
 // StreamOptions configures SynthesizeStream's windowing. Exactly one
@@ -457,10 +489,12 @@ func (s *Synthesizer) synthesizeSource(src core.WindowSource, emit func(WindowRe
 	return core.SynthesizeStream(src, s.cfg, func(wr core.WindowResult) error {
 		return emit(WindowResult{
 			Window:  wr.Window,
+			Bucket:  wr.Bucket,
 			Table:   wr.Table,
 			Records: wr.Report.SynthRecords,
 			Rho:     wr.Report.Rho,
 			Stages:  wr.Report.Stages,
+			Spans:   wr.Report.Spans,
 		})
 	})
 }

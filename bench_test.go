@@ -693,3 +693,162 @@ func BenchmarkExtensionWindowed(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluationQuality drives evaluation-as-a-service end to end
+// over the real HTTP service: register a deterministic emulated TON
+// trace, synthesize one release, then score it per iteration with
+// every charged metric (marginal TVD + downstream ML + MIA) — an
+// evaluation is never cached, so ns/op is the full raw-pass scoring
+// latency. All seeds are pinned, so the scores themselves are
+// bit-reproducible; with BENCH_QUALITY_JSON=<path> in the environment
+// they land in the quality artifact that cmd/benchtraj -quality gates
+// against bench/BENCH_quality.baseline.json.
+func BenchmarkEvaluationQuality(b *testing.B) {
+	const rows = 400
+	gen, err := datagen.Generate(datagen.TON, datagen.Config{Rows: rows, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := gen.WriteCSV(&csvBuf); err != nil {
+		b.Fatal(err)
+	}
+
+	srv, err := serve.NewServer(serve.Options{MaxConcurrentJobs: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	regURL := fmt.Sprintf("%s/datasets?label=%s&budget_rho=1e9", ts.URL, datagen.LabelField(datagen.TON))
+	resp, err := ts.Client().Post(regURL, "text/csv", &csvBuf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dsInfo serve.Info
+	if err := json.NewDecoder(resp.Body).Decode(&dsInfo); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("register = %d", resp.StatusCode)
+	}
+
+	body, err := json.Marshal(serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 4, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sresp, err := ts.Client().Post(ts.URL+"/datasets/"+dsInfo.ID+"/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ack serve.SynthesisResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&ack); err != nil {
+		b.Fatal(err)
+	}
+	sresp.Body.Close()
+	if _, err := srv.WaitJob(ack.JobID, 60*time.Second); err != nil {
+		b.Fatal(err)
+	}
+
+	evalBody, err := json.Marshal(serve.EvaluationRequest{
+		JobID:   ack.JobID,
+		Metrics: []string{"tvd", "ml", "mia"},
+		Models:  []string{"DT", "LR"},
+		Seed:    5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	mem := newMemMeter()
+	var last *serve.EvaluationResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eresp, err := ts.Client().Post(ts.URL+"/datasets/"+dsInfo.ID+"/evaluate", "application/json", bytes.NewReader(evalBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var eack serve.EvaluationResponse
+		if err := json.NewDecoder(eresp.Body).Decode(&eack); err != nil {
+			b.Fatal(err)
+		}
+		eresp.Body.Close()
+		if eresp.StatusCode != http.StatusAccepted {
+			b.Fatalf("evaluate = %d", eresp.StatusCode)
+		}
+		j, err := srv.WaitJob(eack.JobID, 60*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		info := j.Snapshot()
+		if info.State != serve.JobDone || info.Evaluation == nil {
+			b.Fatalf("evaluation = %s (%s)", info.State, info.Error)
+		}
+		last = info.Evaluation
+	}
+	b.StopTimer()
+	memOp := mem.perOp(b.N)
+	b.ReportMetric(last.Fidelity.MeanTVD, "tvd-mean")
+	b.ReportMetric(last.ML["DT"].SynthAccuracy, "dt-acc")
+
+	if path := os.Getenv("BENCH_QUALITY_JSON"); path != "" {
+		if err := writeQualityJSON(path, rows, 5, last, memOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// qualityFile is the BENCH_quality.json shape shared with
+// cmd/benchtraj -quality: the deterministic-seed evaluation scores of
+// one synthesized release, gated in CI against a committed baseline.
+type qualityFile struct {
+	Benchmark    string             `json:"benchmark"`
+	Go           string             `json:"go"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	Rows         int                `json:"rows"`
+	Seed         uint64             `json:"seed"`
+	TVDMean      float64            `json:"tvd_mean"`
+	MLAccuracy   map[string]float64 `json:"ml_accuracy"`
+	RealAccuracy map[string]float64 `json:"real_accuracy"`
+	MIAAdvantage map[string]float64 `json:"mia_advantage"`
+	Mem          memPerOp           `json:"mem"`
+}
+
+// writeQualityJSON renders one evaluation's scores as the quality
+// trajectory artifact.
+func writeQualityJSON(path string, rows int, seed uint64, res *serve.EvaluationResult, mem memPerOp) error {
+	out := qualityFile{
+		Benchmark:    "BenchmarkEvaluationQuality",
+		Go:           runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		Rows:         rows,
+		Seed:         seed,
+		TVDMean:      res.Fidelity.MeanTVD,
+		MLAccuracy:   map[string]float64{},
+		RealAccuracy: map[string]float64{},
+		MIAAdvantage: map[string]float64{},
+		Mem:          mem,
+	}
+	for model, sc := range res.ML {
+		out.MLAccuracy[model] = sc.SynthAccuracy
+		out.RealAccuracy[model] = sc.RealAccuracy
+	}
+	for model, sc := range res.MIA {
+		out.MIAAdvantage[model] = sc.Advantage
+	}
+	raw, err := json.MarshalIndent(&out, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

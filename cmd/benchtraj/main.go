@@ -14,6 +14,11 @@
 // shared runners are noisy, so the trajectory warns humans instead of
 // gating merges. Pass -hard to exit 1 on regression instead (for
 // dedicated bench hardware).
+//
+// With -quality the comparison is BENCH_quality.json instead — the
+// deterministic-seed fidelity/privacy scores of
+// BenchmarkEvaluationQuality, gated by absolute tolerances (-tvd-tol,
+// -acc-tol, -mia-tol); see quality.go.
 package main
 
 import (
@@ -171,13 +176,35 @@ func compareMem(baseline, current *stageFile, allocsWarnPct float64) (table stri
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "bench/BENCH_stage_timings.baseline.json", "committed baseline emission")
-		currentPath  = flag.String("current", "BENCH_stage_timings.json", "this run's emission")
+		baselinePath = flag.String("baseline", "", "committed baseline emission (default bench/BENCH_stage_timings.baseline.json, or bench/BENCH_quality.baseline.json with -quality)")
+		currentPath  = flag.String("current", "", "this run's emission (default BENCH_stage_timings.json, or BENCH_quality.json with -quality)")
 		warnPct      = flag.Float64("warn-pct", 15, "wall-time regression percentage that triggers a warning")
 		allocsPct    = flag.Float64("allocs-warn-pct", 25, "allocs/op regression percentage that triggers a warning")
 		hard         = flag.Bool("hard", false, "exit 1 on regression instead of soft-warning (dedicated bench hardware only)")
+		quality      = flag.Bool("quality", false, "compare BENCH_quality.json emissions (deterministic fidelity/privacy scores) instead of stage timings")
+		tvdTol       = flag.Float64("tvd-tol", 0.02, "with -quality: max absolute rise in mean marginal TVD")
+		accTol       = flag.Float64("acc-tol", 0.05, "with -quality: max absolute drop in per-model synth-trained accuracy")
+		miaTol       = flag.Float64("mia-tol", 0.05, "with -quality: max absolute rise in per-model MIA advantage")
 	)
 	flag.Parse()
+	if *baselinePath == "" {
+		if *quality {
+			*baselinePath = "bench/BENCH_quality.baseline.json"
+		} else {
+			*baselinePath = "bench/BENCH_stage_timings.baseline.json"
+		}
+	}
+	if *currentPath == "" {
+		if *quality {
+			*currentPath = "BENCH_quality.json"
+		} else {
+			*currentPath = "BENCH_stage_timings.json"
+		}
+	}
+	if *quality {
+		runQuality(*baselinePath, *currentPath, qualityTols{TVD: *tvdTol, Acc: *accTol, MIA: *miaTol}, *hard)
+		return
+	}
 
 	baseline, err := load(*baselinePath)
 	if err != nil {

@@ -113,3 +113,65 @@ func TestCompareMemZeroBaseline(t *testing.T) {
 		t.Fatalf("zero-baseline mem flagged: %v", regs)
 	}
 }
+
+func TestCompareQualityFlagsRegressions(t *testing.T) {
+	base := &qualityFile{
+		TVDMean:      0.70,
+		MLAccuracy:   map[string]float64{"DT": 0.40, "LR": 0.40},
+		RealAccuracy: map[string]float64{"DT": 0.80},
+		MIAAdvantage: map[string]float64{"DT": 0.00, "LR": 0.05},
+	}
+	cur := &qualityFile{
+		TVDMean:      0.75,                                       // +0.05 > +0.02
+		MLAccuracy:   map[string]float64{"DT": 0.30, "LR": 0.39}, // DT -0.10 > 0.05; LR quiet
+		RealAccuracy: map[string]float64{"DT": 0.10},             // informational, never flags
+		MIAAdvantage: map[string]float64{"DT": 0.20, "LR": 0.06}, // DT +0.20 > 0.05; LR quiet
+	}
+	table, regs := compareQuality(base, cur, qualityTols{TVD: 0.02, Acc: 0.05, MIA: 0.05})
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %v, want tvd + DT accuracy + DT advantage", regs)
+	}
+	if !strings.Contains(regs[0], "TVD") || !strings.Contains(regs[1], "accuracy") || !strings.Contains(regs[2], "advantage") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "real_accuracy[DT]") {
+		t.Fatalf("table missing markers:\n%s", table)
+	}
+}
+
+func TestCompareQualityImprovementsAreQuiet(t *testing.T) {
+	base := &qualityFile{
+		TVDMean:      0.70,
+		MLAccuracy:   map[string]float64{"DT": 0.40},
+		MIAAdvantage: map[string]float64{"DT": 0.10},
+	}
+	// Fidelity, utility, and privacy all improve by a lot: no flags.
+	cur := &qualityFile{
+		TVDMean:      0.20,
+		MLAccuracy:   map[string]float64{"DT": 0.90},
+		MIAAdvantage: map[string]float64{"DT": -0.20},
+	}
+	if _, regs := compareQuality(base, cur, qualityTols{TVD: 0.02, Acc: 0.05, MIA: 0.05}); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareQualityNewAndVanishedModels(t *testing.T) {
+	base := &qualityFile{
+		TVDMean:      0.70,
+		MLAccuracy:   map[string]float64{"DT": 0.40, "legacy": 0.99},
+		MIAAdvantage: map[string]float64{"DT": 0.00},
+	}
+	cur := &qualityFile{
+		TVDMean:      0.70,
+		MLAccuracy:   map[string]float64{"DT": 0.40, "shiny": 0.01},
+		MIAAdvantage: map[string]float64{"DT": 0.00},
+	}
+	table, regs := compareQuality(base, cur, qualityTols{TVD: 0.02, Acc: 0.05, MIA: 0.05})
+	if len(regs) != 0 {
+		t.Fatalf("new/vanished models must not count as regressions: %v", regs)
+	}
+	if !strings.Contains(table, "new") || !strings.Contains(table, "gone") {
+		t.Fatalf("table should mark new/gone models:\n%s", table)
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+// The quality trajectory: with -quality, benchtraj compares two
+// BENCH_quality.json emissions instead of stage timings. CI runs
+// BenchmarkEvaluationQuality with BENCH_QUALITY_JSON set and gates
+// the scores against the committed baseline:
+//
+//	BENCH_QUALITY_JSON=$PWD/BENCH_quality.json \
+//	    go test -run xxx -bench BenchmarkEvaluationQuality -benchtime 1x .
+//	go run ./cmd/benchtraj -quality \
+//	    -baseline bench/BENCH_quality.baseline.json -current BENCH_quality.json
+//
+// Unlike wall time, the scores are deterministic at pinned seeds, so
+// the tolerances are absolute score deltas, not noise margins: a
+// crossing means an algorithm change moved fidelity or privacy, and
+// the ::warning tells a human to either fix it or re-commit the
+// baseline deliberately.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// qualityFile mirrors bench_test.go's qualityFile (unknown fields are
+// ignored, so the two shapes may grow independently).
+type qualityFile struct {
+	Benchmark    string             `json:"benchmark"`
+	Go           string             `json:"go"`
+	Rows         int                `json:"rows"`
+	Seed         uint64             `json:"seed"`
+	TVDMean      float64            `json:"tvd_mean"`
+	MLAccuracy   map[string]float64 `json:"ml_accuracy"`
+	RealAccuracy map[string]float64 `json:"real_accuracy"`
+	MIAAdvantage map[string]float64 `json:"mia_advantage"`
+}
+
+func loadQuality(path string) (*qualityFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f qualityFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(f.MLAccuracy) == 0 && len(f.MIAAdvantage) == 0 && f.TVDMean == 0 {
+		return nil, fmt.Errorf("%s has no quality scores", path)
+	}
+	return &f, nil
+}
+
+// qualityTols are the absolute score deltas that trigger a warning:
+// TVD is a rise ceiling (higher = worse fidelity), Acc a drop floor
+// (lower = worse utility), MIA a rise ceiling (higher = worse
+// privacy).
+type qualityTols struct {
+	TVD float64
+	Acc float64
+	MIA float64
+}
+
+// compareQuality renders the fidelity/privacy trajectory and returns
+// the scores that crossed their tolerance in the bad direction.
+// Improvements never flag; new and vanished models report but never
+// count as regressions. The real_accuracy rows are informational —
+// they score the train-on-raw baseline classifier, not the release.
+func compareQuality(baseline, current *qualityFile, tol qualityTols) (table string, regressions []string) {
+	table = fmt.Sprintf("%-24s %10s %10s %9s\n", "score", "base", "cur", "Δ")
+	row := func(name string, b, c float64, bad bool, detail string) {
+		mark := ""
+		if bad {
+			mark = "  ← REGRESSION"
+			regressions = append(regressions, detail)
+		}
+		table += fmt.Sprintf("%-24s %10.4f %10.4f %+9.4f%s\n", name, b, c, c-b, mark)
+	}
+	row("tvd_mean", baseline.TVDMean, current.TVDMean,
+		current.TVDMean > baseline.TVDMean+tol.TVD,
+		fmt.Sprintf("mean marginal TVD rose %.4f → %.4f (tolerance +%g)",
+			baseline.TVDMean, current.TVDMean, tol.TVD))
+
+	modelRows := func(kind string, base, cur map[string]float64,
+		bad func(b, c float64) bool, detail func(model string, b, c float64) string) {
+		names := make(map[string]bool)
+		for n := range base {
+			names[n] = true
+		}
+		for n := range cur {
+			names[n] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			b, inBase := base[n]
+			c, inCur := cur[n]
+			label := kind + "[" + n + "]"
+			switch {
+			case !inBase:
+				table += fmt.Sprintf("%-24s %10s %10.4f %9s\n", label, "—", c, "new")
+			case !inCur:
+				table += fmt.Sprintf("%-24s %10.4f %10s %9s\n", label, b, "—", "gone")
+			default:
+				row(label, b, c, bad(b, c), detail(n, b, c))
+			}
+		}
+	}
+	never := func(b, c float64) bool { return false }
+	modelRows("ml_accuracy", baseline.MLAccuracy, current.MLAccuracy,
+		func(b, c float64) bool { return c < b-tol.Acc },
+		func(m string, b, c float64) string {
+			return fmt.Sprintf("model %s synth-trained accuracy fell %.4f → %.4f (tolerance -%g)", m, b, c, tol.Acc)
+		})
+	modelRows("real_accuracy", baseline.RealAccuracy, current.RealAccuracy,
+		never, func(m string, b, c float64) string { return "" })
+	modelRows("mia_advantage", baseline.MIAAdvantage, current.MIAAdvantage,
+		func(b, c float64) bool { return c > b+tol.MIA },
+		func(m string, b, c float64) string {
+			return fmt.Sprintf("model %s MIA advantage rose %.4f → %.4f (tolerance +%g)", m, b, c, tol.MIA)
+		})
+	return table, regressions
+}
+
+// runQuality is the -quality main: same exit-code conventions as the
+// stage-timings mode (2 on load error, 0 with ::warning annotations on
+// regression, 1 only under -hard).
+func runQuality(baselinePath, currentPath string, tol qualityTols, hard bool) {
+	baseline, err := loadQuality(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(2)
+	}
+	current, err := loadQuality(currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("quality trajectory: %s (baseline %s seed=%d vs current %s seed=%d)\n",
+		current.Benchmark, baseline.Go, baseline.Seed, current.Go, current.Seed)
+	table, regressions := compareQuality(baseline, current, tol)
+	fmt.Print(table)
+	for _, r := range regressions {
+		fmt.Printf("::warning title=quality trajectory::%s\n", r)
+	}
+	if len(regressions) == 0 {
+		fmt.Printf("no score crossed its tolerance (tvd +%g, accuracy -%g, mia advantage +%g)\n",
+			tol.TVD, tol.Acc, tol.MIA)
+	} else if hard {
+		os.Exit(1)
+	}
+}

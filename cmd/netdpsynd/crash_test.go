@@ -622,3 +622,197 @@ func TestCrashRestartFollowIngest(t *testing.T) {
 	_ = daemon2.Process.Signal(os.Interrupt)
 	_ = daemon2.Wait()
 }
+
+// postEval submits an evaluation of a finished job over plain HTTP.
+func postEval(t *testing.T, base, dsID string, req serve.EvaluationRequest) (serve.EvaluationResponse, int) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/datasets/"+dsID+"/evaluate", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack serve.EvaluationResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ack)
+	return ack, resp.StatusCode
+}
+
+// TestCrashRestartEvaluation is the evaluation leg of the crash
+// contract: an admitted raw-touching evaluation is charged at the
+// journal before it computes anything, so a SIGKILL while it waits
+// behind the single runner must replay it as a charged failure —
+// never a refund — while a finished free evaluation's scores survive
+// the restart verbatim from the terminal record.
+func TestCrashRestartEvaluation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a daemon subprocess; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain on PATH")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "netdpsynd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build daemon: %v\n%s", err, out)
+	}
+	stateDir := filepath.Join(tmp, "state")
+
+	jobRho, err := netdpsyn.RhoFromEpsDelta(1.0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job A + job B + one raw evaluation fit (3ρ); a second raw
+	// evaluation does not.
+	ceiling := 3.5 * jobRho
+
+	addr := freePort(t)
+	base := "http://" + addr
+	var logs syncBuffer
+	daemon := startDaemon(t, bin, addr, stateDir, &logs)
+	defer func() { _ = daemon.Process.Kill() }()
+
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := raw.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	regURL := fmt.Sprintf("%s/datasets?label=%s&budget_rho=%s&budget_delta=1e-5",
+		base, datagen.LabelField(datagen.TON), strconv.FormatFloat(ceiling, 'f', -1, 64))
+	resp, err := http.Post(regURL, "text/csv", &csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dsInfo serve.Info
+	if err := json.NewDecoder(resp.Body).Decode(&dsInfo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register = %d", resp.StatusCode)
+	}
+
+	// Job A: quick release to evaluate.
+	reqA := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 3, Seed: 11}
+	ackA, code := postSynth(t, base, dsInfo.ID, reqA)
+	if code != http.StatusAccepted {
+		t.Fatalf("job A = %d", code)
+	}
+	infoA := waitJobState(t, base, ackA.JobID, 60*time.Second, func(i serve.JobInfo) bool {
+		return i.State == serve.JobDone || i.State == serve.JobFailed
+	})
+	if infoA.State != serve.JobDone {
+		t.Fatalf("job A = %s (%s)", infoA.State, infoA.Error)
+	}
+
+	// A free release-only evaluation completes pre-crash: ρ = 0, and
+	// its scores must survive the restart from the terminal record.
+	freeAck, code := postEval(t, base, dsInfo.ID, serve.EvaluationRequest{JobID: ackA.JobID})
+	if code != http.StatusAccepted || freeAck.Rho != 0 {
+		t.Fatalf("free eval = %d (ρ=%v), want 202 at ρ=0", code, freeAck.Rho)
+	}
+	freeInfo := waitJobState(t, base, freeAck.JobID, 60*time.Second, func(i serve.JobInfo) bool {
+		return i.State == serve.JobDone || i.State == serve.JobFailed
+	})
+	if freeInfo.State != serve.JobDone || freeInfo.Evaluation == nil || freeInfo.Evaluation.Release.Rows == 0 {
+		t.Fatalf("free eval = %s (%s), want done with a release block", freeInfo.State, freeInfo.Error)
+	}
+	var budget serve.Status
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	if math.Abs(budget.SpentRho-jobRho) > 1e-12 {
+		t.Fatalf("spend after free eval = %v, want job A's %v untouched", budget.SpentRho, jobRho)
+	}
+
+	// Job B: heavy enough to occupy the single runner while the raw
+	// evaluation sits admitted-and-charged in the backlog.
+	reqB := serve.SynthesisRequest{Epsilon: 1, Delta: 1e-5, Iterations: 50000, Seed: 12}
+	ackB, code := postSynth(t, base, dsInfo.ID, reqB)
+	if code != http.StatusAccepted {
+		t.Fatalf("job B = %d", code)
+	}
+	waitJobState(t, base, ackB.JobID, 30*time.Second, func(i serve.JobInfo) bool {
+		return i.State == serve.JobRunning
+	})
+
+	// Raw evaluation: charged at admission (journal fsync before the
+	// 202), queued behind B.
+	evalReq := serve.EvaluationRequest{JobID: ackA.JobID, Metrics: []string{"tvd", "mia"}, Seed: 5}
+	evalAck, code := postEval(t, base, dsInfo.ID, evalReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("raw eval = %d", code)
+	}
+	if math.Abs(evalAck.Rho-jobRho) > 1e-12 {
+		t.Fatalf("raw eval ρ = %v, want %v", evalAck.Rho, jobRho)
+	}
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	preCrash := budget.SpentRho
+	if math.Abs(preCrash-3*jobRho) > 1e-12 {
+		t.Fatalf("pre-crash spend = %v, want %v (A + B + eval)", preCrash, 3*jobRho)
+	}
+
+	// kill -9 with the evaluation still queued.
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = daemon.Wait()
+
+	daemon2 := startDaemon(t, bin, addr, stateDir, &logs)
+	defer func() { _ = daemon2.Process.Kill() }()
+
+	// (1) Spend is monotone — the admitted evaluation is never
+	// refunded, even though it computed nothing.
+	getJSONInto(t, base+"/datasets/"+dsInfo.ID+"/budget", &budget)
+	if budget.SpentRho < preCrash-1e-12 {
+		t.Fatalf("spend shrank across kill -9: %v < %v", budget.SpentRho, preCrash)
+	}
+
+	// (2) The interrupted evaluation replays as a charged failure.
+	var evalInfo serve.JobInfo
+	if code := getJSONInto(t, base+"/jobs/"+evalAck.JobID, &evalInfo); code != http.StatusOK {
+		t.Fatalf("GET interrupted eval = %d", code)
+	}
+	if evalInfo.Kind != serve.KindEvaluate || evalInfo.TargetJob != ackA.JobID {
+		t.Fatalf("restored eval kind=%q target=%q, want evaluate/%s", evalInfo.Kind, evalInfo.TargetJob, ackA.JobID)
+	}
+	if evalInfo.State != serve.JobFailed || !strings.Contains(evalInfo.Error, "restart") {
+		t.Fatalf("interrupted eval = %s (%q), want charged failure mentioning the restart", evalInfo.State, evalInfo.Error)
+	}
+
+	// (3) The finished free evaluation's scores came back from the
+	// journal, not from recomputation.
+	var freeAfter serve.JobInfo
+	if code := getJSONInto(t, base+"/jobs/"+freeAck.JobID, &freeAfter); code != http.StatusOK {
+		t.Fatalf("GET free eval = %d", code)
+	}
+	if freeAfter.State != serve.JobDone || freeAfter.Evaluation == nil {
+		t.Fatalf("free eval after restart = %s, want done with its evaluation block", freeAfter.State)
+	}
+	if freeAfter.Evaluation.Release.Rows != freeInfo.Evaluation.Release.Rows {
+		t.Fatalf("free eval rows changed across restart: %d → %d",
+			freeInfo.Evaluation.Release.Rows, freeAfter.Evaluation.Release.Rows)
+	}
+
+	// (4) Another raw evaluation would cross the ceiling: 403.
+	if _, code := postEval(t, base, dsInfo.ID, evalReq); code != http.StatusForbidden {
+		t.Fatalf("over-ceiling eval after restart = %d, want 403", code)
+	}
+
+	// (5) Kind filtering over the recovered state: exactly the two
+	// evaluations, newest first.
+	var listed []serve.JobInfo
+	if code := getJSONInto(t, base+"/jobs?dataset="+dsInfo.ID+"&kind=evaluate", &listed); code != http.StatusOK {
+		t.Fatalf("list kind=evaluate = %d", code)
+	}
+	if len(listed) != 2 {
+		t.Fatalf("kind=evaluate listed %d jobs, want 2", len(listed))
+	}
+
+	_ = daemon2.Process.Signal(os.Interrupt)
+	_ = daemon2.Wait()
+}

@@ -13,7 +13,15 @@
 //	curl -X POST -d '{"epsilon":1.0,"seed":1}' localhost:8090/datasets/ds-1/synthesize
 //	curl localhost:8090/jobs/job-1
 //	curl localhost:8090/jobs/job-1/result.csv
+//	curl -X POST -d '{"job_id":"job-1","metrics":["tvd","ml","mia"]}' localhost:8090/datasets/ds-1/evaluate
 //	curl localhost:8090/datasets/ds-1/budget
+//
+// The evaluate endpoint scores a finished release against its source:
+// release-only statistics are free (DP post-processing), while any
+// raw-touching metric (marginal TVD, downstream ML accuracy,
+// membership-inference advantage) prices a fresh raw pass at
+// ρ(ε, δ) through the same ledger gate as a synthesis — the scores
+// land in the evaluation block of GET /jobs/{id}.
 //
 // Large traces stream: register with ?stream=1 (chunked upload is
 // spooled straight to the state dir, never decoded whole), then

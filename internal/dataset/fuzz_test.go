@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzCSVStream feeds arbitrary bytes to the streaming CSV decoder
+// against a small flow-like schema. Two properties: totality —
+// construction and every Next return a batch or a descriptive error,
+// never a panic, whatever the bytes (this is the daemon's upload
+// path, so the input is attacker-controlled) — and poisoning — after
+// a decode error every later Next returns io.EOF, so a caller that
+// ignores one error cannot loop forever or read torn state. Seeded
+// with a valid trace and the known failure shapes.
+func FuzzCSVStream(f *testing.F) {
+	f.Add("ts,sa,pr,label\n1,10.0.0.1,6,benign\n2,10.0.0.2,17,attack\n")
+	f.Add("ts,sa,pr,label\n")                                   // header only
+	f.Add("sa,pr\n1,2\n")                                       // missing schema fields
+	f.Add("ts,sa,pr,label,extra\n1,10.0.0.1,3,x,ignored\n")     // extra column
+	f.Add("ts,sa,pr,label\n1,10.0.0.1\n")                       // torn row
+	f.Add("ts,sa,pr,label\n1,10.0.0.1,3,\"unclosed\n")          // bad quoting
+	f.Add("ts,sa,pr,label\nnot-a-number,10.0.0.1,3,x\n")        // mistyped timestamp
+	f.Add("ts,sa,pr,label\n1,999.999.999.999,3,x\n")            // bad IP
+	f.Add("ts,sa,pr,label\n9999999999999999999,10.0.0.1,3,x\n") // overflow
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		schema := MustSchema(
+			Field{Name: "ts", Kind: KindTimestamp},
+			Field{Name: "sa", Kind: KindIP},
+			Field{Name: "pr", Kind: KindCategorical},
+			Field{Name: "label", Kind: KindCategorical, Label: true},
+		)
+		s, err := NewCSVStream(strings.NewReader(input), schema, 8)
+		if err != nil {
+			return
+		}
+		for {
+			batch, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if _, err2 := s.Next(); err2 != io.EOF {
+					t.Fatalf("poisoned stream returned %v, want io.EOF", err2)
+				}
+				break
+			}
+			if n := batch.NumRows(); n == 0 || n > 8 {
+				t.Fatalf("batch of %d rows, want 1..8", n)
+			}
+		}
+	})
+}

@@ -24,6 +24,15 @@ type Result struct {
 	MemberHitRate, NonMemberHitRate float64
 }
 
+// Advantage is the conventional membership advantage,
+// 2·(accuracy − ½): 0 for a coin-flip attacker, 1 for a perfect one.
+// Negative values mean the attacker does worse than guessing. This is
+// the scalar the evaluation service reports and the quality
+// trajectory tracks.
+func (r *Result) Advantage() float64 {
+	return 2 * (r.Accuracy - 0.5)
+}
+
 // Attack runs the correctness-based Yeom attack against a trained
 // model: members and nonMembers are feature matrices with labels.
 // Sets are truncated to equal size for a balanced measurement.

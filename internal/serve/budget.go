@@ -40,6 +40,7 @@ var ErrPersist = fmt.Errorf("serve: durable state write failed")
 type chargeJournal interface {
 	AppendCharge(persist.ChargeRecord) error
 	AppendWindowCharge(persist.WindowChargeRecord) error
+	AppendEvalCharge(persist.EvalChargeRecord) error
 }
 
 // Budget is the thread-safe per-dataset zCDP ledger. Charges are
@@ -200,6 +201,39 @@ func (b *Budget) ChargeAdmission(gate, rho float64, rec *persist.ChargeRecord) e
 		return err
 	}
 	b.releases++
+	return nil
+}
+
+// ChargeEval admits an evaluation job costing rho on the scalar axis
+// — the price of the raw-data queries its metrics make (fidelity, ML
+// accuracy, and MIA all read the protected trace, so they compose
+// sequentially with every release like any other statistical query).
+// rho = 0 is the release-only evaluation: it reads nothing but the
+// released CSV, which is free post-processing, but the admission is
+// still journaled so a killed evaluation replays as a (zero-)charged
+// failure instead of vanishing. Order is the same as Charge: ceiling
+// check → journal → apply, never a refund.
+func (b *Budget) ChargeEval(rho float64, rec *persist.EvalChargeRecord) error {
+	if !(rho >= 0) {
+		return fmt.Errorf("serve: evaluation charge must be non-negative, got %v", rho)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if spent := b.spentLocked(); spent+rho > b.acct.Total() {
+		return fmt.Errorf("%w: evaluation wants ρ=%.6g, remaining ρ=%.6g of %.6g",
+			ErrBudgetExceeded, rho, b.acct.Total()-spent, b.acct.Total())
+	}
+	if b.journal != nil && rec != nil {
+		if err := b.journal.AppendEvalCharge(*rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	if err := b.acct.Spend(rho); err != nil {
+		return err
+	}
+	if rho > 0 {
+		b.releases++
+	}
 	return nil
 }
 

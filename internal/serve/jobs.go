@@ -63,9 +63,17 @@ type Job struct {
 	// sealed. Epoch pins the feed generation the job consumes.
 	Follow bool
 	Epoch  int
+	// Evaluate marks an evaluation job: it scores TargetJobID's
+	// finished release instead of synthesizing. Its Rho is the scalar
+	// charge of the raw-data pass (0 for release-only evaluations).
+	Evaluate    bool
+	TargetJobID string
 
 	cfg      netdpsyn.Config
 	cacheKey string
+	// evalReq is the evaluation job's normalized request (metric set,
+	// models, price, seed).
+	evalReq EvaluationRequest
 	// feed is the feed instance a follow job binds to (captured at
 	// admission, or at recovery for a resumed job).
 	feed *netdpsyn.WindowFeed
@@ -101,6 +109,8 @@ type Job struct {
 	trace  []WindowTrace
 	result *netdpsyn.Result // nil once evicted from the retention window
 	stages map[string]StageMS
+	// evaluation holds a finished evaluation job's scores.
+	evaluation *EvaluationResult
 	// spool streams the synthesized CSV incrementally (windowed jobs)
 	// and/or persists it under the state dir (any job kind with a
 	// store), so result.csv can follow a running job and a restarted
@@ -126,6 +136,12 @@ func (j *Job) Done() <-chan struct{} {
 // information, so this costs no budget. Reports whether the job was
 // in the done-but-unservable state.
 func (j *Job) resurrect() bool {
+	if j.Evaluate {
+		// An evaluation is not a deterministic regeneration of a cached
+		// artifact: re-running it is a fresh raw-data pass with a fresh
+		// charge, so it is never resurrected (and never cached).
+		return false
+	}
 	if j.Follow {
 		// A follow job's input was a live feed epoch, which may have
 		// been superseded since; re-running it is not guaranteed to be
@@ -201,6 +217,9 @@ type WindowTrace struct {
 	RhoCharged float64  `json:"rho_charged"`
 	Records    int      `json:"records"`
 	Spans      []SpanMS `json:"spans"`
+	// Quality is the free rolling-quality entry of a follow job's
+	// released window (see WindowQuality); absent on other job kinds.
+	Quality *WindowQuality `json:"quality,omitempty"`
 }
 
 // spansMS renders a pipeline run's ordered stage spans for the trace.
@@ -222,8 +241,11 @@ func spansMS(spans []netdpsyn.StageSpan) []SpanMS {
 
 // JobInfo is the JSON shape of a job on GET /jobs/{id}.
 type JobInfo struct {
-	ID        string    `json:"id"`
-	DatasetID string    `json:"dataset_id"`
+	ID        string `json:"id"`
+	DatasetID string `json:"dataset_id"`
+	// Kind is the job kind: "synthesize" (plain and windowed jobs),
+	// "follow" (live-feed follow jobs), or "evaluate".
+	Kind      string    `json:"kind"`
 	State     JobState  `json:"state"`
 	Error     string    `json:"error,omitempty"`
 	Epsilon   float64   `json:"epsilon"`
@@ -243,6 +265,10 @@ type JobInfo struct {
 	// consumes.
 	Follow bool `json:"follow,omitempty"`
 	Epoch  int  `json:"epoch,omitempty"`
+	// TargetJob names the synthesis job an evaluation job scores;
+	// Evaluation carries the finished scores.
+	TargetJob  string            `json:"target_job,omitempty"`
+	Evaluation *EvaluationResult `json:"evaluation,omitempty"`
 	// EmptyBuckets lists the declared-but-empty buckets of a finished
 	// job with a declared bucket range: buckets in the range that
 	// released no window. Reporting them explicitly (instead of the
@@ -265,6 +291,28 @@ type JobInfo struct {
 	Trace []WindowTrace `json:"trace,omitempty"`
 }
 
+// Job kind names, as reported in JobInfo.Kind and accepted by the
+// GET /jobs?kind= filter.
+const (
+	KindSynthesize = "synthesize"
+	KindFollow     = "follow"
+	KindEvaluate   = "evaluate"
+)
+
+// Kind classifies the job for listings: evaluation jobs and follow
+// jobs get their own kinds; everything else (plain and windowed
+// synthesis) is "synthesize".
+func (j *Job) Kind() string {
+	switch {
+	case j.Evaluate:
+		return KindEvaluate
+	case j.Follow:
+		return KindFollow
+	default:
+		return KindSynthesize
+	}
+}
+
 // Snapshot returns the job's current state for serialization.
 func (j *Job) Snapshot() JobInfo {
 	j.mu.Lock()
@@ -272,6 +320,9 @@ func (j *Job) Snapshot() JobInfo {
 	info := JobInfo{
 		ID:          j.ID,
 		DatasetID:   j.DatasetID,
+		Kind:        j.Kind(),
+		TargetJob:   j.TargetJobID,
+		Evaluation:  j.evaluation,
 		State:       j.state,
 		Error:       j.errMsg,
 		Epsilon:     j.cfg.Epsilon,
@@ -1033,10 +1084,10 @@ func (q *Queue) Get(id string) (*Job, bool) {
 }
 
 // List snapshots the remembered jobs in admission order, optionally
-// filtered by dataset id and/or state (""/zero means no filter) — the
-// operator's view over long-lived follow deployments, where polling
-// per-id stops scaling.
-func (q *Queue) List(datasetID string, state JobState) []JobInfo {
+// filtered by dataset id, state, and/or kind (""/zero means no
+// filter) — the operator's view over long-lived follow deployments,
+// where polling per-id stops scaling.
+func (q *Queue) List(datasetID string, state JobState, kind string) []JobInfo {
 	q.mu.Lock()
 	order := make([]*Job, len(q.order))
 	copy(order, q.order)
@@ -1044,6 +1095,9 @@ func (q *Queue) List(datasetID string, state JobState) []JobInfo {
 	out := make([]JobInfo, 0, len(order))
 	for _, j := range order {
 		if datasetID != "" && j.DatasetID != datasetID {
+			continue
+		}
+		if kind != "" && j.Kind() != kind {
 			continue
 		}
 		info := j.Snapshot()
@@ -1103,6 +1157,13 @@ func (q *Queue) run(j *Job) {
 	d, ok := q.reg.Get(j.DatasetID)
 	if !ok {
 		q.fail(j, fmt.Errorf("serve: dataset %q disappeared", j.DatasetID))
+		return
+	}
+	if j.Evaluate {
+		// Evaluation jobs score a finished release instead of running
+		// the pipeline; dispatch before touching the synthesizer (their
+		// cfg is a price, not a pipeline config).
+		q.runEvaluate(j, d)
 		return
 	}
 	syn, err := d.Synthesizer(j.cfg) // pooled: warmed at Submit
@@ -1204,6 +1265,10 @@ func (q *Queue) windowGate(j *Job, d *Dataset) func(bucket int64, rows int) erro
 func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool *resultSpool) {
 	records := 0
 	wroteHeader := false
+	// prevWindow carries the previous released window of a follow job
+	// for the rolling quality entry (drift vs the prior release) — a
+	// free statistic: it reads only already-released windows.
+	var prevWindow *netdpsyn.Table
 	emit := func(wr netdpsyn.WindowResult) error {
 		if spool != nil {
 			// One header row for the whole file, keyed on the first
@@ -1220,11 +1285,18 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 			wroteHeader = true
 		}
 		records += wr.Records
+		// Quality is O(window rows); compute it before taking j.mu so a
+		// status poll never waits on it.
+		var quality *WindowQuality
+		if j.Follow && wr.Table != nil {
+			quality = windowQuality(prevWindow, wr.Table)
+			prevWindow = wr.Table
+		}
 		j.mu.Lock()
 		j.windowsDone++
 		emitted := j.windowsDone
 		j.setStages(wr.Stages)
-		tr := WindowTrace{Window: emitted - 1, Records: wr.Records, Spans: spansMS(wr.Spans)}
+		tr := WindowTrace{Window: emitted - 1, Records: wr.Records, Spans: spansMS(wr.Spans), Quality: quality}
 		switch {
 		case j.Span > 0:
 			// Per-key windows: the trace reports the actual ledger charge
@@ -1394,6 +1466,10 @@ func (q *Queue) restoreJobs(jobs []persist.JobState, info *RecoveryInfo) {
 	defer q.mu.Unlock()
 	for i := range jobs {
 		js := &jobs[i]
+		if js.Eval != nil {
+			q.restoreEvalJob(js, info)
+			continue
+		}
 		cfg := js.Config
 		cfg.Workers = q.perJob // this generation's worker split, not the old one's
 		cfg.Metrics = q.metrics.Engine()

@@ -49,6 +49,11 @@ const (
 	mStateBytes     = "netdpsynd_state_bytes"
 	mDatasets       = "netdpsynd_datasets"
 	mReady          = "netdpsynd_ready"
+	mEvalRuns       = "netdpsynd_eval_runs_total"
+	mEvalSeconds    = "netdpsynd_eval_seconds"
+	mEvalTVD        = "netdpsynd_eval_tvd_mean"
+	mEvalAccuracy   = "netdpsynd_eval_ml_accuracy"
+	mEvalMIAAdv     = "netdpsynd_eval_mia_advantage"
 )
 
 // serveMetrics is the service-wide instrument hub: one per Server,
@@ -232,6 +237,27 @@ func (m *serveMetrics) recordWindow(datasetID string, bucket int64, follow bool)
 	if follow {
 		fl := m.feedFor(datasetID)
 		maxBucket(&fl.synth, &fl.synthSet, bucket)
+	}
+}
+
+// recordEval publishes one finished evaluation: the run counter and
+// duration, and the latest scores as per-dataset gauges (fidelity,
+// per-model downstream accuracy and MIA advantage) — the signals a
+// fleet dashboard alerts on when a release's quality drifts.
+func (m *serveMetrics) recordEval(datasetID string, res *EvaluationResult, dur time.Duration) {
+	ds := obs.L("dataset", datasetID)
+	m.reg.Counter(mEvalRuns, "Evaluation jobs finished, by dataset.", ds).Inc()
+	m.reg.Histogram(mEvalSeconds, "Evaluation job duration.", latencyBuckets).Observe(dur.Seconds())
+	if res.Fidelity != nil {
+		m.reg.Gauge(mEvalTVD, "Latest evaluation's mean per-attribute TVD, synth vs raw (lower is higher fidelity).", ds).Set(res.Fidelity.MeanTVD)
+	}
+	for model, sc := range res.ML {
+		m.reg.Gauge(mEvalAccuracy, "Latest evaluation's downstream accuracy (train on synth, test on raw held-out), by model.",
+			ds, obs.L("model", model)).Set(sc.SynthAccuracy)
+	}
+	for model, sc := range res.MIA {
+		m.reg.Gauge(mEvalMIAAdv, "Latest evaluation's membership-inference advantage 2·(acc − ½) against the synth-trained model (near 0 = private).",
+			ds, obs.L("model", model)).Set(sc.Advantage)
 	}
 }
 

@@ -33,6 +33,7 @@
 package persist
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -42,12 +43,13 @@ import (
 // Journal record types. Unknown values of record.T are skipped at
 // replay (forward compatibility), never treated as corruption.
 const (
-	recDataset  = "dataset"
-	recCharge   = "charge"
-	recTerminal = "terminal"
-	recWindow   = "window"  // live-feed window arrival (sealed bucket)
-	recWCharge  = "wcharge" // per-window-key budget charge
-	recFeed     = "feed"    // feed epoch close
+	recDataset    = "dataset"
+	recCharge     = "charge"
+	recTerminal   = "terminal"
+	recWindow     = "window"  // live-feed window arrival (sealed bucket)
+	recWCharge    = "wcharge" // per-window-key budget charge
+	recFeed       = "feed"    // feed epoch close
+	recEvalCharge = "echarge" // evaluation admission charge (raw-data query)
 )
 
 // DatasetRecord journals one dataset registration. The raw CSV is
@@ -168,6 +170,28 @@ type ChargeRecord struct {
 	Epoch  int  `json:"epoch,omitempty"`
 }
 
+// EvalChargeRecord journals one admitted evaluation job: a query that
+// scores a finished release against the dataset. Rho is the scalar
+// charge applied to the ledger at admission — positive when the
+// requested metrics read the raw spool (fidelity/ML/MIA are
+// statistical queries against the protected trace), zero when the
+// evaluation reads only the released CSV (post-processing of a DP
+// release is free). Like every charge it is fsync'd before the job
+// runs and is never refunded: a killed evaluation replays as a
+// charged failure.
+type EvalChargeRecord struct {
+	JobID     string    `json:"job_id"`
+	DatasetID string    `json:"dataset_id"`
+	TargetJob string    `json:"target_job"`
+	Rho       float64   `json:"rho"`
+	Metrics   []string  `json:"metrics,omitempty"`
+	Models    []string  `json:"models,omitempty"`
+	Epsilon   float64   `json:"epsilon,omitempty"`
+	Delta     float64   `json:"delta,omitempty"`
+	Seed      uint64    `json:"seed,omitempty"`
+	Submitted time.Time `json:"submitted"`
+}
+
 // TerminalRecord journals a job reaching a terminal state. It is
 // best-effort: a lost terminal record makes the job replay as an
 // interrupted charged failure, which is the conservative direction
@@ -177,6 +201,11 @@ type TerminalRecord struct {
 	State   string `json:"state"` // "done" | "failed"
 	Records int    `json:"records,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Evaluation carries a finished evaluation job's scores (the serve
+	// layer's structured evaluation block, opaque here) so a restart
+	// can still answer GET /jobs/{id} for a done evaluation without
+	// re-running — and re-charging — the query.
+	Evaluation json.RawMessage `json:"evaluation,omitempty"`
 }
 
 // record is the journal line envelope. Exactly one payload pointer is
@@ -191,6 +220,7 @@ type record struct {
 	WD  *WindowRecord       `json:"wd,omitempty"`
 	WC  *WindowChargeRecord `json:"wc,omitempty"`
 	FD  *FeedRecord         `json:"fd,omitempty"`
+	EC  *EvalChargeRecord   `json:"ec,omitempty"`
 }
 
 // DatasetState is a dataset's replayed durable state: its
@@ -229,6 +259,13 @@ type JobState struct {
 	// the same records and seed is the identical deterministic
 	// computation, so it costs nothing new.
 	ChargedBuckets []int64 `json:"charged_buckets,omitempty"`
+	// Eval marks an evaluation job: its admission record (the
+	// embedded ChargeRecord carries only the scalar fields replay
+	// needs — id, dataset, ρ, submission time). Evaluation is the
+	// finished job's score block from its terminal record, if one was
+	// journaled.
+	Eval       *EvalChargeRecord `json:"eval,omitempty"`
+	Evaluation json.RawMessage   `json:"evaluation,omitempty"`
 }
 
 // State is the durable state replayed at Open: every dataset with its
@@ -345,6 +382,7 @@ func (m *memState) apply(rec *record) {
 		j.State = rec.TM.State
 		j.Records = rec.TM.Records
 		j.Error = rec.TM.Error
+		j.Evaluation = rec.TM.Evaluation
 	case recWindow:
 		if rec.WD == nil {
 			m.skipped++
@@ -408,6 +446,35 @@ func (m *memState) apply(rec *record) {
 		if !applied {
 			m.skipped++
 		}
+	case recEvalCharge:
+		if rec.EC == nil {
+			m.skipped++
+			return
+		}
+		if _, ok := m.jobByID[rec.EC.JobID]; ok {
+			m.skipped++ // duplicate admission: the charge is already counted
+			return
+		}
+		if ds, ok := m.dsByID[rec.EC.DatasetID]; ok {
+			ds.SpentRho += rec.EC.Rho
+			if rec.EC.Rho > 0 {
+				ds.Releases++
+			}
+		} else {
+			m.skipped++ // see the recCharge case: keep the job id occupied
+		}
+		ec := *rec.EC
+		j := &JobState{
+			ChargeRecord: ChargeRecord{
+				JobID:     ec.JobID,
+				DatasetID: ec.DatasetID,
+				Rho:       ec.Rho,
+				Submitted: ec.Submitted,
+			},
+			Eval: &ec,
+		}
+		m.jobByID[j.JobID] = j
+		m.jobOrder = append(m.jobOrder, j)
 	default:
 		m.skipped++ // forward compatibility: newer daemons may journal new types
 	}
@@ -497,6 +564,13 @@ func (m *memState) snapshot() *State {
 	for i, j := range m.jobOrder {
 		c := *j
 		c.ChargedBuckets = append([]int64(nil), j.ChargedBuckets...)
+		if j.Eval != nil {
+			e := *j.Eval
+			e.Metrics = append([]string(nil), j.Eval.Metrics...)
+			e.Models = append([]string(nil), j.Eval.Models...)
+			c.Eval = &e
+		}
+		c.Evaluation = append(json.RawMessage(nil), j.Evaluation...)
 		st.Jobs[i] = c
 	}
 	return st

@@ -265,6 +265,14 @@ func (s *Store) AppendWindowCharge(rec WindowChargeRecord) error {
 	return s.append(record{T: recWCharge, WC: &rec})
 }
 
+// AppendEvalCharge journals an admitted evaluation job's budget
+// charge. It must return before the evaluation is allowed to run, so
+// a raw-data query that influenced any computation is always
+// recoverable — same contract as AppendCharge.
+func (s *Store) AppendEvalCharge(rec EvalChargeRecord) error {
+	return s.append(record{T: recEvalCharge, EC: &rec})
+}
+
 // AppendFeedClose journals a feed epoch closing.
 func (s *Store) AppendFeedClose(rec FeedRecord) error {
 	return s.append(record{T: recFeed, FD: &rec})

@@ -569,6 +569,10 @@ func (failingChargeJournal) AppendWindowCharge(persist.WindowChargeRecord) error
 	return errors.New("injected charge-journal failure")
 }
 
+func (failingChargeJournal) AppendEvalCharge(persist.EvalChargeRecord) error {
+	return errors.New("injected charge-journal failure")
+}
+
 // TestBudgetChargeJournalPlumbing unit-tests the error plumbing the
 // satellite asks for: a journal-write failure surfaces as ErrPersist
 // from Budget.Charge with the ledger unmutated, and is distinguishable

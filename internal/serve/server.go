@@ -103,7 +103,8 @@ type Options struct {
 //	PUT  /datasets/{id}/windows/{bucket}     publish one live-feed window (body = CSV)
 //	POST /datasets/{id}/seal                 seal a live feed's current epoch
 //	POST /datasets/{id}/synthesize           submit a synthesis job (JSON body)
-//	GET  /jobs                               list jobs (?dataset=&status=)
+//	POST /datasets/{id}/evaluate             score a finished release (JSON body)
+//	GET  /jobs                               list jobs (?dataset=&status=&kind=)
 //	GET  /jobs/{id}                          poll a job
 //	GET  /jobs/{id}/result.csv               fetch a finished job's trace
 //	GET  /healthz                            liveness
@@ -209,6 +210,7 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("PUT /datasets/{id}/windows/{bucket}", s.handleWindowPut)
 	s.mux.HandleFunc("POST /datasets/{id}/seal", s.handleSeal)
 	s.mux.HandleFunc("POST /datasets/{id}/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /datasets/{id}/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /jobs/{id}/result.csv", s.handleJobResult)
@@ -803,8 +805,9 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleListJobs enumerates jobs in admission order, for operators of
-// long-lived follow deployments. Filters: ?dataset={id} and
-// ?status={queued|running|done|failed}.
+// long-lived follow deployments. Filters: ?dataset={id},
+// ?status={queued|running|done|failed}, and
+// ?kind={synthesize|follow|evaluate}.
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	state := JobState(q.Get("status"))
@@ -814,13 +817,20 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad status %q (want queued, running, done, or failed)", state)
 		return
 	}
+	kind := q.Get("kind")
+	switch kind {
+	case "", KindSynthesize, KindFollow, KindEvaluate:
+	default:
+		writeErr(w, http.StatusBadRequest, "bad kind %q (want %s, %s, or %s)", kind, KindSynthesize, KindFollow, KindEvaluate)
+		return
+	}
 	if ds := q.Get("dataset"); ds != "" {
 		if _, ok := s.reg.Get(ds); !ok {
 			writeErr(w, http.StatusNotFound, "no dataset %q", ds)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, s.queue.List(q.Get("dataset"), state))
+	writeJSON(w, http.StatusOK, s.queue.List(q.Get("dataset"), state, kind))
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -969,6 +979,75 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// EvaluationResponse acknowledges an admitted evaluation job.
+type EvaluationResponse struct {
+	JobID     string `json:"job_id"`
+	TargetJob string `json:"target_job"`
+	// Rho is the scalar ledger charge of this evaluation: 0 for a
+	// release-only run, RhoFromEpsDelta(ε, δ) when any raw-touching
+	// metric (tvd/ml/mia) was selected.
+	Rho     float64  `json:"rho"`
+	Metrics []string `json:"metrics,omitempty"`
+	State   JobState `json:"state"`
+}
+
+// handleEvaluate admits an evaluation job: POST /datasets/{id}/evaluate
+// with an EvaluationRequest body scores the named finished synthesis
+// job's release. Release-only runs (empty metrics) are free; any
+// raw-touching metric charges ρ through the same ledger gate as a
+// synthesis admission (403 past the ceiling, 503 when the charge
+// cannot be journaled).
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	var req EvaluationRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.JobID == "" {
+		writeErr(w, http.StatusBadRequest, "job_id is required: the finished synthesis job to score")
+		return
+	}
+	target, ok := s.queue.Get(req.JobID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", req.JobID)
+		return
+	}
+	job, err := s.queue.SubmitEvaluation(d, target, req)
+	switch {
+	case errors.Is(err, ErrEvalTargetNotDone):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrBudgetExceeded):
+		writeErr(w, http.StatusForbidden, "%v", err)
+		return
+	case errors.Is(err, ErrQueueClosed), errors.Is(err, ErrQueueFull), errors.Is(err, ErrPersist):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.logger(r.Context()).LogAttrs(r.Context(), slog.LevelInfo, "evaluation submitted",
+		slog.String("job", job.ID),
+		slog.String("dataset", d.ID),
+		slog.String("target", target.ID),
+		slog.Float64("rho", job.Rho),
+	)
+	writeJSON(w, http.StatusAccepted, EvaluationResponse{
+		JobID:     job.ID,
+		TargetJob: target.ID,
+		Rho:       job.Rho,
+		Metrics:   job.evalReq.Metrics,
+		State:     job.Snapshot().State,
+	})
+}
+
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.queue.Get(id)
@@ -988,6 +1067,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
+		return
+	}
+	if j.Evaluate {
+		writeErr(w, http.StatusBadRequest, "job %s is an evaluation; its scores are the evaluation block of GET /jobs/%s", j.ID, j.ID)
 		return
 	}
 	// Fast path: the in-memory result of a finished plain job.

@@ -345,6 +345,74 @@ func TotalVariation(p, q []float64) (float64, error) {
 	return s / 2, nil
 }
 
+// TVDCounts computes the total variation distance between two count
+// histograms keyed by the same categorical domain — the per-attribute
+// marginal fidelity score used by the evaluation service. Keys present
+// in only one histogram contribute a zero on the other side, so a
+// category the synthesizer invented (or dropped) counts fully against
+// the score. Both histograms are normalized internally; the result
+// lies in [0, 1], 0 meaning identical marginals.
+func TVDCounts[K comparable](p, q map[K]float64) float64 {
+	keys := make(map[K]struct{}, len(p)+len(q))
+	for k := range p {
+		keys[k] = struct{}{}
+	}
+	for k := range q {
+		keys[k] = struct{}{}
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	// Sum in a deterministic order: float addition is not associative,
+	// and map iteration order would wobble the last ULP between runs —
+	// visible when the result lands in a bit-compared artifact.
+	type pair struct{ p, q float64 }
+	pairs := make([]pair, 0, len(keys))
+	for k := range keys {
+		pairs = append(pairs, pair{p[k], q[k]})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].p != pairs[j].p {
+			return pairs[i].p < pairs[j].p
+		}
+		return pairs[i].q < pairs[j].q
+	})
+	pv := make([]float64, len(pairs))
+	qv := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		pv[i] = pr.p
+		qv[i] = pr.q
+	}
+	d, _ := TotalVariation(pv, qv)
+	return d
+}
+
+// EntropyCounts computes the Shannon entropy (bits) of the empirical
+// distribution described by a count histogram. Non-positive counts are
+// ignored; an empty histogram has zero entropy.
+func EntropyCounts[K comparable](counts map[K]float64) float64 {
+	var total float64
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	if h < 0 { // floating point guard
+		h = 0
+	}
+	return h
+}
+
 // L1Distance returns the L1 distance between two equal-length vectors.
 func L1Distance(p, q []float64) (float64, error) {
 	if len(p) != len(q) {

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 
 	"github.com/netdpsyn/netdpsyn/internal/binning"
 	"github.com/netdpsyn/netdpsyn/internal/core"
 	"github.com/netdpsyn/netdpsyn/internal/dataset"
 	"github.com/netdpsyn/netdpsyn/internal/dp"
+	"github.com/netdpsyn/netdpsyn/internal/stats"
 	"github.com/netdpsyn/netdpsyn/internal/trace"
 )
 
@@ -556,6 +558,62 @@ func LoadCSV(r io.Reader, schema *Schema) (*Table, error) {
 // and append rows with Table.AppendRow.
 func NewTable(schema *Schema, n int) *Table {
 	return dataset.NewTable(schema, n)
+}
+
+// AttributeTVD computes the per-attribute marginal fidelity between a
+// reference trace and a synthesized one: for every attribute the
+// reference schema names, the total variation distance between the two
+// empirical one-way marginals (0 = identical, 1 = disjoint). It
+// returns the per-attribute map and the mean across attributes — the
+// headline fidelity score the evaluation service reports and the
+// quality trajectory tracks. Comparing against the raw trace is a
+// raw-data query: callers metering a DP deployment must charge it like
+// any other statistical release (comparing two releases is free
+// post-processing).
+func AttributeTVD(ref, synth *Table) (perAttr map[string]float64, mean float64, err error) {
+	if ref == nil || ref.NumRows() == 0 || synth == nil || synth.NumRows() == 0 {
+		return nil, 0, fmt.Errorf("netdpsyn: AttributeTVD needs two non-empty tables")
+	}
+	names := ref.Schema().Names()
+	perAttr = make(map[string]float64, len(names))
+	var sum float64
+	for _, name := range names {
+		ri := ref.Schema().Index(name)
+		si := synth.Schema().Index(name)
+		if si < 0 {
+			return nil, 0, fmt.Errorf("netdpsyn: synthesized table lacks attribute %q", name)
+		}
+		d := columnTVD(ref, ri, synth, si)
+		perAttr[name] = d
+		sum += d
+	}
+	return perAttr, sum / float64(len(names)), nil
+}
+
+// columnTVD compares one attribute's empirical marginal across two
+// tables. Categorical columns are dictionary-encoded per table (a
+// table re-loaded from CSV assigns codes in first-appearance order),
+// so they are compared by decoded value, never by raw code.
+func columnTVD(a *Table, ai int, b *Table, bi int) float64 {
+	if a.Dict(ai) != nil || b.Dict(bi) != nil {
+		return stats.TVDCounts(decodedCounts(a, ai), decodedCounts(b, bi))
+	}
+	return stats.TVDCounts(stats.CountsOf(a.Column(ai)), stats.CountsOf(b.Column(bi)))
+}
+
+// decodedCounts tallies a column by decoded value; columns without a
+// dictionary fall back to the numeric literal.
+func decodedCounts(t *Table, ci int) map[string]float64 {
+	out := make(map[string]float64)
+	hasDict := t.Dict(ci) != nil
+	for _, v := range t.Column(ci) {
+		if hasDict {
+			out[t.CatValue(ci, v)]++
+		} else {
+			out[strconv.FormatInt(v, 10)]++
+		}
+	}
+	return out
 }
 
 // RhoFromEpsDelta exposes the zCDP conversion used internally, for

@@ -22,6 +22,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	netdpsyn "github.com/netdpsyn/netdpsyn"
+	"github.com/netdpsyn/netdpsyn/internal/core/kernels"
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
 	"github.com/netdpsyn/netdpsyn/internal/experiments"
 	"github.com/netdpsyn/netdpsyn/internal/serve"
@@ -451,11 +453,39 @@ type stageTimingsFile struct {
 	Go        string                       `json:"go"`
 	GOOS      string                       `json:"goos"`
 	GOARCH    string                       `json:"goarch"`
+	Kernel    *kernelMeta                  `json:"kernel,omitempty"`
 	N         int                          `json:"n"`
 	NsPerOp   float64                      `json:"ns_per_op"`
 	Stages    map[string]stageTimingsEntry `json:"stages"`
 	Mem       map[string]memPerOp          `json:"mem,omitempty"`
 	Benchfmt  []string                     `json:"benchfmt"`
+}
+
+// kernelMeta stamps the compute substrate the numbers were measured
+// on: the compiled kernel variant (optimized vs purego), whether GUM
+// ran its float32 dense-cell arena (benches always use the default
+// float64), and the instruction-set baseline. cmd/benchtraj refuses
+// to compare trajectories across different substrates — a purego run
+// regressing against an optimized baseline is a build-matrix mixup,
+// not a performance regression.
+type kernelMeta struct {
+	Variant string `json:"variant"`
+	Cells32 bool   `json:"cells32"`
+	GOARCH  string `json:"goarch"`
+	GOAMD64 string `json:"goamd64,omitempty"`
+}
+
+// benchKernelMeta describes this test binary's substrate.
+func benchKernelMeta() *kernelMeta {
+	m := &kernelMeta{Variant: kernels.Variant(), GOARCH: runtime.GOARCH}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				m.GOAMD64 = s.Value
+			}
+		}
+	}
+	return m
 }
 
 type stageTimingsEntry struct {
@@ -478,6 +508,7 @@ func writeStageTimingsJSON(path, bench string, n int, elapsed time.Duration, wal
 		Go:        runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Kernel:    benchKernelMeta(),
 		N:         n,
 		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(n),
 		Stages:    make(map[string]stageTimingsEntry, len(wall)),

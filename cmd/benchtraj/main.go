@@ -41,15 +41,50 @@ type memEntry struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// kernelEntry mirrors bench_test.go's kernelMeta.
+type kernelEntry struct {
+	Variant string `json:"variant"`
+	Cells32 bool   `json:"cells32"`
+	GOARCH  string `json:"goarch"`
+	GOAMD64 string `json:"goamd64"`
+}
+
 // stageFile mirrors bench_test.go's stageTimingsFile (unknown fields
 // are ignored, so the two shapes may grow independently).
 type stageFile struct {
 	Benchmark string                `json:"benchmark"`
 	Go        string                `json:"go"`
+	Kernel    *kernelEntry          `json:"kernel"`
 	N         int                   `json:"n"`
 	NsPerOp   float64               `json:"ns_per_op"`
 	Stages    map[string]stageEntry `json:"stages"`
 	Mem       map[string]memEntry   `json:"mem"`
+}
+
+// kernelMismatch reports why the two emissions are not comparable, or
+// "" when they are. Emissions measured on different compute substrates
+// (purego vs optimized kernels, float32 vs float64 dense cells, a
+// different architecture or instruction-set baseline) differ by
+// construction — comparing them reads as a huge regression or a
+// phantom win, so benchtraj refuses instead. A baseline that predates
+// the metadata (nil Kernel) compares with a note: old baselines stay
+// usable until regenerated.
+func kernelMismatch(baseline, current *stageFile) string {
+	b, c := baseline.Kernel, current.Kernel
+	if b == nil || c == nil {
+		return ""
+	}
+	switch {
+	case b.Variant != c.Variant:
+		return fmt.Sprintf("kernel variant %q vs %q", b.Variant, c.Variant)
+	case b.Cells32 != c.Cells32:
+		return fmt.Sprintf("cells32 %v vs %v", b.Cells32, c.Cells32)
+	case b.GOARCH != c.GOARCH:
+		return fmt.Sprintf("GOARCH %q vs %q", b.GOARCH, c.GOARCH)
+	case b.GOAMD64 != c.GOAMD64:
+		return fmt.Sprintf("GOAMD64 %q vs %q", b.GOAMD64, c.GOAMD64)
+	}
+	return ""
 }
 
 func load(path string) (*stageFile, error) {
@@ -215,6 +250,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtraj:", err)
 		os.Exit(2)
+	}
+	if why := kernelMismatch(baseline, current); why != "" {
+		fmt.Fprintf(os.Stderr, "benchtraj: refusing cross-substrate comparison: %s\n", why)
+		fmt.Fprintln(os.Stderr, "benchtraj: regenerate the baseline on this build matrix cell, or compare like against like")
+		os.Exit(2)
+	}
+	if baseline.Kernel == nil && current.Kernel != nil {
+		fmt.Println("note: baseline predates kernel metadata — comparing anyway; regenerate it to enable the substrate guard")
 	}
 	fmt.Printf("bench trajectory: %s (baseline %s/N=%d vs current %s/N=%d)\n",
 		current.Benchmark, baseline.Go, baseline.N, current.Go, current.N)

@@ -64,6 +64,35 @@ func TestCompareZeroBaselineStage(t *testing.T) {
 	}
 }
 
+func TestKernelMismatch(t *testing.T) {
+	opt := &kernelEntry{Variant: "optimized", GOARCH: "amd64", GOAMD64: "v1"}
+	same := *opt
+	cases := []struct {
+		name    string
+		base    *kernelEntry
+		cur     *kernelEntry
+		mustSay string
+	}{
+		{"both nil", nil, nil, ""},
+		{"baseline predates metadata", nil, opt, ""},
+		{"current predates metadata", opt, nil, ""},
+		{"identical", opt, &same, ""},
+		{"variant differs", opt, &kernelEntry{Variant: "purego", GOARCH: "amd64", GOAMD64: "v1"}, "variant"},
+		{"cells32 differs", opt, &kernelEntry{Variant: "optimized", Cells32: true, GOARCH: "amd64", GOAMD64: "v1"}, "cells32"},
+		{"goarch differs", opt, &kernelEntry{Variant: "optimized", GOARCH: "arm64"}, "GOARCH"},
+		{"goamd64 differs", opt, &kernelEntry{Variant: "optimized", GOARCH: "amd64", GOAMD64: "v3"}, "GOAMD64"},
+	}
+	for _, tc := range cases {
+		got := kernelMismatch(&stageFile{Kernel: tc.base}, &stageFile{Kernel: tc.cur})
+		if tc.mustSay == "" && got != "" {
+			t.Errorf("%s: kernelMismatch = %q, want comparable", tc.name, got)
+		}
+		if tc.mustSay != "" && !strings.Contains(got, tc.mustSay) {
+			t.Errorf("%s: kernelMismatch = %q, want mention of %q", tc.name, got, tc.mustSay)
+		}
+	}
+}
+
 func mems(m map[string]float64) map[string]memEntry {
 	out := make(map[string]memEntry, len(m))
 	for n, allocs := range m {

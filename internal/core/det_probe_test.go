@@ -37,3 +37,44 @@ func TestCrossProcessDeterminism(t *testing.T) {
 	}
 	fmt.Printf("DETHASH rows=%d hash=%x\n", res.Table.NumRows(), h.Sum64())
 }
+
+// TestCrossProcessDeterminismCells32 runs the same pinned-input
+// pipeline with GUM's float32 dense-cell arena and prints its own
+// fingerprint line. The arena only ever holds integral counts below
+// 2²⁴, where float32 is exact, so the hash must equal the base
+// DETHASH — that equality is asserted here, not just eyeballed.
+func TestCrossProcessDeterminismCells32(t *testing.T) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 1772, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := func(cells32 bool) (int, uint64) {
+		cfg := DefaultConfig()
+		cfg.Epsilon = 16
+		cfg.GUM.Iterations = 30
+		cfg.Seed = 42
+		cfg.GUM.Cells32 = cells32
+		p, err := NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Synthesize(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := fnv.New64a()
+		for c := 0; c < res.Table.NumCols(); c++ {
+			for _, v := range res.Table.Column(c) {
+				fmt.Fprintf(h, "%d,", v)
+			}
+		}
+		return res.Table.NumRows(), h.Sum64()
+	}
+	rows32, h32 := hash(true)
+	rows64, h64 := hash(false)
+	fmt.Printf("DETHASH-CELLS32 rows=%d hash=%x\n", rows32, h32)
+	if rows32 != rows64 || h32 != h64 {
+		t.Fatalf("Cells32 fingerprint rows=%d hash=%x diverges from float64 rows=%d hash=%x",
+			rows32, h32, rows64, h64)
+	}
+}

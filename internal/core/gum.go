@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sort"
 
+	"github.com/netdpsyn/netdpsyn/internal/core/kernels"
 	"github.com/netdpsyn/netdpsyn/internal/dataset"
 	"github.com/netdpsyn/netdpsyn/internal/marginal"
 )
@@ -33,6 +34,16 @@ type GUMConfig struct {
 	// its own (Seed, round, marginal)-derived RNG, so the output is
 	// identical for any worker count.
 	Workers int
+	// Cells32 stores the dense arena's per-cell counts and move
+	// quotas as float32 instead of float64, cutting the hot arrays'
+	// cache footprint by a third (vals+stamp per cell: 8 bytes
+	// instead of 12) for large cell spaces. The arena only ever holds
+	// integers — unit-increment tallies and stochastically rounded
+	// quotas — and float32 is exact for integers below 2²⁴, so
+	// synthesis output stays byte-identical to the float64 arena for
+	// any realistic record count (the equivalence suite asserts it).
+	// Off by default; a cache lever for huge dense marginals.
+	Cells32 bool
 	// denseMode overrides the per-marginal dense/sparse counting
 	// decision for tests: the two paths are contractually
 	// byte-identical, and the equivalence suite forces each in turn.
@@ -164,6 +175,17 @@ func (g *GUM) run(ds *dataset.Encoded, eng *engine) []float64 {
 		}
 	}
 	codes := make([]int32, maxAttrs) // applyPlan's cell-decode buffer
+	// Chunked plan fan-out: with a huge published-marginal store the
+	// per-task handout overhead (one atomic claim plus busy-clock
+	// sampling per marginal) starts to show, so tasks are claimed in
+	// contiguous shards of ~4 chunks per worker — small enough to
+	// balance uneven marginal sizes, large enough to amortize the
+	// handout. Scheduling never reaches the output (plans are pure
+	// functions of (snapshot, target, alpha, seed)).
+	planChunk := len(g.targets) / (eng.workers * 4)
+	if planChunk > 64 {
+		planChunk = 64
+	}
 	// Dirty-column tracking: ds differs from snap only in columns the
 	// previous round's moves touched (a duplicate move rewrites every
 	// column, a replace move only its marginal's attributes), so the
@@ -180,10 +202,10 @@ func (g *GUM) run(ds *dataset.Encoded, eng *engine) []float64 {
 		}
 		allDirty = false
 		base := it * len(g.targets)
-		eng.parallelForWorker(len(g.targets), func(w, ti int) {
+		eng.parallelForWorkerChunked(len(g.targets), planChunk, func(w, ti int) {
 			sc := scratch[w]
 			if sc == nil {
-				sc = newGumScratch(n, g.denseCells)
+				sc = newGumScratch(n, g.denseCells, g.cfg.Cells32)
 				scratch[w] = sc
 			}
 			seed := taskSeed(g.cfg.Seed, "gum-update", base+ti)
@@ -247,198 +269,129 @@ func (p *gumPlan) reset() {
 // update. It reads only ds and the (freshly reseeded) scratch RNG, so
 // concurrent plans are safe and reproducible; all working memory
 // comes from the scratch arena and the plan's own buffers, so the
-// steady state allocates ~nothing. The dense and sparse counting
-// paths are byte-identical by contract: every ordered traversal —
-// and in particular every RNG draw — happens in ascending cell order
-// (or the gap-sorted under order), never in map order.
+// steady state allocates ~nothing. The dense (float64 or Cells32)
+// and sparse counting paths are byte-identical by contract: every
+// ordered traversal — and in particular every RNG draw — happens in
+// ascending cell order (or the gap-sorted under order), never in map
+// order.
 func planUpdate(ds *dataset.Encoded, t *target, alpha, dupProb float64, sc *gumScratch, plan *gumPlan) {
-	n := ds.NumRows()
 	plan.reset()
+	if !t.dense {
+		planUpdateSparse(ds, t, alpha, dupProb, sc, plan)
+		return
+	}
+	if sc.vals32 != nil {
+		planUpdateDense(ds, t, alpha, dupProb, sc, plan, sc.vals32)
+	} else {
+		planUpdateDense(ds, t, alpha, dupProb, sc, plan, sc.vals)
+	}
+}
+
+// sortUnderByGap orders deficits largest-gap first (ties by cell
+// index) — the order they are served in and the order their RNG
+// draws happen in.
+func sortUnderByGap(under []cellGap) {
+	slices.SortFunc(under, func(a, b cellGap) int {
+		if a.Gap != b.Gap {
+			if a.Gap > b.Gap {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.Cell, b.Cell)
+	})
+}
+
+// shufflePool is Fisher–Yates with the same draw sequence as
+// rng.Shuffle, minus its closure allocation.
+func shufflePool(rng *rand.Rand, pool []int) {
+	for i := len(pool) - 1; i > 0; i-- {
+		j := int(rng.Uint64N(uint64(i + 1)))
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+}
+
+// planUpdateDense is planUpdate's arena path, generic over the cell
+// element type (float64, or float32 under Cells32). The phase loops
+// live in the kernels package; this function owns the phase order
+// and every RNG draw.
+func planUpdateDense[F kernels.Float](ds *dataset.Encoded, t *target, alpha, dupProb float64, sc *gumScratch, plan *gumPlan, vals []F) {
+	n := ds.NumRows()
 	rng := sc.rng
 	// Phase 1: current cell of every record plus cell counts, fused
 	// into one row sweep (this runs once per marginal per round over
 	// every record — the inner loop of the ≈90%-of-runtime synthesis
 	// stage).
-	var quotaE, repE uint32
-	if t.dense {
-		_, quotaE, repE = sc.phases()
-		sc.denseTally(ds, t.m)
-	} else {
-		sc.sparseTally(ds, t.m)
-	}
-	// Phase 2: L1 error and over/under split, merging the touched
-	// cells (ascending) with the precomputed target-bearing cells.
-	// Only cells with nonzero current or target > gumDust can
-	// contribute; gaps below gumDust cannot be satisfied by integer
-	// record moves and would only soak up the move budget. Ascending
-	// cell order fixes the FP accumulation order of l1 and leaves
-	// over already cell-sorted — the order the quota draws consume
-	// the RNG in.
-	touched := sc.touched
-	slices.SortFunc(touched, func(a, b cellGap) int { return cmp.Compare(a.cell, b.cell) })
+	countE, quotaE, repE := sc.phases()
+	cells := len(t.counts)
+	denseTally(sc, vals, ds, t.m, cells, countE)
+	// Phase 2: L1 error and over/under split from the touched cells
+	// and the precomputed target-bearing cells. Only cells with
+	// nonzero current or target > gumDust can contribute; gaps below
+	// gumDust cannot be satisfied by integer record moves and would
+	// only soak up the move budget. Two byte-identical routes: when
+	// the cell space is within gumSweepFactor of the interesting set,
+	// one linear ascending sweep of the arena classifies everything
+	// without sorting (the per-plan sort used to be ~a third of gum
+	// wall); otherwise the touched set is sorted and merged. Either
+	// way the traversal is ascending-cell, which fixes the FP
+	// accumulation order of l1 and leaves over already cell-sorted —
+	// the order the quota draws consume the RNG in.
 	over, under := sc.over[:0], sc.under[:0]
 	var l1 float64
-	ki, kn := 0, len(t.tcells)
-	for _, tc := range touched {
-		for ki < kn && t.tcells[ki] < tc.cell {
-			c := t.tcells[ki]
-			gap := t.counts[c]
-			l1 += gap
-			under = append(under, cellGap{c, gap})
-			ki++
-		}
-		if ki < kn && t.tcells[ki] == tc.cell {
-			ki++
-		}
-		d := tc.gap - t.counts[tc.cell]
-		l1 += math.Abs(d)
-		if d > gumDust {
-			over = append(over, cellGap{tc.cell, d})
-		} else if d < -gumDust {
-			under = append(under, cellGap{tc.cell, -d})
-		}
-	}
-	for ; ki < kn; ki++ {
-		c := t.tcells[ki]
-		gap := t.counts[c]
-		l1 += gap
-		under = append(under, cellGap{c, gap})
+	if cells <= gumSweepFactor*(len(sc.touched)+len(t.tcells)) {
+		over, under, l1 = kernels.GapSweep(vals, sc.stamp, countE, t.counts, t.tcells, gumDust, over, under)
+	} else {
+		slices.Sort(sc.touched)
+		over, under, l1 = kernels.GapMerge(sc.touched, vals, t.counts, t.tcells, gumDust, over, under)
 	}
 	sc.over, sc.under = over, under
 	plan.l1 = l1
 	if len(over) == 0 || len(under) == 0 || alpha <= 0 {
 		return
 	}
-	// Deficits are served largest-gap first (ties by cell index).
-	slices.SortFunc(under, func(a, b cellGap) int {
-		if a.gap != b.gap {
-			if a.gap > b.gap {
-				return -1
-			}
-			return 1
-		}
-		return cmp.Compare(a.cell, b.cell)
-	})
+	sortUnderByGap(under)
 
 	// Phase 3: pool of movable records from over-represented cells,
 	// capped at alpha·excess per cell. Quotas use probabilistic
 	// rounding: with ceil(), every cell would keep contributing ≥1
 	// record per round no matter how small alpha gets, and a large
 	// marginal set would thrash forever instead of settling. The
-	// summed quotas pre-size the pool and move buffers.
+	// summed quotas pre-size the pool and move buffers. Quotas are
+	// integral, so storing them as F is exact in both cell modes.
 	poolCap := 0
 	cellOf := sc.cellOf[:n]
-	if t.dense {
-		vals, stamp := sc.vals, sc.stamp
-		for _, o := range over {
-			q := stochasticRound(rng, o.gap*alpha)
-			vals[o.cell] = q
-			stamp[o.cell] = quotaE
-			poolCap += int(q)
-		}
-		pool := sc.pool[:0]
-		if cap(pool) < poolCap {
-			pool = make([]int, 0, poolCap)
-		}
-		r := 0
-		for ; r+8 <= n; r += 8 {
-			if c := cellOf[r]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r)
-			}
-			if c := cellOf[r+1]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r+1)
-			}
-			if c := cellOf[r+2]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r+2)
-			}
-			if c := cellOf[r+3]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r+3)
-			}
-			if c := cellOf[r+4]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r+4)
-			}
-			if c := cellOf[r+5]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r+5)
-			}
-			if c := cellOf[r+6]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r+6)
-			}
-			if c := cellOf[r+7]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r+7)
-			}
-		}
-		for ; r < n; r++ {
-			if c := cellOf[r]; stamp[c] == quotaE && vals[c] >= 1 {
-				vals[c]--
-				pool = append(pool, r)
-			}
-		}
-		sc.pool = pool
-	} else {
-		clear(sc.quota)
-		for _, o := range over {
-			q := stochasticRound(rng, o.gap*alpha)
-			sc.quota[o.cell] = q
-			poolCap += int(q)
-		}
-		pool := sc.pool[:0]
-		if cap(pool) < poolCap {
-			pool = make([]int, 0, poolCap)
-		}
-		for r := 0; r < n; r++ {
-			if q, ok := sc.quota[cellOf[r]]; ok && q >= 1 {
-				pool = append(pool, r)
-				sc.quota[cellOf[r]] = q - 1
-			}
-		}
-		sc.pool = pool
+	stamp := sc.stamp
+	for _, o := range over {
+		q := stochasticRound(rng, o.Gap*alpha)
+		vals[o.Cell] = F(q)
+		stamp[o.Cell] = quotaE
+		poolCap += int(q)
 	}
-	pool := sc.pool
-	// Fisher–Yates with the same draw sequence as rng.Shuffle, minus
-	// its closure allocation.
-	for i := len(pool) - 1; i > 0; i-- {
-		j := int(rng.Uint64N(uint64(i + 1)))
-		pool[i], pool[j] = pool[j], pool[i]
+	pool := sc.pool[:0]
+	if cap(pool) < poolCap {
+		pool = make([]int, 0, poolCap)
 	}
+	pool = kernels.PoolScan(cellOf, vals, stamp, quotaE, pool, poolCap)
+	sc.pool = pool
+	shufflePool(rng, pool)
 
 	// Phase 4: a representative record for each under cell enables
 	// the duplicate operation. Only under cells are mapped, and the
-	// row scan stops as soon as every under cell that has rows found
-	// one.
-	if t.dense {
-		rep, stamp := sc.rep, sc.stamp
-		for _, u := range under {
-			stamp[u.cell] = repE
-			rep[u.cell] = -1
+	// row scan stops as soon as every findable cell has one: an under
+	// cell still stamped countE here was counted this plan (its rows
+	// exist); the rest have zero count — no row can ever match them,
+	// so they must not keep the scan alive.
+	rep := sc.rep
+	findable := 0
+	for _, u := range under {
+		if stamp[u.Cell] == countE {
+			findable++
 		}
-		needRep := len(under)
-		for r := 0; r < n && needRep > 0; r++ {
-			if c := cellOf[r]; stamp[c] == repE && rep[c] < 0 {
-				rep[c] = int32(r)
-				needRep--
-			}
-		}
-	} else {
-		clear(sc.srep)
-		for _, u := range under {
-			sc.srep[u.cell] = -1
-		}
-		needRep := len(under)
-		for r := 0; r < n && needRep > 0; r++ {
-			if v, ok := sc.srep[cellOf[r]]; ok && v < 0 {
-				sc.srep[cellOf[r]] = r
-				needRep--
-			}
-		}
+		stamp[u.Cell] = repE
+		rep[u.Cell] = -1
 	}
+	kernels.RepScan(cellOf, rep, stamp, repE, findable)
 
 	// Phase 5: the moves.
 	nAttrs := ds.NumAttrs()
@@ -449,16 +402,135 @@ func planUpdate(ds *dataset.Encoded, t *target, alpha, dupProb float64, sc *gumS
 	rowBuf := plan.rowBuf
 	pi := 0
 	for _, u := range under {
-		need := int(stochasticRound(rng, u.gap*alpha))
+		need := int(stochasticRound(rng, u.Gap*alpha))
 		for k := 0; k < need && pi < len(pool); k++ {
 			r := pool[pi]
 			pi++
 			q, ok := 0, false
-			if t.dense {
-				if v := sc.rep[u.cell]; v >= 0 { // stamped repE above
-					q, ok = int(v), true
+			if v := rep[u.Cell]; v >= 0 { // stamped repE above
+				q, ok = int(v), true
+			}
+			if ok && q != r && rng.Float64() < dupProb {
+				// Duplicate: capture the source row's snapshot codes.
+				off := len(rowBuf)
+				for a := 0; a < nAttrs; a++ {
+					rowBuf = append(rowBuf, ds.Cols[a][q])
 				}
-			} else if v := sc.srep[u.cell]; v >= 0 {
+				moves = append(moves, gumMove{r: r, rowOff: off})
+				plan.dups++
+			} else {
+				moves = append(moves, gumMove{r: r, cell: u.Cell, rowOff: -1})
+				rep[u.Cell] = int32(r)
+			}
+		}
+		if pi >= len(pool) {
+			break
+		}
+	}
+	plan.moves, plan.rowBuf = moves, rowBuf
+}
+
+// planUpdateSparse is planUpdate's map fallback for marginals whose
+// projected cell space is too large to arena. Same phase order, same
+// RNG draw sequence, byte-identical plans.
+func planUpdateSparse(ds *dataset.Encoded, t *target, alpha, dupProb float64, sc *gumScratch, plan *gumPlan) {
+	n := ds.NumRows()
+	rng := sc.rng
+	// Phase 1.
+	sc.sparseTally(ds, t.m)
+	// Phase 2: the sorted touched cells merged against the
+	// target-bearing cells, counts read back from the map.
+	slices.Sort(sc.touched)
+	over, under := sc.over[:0], sc.under[:0]
+	var l1 float64
+	ki, kn := 0, len(t.tcells)
+	for _, c := range sc.touched {
+		for ki < kn && t.tcells[ki] < c {
+			tc := t.tcells[ki]
+			gap := t.counts[tc]
+			l1 += gap
+			under = append(under, cellGap{Cell: tc, Gap: gap})
+			ki++
+		}
+		if ki < kn && t.tcells[ki] == c {
+			ki++
+		}
+		d := sc.counts[c] - t.counts[c]
+		l1 += math.Abs(d)
+		if d > gumDust {
+			over = append(over, cellGap{Cell: c, Gap: d})
+		} else if d < -gumDust {
+			under = append(under, cellGap{Cell: c, Gap: -d})
+		}
+	}
+	for ; ki < kn; ki++ {
+		tc := t.tcells[ki]
+		gap := t.counts[tc]
+		l1 += gap
+		under = append(under, cellGap{Cell: tc, Gap: gap})
+	}
+	sc.over, sc.under = over, under
+	plan.l1 = l1
+	if len(over) == 0 || len(under) == 0 || alpha <= 0 {
+		return
+	}
+	sortUnderByGap(under)
+
+	// Phase 3 (see planUpdateDense; quotas live in a map here).
+	poolCap := 0
+	cellOf := sc.cellOf[:n]
+	clear(sc.quota)
+	for _, o := range over {
+		q := stochasticRound(rng, o.Gap*alpha)
+		sc.quota[o.Cell] = q
+		poolCap += int(q)
+	}
+	pool := sc.pool[:0]
+	if cap(pool) < poolCap {
+		pool = make([]int, 0, poolCap)
+	}
+	for r, want := 0, poolCap; r < n && want > 0; r++ {
+		if q, ok := sc.quota[cellOf[r]]; ok && q >= 1 {
+			pool = append(pool, r)
+			sc.quota[cellOf[r]] = q - 1
+			want--
+		}
+	}
+	sc.pool = pool
+	shufflePool(rng, pool)
+
+	// Phase 4 (see planUpdateDense: only under cells counted this
+	// plan can find a representative, so only they bound the scan).
+	clear(sc.srep)
+	needRep := 0
+	for _, u := range under {
+		if _, counted := sc.counts[u.Cell]; counted {
+			needRep++
+		}
+		sc.srep[u.Cell] = -1
+	}
+	for r := 0; r < n && needRep > 0; r++ {
+		if v, ok := sc.srep[cellOf[r]]; ok && v < 0 {
+			sc.srep[cellOf[r]] = r
+			needRep--
+		}
+	}
+
+	// Phase 5.
+	nAttrs := ds.NumAttrs()
+	moves := plan.moves[:0]
+	if cap(moves) < poolCap {
+		moves = make([]gumMove, 0, poolCap)
+	}
+	rowBuf := plan.rowBuf
+	pi := 0
+	for _, u := range under {
+		need := int(stochasticRound(rng, u.Gap*alpha))
+		for k := 0; k < need && pi < len(pool); k++ {
+			r := pool[pi]
+			pi++
+			q, ok := 0, false
+			if v := sc.srep[u.Cell]; v >= 0 {
 				q, ok = v, true
 			}
 			if ok && q != r && rng.Float64() < dupProb {
@@ -470,12 +542,8 @@ func planUpdate(ds *dataset.Encoded, t *target, alpha, dupProb float64, sc *gumS
 				moves = append(moves, gumMove{r: r, rowOff: off})
 				plan.dups++
 			} else {
-				moves = append(moves, gumMove{r: r, cell: u.cell, rowOff: -1})
-				if t.dense {
-					sc.rep[u.cell] = int32(r)
-				} else {
-					sc.srep[u.cell] = r
-				}
+				moves = append(moves, gumMove{r: r, cell: u.Cell, rowOff: -1})
+				sc.srep[u.Cell] = r
 			}
 		}
 		if pi >= len(pool) {
@@ -610,15 +678,21 @@ func InitGUMMI(names []string, domains []int, oneWay, published []*marginal.Marg
 		if err != nil {
 			return nil, err
 		}
+		// Decode each sampled cell into a reused buffer and assign only
+		// the not-yet-covered attribute positions (precomputed, so the
+		// row loop does no membership scans and allocates nothing).
+		codes := make([]int32, len(m.Attrs))
+		newPos := make([]int, 0, len(newAttrs))
+		for i, a := range m.Attrs {
+			if !assigned[a] {
+				newPos = append(newPos, i)
+			}
+		}
 		for r := 0; r < n; r++ {
 			cell := cond.Sample(rng, keyCol[r])
-			codes := m.Cell(cell)
-			for i, a := range m.Attrs {
-				for _, na := range newAttrs {
-					if a == na {
-						ds.Cols[a][r] = codes[i]
-					}
-				}
+			m.CellInto(cell, codes)
+			for _, i := range newPos {
+				ds.Cols[m.Attrs[i]][r] = codes[i]
 			}
 		}
 		for _, a := range newAttrs {

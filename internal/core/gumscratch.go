@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"github.com/netdpsyn/netdpsyn/internal/core/kernels"
 	"github.com/netdpsyn/netdpsyn/internal/dataset"
 	"github.com/netdpsyn/netdpsyn/internal/marginal"
 )
@@ -20,11 +21,30 @@ const gumDust = 0.5
 // memory is O(records), never O(domain product).
 const gumDenseCellFloor = 1 << 20
 
+// gumSweepFactor gates the linear gap sweep: when the marginal's cell
+// space is at most this many times the touched+target set, a single
+// ascending pass over the arena (kernels.GapSweep) replaces the
+// per-plan sort of the touched cells — the sort was ~a third of gum
+// wall. Beyond that the touched set is sorted and merged instead
+// (kernels.GapMerge); both orders are ascending-cell, so the plans
+// are byte-identical. Var, not const: the equivalence tests pin it to
+// 0 / huge to force each path.
+var gumSweepFactor = 8
+
+// gumTileBytes is the dense-arena footprint (vals + stamp) above
+// which the tally runs in cell-blocked passes sized to stay
+// L2-resident, instead of one scatter pass over the whole arena.
+// Probed once from sysfs with a safe fallback. Var for tests.
+var gumTileBytes = kernels.L2Bytes()
+
+// gumTileMaxPasses caps how many blocked passes a single tally may
+// take: each pass re-reads the cellOf stream, so past this point the
+// stream traffic outweighs the locality win and one scatter pass is
+// cheaper.
+const gumTileMaxPasses = 8
+
 // cellGap is one cell's distance from its target count.
-type cellGap struct {
-	cell int
-	gap  float64
-}
+type cellGap = kernels.CellGap
 
 // gumScratch is one worker's reusable arena for GUM's planning pass.
 // It is allocated once per GUM run and reused across every
@@ -39,22 +59,25 @@ type cellGap struct {
 // determinism contract, see parallelForWorker).
 type gumScratch struct {
 	cellOf  []int     // current cell of every snapshot row
-	touched []cellGap // cells with nonzero current count, with their counts
+	touched []int     // cells with nonzero current count, first-touch order
 	over    []cellGap // cells above target by more than gumDust
 	under   []cellGap // cells below target by more than gumDust
 	pool    []int     // movable rows drawn from over cells
 
 	// Dense arena, sized to the largest dense-eligible marginal's
-	// cell space. vals holds per-cell counts during the tally and
-	// per-cell move quotas during the pool scan; rep holds each under
+	// cell space. Exactly one of vals/vals32 is allocated (Cells32
+	// selects float32 cells, halving the arena's cache footprint);
+	// the chosen array holds per-cell counts during the tally and
+	// per-cell move quotas during the pool scan. rep holds each under
 	// cell's representative row (-1 = under member with no rep yet).
 	// stamp gates every read: a cell is live only while stamp[c]
 	// matches the current phase's epoch, so nothing is ever zeroed
 	// wholesale between plans.
-	vals  []float64
-	rep   []int32
-	stamp []uint32
-	epoch uint32
+	vals   []float64
+	vals32 []float32
+	rep    []int32
+	stamp  []uint32
+	epoch  uint32
 
 	// Sparse fallback for marginals whose projected cell space is too
 	// large to arena. The maps are cleared per plan; iteration order
@@ -72,15 +95,19 @@ type gumScratch struct {
 
 // newGumScratch sizes an arena for rows-record plans; denseCells is
 // the largest dense marginal's cell space (0 if every marginal takes
-// the sparse path).
-func newGumScratch(rows, denseCells int) *gumScratch {
+// the sparse path). cells32 picks the float32 arena.
+func newGumScratch(rows, denseCells int, cells32 bool) *gumScratch {
 	sc := &gumScratch{
 		cellOf: make([]int, rows),
 		pcg:    rand.NewPCG(0, 0),
 	}
 	sc.rng = rand.New(sc.pcg)
 	if denseCells > 0 {
-		sc.vals = make([]float64, denseCells)
+		if cells32 {
+			sc.vals32 = make([]float32, denseCells)
+		} else {
+			sc.vals = make([]float64, denseCells)
+		}
 		sc.rep = make([]int32, denseCells)
 		sc.stamp = make([]uint32, denseCells)
 	}
@@ -111,123 +138,61 @@ func (sc *gumScratch) phases() (countE, quotaE, repE uint32) {
 	return sc.epoch - 2, sc.epoch - 1, sc.epoch
 }
 
-// denseTally fills cellOf with every snapshot row's flattened cell
-// and tallies the counts into the arena at the current count epoch,
-// leaving touched holding every nonzero cell with its final count
-// (unsorted, first-touch order) — the same shape sparseTally
-// produces, so planUpdate's over/under merge is mode-blind. The
-// stride accumulation and the count pass are fused into ONE row
-// sweep — not len(Attrs) accumulation passes plus a count pass —
-// with the 2- and 3-way shapes 8-lane unrolled.
-func (sc *gumScratch) denseTally(ds *dataset.Encoded, m *marginal.Marginal) {
-	n := ds.NumRows()
-	cellOf := sc.cellOf[:n]
-	vals, stamp := sc.vals, sc.stamp
-	e := sc.epoch - 2 // countE from phases()
-	touched := sc.touched[:0]
-	attrs, strides := m.Attrs, m.Strides()
-	switch len(attrs) {
-	case 1:
-		col := ds.Cols[attrs[0]][:n]
-		for r, c := range col {
-			cellOf[r] = int(c)
-		}
-	case 2:
-		a := ds.Cols[attrs[0]][:n]
-		b := ds.Cols[attrs[1]][:n]
-		s0 := strides[0]
-		r := 0
-		for ; r+8 <= n; r += 8 {
-			cellOf[r+0] = int(a[r+0])*s0 + int(b[r+0])
-			cellOf[r+1] = int(a[r+1])*s0 + int(b[r+1])
-			cellOf[r+2] = int(a[r+2])*s0 + int(b[r+2])
-			cellOf[r+3] = int(a[r+3])*s0 + int(b[r+3])
-			cellOf[r+4] = int(a[r+4])*s0 + int(b[r+4])
-			cellOf[r+5] = int(a[r+5])*s0 + int(b[r+5])
-			cellOf[r+6] = int(a[r+6])*s0 + int(b[r+6])
-			cellOf[r+7] = int(a[r+7])*s0 + int(b[r+7])
-			for _, c := range cellOf[r : r+8] {
-				if stamp[c] != e {
-					stamp[c] = e
-					vals[c] = 1
-					touched = append(touched, cellGap{cell: c})
-				} else {
-					vals[c]++
-				}
-			}
-		}
-		for ; r < n; r++ {
-			c := int(a[r])*s0 + int(b[r])
-			cellOf[r] = c
-			if stamp[c] != e {
-				stamp[c] = e
-				vals[c] = 1
-				touched = append(touched, cellGap{cell: c})
-			} else {
-				vals[c]++
-			}
-		}
-		sc.finishDenseTally(touched)
-		return
-	case 3:
-		a := ds.Cols[attrs[0]][:n]
-		b := ds.Cols[attrs[1]][:n]
-		c3 := ds.Cols[attrs[2]][:n]
-		s0, s1 := strides[0], strides[1]
-		r := 0
-		for ; r+8 <= n; r += 8 {
-			cellOf[r+0] = int(a[r+0])*s0 + int(b[r+0])*s1 + int(c3[r+0])
-			cellOf[r+1] = int(a[r+1])*s0 + int(b[r+1])*s1 + int(c3[r+1])
-			cellOf[r+2] = int(a[r+2])*s0 + int(b[r+2])*s1 + int(c3[r+2])
-			cellOf[r+3] = int(a[r+3])*s0 + int(b[r+3])*s1 + int(c3[r+3])
-			cellOf[r+4] = int(a[r+4])*s0 + int(b[r+4])*s1 + int(c3[r+4])
-			cellOf[r+5] = int(a[r+5])*s0 + int(b[r+5])*s1 + int(c3[r+5])
-			cellOf[r+6] = int(a[r+6])*s0 + int(b[r+6])*s1 + int(c3[r+6])
-			cellOf[r+7] = int(a[r+7])*s0 + int(b[r+7])*s1 + int(c3[r+7])
-			for _, c := range cellOf[r : r+8] {
-				if stamp[c] != e {
-					stamp[c] = e
-					vals[c] = 1
-					touched = append(touched, cellGap{cell: c})
-				} else {
-					vals[c]++
-				}
-			}
-		}
-		for ; r < n; r++ {
-			c := int(a[r])*s0 + int(b[r])*s1 + int(c3[r])
-			cellOf[r] = c
-			if stamp[c] != e {
-				stamp[c] = e
-				vals[c] = 1
-				touched = append(touched, cellGap{cell: c})
-			} else {
-				vals[c]++
-			}
-		}
-		sc.finishDenseTally(touched)
-		return
-	default:
-		m.CellsInto(ds, cellOf)
+// floatBytes reports the in-memory size of the arena element type.
+func floatBytes[F kernels.Float]() int {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return 4
 	}
-	// 1-way and generic shapes: cellOf is filled, tally it.
-	for _, c := range cellOf {
-		if stamp[c] != e {
-			stamp[c] = e
-			vals[c] = 1
-			touched = append(touched, cellGap{cell: c})
-		} else {
-			vals[c]++
-		}
-	}
-	sc.finishDenseTally(touched)
+	return 8
 }
 
-// finishDenseTally copies each touched cell's final count out of the
-// arena so touched matches sparseTally's (cell, count) shape.
-func (sc *gumScratch) finishDenseTally(touched []cellGap) {
-	for i := range touched {
-		touched[i].gap = sc.vals[touched[i].cell]
+// denseTally fills cellOf with every snapshot row's flattened cell
+// and tallies the counts into the arena at countE, leaving
+// sc.touched holding every nonzero cell (unsorted, first-touch
+// order). The stride accumulation and the count pass are fused into
+// ONE row sweep through the kernels package — not len(Attrs)
+// accumulation passes plus a count pass. When the arena's working
+// set (vals + stamp over the marginal's cells) exceeds the L2
+// budget, the fused pass is split: cellOf is computed in one
+// streaming pass, then the tally scatters in ascending cell blocks
+// that stay cache-resident. Blocked or not, the touched SET is
+// identical and planUpdate orders cells before any ordered use, so
+// the plan is byte-identical either way.
+func denseTally[F kernels.Float](sc *gumScratch, vals []F, ds *dataset.Encoded, m *marginal.Marginal, cells int, countE uint32) {
+	n := ds.NumRows()
+	cellOf := sc.cellOf[:n]
+	stamp := sc.stamp
+	touched := sc.touched[:0]
+
+	if footprint := cells * (floatBytes[F]() + 4); footprint > gumTileBytes && n >= cells {
+		blockCells := gumTileBytes / (floatBytes[F]() + 4)
+		if minBlock := (cells + gumTileMaxPasses - 1) / gumTileMaxPasses; blockCells < minBlock {
+			blockCells = minBlock
+		}
+		m.CellsInto(ds, cellOf)
+		for lo := 0; lo < cells; lo += blockCells {
+			hi := lo + blockCells
+			if hi > cells {
+				hi = cells
+			}
+			touched = kernels.TallyRange(cellOf, vals, stamp, countE, lo, hi, touched)
+		}
+		sc.touched = touched
+		return
+	}
+
+	attrs, strides := m.Attrs, m.Strides()
+	switch len(attrs) {
+	case 2:
+		touched = kernels.Cells2Tally(cellOf, ds.Cols[attrs[0]], ds.Cols[attrs[1]],
+			strides[0], vals, stamp, countE, touched)
+	case 3:
+		touched = kernels.Cells3Tally(cellOf, ds.Cols[attrs[0]], ds.Cols[attrs[1]],
+			ds.Cols[attrs[2]], strides[0], strides[1], vals, stamp, countE, touched)
+	default:
+		m.CellsInto(ds, cellOf)
+		touched = kernels.Tally(cellOf, vals, stamp, countE, touched)
 	}
 	sc.touched = touched
 }
@@ -250,8 +215,8 @@ func (sc *gumScratch) sparseTally(ds *dataset.Encoded, m *marginal.Marginal) {
 		sc.counts[c]++
 	}
 	touched := sc.touched[:0]
-	for c, cnt := range sc.counts {
-		touched = append(touched, cellGap{cell: c, gap: cnt})
+	for c := range sc.counts {
+		touched = append(touched, c)
 	}
 	sc.touched = touched
 }

@@ -1,0 +1,75 @@
+package kernels
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// l2Fallback is used when the cache topology cannot be probed
+// (non-Linux, restricted /sys, exotic layouts). 1 MiB is a
+// conservative lower bound for server parts from the last decade —
+// undersizing a tile only costs extra passes, never correctness.
+const l2Fallback = 1 << 20
+
+var l2Probe = sync.OnceValue(func() int {
+	return probeSysfsL2("/sys/devices/system/cpu/cpu0/cache")
+})
+
+// L2Bytes reports the per-core L2 data-cache size in bytes, probed
+// once from sysfs with a 1 MiB fallback. GUM sizes its blocked-tally
+// tiles from this so dense arenas larger than L2 are swept in
+// cache-resident column blocks.
+func L2Bytes() int {
+	return l2Probe()
+}
+
+func probeSysfsL2(dir string) int {
+	for idx := 0; idx < 10; idx++ {
+		base := dir + "/index" + strconv.Itoa(idx) + "/"
+		lvl, err := os.ReadFile(base + "level")
+		if err != nil {
+			break
+		}
+		if strings.TrimSpace(string(lvl)) != "2" {
+			continue
+		}
+		// Skip instruction-only caches; "Data" and "Unified" both
+		// hold our arenas.
+		if typ, err := os.ReadFile(base + "type"); err == nil &&
+			strings.TrimSpace(string(typ)) == "Instruction" {
+			continue
+		}
+		raw, err := os.ReadFile(base + "size")
+		if err != nil {
+			continue
+		}
+		if n := parseCacheSize(strings.TrimSpace(string(raw))); n > 0 {
+			return n
+		}
+	}
+	return l2Fallback
+}
+
+// parseCacheSize parses sysfs cache sizes ("2048K", "1M", "512").
+// Returns 0 on malformed input or values outside [64 KiB, 64 MiB] —
+// a clamp against garbage from broken virtualized topologies.
+func parseCacheSize(s string) int {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	b := n * mult
+	if b < 64<<10 || b > 64<<20 {
+		return 0
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netdpsyn/netdpsyn/internal/datagen"
+)
+
+// TestStagePprofLabels checks that every pipeline stage executes under
+// a pprof "stage" label. The StageDone hook fires inside the labeled
+// region by contract, so reading the current goroutine's labels from
+// the goroutine profile (debug=1 renders them as
+// `# labels: {"stage":"gum"}`) must show the stage's own name.
+func TestStagePprofLabels(t *testing.T) {
+	tbl, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 400, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := fastPipelineConfig()
+	var mu sync.Mutex
+	labeled := map[string]bool{}
+	cfg.Metrics = &EngineMetrics{
+		StageDone: func(stage string, _, _ time.Duration) {
+			var buf bytes.Buffer
+			if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+				t.Errorf("stage %s: goroutine profile: %v", stage, err)
+				return
+			}
+			mu.Lock()
+			labeled[stage] = strings.Contains(buf.String(), `"stage":"`+stage+`"`)
+			mu.Unlock()
+		},
+	}
+	if _, err := mustPipeline(t, cfg).Synthesize(tbl); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range synthStages {
+		ok, fired := labeled[s.name]
+		if !fired {
+			t.Errorf("stage %s: StageDone never fired", s.name)
+		} else if !ok {
+			t.Errorf("stage %s: goroutine profile missing stage label", s.name)
+		}
+	}
+}
+
+// TestStagePprofLabelComposition checks that stage labels merge with —
+// rather than replace — labels already on the calling context. The
+// serving layer runs jobs under job_kind/dataset labels and hands the
+// labeled context to SynthesizeCtx; every stage's label set must carry
+// both. The two keys must appear in the SAME label block (one line in
+// the debug=1 rendering), not merely somewhere in the profile.
+func TestStagePprofLabelComposition(t *testing.T) {
+	tbl, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 400, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := fastPipelineConfig()
+	var mu sync.Mutex
+	composed := map[string]bool{}
+	cfg.Metrics = &EngineMetrics{
+		StageDone: func(stage string, _, _ time.Duration) {
+			var buf bytes.Buffer
+			if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+				t.Errorf("stage %s: goroutine profile: %v", stage, err)
+				return
+			}
+			ok := false
+			for _, line := range strings.Split(buf.String(), "\n") {
+				if strings.Contains(line, `"stage":"`+stage+`"`) &&
+					strings.Contains(line, `"job_kind":"synthesize"`) {
+					ok = true
+					break
+				}
+			}
+			mu.Lock()
+			composed[stage] = ok
+			mu.Unlock()
+		},
+	}
+	p := mustPipeline(t, cfg)
+	ctx := context.Background()
+	pprof.Do(ctx, pprof.Labels("job_kind", "synthesize"), func(ctx context.Context) {
+		if _, err := p.SynthesizeCtx(ctx, tbl); err != nil {
+			t.Error(err)
+		}
+	})
+
+	for _, s := range synthStages {
+		ok, fired := composed[s.name]
+		if !fired {
+			t.Errorf("stage %s: StageDone never fired", s.name)
+		} else if !ok {
+			t.Errorf("stage %s: label block missing job_kind+stage composition", s.name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -104,6 +105,13 @@ type WindowedResult struct {
 // stream after the in-flight windows drain; the lowest-index window
 // failure wins, mirroring a sequential loop.
 func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) error) error {
+	return SynthesizeStreamCtx(context.Background(), src, cfg, emit)
+}
+
+// SynthesizeStreamCtx is SynthesizeStream with a context that parents
+// each window pipeline's per-stage pprof labels — see
+// Pipeline.SynthesizeCtx. Labels only, never cancellation.
+func SynthesizeStreamCtx(ctx context.Context, src WindowSource, cfg Config, emit func(WindowResult) error) error {
 	if src == nil {
 		return fmt.Errorf("core: nil window source")
 	}
@@ -204,7 +212,7 @@ func SynthesizeStream(src WindowSource, cfg Config, emit func(WindowResult) erro
 					results <- outcome{w: w, id: id, err: err}
 					return
 				}
-				res, err := p.Synthesize(part)
+				res, err := p.SynthesizeCtx(ctx, part)
 				if err != nil {
 					err = fmt.Errorf("core: window %d: %w", w, err)
 				}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/netdpsyn/netdpsyn/internal/core/kernels"
 	"github.com/netdpsyn/netdpsyn/internal/dataset"
 	"github.com/netdpsyn/netdpsyn/internal/dp"
 )
@@ -103,9 +104,11 @@ func (m *Marginal) CellInto(idx int, codes []int32) {
 // out (len ≥ e.NumRows()) in a single row sweep: for each row the
 // stride products of all the marginal's attributes are accumulated
 // at once, instead of one pass per attribute. The 2- and 3-way
-// shapes — the common cases under the pipeline's arity cap — are
-// specialized and 8-lane unrolled; anything wider takes the generic
-// loop. GUM's planning pass and Compute both sit on top of this.
+// shapes — the common cases under the pipeline's arity cap — go
+// through the kernels package (8-lane unrolled in the default build,
+// straight loops under -tags purego); anything wider takes the
+// generic stride accumulation. GUM's planning pass and Compute both
+// sit on top of this.
 func (m *Marginal) CellsInto(e *dataset.Encoded, out []int) {
 	n := e.NumRows()
 	out = out[:n]
@@ -116,55 +119,13 @@ func (m *Marginal) CellsInto(e *dataset.Encoded, out []int) {
 			out[r] = int(c)
 		}
 	case 2:
-		a := e.Cols[m.Attrs[0]][:n]
-		b := e.Cols[m.Attrs[1]][:n]
-		s0 := m.strides[0]
-		r := 0
-		for ; r+8 <= n; r += 8 {
-			out[r+0] = int(a[r+0])*s0 + int(b[r+0])
-			out[r+1] = int(a[r+1])*s0 + int(b[r+1])
-			out[r+2] = int(a[r+2])*s0 + int(b[r+2])
-			out[r+3] = int(a[r+3])*s0 + int(b[r+3])
-			out[r+4] = int(a[r+4])*s0 + int(b[r+4])
-			out[r+5] = int(a[r+5])*s0 + int(b[r+5])
-			out[r+6] = int(a[r+6])*s0 + int(b[r+6])
-			out[r+7] = int(a[r+7])*s0 + int(b[r+7])
-		}
-		for ; r < n; r++ {
-			out[r] = int(a[r])*s0 + int(b[r])
-		}
+		kernels.Cells2(out, e.Cols[m.Attrs[0]], e.Cols[m.Attrs[1]], m.strides[0])
 	case 3:
-		a := e.Cols[m.Attrs[0]][:n]
-		b := e.Cols[m.Attrs[1]][:n]
-		c := e.Cols[m.Attrs[2]][:n]
-		s0, s1 := m.strides[0], m.strides[1]
-		r := 0
-		for ; r+8 <= n; r += 8 {
-			out[r+0] = int(a[r+0])*s0 + int(b[r+0])*s1 + int(c[r+0])
-			out[r+1] = int(a[r+1])*s0 + int(b[r+1])*s1 + int(c[r+1])
-			out[r+2] = int(a[r+2])*s0 + int(b[r+2])*s1 + int(c[r+2])
-			out[r+3] = int(a[r+3])*s0 + int(b[r+3])*s1 + int(c[r+3])
-			out[r+4] = int(a[r+4])*s0 + int(b[r+4])*s1 + int(c[r+4])
-			out[r+5] = int(a[r+5])*s0 + int(b[r+5])*s1 + int(c[r+5])
-			out[r+6] = int(a[r+6])*s0 + int(b[r+6])*s1 + int(c[r+6])
-			out[r+7] = int(a[r+7])*s0 + int(b[r+7])*s1 + int(c[r+7])
-		}
-		for ; r < n; r++ {
-			out[r] = int(a[r])*s0 + int(b[r])*s1 + int(c[r])
-		}
+		kernels.Cells3(out, e.Cols[m.Attrs[0]], e.Cols[m.Attrs[1]], e.Cols[m.Attrs[2]],
+			m.strides[0], m.strides[1])
 	default:
 		for i, at := range m.Attrs {
-			col := e.Cols[at][:n]
-			s := m.strides[i]
-			if i == 0 {
-				for r, c := range col {
-					out[r] = int(c) * s
-				}
-				continue
-			}
-			for r, c := range col {
-				out[r] += int(c) * s
-			}
+			kernels.AccumStride(out, e.Cols[at], m.strides[i], i == 0)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -1143,11 +1144,22 @@ func (q *Queue) runner() {
 		q.mu.Lock()
 		q.backlog--
 		q.mu.Unlock()
-		q.run(j)
+		// Label the job's whole execution for CPU profiling. The labeled
+		// ctx threads into the synthesizer (WithProfileContext) so the
+		// engine's per-stage labels MERGE with (job_kind, dataset)
+		// instead of replacing them, and a -pprof profile slices by
+		// dataset, job kind, AND stage
+		// (`pprof -tagfocus dataset=ton,stage=gum`).
+		pprof.Do(context.Background(), pprof.Labels("job_kind", j.Kind(), "dataset", j.DatasetID), func(ctx context.Context) {
+			q.run(j, ctx)
+		})
 	}
 }
 
-func (q *Queue) run(j *Job) {
+// run executes one admitted job. profCtx carries the runner's pprof
+// labels down into the synthesis engine; it is never a cancellation
+// signal.
+func (q *Queue) run(j *Job, profCtx context.Context) {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.started = time.Now()
@@ -1171,6 +1183,7 @@ func (q *Queue) run(j *Job) {
 		q.fail(j, err)
 		return
 	}
+	syn = syn.WithProfileContext(profCtx)
 	if j.windowed() {
 		// Includes every streaming-dataset job, whose trace exists only
 		// in the spool — the plain path below has no table to hand the

@@ -18,6 +18,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -32,6 +33,7 @@ import (
 	netdpsyn "github.com/netdpsyn/netdpsyn"
 	"github.com/netdpsyn/netdpsyn/internal/core/kernels"
 	"github.com/netdpsyn/netdpsyn/internal/datagen"
+	"github.com/netdpsyn/netdpsyn/internal/dataset"
 	"github.com/netdpsyn/netdpsyn/internal/experiments"
 	"github.com/netdpsyn/netdpsyn/internal/serve"
 )
@@ -408,6 +410,117 @@ func BenchmarkFollowIngest(b *testing.B) {
 		wall := map[string]time.Duration{"follow": elapsed}
 		busyM := map[string]time.Duration{"follow": busy}
 		if err := writeStageTimingsJSON(path, "BenchmarkFollowIngest", b.N, elapsed, wall, busyM, memOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestDecode isolates the decode half of the data plane:
+// one TON trace rendered to CSV bytes once, decoded per op through
+// the streaming CSV path. Two arms share the input — "fast" is the
+// byte-scanning decoder default builds ship (pinned explicitly, so
+// the comparison is meaningful under -tags purego too), "reference"
+// is the encoding/csv path it replaced — so the ratio between them is
+// the data-plane speedup, measured not asserted. Reports rows/sec;
+// with BENCH_STAGE_JSON set, the fast arm merges an "ingest-decode"
+// stage into the trajectory artifact (the pipeline's own "decode"
+// stage — reading an already-loaded table's encoded form — keeps its
+// key).
+func BenchmarkIngestDecode(b *testing.B) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 20_000, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := raw.WriteCSV(&csvBuf); err != nil {
+		b.Fatal(err)
+	}
+	data := csvBuf.Bytes()
+	schema := raw.Schema()
+	rows := raw.NumRows()
+
+	arm := func(b *testing.B, stage string, mk func(*bytes.Reader) (*dataset.CSVStream, error)) {
+		b.ReportAllocs()
+		mem := newMemMeter()
+		rd := bytes.NewReader(data)
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(data)
+			s, err := mk(rd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab := dataset.NewTable(schema, 0)
+			for {
+				tab.Reset()
+				if err := s.NextInto(tab); err != nil {
+					break
+				}
+			}
+			if s.Rows() != rows {
+				b.Fatalf("decoded %d rows, want %d", s.Rows(), rows)
+			}
+		}
+		b.StopTimer()
+		elapsed := b.Elapsed()
+		memOp := mem.perOp(b.N)
+		b.ReportMetric(float64(rows)*float64(b.N)/elapsed.Seconds(), "rows/sec")
+		if path := os.Getenv("BENCH_STAGE_JSON"); stage != "" && path != "" {
+			wall := map[string]time.Duration{stage: elapsed}
+			busy := map[string]time.Duration{stage: elapsed}
+			if err := writeStageTimingsJSON(path, "BenchmarkIngestDecode", b.N, elapsed, wall, busy, memOp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fast", func(b *testing.B) {
+		arm(b, "ingest-decode", func(rd *bytes.Reader) (*dataset.CSVStream, error) {
+			return dataset.NewFastCSVStream(rd, schema, 0)
+		})
+	})
+	b.Run("reference", func(b *testing.B) {
+		arm(b, "", func(rd *bytes.Reader) (*dataset.CSVStream, error) {
+			return dataset.NewReferenceCSVStream(rd, schema, 0)
+		})
+	})
+}
+
+// BenchmarkResultEncode isolates the encode half: one synthetic-shape
+// table rendered to CSV per op through WriteCSV — the exact call the
+// result spool writers, the windowed result.csv streamer, and the CLI
+// emit loop share. Reports rows/sec; with BENCH_STAGE_JSON set,
+// merges a "result-encode" stage into the trajectory artifact.
+func BenchmarkResultEncode(b *testing.B) {
+	raw, err := datagen.Generate(datagen.TON, datagen.Config{Rows: 20_000, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var size int64
+	{
+		var probe bytes.Buffer
+		if err := raw.WriteCSV(&probe); err != nil {
+			b.Fatal(err)
+		}
+		size = int64(probe.Len())
+	}
+	b.ReportAllocs()
+	mem := newMemMeter()
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := raw.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	memOp := mem.perOp(b.N)
+	b.ReportMetric(float64(raw.NumRows())*float64(b.N)/elapsed.Seconds(), "rows/sec")
+	if path := os.Getenv("BENCH_STAGE_JSON"); path != "" {
+		wall := map[string]time.Duration{"result-encode": elapsed}
+		busy := map[string]time.Duration{"result-encode": elapsed}
+		if err := writeStageTimingsJSON(path, "BenchmarkResultEncode", b.N, elapsed, wall, busy, memOp); err != nil {
 			b.Fatal(err)
 		}
 	}

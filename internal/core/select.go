@@ -38,11 +38,15 @@ func cellsOf(domains []int, attrs []int) float64 {
 // noiseErrors computes, for a candidate selected set, the expected L1
 // noise error of each selected marginal under PrivSyn's optimal
 // unequal budget allocation ρ_i ∝ c_i^{2/3} over the publication
-// budget rhoPublish.
-func noiseErrors(cells []float64, rhoPublish float64) []float64 {
+// budget rhoPublish. pow23 carries each marginal's precomputed
+// c^{2/3}: the greedy loop in selectMarginals evaluates O(n·k)
+// candidate sets of up to k marginals each, and recomputing the
+// fractional powers inside made math.Pow the single hottest call of a
+// follow-mode synthesis step.
+func noiseErrors(cells, pow23 []float64, rhoPublish float64) []float64 {
 	var denom float64
-	for _, c := range cells {
-		denom += math.Pow(c, 2.0/3.0)
+	for _, p := range pow23 {
+		denom += p
 	}
 	out := make([]float64, len(cells))
 	if denom <= 0 || rhoPublish <= 0 {
@@ -52,7 +56,7 @@ func noiseErrors(cells []float64, rhoPublish float64) []float64 {
 		return out
 	}
 	for i, c := range cells {
-		rho := rhoPublish * math.Pow(c, 2.0/3.0) / denom
+		rho := rhoPublish * pow23[i] / denom
 		sigma := 1 / math.Sqrt(2*rho)
 		out[i] = marginal.ExpectedL1NoiseError(int(c), sigma)
 	}
@@ -98,26 +102,32 @@ func selectMarginals(ps *marginal.PairScores, domains []int, rhoPublish, maxCell
 		totalDep += s
 	}
 	allCells := make([]float64, n)
+	allPow23 := make([]float64, n)
 	eligible := make([]bool, n)
 	for i, p := range ps.Pairs {
 		allCells[i] = cellsOf(domains, p[:])
+		allPow23[i] = math.Pow(allCells[i], 2.0/3.0)
 		eligible[i] = maxCells <= 0 || allCells[i] <= maxCells
 	}
 
+	cellsBuf := make([]float64, n)
+	powBuf := make([]float64, n)
 	totalErr := func(sel []int) (total, noise, dep float64) {
-		cells := make([]float64, len(sel))
+		cells := cellsBuf[:len(sel)]
+		pow23 := powBuf[:len(sel)]
 		dep = totalDep
 		for i, idx := range sel {
 			cells[i] = allCells[idx]
+			pow23[i] = allPow23[idx]
 			dep -= ps.Scores[idx]
 		}
-		for _, ne := range noiseErrors(cells, rhoPublish) {
+		for _, ne := range noiseErrors(cells, pow23, rhoPublish) {
 			noise += ne
 		}
 		return noise + dep, noise, dep
 	}
 
-	var selected []int
+	selected := make([]int, 0, n)
 	inSel := make([]bool, n)
 	bestTotal, bestNoise, bestDep := totalErr(nil)
 	for maxSelected <= 0 || len(selected) < maxSelected {

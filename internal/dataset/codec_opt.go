@@ -1,0 +1,15 @@
+//go:build !purego
+
+package dataset
+
+import "io"
+
+// Default builds decode through the byte-scanning fast decoder; the
+// encoding/csv reference stays compiled in (codec_ref.go) for the
+// equivalence suite and the differential fuzzer.
+
+func newRowDecoder(r io.Reader) (rowDecoder, error) { return newFastRowDecoder(r) }
+
+// CodecVariant names the CSV decoder selection this binary was built
+// with, the codec counterpart of kernels.Variant.
+func CodecVariant() string { return "fast" }

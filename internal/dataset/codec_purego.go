@@ -1,0 +1,15 @@
+//go:build purego
+
+package dataset
+
+import "io"
+
+// purego builds decode through the encoding/csv reference, mirroring
+// the kernels package's variant seam: the cross-build determinism
+// diff in CI proves the fast decoder never changes what is decoded.
+
+func newRowDecoder(r io.Reader) (rowDecoder, error) { return newRefRowDecoder(r) }
+
+// CodecVariant names the CSV decoder selection this binary was built
+// with, the codec counterpart of kernels.Variant.
+func CodecVariant() string { return "reference" }

@@ -1,7 +1,6 @@
 package dataset
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
 	"net/netip"
@@ -11,49 +10,18 @@ import (
 // WriteCSV writes the table with a header row. IPs are rendered in
 // dotted-quad form and categorical values through their dictionary, so
 // the output matches the CSV shape of the public datasets the paper
-// uses (srcip, dstip, srcport, dstport, proto, ts, ..., label).
+// uses (srcip, dstip, srcport, dstport, proto, ts, ..., label). The
+// rendering goes through the pooled append encoder (encode.go), whose
+// bytes are csv.Writer-identical.
 func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.schema.Names()); err != nil {
-		return fmt.Errorf("dataset: write header: %w", err)
-	}
-	return t.writeRows(cw)
+	return t.writeCSV(w, true)
 }
 
 // WriteCSVBody writes the rows without a header row — the append form
 // used when concatenating per-window syntheses into one CSV (the
 // first window writes WriteCSV, every later one WriteCSVBody).
 func (t *Table) WriteCSVBody(w io.Writer) error {
-	return t.writeRows(csv.NewWriter(w))
-}
-
-func (t *Table) writeRows(cw *csv.Writer) error {
-	row := make([]string, t.NumCols())
-	for r := 0; r < t.NumRows(); r++ {
-		for c := 0; c < t.NumCols(); c++ {
-			row[c] = t.formatValue(r, c)
-		}
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("dataset: write row %d: %w", r, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
-
-func (t *Table) formatValue(r, c int) string {
-	v := t.cols[c][r]
-	switch t.schema.Fields[c].Kind {
-	case KindIP:
-		return FormatIP(v)
-	case KindCategorical:
-		if s := t.CatValue(c, v); s != "" {
-			return s
-		}
-		return strconv.FormatInt(v, 10)
-	default:
-		return strconv.FormatInt(v, 10)
-	}
+	return t.writeCSV(w, false)
 }
 
 // FormatIP renders a uint32-encoded IPv4 address in dotted-quad form.
@@ -78,9 +46,11 @@ func ParseIP(s string) (int64, error) {
 
 // ReadCSV reads a table with the given schema from CSV data whose
 // header must contain every schema field (extra columns are ignored).
-// It is the materializing wrapper around CSVStream: batches are
-// accumulated into one table, re-interning categorical values in
-// stream order so the dictionaries match a direct row-by-row load.
+// It is the materializing wrapper around CSVStream, decoding straight
+// into one table with NextInto — values are interned in stream order,
+// so the dictionaries match a direct row-by-row load, without the
+// intermediate batch tables the old accumulate-and-re-intern loop
+// built.
 func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 	s, err := NewCSVStream(r, schema, 0)
 	if err != nil {
@@ -88,14 +58,9 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 	}
 	t := NewTable(schema, 1024)
 	for {
-		b, err := s.Next()
-		if err == io.EOF {
+		if err := s.NextInto(t); err == io.EOF {
 			return t, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := t.AppendRowRange(b, 0, b.NumRows()); err != nil {
+		} else if err != nil {
 			return nil, err
 		}
 	}

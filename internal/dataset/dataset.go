@@ -184,6 +184,15 @@ func (d *Dict) Value(code int) string {
 // Len returns the number of interned values.
 func (d *Dict) Len() int { return len(d.Values) }
 
+// truncate drops every code >= n, un-interning values appended by a
+// row that was subsequently rolled back (see fastDecoder.decodeRecord).
+func (d *Dict) truncate(n int) {
+	for _, v := range d.Values[n:] {
+		delete(d.index, v)
+	}
+	d.Values = d.Values[:n]
+}
+
 // Clone returns a deep copy of the dictionary.
 func (d *Dict) Clone() *Dict {
 	if d == nil {
@@ -230,6 +239,16 @@ func (t *Table) NumRows() int {
 	return len(t.cols[0])
 }
 
+// Reset truncates the table to zero rows in place, keeping column
+// capacity and dictionaries. It is the recycling hook for batch
+// loops (CSVStream.NextInto): a reset table appends without
+// allocating, and previously interned codes stay valid.
+func (t *Table) Reset() {
+	for i := range t.cols {
+		t.cols[i] = t.cols[i][:0]
+	}
+}
+
 // NumCols returns the number of columns.
 func (t *Table) NumCols() int { return len(t.cols) }
 
@@ -248,19 +267,49 @@ func (t *Table) AppendRow(row []int64) error {
 // match field-for-field by name and kind; categorical values are
 // re-interned through t's dictionaries, so the two tables may use
 // different code assignments. This is the append primitive behind
-// window concatenation and batch accumulation in the streaming path.
+// window concatenation in the streaming path: non-categorical columns
+// copy as one slice append, and categorical columns translate src
+// codes to t codes through a lazily filled per-column map (first
+// appearance order is preserved — the translation of a code is only
+// established when a row carrying it is appended).
 func (t *Table) AppendRowRange(src *Table, lo, hi int) error {
-	rows := make([]int, hi-lo)
-	for i := range rows {
-		rows[i] = lo + i
+	if err := t.checkAppendSchema(src); err != nil {
+		return err
 	}
-	return t.AppendRows(src, rows)
+	for c := range t.cols {
+		sc := src.cols[c][lo:hi]
+		if t.schema.Fields[c].Kind != KindCategorical {
+			t.cols[c] = append(t.cols[c], sc...)
+			continue
+		}
+		dst := t.cols[c]
+		var trans []int64
+		if d := src.dicts[c]; d != nil {
+			trans = make([]int64, d.Len())
+			for i := range trans {
+				trans[i] = -1
+			}
+		}
+		for _, v := range sc {
+			if v >= 0 && int(v) < len(trans) {
+				if trans[v] < 0 {
+					trans[v] = t.CatCode(c, src.CatValue(c, v))
+				}
+				dst = append(dst, trans[v])
+			} else {
+				// Out-of-dictionary code: CatValue yields "", which
+				// interns like any other value.
+				dst = append(dst, t.CatCode(c, src.CatValue(c, v)))
+			}
+		}
+		t.cols[c] = dst
+	}
+	return nil
 }
 
-// AppendRows appends the given rows of src (in order, duplicates
-// allowed) to t, re-interning categorical values as AppendRowRange
-// does.
-func (t *Table) AppendRows(src *Table, rows []int) error {
+// checkAppendSchema verifies src's schema matches t's field-for-field
+// by name and kind.
+func (t *Table) checkAppendSchema(src *Table) error {
 	ds, ss := t.schema, src.schema
 	if ds.NumFields() != ss.NumFields() {
 		return fmt.Errorf("%w: %d fields vs %d", ErrSchemaMismatch, ds.NumFields(), ss.NumFields())
@@ -271,6 +320,17 @@ func (t *Table) AppendRows(src *Table, rows []int) error {
 				ds.Fields[c].Kind, ds.Fields[c].Name, ss.Fields[c].Kind, ss.Fields[c].Name)
 		}
 	}
+	return nil
+}
+
+// AppendRows appends the given rows of src (in order, duplicates
+// allowed) to t, re-interning categorical values as AppendRowRange
+// does.
+func (t *Table) AppendRows(src *Table, rows []int) error {
+	if err := t.checkAppendSchema(src); err != nil {
+		return err
+	}
+	ds := t.schema
 	for c := range t.cols {
 		dst, sc := t.cols[c], src.cols[c]
 		if ds.Fields[c].Kind == KindCategorical {

@@ -1,19 +1,23 @@
 package dataset
 
 import (
-	"io"
-	"strings"
 	"testing"
 )
 
-// FuzzCSVStream feeds arbitrary bytes to the streaming CSV decoder
-// against a small flow-like schema. Two properties: totality —
-// construction and every Next return a batch or a descriptive error,
-// never a panic, whatever the bytes (this is the daemon's upload
-// path, so the input is attacker-controlled) — and poisoning — after
-// a decode error every later Next returns io.EOF, so a caller that
-// ignores one error cannot loop forever or read torn state. Seeded
-// with a valid trace and the known failure shapes.
+// FuzzCSVStream is the differential fuzzer for the CSV codec seam:
+// arbitrary bytes — this is the daemon's upload path, so the input is
+// attacker-controlled — decode through both the byte-scanning fast
+// decoder and the encoding/csv reference, and the two must be
+// observationally identical: same decoded batches (values and
+// dictionary order), same row counts, and the same error string,
+// including which line and field an error names. The old totality and
+// poisoning properties ride along inside decodeAll: construction and
+// every Next return a batch or a descriptive error, never a panic,
+// and after a decode error every later Next returns io.EOF.
+//
+// Seeded with a valid trace, the known failure shapes, and the
+// equivalence corpus (quoting, CRLF, blank lines, torn rows, numeric
+// and IP edge forms).
 func FuzzCSVStream(f *testing.F) {
 	f.Add("ts,sa,pr,label\n1,10.0.0.1,6,benign\n2,10.0.0.2,17,attack\n")
 	f.Add("ts,sa,pr,label\n")                                   // header only
@@ -25,6 +29,9 @@ func FuzzCSVStream(f *testing.F) {
 	f.Add("ts,sa,pr,label\n1,999.999.999.999,3,x\n")            // bad IP
 	f.Add("ts,sa,pr,label\n9999999999999999999,10.0.0.1,3,x\n") // overflow
 	f.Add("")
+	for _, input := range codecCorpus() {
+		f.Add(input)
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		schema := MustSchema(
 			Field{Name: "ts", Kind: KindTimestamp},
@@ -32,22 +39,13 @@ func FuzzCSVStream(f *testing.F) {
 			Field{Name: "pr", Kind: KindCategorical},
 			Field{Name: "label", Kind: KindCategorical, Label: true},
 		)
-		s, err := NewCSVStream(strings.NewReader(input), schema, 8)
-		if err != nil {
-			return
+		fast := decodeAll(t, NewFastCSVStream, input, schema, 8)
+		ref := decodeAll(t, NewReferenceCSVStream, input, schema, 8)
+		if d := diffResults(fast, ref); d != "" {
+			t.Fatalf("fast vs reference decoder diverge: %s\ninput: %q", d, input)
 		}
-		for {
-			batch, err := s.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				if _, err2 := s.Next(); err2 != io.EOF {
-					t.Fatalf("poisoned stream returned %v, want io.EOF", err2)
-				}
-				break
-			}
-			if n := batch.NumRows(); n == 0 || n > 8 {
+		for _, b := range fast.batches {
+			if n := b.NumRows(); n == 0 || n > 8 {
 				t.Fatalf("batch of %d rows, want 1..8", n)
 			}
 		}

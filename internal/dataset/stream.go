@@ -1,7 +1,7 @@
 package dataset
 
 import (
-	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -61,11 +61,15 @@ type BatchSource interface {
 // reports the same errors — a missing header field fails at
 // construction, a torn or mistyped row fails at the batch that
 // contains it, naming the line and field.
+//
+// Decoding goes through the build-selected rowDecoder (see codec.go):
+// the byte-scanning fast decoder in default builds, the encoding/csv
+// reference under -tags purego. Both yield identical batches and
+// identical errors — that equivalence is tested and fuzzed.
 type CSVStream struct {
 	schema    *Schema
-	cr        *csv.Reader
-	pos       []int // schema field -> CSV column
-	line      int   // 1-based line of the next record
+	dec       rowDecoder
+	line      int // 1-based record ordinal of the next record (header = 1)
 	batchRows int
 	rows      int // rows decoded so far
 	done      bool
@@ -75,30 +79,28 @@ type CSVStream struct {
 // every schema field; extra columns are ignored) and returns a stream
 // positioned at the first record. batchRows <= 0 selects the default.
 func NewCSVStream(r io.Reader, schema *Schema, batchRows int) (*CSVStream, error) {
+	return newCSVStream(r, schema, batchRows, newRowDecoder)
+}
+
+func newCSVStream(r io.Reader, schema *Schema, batchRows int, mk func(io.Reader) (rowDecoder, error)) (*CSVStream, error) {
 	if batchRows <= 0 {
 		batchRows = defaultBatchRows
 	}
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
-	header, err := cr.Read()
+	dec, err := mk(r)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read header: %w", err)
 	}
-	pos := make([]int, schema.NumFields())
-	for i := range pos {
-		pos[i] = -1
+	pos, err := headerPositions(schema, dec.Header())
+	if err != nil {
+		return nil, err
 	}
-	for j, name := range header {
-		if i := schema.Index(name); i >= 0 {
-			pos[i] = j
-		}
-	}
-	for i, p := range pos {
-		if p < 0 {
-			return nil, fmt.Errorf("dataset: CSV missing field %q", schema.Fields[i].Name)
-		}
-	}
-	return &CSVStream{schema: schema, cr: cr, pos: pos, line: 2, batchRows: batchRows}, nil
+	dec.Bind(schema, pos)
+	return &CSVStream{
+		schema:    schema,
+		dec:       dec,
+		line:      2,
+		batchRows: batchRows,
+	}, nil
 }
 
 // Rows returns how many records have been decoded so far.
@@ -113,36 +115,44 @@ func (s *CSVStream) Next() (*Table, error) {
 		return nil, io.EOF
 	}
 	t := NewTable(s.schema, s.batchRows)
-	row := make([]int64, s.schema.NumFields())
-	for t.NumRows() < s.batchRows {
-		rec, err := s.cr.Read()
-		if err == io.EOF {
-			s.done = true
-			break
-		}
-		if err != nil {
-			s.done = true
-			return nil, fmt.Errorf("dataset: read line %d: %w", s.line, err)
-		}
-		for i, p := range s.pos {
-			v, err := t.parseValue(i, rec[p])
-			if err != nil {
-				s.done = true
-				return nil, fmt.Errorf("dataset: line %d field %q: %w", s.line, s.schema.Fields[i].Name, err)
-			}
-			row[i] = v
-		}
-		if err := t.AppendRow(row); err != nil {
-			s.done = true
-			return nil, err
-		}
-		s.line++
-		s.rows++
-	}
-	if t.NumRows() == 0 {
-		return nil, io.EOF
+	if err := s.NextInto(t); err != nil {
+		return nil, err
 	}
 	return t, nil
+}
+
+// NextInto decodes up to batchRows records and appends them to t —
+// the reuse form of Next: a caller that Resets and recycles one table
+// decodes with zero allocations per row once t's column capacity and
+// dictionaries are warm. It returns io.EOF when the stream was
+// already exhausted (nothing appended); on a decode error t may hold
+// the rows that preceded the failure, and the stream is poisoned as
+// with Next.
+func (s *CSVStream) NextInto(t *Table) error {
+	if s.done {
+		return io.EOF
+	}
+	n, err := s.dec.DecodeInto(t, s.batchRows)
+	s.line += n
+	s.rows += n
+	if err == nil {
+		return nil
+	}
+	s.done = true
+	if err == io.EOF {
+		if n == 0 {
+			return io.EOF
+		}
+		return nil
+	}
+	var fe *fieldError
+	if errors.As(err, &fe) {
+		return fmt.Errorf("dataset: line %d field %q: %w", s.line, s.schema.Fields[fe.field].Name, fe.err)
+	}
+	if errors.Is(err, ErrSchemaMismatch) {
+		return err
+	}
+	return fmt.Errorf("dataset: read line %d: %w", s.line, err)
 }
 
 // StreamCSV runs fn over every batch of the stream; a batch or fn

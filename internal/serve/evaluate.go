@@ -471,13 +471,23 @@ func labelEntropyBits(t *netdpsyn.Table) float64 {
 	if li < 0 || t.NumRows() == 0 {
 		return 0
 	}
-	counts := make(map[string]float64)
-	hasDict := t.Dict(li) != nil
+	// Tally by raw code first: one int-keyed map access per row
+	// instead of a dictionary decode (and, for dictionary-less
+	// columns, an fmt.Sprintf allocation) per row. The entropy of the
+	// distribution is invariant under relabeling, and the integer
+	// counts convert to float64 exactly, so the result is bit-for-bit
+	// what the string-keyed tally produced.
+	byCode := make(map[int64]float64)
 	for _, code := range t.Column(li) {
+		byCode[code]++
+	}
+	hasDict := t.Dict(li) != nil
+	counts := make(map[string]float64, len(byCode))
+	for code, n := range byCode {
 		if hasDict {
-			counts[t.CatValue(li, code)]++
+			counts[t.CatValue(li, code)] += n
 		} else {
-			counts[fmt.Sprintf("%d", code)]++
+			counts[strconv.FormatInt(code, 10)] += n
 		}
 	}
 	return stats.EntropyCounts(counts)
@@ -499,14 +509,17 @@ type WindowQuality struct {
 }
 
 // windowQuality computes one released window's quality entry against
-// the previously released window (nil for the first).
-func windowQuality(prev, cur *netdpsyn.Table) *WindowQuality {
+// the previously released window (nil for the first). Both sides
+// arrive as memoized MarginalCounts so the drift comparison tallies
+// each window's histograms once across the whole rolling sequence —
+// cur becomes the next window's prev with its counts already built.
+func windowQuality(prev, cur *netdpsyn.MarginalCounts) *WindowQuality {
 	wq := &WindowQuality{
-		Rows:             cur.NumRows(),
-		LabelEntropyBits: labelEntropyBits(cur),
+		Rows:             cur.Table().NumRows(),
+		LabelEntropyBits: labelEntropyBits(cur.Table()),
 	}
-	if prev != nil && prev.NumRows() > 0 && cur.NumRows() > 0 {
-		if _, mean, err := netdpsyn.AttributeTVD(prev, cur); err == nil {
+	if prev != nil && prev.Table().NumRows() > 0 && cur.Table().NumRows() > 0 {
+		if _, mean, err := netdpsyn.AttributeTVDCounts(prev, cur); err == nil {
 			wq.DriftTVD = &mean
 		}
 	}

@@ -1279,9 +1279,10 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 	records := 0
 	wroteHeader := false
 	// prevWindow carries the previous released window of a follow job
-	// for the rolling quality entry (drift vs the prior release) — a
-	// free statistic: it reads only already-released windows.
-	var prevWindow *netdpsyn.Table
+	// (with its marginal histograms memoized) for the rolling quality
+	// entry (drift vs the prior release) — a free statistic: it reads
+	// only already-released windows.
+	var prevWindow *netdpsyn.MarginalCounts
 	emit := func(wr netdpsyn.WindowResult) error {
 		if spool != nil {
 			// One header row for the whole file, keyed on the first
@@ -1302,8 +1303,9 @@ func (q *Queue) runWindowed(j *Job, d *Dataset, syn *netdpsyn.Synthesizer, spool
 		// status poll never waits on it.
 		var quality *WindowQuality
 		if j.Follow && wr.Table != nil {
-			quality = windowQuality(prevWindow, wr.Table)
-			prevWindow = wr.Table
+			cur := netdpsyn.NewMarginalCounts(wr.Table)
+			quality = windowQuality(prevWindow, cur)
+			prevWindow = cur
 		}
 		j.mu.Lock()
 		j.windowsDone++

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // resultSpool accumulates one job's synthesized CSV incrementally and
@@ -152,6 +153,43 @@ func (rs *resultSpool) remove() {
 		rs.fail = "job forgotten"
 	}
 	rs.wake()
+}
+
+// File opens a finished file-backed spool for zero-copy serving: the
+// descriptor plus its mod time feed http.ServeContent, which stats the
+// file for Content-Length, honors range requests, and hands the body
+// copy to sendfile. ok is false while the job is still streaming,
+// for failed or evicted spools, and for the memory backend — callers
+// fall back to the follow reader.
+func (rs *resultSpool) File() (f *os.File, modTime time.Time, ok bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.path == "" || !rs.done || rs.fail != "" {
+		return nil, time.Time{}, false
+	}
+	f, err := os.Open(rs.path)
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, time.Time{}, false
+	}
+	return f, st.ModTime(), true
+}
+
+// Bytes returns a finished memory-backed spool's complete contents
+// for whole-result serving (Content-Length, ranges). The slice is the
+// spool's own — append-sealed, never mutated — so sharing it with a
+// response writer is safe.
+func (rs *resultSpool) Bytes() ([]byte, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.path != "" || !rs.done || rs.fail != "" || rs.mem == nil {
+		return nil, false
+	}
+	return rs.mem, true
 }
 
 // servable reports whether a reader starting now could stream the

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -1073,6 +1074,19 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "job %s is an evaluation; its scores are the evaluation block of GET /jobs/%s", j.ID, j.ID)
 		return
 	}
+	// Zero-copy fast path: a finished file-backed spool is the exact
+	// CSV bytes the job produced, so the whole response is delegated
+	// to http.ServeContent over the descriptor — Content-Length from
+	// the file size, range requests honored, and the body copy handed
+	// to sendfile instead of re-streaming through Go buffers.
+	if rs := j.Spool(); rs != nil {
+		if f, modTime, ok := rs.File(); ok {
+			defer f.Close()
+			s.resultHeaders(w, j)
+			http.ServeContent(w, r, j.ID+".csv", modTime, f)
+			return
+		}
+	}
 	// Fast path: the in-memory result of a finished plain job.
 	if res, ok := j.Result(); ok {
 		s.resultHeaders(w, j)
@@ -1093,11 +1107,20 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			_ = res.Table.WriteCSV(w)
 			return
 		}
-		if rs != nil && rs.servable() {
-			// Persisted (or still-buffered) result — including results
-			// recovered from a previous daemon generation.
-			s.streamSpool(w, j, rs)
-			return
+		if rs != nil {
+			// A finished memory-backed spool serves whole too —
+			// Content-Length and ranges, no follow reader.
+			if data, ok := rs.Bytes(); ok {
+				s.resultHeaders(w, j)
+				http.ServeContent(w, r, j.ID+".csv", time.Time{}, bytes.NewReader(data))
+				return
+			}
+			if rs.servable() {
+				// Persisted (or still-buffered) result — including
+				// results recovered from a previous daemon generation.
+				s.streamSpool(w, j, rs)
+				return
+			}
 		}
 		// Aged out of the retention window with no persisted copy.
 		// Resubmitting the identical synthesis request regenerates it

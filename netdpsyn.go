@@ -546,23 +546,32 @@ func ScanCSV(r io.Reader, schema *Schema) (rows int, err error) {
 	if tsIdx < 0 {
 		return 0, fmt.Errorf("netdpsyn: streaming needs a %q field in the schema", FieldTS)
 	}
+	s, err := dataset.NewCSVStream(r, schema, 0)
+	if err != nil {
+		return 0, err
+	}
+	// One recycled batch table: the scan decodes the whole trace
+	// without allocating per batch (or, once dictionaries are warm,
+	// per row).
+	b := dataset.NewTable(schema, 0)
 	var last int64
 	have := false
-	err = dataset.StreamCSV(r, schema, 0, func(b *Table) error {
+	for {
+		b.Reset()
+		if err := s.NextInto(b); err == io.EOF {
+			return rows, nil
+		} else if err != nil {
+			return 0, err
+		}
 		col := b.Column(tsIdx)
 		for i, ts := range col {
 			if have && ts < last {
-				return fmt.Errorf("netdpsyn: row %d: timestamp %d after %d — streaming synthesis needs a time-ordered trace", rows+i+1, ts, last)
+				return 0, fmt.Errorf("netdpsyn: row %d: timestamp %d after %d — streaming synthesis needs a time-ordered trace", rows+i+1, ts, last)
 			}
 			last, have = ts, true
 		}
 		rows += b.NumRows()
-		return nil
-	})
-	if err != nil {
-		return 0, err
 	}
-	return rows, nil
 }
 
 // FlowSchema returns the canonical flow-header schema
@@ -604,15 +613,67 @@ func NewTable(schema *Schema, n int) *Table {
 // any other statistical release (comparing two releases is free
 // post-processing).
 func AttributeTVD(ref, synth *Table) (perAttr map[string]float64, mean float64, err error) {
-	if ref == nil || ref.NumRows() == 0 || synth == nil || synth.NumRows() == 0 {
+	return AttributeTVDCounts(NewMarginalCounts(ref), NewMarginalCounts(synth))
+}
+
+// MarginalCounts memoizes a table's per-attribute one-way marginal
+// histograms. A rolling comparison — each released window scored
+// against the previous one, as the follow-mode quality trace does —
+// re-tallies every table on both sides of consecutive comparisons if
+// it works from raw tables; carrying the counts forward makes each
+// window's histograms a build-once artifact. Columns tally lazily, on
+// first use by a comparison.
+type MarginalCounts struct {
+	t       *Table
+	decoded []map[string]float64
+	numeric []map[int64]float64
+}
+
+// NewMarginalCounts wraps a table for memoized marginal comparisons.
+// Nil stays nil, so callers can thread an optional previous window
+// through without guarding.
+func NewMarginalCounts(t *Table) *MarginalCounts {
+	if t == nil {
+		return nil
+	}
+	n := len(t.Schema().Names())
+	return &MarginalCounts{
+		t:       t,
+		decoded: make([]map[string]float64, n),
+		numeric: make([]map[int64]float64, n),
+	}
+}
+
+// Table returns the wrapped table.
+func (mc *MarginalCounts) Table() *Table { return mc.t }
+
+func (mc *MarginalCounts) decodedCol(ci int) map[string]float64 {
+	if mc.decoded[ci] == nil {
+		mc.decoded[ci] = decodedCounts(mc.t, ci)
+	}
+	return mc.decoded[ci]
+}
+
+func (mc *MarginalCounts) numericCol(ci int) map[int64]float64 {
+	if mc.numeric[ci] == nil {
+		mc.numeric[ci] = stats.CountsOf(mc.t.Column(ci))
+	}
+	return mc.numeric[ci]
+}
+
+// AttributeTVDCounts is AttributeTVD over memoized histograms: the
+// same scores, but tables wrapped in MarginalCounts are tallied at
+// most once per column no matter how many comparisons they appear in.
+func AttributeTVDCounts(ref, synth *MarginalCounts) (perAttr map[string]float64, mean float64, err error) {
+	if ref == nil || ref.t.NumRows() == 0 || synth == nil || synth.t.NumRows() == 0 {
 		return nil, 0, fmt.Errorf("netdpsyn: AttributeTVD needs two non-empty tables")
 	}
-	names := ref.Schema().Names()
+	names := ref.t.Schema().Names()
 	perAttr = make(map[string]float64, len(names))
 	var sum float64
 	for _, name := range names {
-		ri := ref.Schema().Index(name)
-		si := synth.Schema().Index(name)
+		ri := ref.t.Schema().Index(name)
+		si := synth.t.Schema().Index(name)
 		if si < 0 {
 			return nil, 0, fmt.Errorf("netdpsyn: synthesized table lacks attribute %q", name)
 		}
@@ -627,23 +688,31 @@ func AttributeTVD(ref, synth *Table) (perAttr map[string]float64, mean float64, 
 // tables. Categorical columns are dictionary-encoded per table (a
 // table re-loaded from CSV assigns codes in first-appearance order),
 // so they are compared by decoded value, never by raw code.
-func columnTVD(a *Table, ai int, b *Table, bi int) float64 {
-	if a.Dict(ai) != nil || b.Dict(bi) != nil {
-		return stats.TVDCounts(decodedCounts(a, ai), decodedCounts(b, bi))
+func columnTVD(a *MarginalCounts, ai int, b *MarginalCounts, bi int) float64 {
+	if a.t.Dict(ai) != nil || b.t.Dict(bi) != nil {
+		return stats.TVDCounts(a.decodedCol(ai), b.decodedCol(bi))
 	}
-	return stats.TVDCounts(stats.CountsOf(a.Column(ai)), stats.CountsOf(b.Column(bi)))
+	return stats.TVDCounts(a.numericCol(ai), b.numericCol(bi))
 }
 
 // decodedCounts tallies a column by decoded value; columns without a
-// dictionary fall back to the numeric literal.
+// dictionary fall back to the numeric literal. It tallies by raw code
+// first — one int-keyed map access per row instead of a string decode
+// (or a FormatInt allocation) per row; the integer counts transfer to
+// the string-keyed map exactly, so the result is bit-for-bit what the
+// direct string tally produced.
 func decodedCounts(t *Table, ci int) map[string]float64 {
-	out := make(map[string]float64)
-	hasDict := t.Dict(ci) != nil
+	byCode := make(map[int64]float64)
 	for _, v := range t.Column(ci) {
+		byCode[v]++
+	}
+	out := make(map[string]float64, len(byCode))
+	hasDict := t.Dict(ci) != nil
+	for code, n := range byCode {
 		if hasDict {
-			out[t.CatValue(ci, v)]++
+			out[t.CatValue(ci, code)] += n
 		} else {
-			out[strconv.FormatInt(v, 10)]++
+			out[strconv.FormatInt(code, 10)] += n
 		}
 	}
 	return out
